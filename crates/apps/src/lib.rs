@@ -1,0 +1,32 @@
+//! Case-study applications for the Beldi reproduction (§7.1).
+//!
+//! Three applications adapted from DeathStarBench and ported to stateful
+//! serverless functions, exactly as the paper's evaluation does:
+//!
+//! - [`travel`] — a travel reservation service (10 SSFs, Fig. 22) with a
+//!   **cross-SSF transaction** reserving a hotel room and a flight seat
+//!   atomically;
+//! - [`media`] — a movie review service (13 SSFs, Fig. 23);
+//! - [`social`] — a social media site (13 SSFs, Fig. 24).
+//!
+//! Each module exposes an `*App` type with the same shape:
+//!
+//! - `install(&env)` registers every SSF of the workflow;
+//! - `seed(&env)` loads the dataset (hotels, movies, users, follow graph);
+//! - `request(&mut rng)` draws one frontend request from the
+//!   DeathStarBench-derived mix;
+//! - `entry()` names the workflow's frontend SSF.
+//!
+//! The same application code runs unmodified in all three modes (Beldi,
+//! cross-table, baseline) because it only speaks the
+//! [`beldi::SsfContext`] API — this is what the paper's latency/throughput
+//! comparisons rely on.
+
+pub mod media;
+pub mod rng;
+pub mod social;
+pub mod travel;
+
+pub use media::MediaApp;
+pub use social::SocialApp;
+pub use travel::TravelApp;

@@ -1,0 +1,88 @@
+//! Deterministic request-generation randomness.
+//!
+//! The paper's reservation workload picks hotels and flights "out of 100
+//! choices each following a normal distribution" (§7.4); `rand` 0.8 ships
+//! no normal distribution offline, so a central-limit approximation (sum
+//! of twelve uniforms) provides one.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded request RNG.
+pub fn request_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A sample from approximately `N(mean, stddev²)` via the Irwin–Hall
+/// central-limit construction (sum of 12 uniforms has variance 1).
+pub fn normal(rng: &mut SmallRng, mean: f64, stddev: f64) -> f64 {
+    let z: f64 = (0..12).map(|_| rng.gen::<f64>()).sum::<f64>() - 6.0;
+    mean + z * stddev
+}
+
+/// A normally distributed index in `[0, n)` centered on `n/2` — the
+/// paper's "out of 100 choices … following a normal distribution".
+pub fn normal_index(rng: &mut SmallRng, n: usize) -> usize {
+    let mean = n as f64 / 2.0;
+    let stddev = n as f64 / 6.0; // ±3σ spans the range.
+    (normal(rng, mean, stddev).round().max(0.0) as usize).min(n - 1)
+}
+
+/// Draws an index from a cumulative percentage mix, e.g.
+/// `pick_mix(rng, &[60, 30, 5, 5])` returns 0 with probability 0.60.
+pub fn pick_mix(rng: &mut SmallRng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    let mut roll = rng.gen_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if roll < *w {
+            return i;
+        }
+        roll -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_index_stays_in_range_and_centers() {
+        let mut rng = request_rng(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            let i = normal_index(&mut rng, 100);
+            assert!(i < 100);
+            counts[i] += 1;
+        }
+        // The middle band should dominate the tails.
+        let middle: usize = counts[35..65].iter().sum();
+        let tails: usize = counts[..10].iter().sum::<usize>() + counts[90..].iter().sum::<usize>();
+        assert!(middle > 5 * tails, "middle={middle} tails={tails}");
+    }
+
+    #[test]
+    fn mix_respects_weights_roughly() {
+        let mut rng = request_rng(2);
+        let weights = [60, 30, 5, 5];
+        let mut counts = [0u32; 4];
+        for _ in 0..10_000 {
+            counts[pick_mix(&mut rng, &weights)] += 1;
+        }
+        assert!(counts[0] > 5_000 && counts[0] < 7_000, "{counts:?}");
+        assert!(counts[1] > 2_400 && counts[1] < 3_600, "{counts:?}");
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<usize> = {
+            let mut r = request_rng(7);
+            (0..20).map(|_| normal_index(&mut r, 100)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut r = request_rng(7);
+            (0..20).map(|_| normal_index(&mut r, 100)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,602 @@
+//! The travel reservation service (Fig. 22; cf. Expedia / DeathStarBench
+//! `hotelReservation`, extended with flights as in §7.1).
+//!
+//! Workflow (10 SSFs):
+//!
+//! ```text
+//! client → frontend → { search, recommend, user, reserve }
+//!          search    → { geo, rate, profile }
+//!          reserve   → begin_tx { reserve-hotel, reserve-flight } end_tx
+//! ```
+//!
+//! `reserve` wraps its two legs in a **cross-SSF transaction**: a
+//! reservation goes through only if both the hotel room and the flight
+//! seat are available — under Beldi this is atomic; under the paper's
+//! baseline the same code yields inconsistent results (one leg decremented
+//! without the other), which is exactly the contrast Fig. 15 reports.
+
+use std::sync::Arc;
+
+use beldi::value::{vmap, Map, Value};
+use beldi::{BeldiEnv, BeldiError, TxnOutcome};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::rng::{normal_index, pick_mix};
+
+/// Names of the travel workflow's SSFs.
+pub const SSFS: [&str; 10] = [
+    "travel-frontend",
+    "travel-search",
+    "travel-recommend",
+    "travel-user",
+    "travel-profile",
+    "travel-geo",
+    "travel-rate",
+    "travel-reserve",
+    "travel-reserve-hotel",
+    "travel-reserve-flight",
+];
+
+/// Configuration and request generator for the travel app.
+#[derive(Debug, Clone)]
+pub struct TravelApp {
+    /// Number of hotels (paper: 100).
+    pub hotels: usize,
+    /// Number of flights (paper: 100).
+    pub flights: usize,
+    /// Number of registered users.
+    pub users: usize,
+    /// Initial rooms per hotel.
+    pub rooms_per_hotel: i64,
+    /// Initial seats per flight.
+    pub seats_per_flight: i64,
+    /// Wrap reservations in a cross-SSF transaction (the paper also
+    /// measures a Beldi configuration "for fault-tolerance but without
+    /// transactions", §7.4 — set this to false for that series).
+    pub transactional: bool,
+}
+
+impl Default for TravelApp {
+    fn default() -> Self {
+        TravelApp {
+            hotels: 100,
+            flights: 100,
+            users: 100,
+            rooms_per_hotel: 1_000,
+            seats_per_flight: 1_000,
+            transactional: true,
+        }
+    }
+}
+
+fn hotel_key(i: usize) -> String {
+    format!("hotel-{i}")
+}
+
+fn flight_key(i: usize) -> String {
+    format!("flight-{i}")
+}
+
+fn user_key(i: usize) -> String {
+    format!("user-{i}")
+}
+
+impl TravelApp {
+    /// The workflow's entry SSF.
+    pub fn entry(&self) -> &'static str {
+        "travel-frontend"
+    }
+
+    /// Registers all ten SSFs.
+    pub fn install(&self, env: &BeldiEnv) {
+        install_geo(env);
+        install_rate(env);
+        install_profile(env);
+        install_recommend(env);
+        install_user(env);
+        install_search(env);
+        install_reserve_leg(env, "travel-reserve-hotel", "rooms");
+        install_reserve_leg(env, "travel-reserve-flight", "seats");
+        install_reserve(env, self.transactional);
+        install_frontend(env);
+    }
+
+    /// Seeds hotels, flights, rates, profiles, recommendations, and users.
+    pub fn seed(&self, env: &BeldiEnv) {
+        // Geo index: one row holding every hotel's coordinates (the
+        // DSB geo service's in-memory index, materialized as data).
+        let mut points = Vec::with_capacity(self.hotels);
+        for i in 0..self.hotels {
+            let lat = (i as f64 * 0.37) % 10.0;
+            let lon = (i as f64 * 0.73) % 10.0;
+            points.push(vmap! { "id" => hotel_key(i), "lat" => lat, "lon" => lon });
+            env.seed(
+                "travel-rate",
+                "rates",
+                &hotel_key(i),
+                vmap! { "price" => 80 + ((i * 13) % 200) as i64 },
+            )
+            .expect("seed rates");
+            env.seed(
+                "travel-profile",
+                "profiles",
+                &hotel_key(i),
+                vmap! {
+                    "name" => format!("Hotel {i}"),
+                    "addr" => format!("{i} Main St"),
+                    "rating" => ((i * 7) % 50) as i64,
+                },
+            )
+            .expect("seed profiles");
+            env.seed(
+                "travel-reserve-hotel",
+                "rooms",
+                &hotel_key(i),
+                vmap! { "available" => self.rooms_per_hotel },
+            )
+            .expect("seed rooms");
+        }
+        env.seed("travel-geo", "points", "all", Value::List(points))
+            .expect("seed geo index");
+
+        let mut recs = Vec::with_capacity(self.hotels);
+        for i in 0..self.hotels {
+            recs.push(vmap! {
+                "id" => hotel_key(i),
+                "price" => 80 + ((i * 13) % 200) as i64,
+                "rating" => ((i * 7) % 50) as i64,
+                "dist" => ((i * 11) % 100) as i64,
+            });
+        }
+        env.seed("travel-recommend", "recs", "all", Value::List(recs))
+            .expect("seed recommendations");
+
+        for i in 0..self.flights {
+            env.seed(
+                "travel-reserve-flight",
+                "seats",
+                &flight_key(i),
+                vmap! { "available" => self.seats_per_flight },
+            )
+            .expect("seed seats");
+        }
+        for i in 0..self.users {
+            env.seed(
+                "travel-user",
+                "users",
+                &user_key(i),
+                vmap! { "password" => format!("pw-{i}") },
+            )
+            .expect("seed users");
+        }
+    }
+
+    /// Draws one frontend request from the DeathStarBench-derived mix:
+    /// 60% hotel search, 30% recommendation, 5% login, 5% reservation
+    /// (reservations pick hotel and flight normally out of the catalog,
+    /// §7.4).
+    pub fn request(&self, rng: &mut SmallRng) -> Value {
+        match pick_mix(rng, &[60, 30, 5, 5]) {
+            0 => vmap! {
+                "op" => "search",
+                "lat" => rng.gen_range(0.0..10.0),
+                "lon" => rng.gen_range(0.0..10.0),
+            },
+            1 => vmap! {
+                "op" => "recommend",
+                "require" => *["price", "rating", "dist"]
+                    .get(rng.gen_range(0..3))
+                    .unwrap(),
+            },
+            2 => {
+                let u = rng.gen_range(0..self.users);
+                vmap! { "op" => "login", "user" => user_key(u), "password" => format!("pw-{u}") }
+            }
+            _ => self.reserve_request(rng),
+        }
+    }
+
+    /// A reservation request (hotel and flight drawn normally, §7.4).
+    pub fn reserve_request(&self, rng: &mut SmallRng) -> Value {
+        vmap! {
+            "op" => "reserve",
+            "user" => user_key(rng.gen_range(0..self.users)),
+            "hotel" => hotel_key(normal_index(rng, self.hotels)),
+            "flight" => flight_key(normal_index(rng, self.flights)),
+        }
+    }
+
+    /// Total rooms + seats remaining — the invariant checked by the
+    /// consistency experiments (every successful reservation removes
+    /// exactly one of each).
+    pub fn remaining_inventory(&self, env: &BeldiEnv) -> (i64, i64) {
+        let mut rooms = 0;
+        for i in 0..self.hotels {
+            rooms += env
+                .read_current("travel-reserve-hotel", "rooms", &hotel_key(i))
+                .unwrap()
+                .get_int("available")
+                .unwrap_or(0);
+        }
+        let mut seats = 0;
+        for i in 0..self.flights {
+            seats += env
+                .read_current("travel-reserve-flight", "seats", &flight_key(i))
+                .unwrap()
+                .get_int("available")
+                .unwrap_or(0);
+        }
+        (rooms, seats)
+    }
+}
+
+// ---- SSF bodies ----
+
+fn install_geo(env: &BeldiEnv) {
+    env.register_ssf(
+        "travel-geo",
+        &["points"],
+        Arc::new(|ctx, input| {
+            let lat = input
+                .get_attr("lat")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0);
+            let lon = input
+                .get_attr("lon")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0);
+            let all = ctx.read("points", "all")?;
+            let mut scored: Vec<(f64, String)> = all
+                .as_list()
+                .map(|pts| {
+                    pts.iter()
+                        .filter_map(|p| {
+                            let id = p.get_str("id")?.to_owned();
+                            let plat = p.get_attr("lat")?.as_float()?;
+                            let plon = p.get_attr("lon")?.as_float()?;
+                            let d2 = (plat - lat).powi(2) + (plon - lon).powi(2);
+                            Some((d2, id))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+            let nearby: Vec<Value> = scored
+                .into_iter()
+                .take(5)
+                .map(|(_, id)| Value::from(id))
+                .collect();
+            Ok(Value::List(nearby))
+        }),
+    );
+}
+
+fn install_rate(env: &BeldiEnv) {
+    env.register_ssf(
+        "travel-rate",
+        &["rates"],
+        Arc::new(|ctx, input| {
+            let ids = input.as_list().cloned().unwrap_or_default();
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                let Some(id) = id.as_str() else { continue };
+                let rate = ctx.read("rates", id)?;
+                out.push(vmap! { "id" => id, "price" => rate.get_int("price").unwrap_or(0) });
+            }
+            Ok(Value::List(out))
+        }),
+    );
+}
+
+fn install_profile(env: &BeldiEnv) {
+    env.register_ssf(
+        "travel-profile",
+        &["profiles"],
+        Arc::new(|ctx, input| {
+            let ids = input.as_list().cloned().unwrap_or_default();
+            let mut out = Vec::with_capacity(ids.len());
+            for id in ids {
+                let Some(id) = id.as_str() else { continue };
+                let p = ctx.read("profiles", id)?;
+                let mut m = Map::new();
+                m.insert("id".into(), Value::from(id));
+                m.insert("profile".into(), p);
+                out.push(Value::Map(m));
+            }
+            Ok(Value::List(out))
+        }),
+    );
+}
+
+fn install_recommend(env: &BeldiEnv) {
+    env.register_ssf(
+        "travel-recommend",
+        &["recs"],
+        Arc::new(|ctx, input| {
+            let require = input.get_str("require").unwrap_or("price");
+            let metric = match require {
+                "rating" => "rating",
+                "dist" => "dist",
+                _ => "price",
+            };
+            let all = ctx.read("recs", "all")?;
+            let mut items: Vec<Value> = all.as_list().cloned().unwrap_or_default();
+            // Best = max rating, or min price/distance.
+            items.sort_by_key(|v| {
+                let k = v.get_int(metric).unwrap_or(i64::MAX);
+                if metric == "rating" {
+                    -k
+                } else {
+                    k
+                }
+            });
+            items.truncate(5);
+            Ok(Value::List(items))
+        }),
+    );
+}
+
+fn install_user(env: &BeldiEnv) {
+    env.register_ssf(
+        "travel-user",
+        &["users"],
+        Arc::new(|ctx, input| {
+            let user = input.get_str("user").unwrap_or_default().to_owned();
+            let password = input.get_str("password").unwrap_or_default();
+            let rec = ctx.read("users", &user)?;
+            let ok = rec.get_str("password") == Some(password);
+            Ok(vmap! { "ok" => ok })
+        }),
+    );
+}
+
+fn install_search(env: &BeldiEnv) {
+    env.register_ssf(
+        "travel-search",
+        &[],
+        Arc::new(|ctx, input| {
+            let nearby = ctx.sync_invoke("travel-geo", input.clone())?;
+            let rates = ctx.sync_invoke("travel-rate", nearby.clone())?;
+            let profiles = ctx.sync_invoke("travel-profile", nearby.clone())?;
+            Ok(vmap! {
+                "hotels" => nearby,
+                "rates" => rates,
+                "profiles" => profiles,
+            })
+        }),
+    );
+}
+
+/// The two reservation legs share one body parameterized by table name:
+/// check availability, abort the enclosing transaction when sold out,
+/// decrement otherwise.
+fn install_reserve_leg(env: &BeldiEnv, ssf: &'static str, table: &'static str) {
+    env.register_ssf(
+        ssf,
+        &[table],
+        Arc::new(move |ctx, input| {
+            let key = input
+                .get_str("key")
+                .ok_or_else(|| BeldiError::Protocol("reserve leg needs a key".into()))?
+                .to_owned();
+            let rec = ctx.read(table, &key)?;
+            let available = rec.get_int("available").unwrap_or(0);
+            if available <= 0 {
+                return Err(BeldiError::TxnAborted);
+            }
+            ctx.write(table, &key, vmap! { "available" => available - 1 })?;
+            Ok(vmap! { "key" => key, "remaining" => available - 1 })
+        }),
+    );
+}
+
+fn install_reserve(env: &BeldiEnv, transactional: bool) {
+    env.register_ssf(
+        "travel-reserve",
+        &[],
+        Arc::new(move |ctx, input| {
+            let hotel = input.get_str("hotel").unwrap_or_default().to_owned();
+            let flight = input.get_str("flight").unwrap_or_default().to_owned();
+            if !transactional {
+                // Fault-tolerance only (§7.4's "Beldi without
+                // transactions"): a sold-out second leg leaves the first
+                // leg decremented — exactly the inconsistency the
+                // transactional configuration prevents.
+                let h = ctx.sync_invoke("travel-reserve-hotel", vmap! { "key" => hotel });
+                let f = ctx.sync_invoke("travel-reserve-flight", vmap! { "key" => flight });
+                return Ok(match (h, f) {
+                    (Ok(h), Ok(f)) => vmap! {
+                        "status" => "reserved", "hotel" => h, "flight" => f,
+                    },
+                    _ => vmap! { "status" => "unavailable" },
+                });
+            }
+            ctx.begin_tx()?;
+            let legs = ctx
+                .sync_invoke("travel-reserve-hotel", vmap! { "key" => hotel })
+                .and_then(|h| {
+                    let f = ctx.sync_invoke("travel-reserve-flight", vmap! { "key" => flight })?;
+                    Ok((h, f))
+                });
+            match legs {
+                Ok((h, f)) => match ctx.end_tx()? {
+                    TxnOutcome::Committed => Ok(vmap! {
+                        "status" => "reserved",
+                        "hotel" => h,
+                        "flight" => f,
+                    }),
+                    TxnOutcome::Aborted => Ok(vmap! { "status" => "unavailable" }),
+                },
+                Err(BeldiError::TxnAborted) => {
+                    ctx.abort_tx()?;
+                    Ok(vmap! { "status" => "unavailable" })
+                }
+                Err(e) => Err(e),
+            }
+        }),
+    );
+}
+
+fn install_frontend(env: &BeldiEnv) {
+    env.register_ssf(
+        "travel-frontend",
+        &[],
+        Arc::new(|ctx, input| match input.get_str("op") {
+            Some("search") => ctx.sync_invoke("travel-search", input),
+            Some("recommend") => ctx.sync_invoke("travel-recommend", input),
+            Some("login") => ctx.sync_invoke("travel-user", input),
+            Some("reserve") => ctx.sync_invoke("travel-reserve", input),
+            other => Err(BeldiError::Protocol(format!("unknown travel op {other:?}"))),
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::request_rng;
+
+    fn small_app() -> TravelApp {
+        TravelApp {
+            hotels: 10,
+            flights: 10,
+            users: 5,
+            rooms_per_hotel: 3,
+            seats_per_flight: 3,
+            transactional: true,
+        }
+    }
+
+    fn installed_env() -> (BeldiEnv, TravelApp) {
+        let env = BeldiEnv::for_tests();
+        let app = small_app();
+        app.install(&env);
+        app.seed(&env);
+        (env, app)
+    }
+
+    #[test]
+    fn search_returns_ranked_hotels_with_rates_and_profiles() {
+        let (env, app) = installed_env();
+        let out = env
+            .invoke(
+                app.entry(),
+                vmap! { "op" => "search", "lat" => 1.0, "lon" => 1.0 },
+            )
+            .unwrap();
+        let hotels = out.get_list("hotels").unwrap();
+        assert_eq!(hotels.len(), 5);
+        assert_eq!(out.get_list("rates").unwrap().len(), 5);
+        assert_eq!(out.get_list("profiles").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn recommend_sorts_by_requested_metric() {
+        let (env, app) = installed_env();
+        let out = env
+            .invoke(
+                app.entry(),
+                vmap! { "op" => "recommend", "require" => "price" },
+            )
+            .unwrap();
+        let items = out.as_list().unwrap();
+        assert_eq!(items.len(), 5);
+        let prices: Vec<i64> = items.iter().map(|v| v.get_int("price").unwrap()).collect();
+        let mut sorted = prices.clone();
+        sorted.sort();
+        assert_eq!(prices, sorted, "ascending by price");
+    }
+
+    #[test]
+    fn login_checks_credentials() {
+        let (env, app) = installed_env();
+        let ok = env
+            .invoke(
+                app.entry(),
+                vmap! { "op" => "login", "user" => "user-1", "password" => "pw-1" },
+            )
+            .unwrap();
+        assert_eq!(ok.get_bool("ok"), Some(true));
+        let bad = env
+            .invoke(
+                app.entry(),
+                vmap! { "op" => "login", "user" => "user-1", "password" => "wrong" },
+            )
+            .unwrap();
+        assert_eq!(bad.get_bool("ok"), Some(false));
+    }
+
+    #[test]
+    fn reservation_decrements_both_legs_atomically() {
+        let (env, app) = installed_env();
+        let out = env
+            .invoke(
+                app.entry(),
+                vmap! { "op" => "reserve", "user" => "user-0", "hotel" => "hotel-2", "flight" => "flight-3" },
+            )
+            .unwrap();
+        assert_eq!(out.get_str("status"), Some("reserved"));
+        let (rooms, seats) = app.remaining_inventory(&env);
+        assert_eq!(rooms, 10 * 3 - 1);
+        assert_eq!(seats, 10 * 3 - 1);
+    }
+
+    #[test]
+    fn sold_out_flight_rolls_back_hotel() {
+        let (env, app) = installed_env();
+        // Drain flight-0 (3 seats).
+        for _ in 0..3 {
+            let out = env
+                .invoke(
+                    app.entry(),
+                    vmap! { "op" => "reserve", "user" => "user-0", "hotel" => "hotel-0", "flight" => "flight-0" },
+                )
+                .unwrap();
+            assert_eq!(out.get_str("status"), Some("reserved"));
+        }
+        let out = env
+            .invoke(
+                app.entry(),
+                vmap! { "op" => "reserve", "user" => "user-0", "hotel" => "hotel-1", "flight" => "flight-0" },
+            )
+            .unwrap();
+        assert_eq!(out.get_str("status"), Some("unavailable"));
+        // hotel-1 was not decremented: atomicity across the legs.
+        let h1 = env
+            .read_current("travel-reserve-hotel", "rooms", "hotel-1")
+            .unwrap();
+        assert_eq!(h1.get_int("available"), Some(3));
+        let (rooms, seats) = app.remaining_inventory(&env);
+        assert_eq!(rooms, 27);
+        assert_eq!(seats, 27);
+    }
+
+    #[test]
+    fn request_mix_covers_all_ops() {
+        let app = small_app();
+        let mut rng = request_rng(11);
+        let mut ops = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let r = app.request(&mut rng);
+            ops.insert(r.get_str("op").unwrap().to_owned());
+        }
+        for op in ["search", "recommend", "login", "reserve"] {
+            assert!(ops.contains(op), "mix never produced {op}");
+        }
+    }
+
+    #[test]
+    fn random_request_batch_executes_cleanly() {
+        let (env, app) = installed_env();
+        let mut rng = request_rng(5);
+        for _ in 0..30 {
+            let req = app.request(&mut rng);
+            env.invoke(app.entry(), req).unwrap();
+        }
+        // Inventory only moved by successful reservations (rooms == seats
+        // drop in lockstep).
+        let (rooms, seats) = app.remaining_inventory(&env);
+        assert_eq!(rooms - seats, 0, "legs must move in lockstep");
+    }
+}

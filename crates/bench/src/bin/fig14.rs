@@ -1,0 +1,54 @@
+//! Figure 14: median and 99th-percentile response time versus throughput
+//! for the movie review service, baseline vs Beldi (§7.4).
+//!
+//! Load is issued open-loop at a constant rate per point (the wrk2
+//! methodology), with requests drawn from the read-heavy
+//! DeathStarBench-derived mix. The platform enforces a concurrent-instance
+//! cap — the paper's saturation bottleneck.
+//!
+//! ```text
+//! cargo run -p beldi-bench --release --bin fig14 \
+//!     [-- --duration-ms 3000 --issuers 192 --clock-rate 4 --max-rate 800]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use beldi::Mode;
+use beldi_apps::MediaApp;
+use beldi_bench::{
+    app_env, arg_f64, arg_usize, print_table, sweep_app, sweep_rows, AppHandle, SWEEP_HEADERS,
+};
+
+fn main() {
+    let duration = Duration::from_millis(arg_usize("--duration-ms", 3_000) as u64);
+    let issuers = arg_usize("--issuers", 192);
+    let clock_rate = arg_f64("--clock-rate", 4.0);
+    let max_rate = arg_f64("--max-rate", 800.0);
+    let rates: Vec<f64> = (1..=8).map(|i| max_rate * i as f64 / 8.0).collect();
+
+    let setup = |env: &beldi::BeldiEnv| -> AppHandle {
+        let app = MediaApp::default();
+        app.install(env);
+        app.seed(env);
+        AppHandle {
+            entry: app.entry(),
+            gen: Arc::new(move |i| {
+                let mut rng = beldi_apps::rng::request_rng(0x14D1A + i);
+                app.request(&mut rng)
+            }),
+        }
+    };
+
+    let mut rows = Vec::new();
+    for (system, mode) in [("baseline", Mode::Baseline), ("beldi", Mode::Beldi)] {
+        let make_env = || app_env(mode, clock_rate);
+        let points = sweep_app(&make_env, &setup, &rates, duration, issuers);
+        rows.extend(sweep_rows(system, &points));
+    }
+    print_table(
+        "Figure 14: movie review service, latency vs throughput (ms, virtual)",
+        &SWEEP_HEADERS,
+        &rows,
+    );
+}

@@ -1,0 +1,125 @@
+//! Figure 15: median and 99th-percentile response time versus throughput
+//! for the travel reservation service (§7.4).
+//!
+//! Beldi runs the hotel + flight reservation as a cross-SSF transaction;
+//! the baseline runs the same code without guarantees and can leave
+//! inconsistent inventory. A third series reproduces the paper's "Beldi
+//! for fault-tolerance but without transactions" configuration, whose
+//! latency at saturation the paper reports ~16–20% below transactional
+//! Beldi. The harness also reports the *consistency check*: how far the
+//! two inventory legs drifted apart (0 for transactional Beldi).
+//!
+//! ```text
+//! cargo run -p beldi-bench --release --bin fig15 \
+//!     [-- --duration-ms 3000 --issuers 192 --clock-rate 4 --max-rate 800]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use beldi::{BeldiEnv, Mode};
+use beldi_apps::TravelApp;
+use beldi_bench::{app_env, arg_f64, arg_usize, ms, print_table, sweep_app, AppHandle};
+
+fn travel(transactional: bool) -> TravelApp {
+    TravelApp {
+        // Small per-hotel inventory so contention (and, without
+        // transactions, inconsistency) actually occurs during the run.
+        rooms_per_hotel: 100_000,
+        seats_per_flight: 100_000,
+        transactional,
+        ..TravelApp::default()
+    }
+}
+
+fn main() {
+    let duration = Duration::from_millis(arg_usize("--duration-ms", 3_000) as u64);
+    let issuers = arg_usize("--issuers", 192);
+    let clock_rate = arg_f64("--clock-rate", 4.0);
+    let max_rate = arg_f64("--max-rate", 800.0);
+    let rates: Vec<f64> = (1..=8).map(|i| max_rate * i as f64 / 8.0).collect();
+
+    let systems: [(&str, Mode, bool); 3] = [
+        ("baseline", Mode::Baseline, true),
+        ("beldi", Mode::Beldi, true),
+        ("beldi-notxn", Mode::Beldi, false),
+    ];
+
+    let mut rows = Vec::new();
+    for (system, mode, transactional) in systems {
+        let setup = move |env: &BeldiEnv| -> AppHandle {
+            let app = travel(transactional);
+            app.install(env);
+            app.seed(env);
+            AppHandle {
+                entry: app.entry(),
+                gen: Arc::new(move |i| {
+                    let mut rng = beldi_apps::rng::request_rng(0x7EA731 + i);
+                    app.request(&mut rng)
+                }),
+            }
+        };
+        let make_env = || app_env(mode, clock_rate);
+        let points = sweep_app(&make_env, &setup, &rates, duration, issuers);
+        for p in &points {
+            rows.push(vec![
+                system.to_owned(),
+                format!("{:.0}", p.offered_rate),
+                format!("{:.0}", p.achieved_rate),
+                ms(p.p50),
+                ms(p.p99),
+                p.errors.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 15: travel reservation, latency vs throughput (ms, virtual)",
+        &beldi_bench::SWEEP_HEADERS,
+        &rows,
+    );
+
+    // Consistency check: run a burst of reservations on each system and
+    // report leg drift (rooms vs seats must move in lockstep iff the
+    // reservation is transactional).
+    let mut consistency = Vec::new();
+    for (system, mode, transactional) in systems {
+        let env = app_env(mode, 50.0);
+        let app = TravelApp {
+            rooms_per_hotel: 2,
+            seats_per_flight: 2,
+            hotels: 10,
+            flights: 10,
+            transactional,
+            ..TravelApp::default()
+        };
+        app.install(&env);
+        app.seed(&env);
+        let env = Arc::new(env);
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let env = Arc::clone(&env);
+            let app = app.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = beldi_apps::rng::request_rng(0xC0 + t);
+                for _ in 0..12 {
+                    let _ = env.invoke(app.entry(), app.reserve_request(&mut rng));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (rooms, seats) = app.remaining_inventory(&env);
+        consistency.push(vec![
+            system.to_owned(),
+            rooms.to_string(),
+            seats.to_string(),
+            (rooms - seats).abs().to_string(),
+        ]);
+    }
+    print_table(
+        "Figure 15 companion: inventory consistency after contended reservations",
+        &["system", "rooms_left", "seats_left", "leg_drift"],
+        &consistency,
+    );
+}

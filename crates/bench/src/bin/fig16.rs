@@ -1,0 +1,139 @@
+//! Figure 16: median response time over time for an SSF that performs one
+//! write, under different garbage-collection configurations (§7.5).
+//!
+//! All instances write the same key (the paper's pessimistic setting), so
+//! without GC the key's linked DAAL grows without bound and the
+//! scan-based traversal slows down. The configurations are:
+//!
+//! - `no-gc` — the DAAL grows for the whole run;
+//! - `gc-T=1min` / `gc-T=10min` / `gc-T=30min` — GC triggered every
+//!   virtual minute with the given `T` (the assumed max SSF lifetime,
+//!   which gates when rows may be disconnected and deleted);
+//! - `cross-table` — the comparator that logs to a separate table and has
+//!   no DAAL to grow.
+//!
+//! Output: one row per (config, minute) with the median write latency in
+//! that minute and the hot key's DAAL depth at the end of it.
+//!
+//! The clock rate trades run time for latency fidelity: the scaled clock
+//! multiplies real scheduling overhead into virtual time, so rates above
+//! ~30× start measuring host CPU instead of the modelled database. The
+//! default (20×) runs one virtual minute in 3 s of real time.
+//!
+//! ```text
+//! cargo run -p beldi-bench --release --bin fig16 \
+//!     [-- --minutes 15 --rate 2 --clock-rate 20]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use beldi::value::Value;
+use beldi::{BeldiConfig, BeldiEnv, Mode};
+use beldi_bench::{arg_f64, arg_usize, ms, print_table};
+use beldi_workload::RateRunner;
+
+struct GcConfig {
+    name: &'static str,
+    mode: Mode,
+    /// GC enabled with this `T`, or `None` for no GC.
+    t_max: Option<Duration>,
+}
+
+fn build_env(cfg: &GcConfig, clock_rate: f64) -> BeldiEnv {
+    let mut config = match cfg.mode {
+        Mode::Beldi => BeldiConfig::beldi(),
+        Mode::CrossTable => BeldiConfig::cross_table(),
+        Mode::Baseline => BeldiConfig::baseline(),
+    }
+    // Small rows so DAAL growth is visible within a short run.
+    .with_row_capacity(10)
+    // The paper's 1-minute collector trigger (§7.2).
+    .with_collector_period(Duration::from_secs(60));
+    if let Some(t) = cfg.t_max {
+        config = config.with_t_max(t);
+    }
+    BeldiEnv::builder(config)
+        .latency(beldi_simdb::LatencyModel::dynamo())
+        .platform(beldi_bench::microbench_platform())
+        .clock_rate(clock_rate)
+        .seed(7)
+        .build()
+}
+
+fn main() {
+    let minutes = arg_usize("--minutes", 15);
+    let rate = arg_f64("--rate", 2.0);
+    let clock_rate = arg_f64("--clock-rate", 20.0);
+
+    let configs = [
+        GcConfig {
+            name: "no-gc",
+            mode: Mode::Beldi,
+            t_max: None,
+        },
+        GcConfig {
+            name: "gc-T=1min",
+            mode: Mode::Beldi,
+            t_max: Some(Duration::from_secs(60)),
+        },
+        GcConfig {
+            name: "gc-T=10min",
+            mode: Mode::Beldi,
+            t_max: Some(Duration::from_secs(600)),
+        },
+        GcConfig {
+            name: "gc-T=30min",
+            mode: Mode::Beldi,
+            t_max: Some(Duration::from_secs(1800)),
+        },
+        GcConfig {
+            name: "cross-table",
+            mode: Mode::CrossTable,
+            t_max: Some(Duration::from_secs(60)),
+        },
+    ];
+
+    let mut rows = Vec::new();
+    for cfg in &configs {
+        let env = Arc::new(build_env(cfg, clock_rate));
+        env.register_ssf(
+            "hot-writer",
+            &["t"],
+            Arc::new(|ctx, input| {
+                ctx.write("t", "k", input)?;
+                Ok(Value::Null)
+            }),
+        );
+        if cfg.t_max.is_some() {
+            env.start_collectors();
+        }
+        for minute in 0..minutes {
+            let runner = RateRunner::new(env.clock().clone(), rate, Duration::from_secs(60), 4);
+            let env2 = Arc::clone(&env);
+            let report = runner.run(Arc::new(move |i| {
+                env2.invoke("hot-writer", Value::Int(i as i64)).is_ok()
+            }));
+            let depth = if cfg.mode == Mode::Beldi {
+                env.daal_chain_len("hot-writer", "t", "k")
+                    .unwrap_or(0)
+                    .to_string()
+            } else {
+                "-".to_owned()
+            };
+            rows.push(vec![
+                cfg.name.to_owned(),
+                minute.to_string(),
+                ms(report.latency.p50),
+                ms(report.latency.p99),
+                depth,
+            ]);
+        }
+        env.stop_collectors();
+    }
+    print_table(
+        "Figure 16: single-write SSF latency over time under GC configurations (ms, virtual)",
+        &["config", "minute", "p50_ms", "p99_ms", "daal_rows"],
+        &rows,
+    );
+}

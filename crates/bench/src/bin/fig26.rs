@@ -1,0 +1,49 @@
+//! Figure 26 (Appendix C.1): median and 99th-percentile response time
+//! versus throughput for the social media site, baseline vs Beldi.
+//!
+//! ```text
+//! cargo run -p beldi-bench --release --bin fig26 \
+//!     [-- --duration-ms 3000 --issuers 192 --clock-rate 4 --max-rate 800]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use beldi::Mode;
+use beldi_apps::SocialApp;
+use beldi_bench::{
+    app_env, arg_f64, arg_usize, print_table, sweep_app, sweep_rows, AppHandle, SWEEP_HEADERS,
+};
+
+fn main() {
+    let duration = Duration::from_millis(arg_usize("--duration-ms", 3_000) as u64);
+    let issuers = arg_usize("--issuers", 192);
+    let clock_rate = arg_f64("--clock-rate", 4.0);
+    let max_rate = arg_f64("--max-rate", 800.0);
+    let rates: Vec<f64> = (1..=8).map(|i| max_rate * i as f64 / 8.0).collect();
+
+    let setup = |env: &beldi::BeldiEnv| -> AppHandle {
+        let app = SocialApp::default();
+        app.install(env);
+        app.seed(env);
+        AppHandle {
+            entry: app.entry(),
+            gen: Arc::new(move |i| {
+                let mut rng = beldi_apps::rng::request_rng(0x50C1A1 + i);
+                app.request(&mut rng)
+            }),
+        }
+    };
+
+    let mut rows = Vec::new();
+    for (system, mode) in [("baseline", Mode::Baseline), ("beldi", Mode::Beldi)] {
+        let make_env = || app_env(mode, clock_rate);
+        let points = sweep_app(&make_env, &setup, &rates, duration, issuers);
+        rows.extend(sweep_rows(system, &points));
+    }
+    print_table(
+        "Figure 26: social media site, latency vs throughput (ms, virtual)",
+        &SWEEP_HEADERS,
+        &rows,
+    );
+}

@@ -1,0 +1,363 @@
+//! Shared harness code for the experiment binaries and Criterion benches.
+//!
+//! One binary per paper table/figure (see `DESIGN.md` §4 for the index):
+//!
+//! | Binary  | Reproduces |
+//! |---------|------------|
+//! | `fig13` | Median/p99 per-operation latency, baseline vs Beldi vs cross-table (20-row DAAL; `--rows 5` gives Fig. 25) |
+//! | `fig14` | Latency vs throughput, movie review service |
+//! | `fig15` | Latency vs throughput, travel reservation (with the cross-SSF transaction) |
+//! | `fig16` | Median write latency over time under GC configurations |
+//! | `fig26` | Latency vs throughput, social media site |
+//! | `costs` | §7.3's storage / network overhead accounting |
+//!
+//! All latencies are **virtual-time** milliseconds from the scaled clock;
+//! absolute values depend on the latency model, but the comparative
+//! *shapes* are the reproduction targets (see `EXPERIMENTS.md`).
+
+use std::time::Duration;
+
+use beldi::value::Value;
+use beldi::{BeldiConfig, BeldiEnv, Mode};
+use beldi_simfaas::{PlatformConfig, SaturationPolicy};
+use beldi_workload::Histogram;
+
+/// The three measured systems, in the paper's presentation order.
+pub const SYSTEMS: [(&str, Mode); 3] = [
+    ("baseline", Mode::Baseline),
+    ("beldi", Mode::Beldi),
+    ("cross-table", Mode::CrossTable),
+];
+
+/// Beldi configuration for a mode with experiment-friendly knobs.
+pub fn config_for(mode: Mode, row_capacity: usize) -> BeldiConfig {
+    let base = match mode {
+        Mode::Beldi => BeldiConfig::beldi(),
+        Mode::CrossTable => BeldiConfig::cross_table(),
+        Mode::Baseline => BeldiConfig::baseline(),
+    };
+    base.with_row_capacity(row_capacity)
+}
+
+/// A platform shaped like the paper's AWS setup: 1,000-concurrent-Lambda
+/// cap (the Figs. 14/15/26 bottleneck), modest cold starts, queueing at
+/// saturation.
+pub fn lambda_like_platform() -> PlatformConfig {
+    PlatformConfig {
+        concurrency_limit: 1000,
+        invoke_timeout: Duration::from_secs(120),
+        cold_start: Duration::from_millis(150),
+        warm_start: Duration::from_millis(3),
+        // AWS invocation dispatch is tens of ms; weighting it like the
+        // real platform keeps Beldi's extra database round trips in
+        // paper-like proportion to invocation cost.
+        invoke_overhead: Duration::from_millis(10),
+        warm_pool_per_fn: 2_000,
+        saturation: SaturationPolicy::Queue,
+    }
+}
+
+/// A low-overhead platform for micro-benchmarks (per-operation costs,
+/// where platform dispatch would mask database round trips).
+pub fn microbench_platform() -> PlatformConfig {
+    PlatformConfig {
+        concurrency_limit: 10_000,
+        invoke_timeout: Duration::from_secs(24 * 3600),
+        cold_start: Duration::from_millis(5),
+        warm_start: Duration::from_millis(1),
+        invoke_overhead: Duration::from_millis(1),
+        warm_pool_per_fn: 10_000,
+        saturation: SaturationPolicy::Queue,
+    }
+}
+
+/// Builds an environment with the DynamoDB-shaped latency model and the
+/// low-overhead platform (per-operation experiments).
+pub fn experiment_env(mode: Mode, row_capacity: usize, clock_rate: f64) -> BeldiEnv {
+    BeldiEnv::builder(config_for(mode, row_capacity))
+        .latency(beldi_simdb::LatencyModel::dynamo())
+        .platform(microbench_platform())
+        .clock_rate(clock_rate)
+        .seed(42)
+        .build()
+}
+
+/// Like [`app_env`] but with an effectively unbounded invocation timeout:
+/// wall-clock benches run at very high clock rates, where a realistic
+/// *virtual* timeout corresponds to only milliseconds of real time and
+/// scheduling jitter would abort requests spuriously.
+pub fn bench_env(mode: Mode, clock_rate: f64) -> BeldiEnv {
+    let platform = PlatformConfig {
+        invoke_timeout: Duration::from_secs(24 * 3600),
+        ..lambda_like_platform()
+    };
+    BeldiEnv::builder(config_for(mode, 100))
+        .latency(beldi_simdb::LatencyModel::dynamo())
+        .platform(platform)
+        .clock_rate(clock_rate)
+        .seed(42)
+        .build()
+}
+
+/// Builds an environment for the app-level load experiments (Figs.
+/// 14/15/26): DynamoDB latencies plus the Lambda-like platform.
+pub fn app_env(mode: Mode, clock_rate: f64) -> BeldiEnv {
+    BeldiEnv::builder(config_for(mode, 100))
+        .latency(beldi_simdb::LatencyModel::dynamo())
+        .platform(lambda_like_platform())
+        .clock_rate(clock_rate)
+        .seed(42)
+        .build()
+}
+
+/// Registers the micro-op SSFs used by Fig. 13/25: a single `micro` SSF
+/// whose input selects the operation (`read`/`write`/`condwrite`), so all
+/// three storage ops target the *same* key — whose DAAL
+/// [`prepopulate_daal`] deepens — plus an `op-invoke` SSF calling a
+/// `noop` SSF (§7.3: 1-byte keys, 16-byte values).
+pub fn register_micro_ops(env: &BeldiEnv) {
+    use std::sync::Arc;
+    env.register_ssf("noop", &[], Arc::new(|_, input| Ok(input)));
+    env.register_ssf(
+        "micro",
+        &["t"],
+        Arc::new(|ctx, input| {
+            // `count` repetitions per invocation let harnesses amortize
+            // per-invocation bookkeeping out of per-operation costs.
+            let count = input.get_int("count").unwrap_or(1).max(1);
+            let mut last = Value::Null;
+            for _ in 0..count {
+                last = match input.get_str("op") {
+                    Some("read") => ctx.read("t", "k")?,
+                    Some("write") => {
+                        ctx.write("t", "k", Value::from(VALUE_16B))?;
+                        Value::Null
+                    }
+                    Some("condwrite") => {
+                        // A condition that holds (absent value, or any
+                        // string value), so the success path — the common
+                        // case — is measured.
+                        let ok = ctx.cond_write(
+                            "t",
+                            "k",
+                            Value::from(VALUE_16B),
+                            beldi::value::Cond::not_exists(beldi::A_VALUE)
+                                .or(beldi::value::Cond::le(beldi::A_VALUE, "~")),
+                        )?;
+                        Value::Bool(ok)
+                    }
+                    other => {
+                        return Err(beldi::BeldiError::Protocol(format!(
+                            "unknown micro op {other:?}"
+                        )))
+                    }
+                };
+            }
+            Ok(last)
+        }),
+    );
+    env.register_ssf(
+        "op-invoke",
+        &[],
+        Arc::new(|ctx, input| ctx.sync_invoke("noop", input)),
+    );
+}
+
+/// Builds the payload selecting a micro op.
+pub fn micro_payload(op: &str) -> Value {
+    beldi::value::vmap! { "op" => op }
+}
+
+/// Builds a micro-op payload performing the op `count` times.
+pub fn micro_payload_n(op: &str, count: i64) -> Value {
+    beldi::value::vmap! { "op" => op, "count" => count }
+}
+
+/// Like [`measure_op`], but each invocation performs `count` operations
+/// and the recorded latency is divided by `count` — isolating the
+/// per-*operation* cost from per-invocation bookkeeping, which is how the
+/// paper's Fig. 13 frames its bars.
+pub fn measure_op_amortized(env: &BeldiEnv, op: &str, iters: usize, count: i64) -> Histogram {
+    let payload = micro_payload_n(op, count);
+    let mut hist = Histogram::new();
+    let clock = env.clock();
+    for _ in 0..iters {
+        let t0 = clock.now();
+        env.invoke("micro", payload.clone()).expect("op invocation");
+        hist.record(clock.now().since(t0) / count as u32);
+    }
+    hist
+}
+
+/// The paper's 16-byte value.
+pub const VALUE_16B: &str = "0123456789abcdef";
+
+/// Grows the DAAL of the micro-op key to roughly `rows` rows by issuing
+/// `rows × capacity` writes (Fig. 13 pre-populates 20 rows, the length of
+/// a 30-minute run without GC; Fig. 25 uses 5).
+pub fn prepopulate_daal(env: &BeldiEnv, rows: usize, capacity: usize) {
+    for _ in 0..rows * capacity {
+        env.invoke("micro", micro_payload("write"))
+            .expect("prepopulate write");
+    }
+}
+
+/// Measures `iters` invocations of `ssf` with `payload`, returning the
+/// virtual-latency histogram.
+///
+/// Latency experiments should use a *modest* clock rate (≲ 20×): the
+/// scaled clock multiplies real scheduling overhead into virtual time, so
+/// very high rates would measure host thread-spawn cost instead of the
+/// modelled database round trips.
+pub fn measure_op(env: &BeldiEnv, ssf: &str, payload: &Value, iters: usize) -> Histogram {
+    let mut hist = Histogram::new();
+    let clock = env.clock();
+    for _ in 0..iters {
+        let t0 = clock.now();
+        env.invoke(ssf, payload.clone()).expect("op invocation");
+        hist.record(clock.now().since(t0));
+    }
+    hist
+}
+
+/// One installed application inside an environment: where to send
+/// requests and how to generate them (deterministically, by index).
+pub struct AppHandle {
+    /// The workflow's frontend SSF.
+    pub entry: &'static str,
+    /// Request generator: index → frontend payload.
+    pub gen: std::sync::Arc<dyn Fn(u64) -> Value + Send + Sync>,
+}
+
+/// Runs a latency-vs-throughput sweep of an application (the Figs.
+/// 14/15/26 methodology): for each offered rate, a fresh environment is
+/// built, the app installed and seeded by `setup`, and an open-loop run
+/// executed; each point reports achieved rate, p50, and p99.
+///
+/// `make_env` isolates the environment recipe (mode, latency model,
+/// platform cap) so the same sweep serves all systems.
+pub fn sweep_app(
+    make_env: &dyn Fn() -> BeldiEnv,
+    setup: &dyn Fn(&BeldiEnv) -> AppHandle,
+    rates: &[f64],
+    duration: Duration,
+    issuers: usize,
+) -> Vec<beldi_workload::SweepPoint> {
+    let mut points = Vec::with_capacity(rates.len());
+    for &rate in rates {
+        let env = std::sync::Arc::new(make_env());
+        let handle = setup(&env);
+        let clock = env.clock().clone();
+        let runner = beldi_workload::RateRunner::new(clock, rate, duration, issuers);
+        let entry = handle.entry;
+        let gen = handle.gen.clone();
+        let env2 = std::sync::Arc::clone(&env);
+        let report = runner.run(std::sync::Arc::new(move |i| {
+            let payload = gen(i);
+            env2.invoke(entry, payload).is_ok()
+        }));
+        points.push(beldi_workload::SweepPoint::from(&report));
+    }
+    points
+}
+
+/// Formats sweep points as table rows for [`print_table`].
+pub fn sweep_rows(system: &str, points: &[beldi_workload::SweepPoint]) -> Vec<Vec<String>> {
+    points
+        .iter()
+        .map(|p| {
+            vec![
+                system.to_owned(),
+                format!("{:.0}", p.offered_rate),
+                format!("{:.0}", p.achieved_rate),
+                ms(p.p50),
+                ms(p.p99),
+                p.errors.to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Column headers matching [`sweep_rows`].
+pub const SWEEP_HEADERS: [&str; 6] = [
+    "system",
+    "offered_rps",
+    "achieved_rps",
+    "p50_ms",
+    "p99_ms",
+    "errors",
+];
+
+/// Renders a row-oriented table to stdout (the harnesses' output format:
+/// greppable columns, one row per series point).
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n# {title}");
+    println!("{}", headers.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+/// Formats a duration as fractional milliseconds.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Minimal `--flag value` argument lookup for the experiment binaries.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parses `--flag n` with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `--flag x.y` with a default.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    arg_value(name)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_env_runs_every_op() {
+        let env = experiment_env(Mode::Beldi, 5, 2000.0);
+        register_micro_ops(&env);
+        for op in ["read", "write", "condwrite"] {
+            let h = measure_op(&env, "micro", &micro_payload(op), 3);
+            assert_eq!(h.len(), 3, "{op}");
+            assert!(h.max() > Duration::ZERO, "{op} should cost time");
+        }
+        let h = measure_op(&env, "op-invoke", &Value::Null, 3);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn prepopulate_grows_the_chain() {
+        let env = experiment_env(Mode::Beldi, 5, 2000.0);
+        register_micro_ops(&env);
+        prepopulate_daal(&env, 4, 5);
+        let len = env.daal_chain_len("micro", "t", "k").unwrap();
+        assert!(len >= 4, "expected >= 4 rows, got {len}");
+    }
+
+    #[test]
+    fn all_three_systems_run_the_micro_ops() {
+        for (name, mode) in SYSTEMS {
+            let env = experiment_env(mode, 5, 2000.0);
+            register_micro_ops(&env);
+            let h = measure_op(&env, "micro", &micro_payload("write"), 2);
+            assert_eq!(h.len(), 2, "{name}");
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Beldi runtime configuration.
+
+use std::time::Duration;
+
+/// Which of the paper's three measured systems to run as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full Beldi: exactly-once semantics over the linked DAAL.
+    Beldi,
+    /// Exactly-once semantics with a separate write-log table updated via
+    /// cross-table transactions instead of a linked DAAL (the comparator
+    /// in Figs. 13, 16, 25).
+    CrossTable,
+    /// Raw database/invocation calls with no fault-tolerance or
+    /// transactions (the paper's baseline; under crashes it corrupts
+    /// state, and the travel app returns inconsistent results).
+    Baseline,
+}
+
+/// Tuning knobs for a [`crate::BeldiEnv`]. Durations are virtual time.
+#[derive(Debug, Clone)]
+pub struct BeldiConfig {
+    /// Which system to run as.
+    pub mode: Mode,
+    /// Maximum write-log entries per DAAL row (the paper's `N`).
+    ///
+    /// On DynamoDB this is derived from the 400 KB row cap and the entry
+    /// sizes; it is configurable here to drive the row-capacity ablation.
+    pub daal_row_capacity: usize,
+    /// `T`: the maximum lifetime of an SSF instance (§5). The GC waits
+    /// `T` after an intent finishes before recycling its logs, and another
+    /// `T` after disconnecting a DAAL row before deleting it.
+    pub t_max: Duration,
+    /// Minimum age of an unfinished intent before the intent collector
+    /// re-launches it (the IC's first optimization, §3.3).
+    pub ic_restart_delay: Duration,
+    /// Period of the IC/GC timer triggers (AWS minimum: 1 minute, §7.2).
+    pub collector_period: Duration,
+    /// Maximum intents an IC or GC pass processes (Appendix A's bounding:
+    /// collectors are SSFs themselves and must fit inside execution
+    /// timeouts, so work is paged across passes). `None` = unbounded.
+    pub collector_batch_limit: Option<usize>,
+}
+
+impl BeldiConfig {
+    /// Paper-like defaults in Beldi mode.
+    pub fn beldi() -> Self {
+        BeldiConfig {
+            mode: Mode::Beldi,
+            daal_row_capacity: 100,
+            t_max: Duration::from_secs(60),
+            ic_restart_delay: Duration::from_secs(30),
+            collector_period: Duration::from_secs(60),
+            collector_batch_limit: None,
+        }
+    }
+
+    /// Defaults in cross-table-transaction mode.
+    pub fn cross_table() -> Self {
+        BeldiConfig {
+            mode: Mode::CrossTable,
+            ..BeldiConfig::beldi()
+        }
+    }
+
+    /// Defaults in baseline mode.
+    pub fn baseline() -> Self {
+        BeldiConfig {
+            mode: Mode::Baseline,
+            ..BeldiConfig::beldi()
+        }
+    }
+
+    /// Sets the DAAL row capacity (builder style).
+    pub fn with_row_capacity(mut self, n: usize) -> Self {
+        assert!(n >= 1, "row capacity must be at least 1");
+        self.daal_row_capacity = n;
+        self
+    }
+
+    /// Sets `T` (builder style).
+    pub fn with_t_max(mut self, t: Duration) -> Self {
+        self.t_max = t;
+        self
+    }
+
+    /// Sets the IC restart delay (builder style).
+    pub fn with_ic_restart_delay(mut self, d: Duration) -> Self {
+        self.ic_restart_delay = d;
+        self
+    }
+
+    /// Sets the collector timer period (builder style).
+    pub fn with_collector_period(mut self, d: Duration) -> Self {
+        self.collector_period = d;
+        self
+    }
+
+    /// Bounds the intents processed per collector pass (builder style;
+    /// Appendix A's paging).
+    pub fn with_collector_batch_limit(mut self, n: usize) -> Self {
+        self.collector_batch_limit = Some(n);
+        self
+    }
+}
+
+impl Default for BeldiConfig {
+    fn default() -> Self {
+        BeldiConfig::beldi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_presets() {
+        assert_eq!(BeldiConfig::beldi().mode, Mode::Beldi);
+        assert_eq!(BeldiConfig::cross_table().mode, Mode::CrossTable);
+        assert_eq!(BeldiConfig::baseline().mode, Mode::Baseline);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = BeldiConfig::beldi()
+            .with_row_capacity(7)
+            .with_t_max(Duration::from_secs(5))
+            .with_ic_restart_delay(Duration::from_secs(1))
+            .with_collector_period(Duration::from_secs(2));
+        assert_eq!(c.daal_row_capacity, 7);
+        assert_eq!(c.t_max, Duration::from_secs(5));
+        assert_eq!(c.ic_restart_delay, Duration::from_secs(1));
+        assert_eq!(c.collector_period, Duration::from_secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = BeldiConfig::beldi().with_row_capacity(0);
+    }
+}

@@ -1,0 +1,227 @@
+//! The per-instance execution context handed to SSF bodies.
+//!
+//! A [`SsfContext`] is the only handle application code gets: it exposes
+//! the Beldi API of Fig. 2 (implemented across `ops.rs`, `invoke.rs`, and
+//! `txn.rs`) and hides the instance id / step-number bookkeeping that
+//! makes re-execution deterministic. Everything externally visible an SSF
+//! does must go through this context — that is what lets the intent
+//! collector replay a crashed instance without duplicating its effects.
+
+use std::sync::Arc;
+
+use beldi_simclock::SharedClock;
+use beldi_simdb::Database;
+use beldi_simfaas::Platform;
+
+use crate::config::Mode;
+use crate::env::EnvCore;
+use crate::error::{BeldiError, BeldiResult};
+use crate::ids::{log_key, InstanceId, StepNumber};
+use crate::schema;
+use crate::txn::TxnState;
+
+/// Execution context of one SSF instance.
+///
+/// Obtained by the Beldi wrapper and passed to the registered body; see
+/// [`crate::BeldiEnv::register_ssf`]. All methods that touch the database
+/// or other SSFs are *logged steps*: a re-executed instance replays their
+/// recorded results instead of re-performing them.
+pub struct SsfContext {
+    pub(crate) core: Arc<EnvCore>,
+    pub(crate) ssf: String,
+    pub(crate) instance: InstanceId,
+    pub(crate) step: StepNumber,
+    pub(crate) caller: Option<String>,
+    pub(crate) is_async: bool,
+    pub(crate) txn: Option<TxnState>,
+}
+
+impl SsfContext {
+    /// Builds a context for a fresh (or re-executed) instance.
+    pub(crate) fn new(
+        core: Arc<EnvCore>,
+        ssf: impl Into<String>,
+        instance: impl Into<InstanceId>,
+        caller: Option<String>,
+        is_async: bool,
+        txn: Option<TxnState>,
+    ) -> Self {
+        SsfContext {
+            core,
+            ssf: ssf.into(),
+            instance: instance.into(),
+            step: 0,
+            caller,
+            is_async,
+            txn,
+        }
+    }
+
+    // ---- Introspection ----
+
+    /// Name of the running SSF.
+    pub fn ssf_name(&self) -> &str {
+        &self.ssf
+    }
+
+    /// This execution intent's instance id (stable across re-executions).
+    pub fn instance_id(&self) -> &str {
+        &self.instance
+    }
+
+    /// The next step number to be consumed.
+    pub fn step(&self) -> StepNumber {
+        self.step
+    }
+
+    /// The mode the environment runs in.
+    pub fn mode(&self) -> Mode {
+        self.core.config.mode
+    }
+
+    /// True while inside a transaction in `Execute` mode.
+    pub fn in_txn(&self) -> bool {
+        self.txn
+            .as_ref()
+            .map(|t| matches!(t.ctx.mode, crate::txn::TxnMode::Execute) && !t.ended)
+            .unwrap_or(false)
+    }
+
+    /// The current transaction id, if inside a transaction.
+    pub fn txn_id(&self) -> Option<&str> {
+        self.txn.as_ref().map(|t| t.ctx.id.as_str())
+    }
+
+    /// Name of the SSF that invoked this instance, if any (workflow roots
+    /// have no caller).
+    pub fn caller(&self) -> Option<&str> {
+        self.caller.as_deref()
+    }
+
+    /// True when this instance was invoked asynchronously.
+    pub fn is_async(&self) -> bool {
+        self.is_async
+    }
+
+    // ---- Internal plumbing ----
+
+    pub(crate) fn db(&self) -> &Database {
+        &self.core.db
+    }
+
+    pub(crate) fn platform(&self) -> &Arc<Platform> {
+        &self.core.platform
+    }
+
+    pub(crate) fn clock(&self) -> &SharedClock {
+        self.core.platform.clock()
+    }
+
+    /// Current virtual time in milliseconds. **Not** logged; internal uses
+    /// only (timestamps on rows, GC bookkeeping). Application code that
+    /// needs time must call [`SsfContext::logged_now_ms`].
+    pub(crate) fn raw_now_ms(&self) -> u64 {
+        self.clock().now().as_millis()
+    }
+
+    /// A fresh UUID. **Not** logged; callers must log it themselves (as
+    /// `sync_invoke` does with callee ids).
+    pub(crate) fn fresh_uuid(&self) -> String {
+        self.core.platform.new_uuid()
+    }
+
+    /// Consumes and returns the next log key (`instance#step`).
+    pub(crate) fn next_log_key(&mut self) -> String {
+        let k = log_key(&self.instance, self.step);
+        self.step += 1;
+        k
+    }
+
+    /// A labelled crash point: the fault injector may kill the instance
+    /// here (modelled as a panic the platform catches).
+    pub(crate) fn crash(&self, label: &str) {
+        self.core
+            .platform
+            .faults()
+            .crash_point(&self.instance, label);
+    }
+
+    /// Resolves a logical table name to the SSF's physical data table,
+    /// enforcing data sovereignty (§2.2): an SSF can only name tables it
+    /// registered.
+    pub(crate) fn data_table(&self, logical: &str) -> BeldiResult<String> {
+        let registry = self.core.registry.read();
+        let entry = registry
+            .get(&self.ssf)
+            .ok_or_else(|| BeldiError::Protocol(format!("SSF {} not registered", self.ssf)))?;
+        if !entry.tables.iter().any(|t| t == logical) {
+            return Err(BeldiError::Protocol(format!(
+                "SSF {} has no table `{logical}` (data sovereignty)",
+                self.ssf
+            )));
+        }
+        Ok(schema::data_table(&self.ssf, logical))
+    }
+
+    /// The shadow table backing a logical table (§6.2).
+    pub(crate) fn shadow_table(&self, logical: &str) -> BeldiResult<String> {
+        // Sovereignty is enforced by the same registry lookup.
+        self.data_table(logical)?;
+        Ok(schema::shadow_table(&self.ssf, logical))
+    }
+
+    /// The logical tables registered for this SSF.
+    pub(crate) fn logical_tables(&self) -> Vec<String> {
+        let registry = self.core.registry.read();
+        registry
+            .get(&self.ssf)
+            .map(|e| e.tables.clone())
+            .unwrap_or_default()
+    }
+
+    /// The SSF's intent table name.
+    pub(crate) fn intent_table(&self) -> String {
+        schema::intent_table(&self.ssf)
+    }
+
+    /// The SSF's read-log table name.
+    pub(crate) fn read_log_table(&self) -> String {
+        schema::read_log_table(&self.ssf)
+    }
+
+    /// The SSF's invoke-log table name.
+    pub(crate) fn invoke_log_table(&self) -> String {
+        schema::invoke_log_table(&self.ssf)
+    }
+
+    /// DAAL parameters bound to this context.
+    pub(crate) fn daal_params(&self) -> DaalCtx<'_> {
+        DaalCtx { ctx: self }
+    }
+}
+
+/// Borrowing adapter that exposes a [`SsfContext`] as
+/// [`crate::daal::DaalParams`] without cloning.
+pub(crate) struct DaalCtx<'a> {
+    ctx: &'a SsfContext,
+}
+
+impl DaalCtx<'_> {
+    /// Runs `f` with DAAL parameters derived from the context.
+    pub fn with<R>(
+        &self,
+        f: impl FnOnce(&crate::daal::DaalParams<'_>) -> BeldiResult<R>,
+    ) -> BeldiResult<R> {
+        let ctx = self.ctx;
+        let crash = |label: &str| ctx.crash(label);
+        let new_row_id = || format!("R-{}", ctx.fresh_uuid());
+        let p = crate::daal::DaalParams {
+            db: ctx.db(),
+            capacity: ctx.core.config.daal_row_capacity,
+            now_ms: ctx.raw_now_ms(),
+            crash: &crash,
+            new_row_id: &new_row_id,
+        };
+        f(&p)
+    }
+}

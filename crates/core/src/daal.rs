@@ -1,0 +1,781 @@
+//! The linked DAAL (§4.1): a non-blocking linked list of database rows.
+//!
+//! Olive's DAAL collocates an item's value and its operation log inside one
+//! atomicity scope, but assumes that scope is large (a Cosmos DB partition).
+//! DynamoDB's scope is a single 400 KB row, so Beldi generalizes the DAAL
+//! to a *linked list of rows*: every row carries the item's key, a value,
+//! lock metadata, a bounded write log (`RecentWrites`, at most `N` entries),
+//! and a `NextRow` pointer. The tail holds the current value; full rows are
+//! immutable except for their `NextRow` pointer and GC metadata.
+//!
+//! This module implements:
+//!
+//! - **traversal** by a single scan + projection (the paper's optimization
+//!   that downloads only row ids, pointers, and the one interesting log
+//!   entry instead of whole rows);
+//! - the **write protocol** of Figs. 6–7 (cases A–D) and its conditional
+//!   variant of Figs. 17–18 (cases A, B1, B2, C, D), generalized so the
+//!   same lock-free loop also serves lock acquisition and release (§6.1),
+//!   which the paper describes as "writes to the item" that update the
+//!   lock-owner column instead of the value;
+//! - **row appending** (case D), which copies the current value and lock
+//!   owner into a fresh row before linking it, so concurrent readers never
+//!   observe a tail without a value.
+//!
+//! Functions here take a [`DaalParams`] handle instead of a full
+//! [`crate::SsfContext`] so they can be unit-tested against a bare
+//! database.
+
+use beldi_simdb::{Database, DbError, PrimaryKey, Projection, ScanRequest};
+use beldi_value::{Cond, Path, Update, Value};
+
+use crate::error::{BeldiError, BeldiResult};
+use crate::schema::{
+    A_CREATED, A_DANGLE, A_KEY, A_LOCK, A_LOG_SIZE, A_NEXT_ROW, A_ROW_ID, A_VALUE, A_WRITES,
+    ROW_HEAD,
+};
+
+/// Attributes carried over from a full tail to a freshly appended row.
+///
+/// `Value` and `LockOwner` are the paper's columns (Fig. 4); the remainder
+/// are shadow-table metadata (§6.2) that must follow the tail as well.
+const CARRY_ATTRS: [&str; 6] = [
+    A_VALUE,
+    A_LOCK,
+    crate::schema::A_TXN_ID,
+    crate::schema::A_ORIG_KEY,
+    crate::schema::A_ORIG_TABLE,
+    crate::schema::A_WRITTEN,
+];
+
+/// Everything a DAAL operation needs from its caller.
+pub(crate) struct DaalParams<'a> {
+    /// The backing database.
+    pub db: &'a Database,
+    /// Maximum write-log entries per row (the paper's `N`).
+    pub capacity: usize,
+    /// Current virtual time in milliseconds (stamped on created rows so
+    /// the GC can age orphans).
+    pub now_ms: u64,
+    /// Crash-point hook; called with a label before/after every externally
+    /// visible effect. Panics (with a `CrashSignal`) to model a crash.
+    pub crash: &'a dyn Fn(&str),
+    /// Fresh unique row-id generator (never returns `HEAD`).
+    pub new_row_id: &'a dyn Fn() -> String,
+}
+
+/// One row of the locally reconstructed DAAL skeleton.
+#[derive(Debug, Clone)]
+pub(crate) struct SkelRow {
+    /// The row id.
+    pub row_id: String,
+    /// `NextRow` pointer, if any.
+    pub next: Option<String>,
+    /// The projected `RecentWrites.{log_key}` flag, if the scan requested
+    /// one and this row has it.
+    pub logged: Option<Value>,
+}
+
+/// A locally reconstructed DAAL for one key: the chain of rows reachable
+/// from `HEAD`, in order. Orphaned rows returned by the scan are dropped
+/// during reconstruction, exactly as §4.1 prescribes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Skeleton {
+    /// Chain rows, head first. Empty when the DAAL does not exist yet.
+    pub chain: Vec<SkelRow>,
+}
+
+impl Skeleton {
+    /// Row id of the tail (the last reachable row).
+    pub fn tail_row_id(&self) -> Option<&str> {
+        self.chain.last().map(|r| r.row_id.as_str())
+    }
+
+    /// The logged flag for the scanned log key, searching every chain row
+    /// (a write may have landed in a row that filled up afterwards).
+    pub fn logged_flag(&self) -> Option<&Value> {
+        self.chain.iter().find_map(|r| r.logged.as_ref())
+    }
+}
+
+/// Scans every row of `key`'s DAAL and reconstructs the chain locally.
+///
+/// Issues one projected query per the paper's traversal optimization: only
+/// `RowId`, `NextRow` (256 bits per row), and — when `log_key` is given —
+/// the single `RecentWrites.{log_key}` entry are downloaded.
+///
+/// The scan is not atomic across rows, but because rows are append-only
+/// (a full row's `NextRow` never changes once set, and values of non-tail
+/// rows are immutable), the chain from `HEAD` to the first missing
+/// `NextRow` is a consistent snapshot (§4.1).
+pub(crate) fn traverse(
+    db: &Database,
+    table: &str,
+    key: &str,
+    log_key: Option<&str>,
+) -> BeldiResult<Skeleton> {
+    let mut proj = Projection::attrs([A_ROW_ID, A_NEXT_ROW]);
+    if let Some(lk) = log_key {
+        proj = proj.with_path(Path::attr(A_WRITES).then_attr(lk));
+    }
+    let req = ScanRequest::all().with_projection(proj);
+    let rows = db.query(table, &Value::from(key), &req)?;
+
+    // Index rows by id, then walk the pointers from HEAD.
+    let mut by_id: std::collections::HashMap<String, SkelRow> =
+        std::collections::HashMap::with_capacity(rows.len());
+    for row in &rows {
+        let Some(row_id) = row.get_str(A_ROW_ID) else {
+            continue;
+        };
+        let next = row.get_str(A_NEXT_ROW).map(str::to_owned);
+        let logged = log_key.and_then(|lk| {
+            row.get_path(&Path::attr(A_WRITES).then_attr(lk))
+                .ok()
+                .flatten()
+                .cloned()
+        });
+        by_id.insert(
+            row_id.to_owned(),
+            SkelRow {
+                row_id: row_id.to_owned(),
+                next,
+                logged,
+            },
+        );
+    }
+
+    let mut chain = Vec::new();
+    let mut cursor = by_id.remove(ROW_HEAD);
+    while let Some(row) = cursor {
+        let next_id = row.next.clone();
+        chain.push(row);
+        cursor = match next_id {
+            // A pointer to a row the scan did not return: the append that
+            // created it had not completed when the scan started. Its
+            // predecessor still holds the current value, so it is the tail
+            // of our consistent snapshot.
+            Some(id) => by_id.remove(&id),
+            None => None,
+        };
+        // Defensive bound: the chain cannot be longer than the scan result.
+        if chain.len() > rows.len() {
+            return Err(BeldiError::Protocol(format!(
+                "linked DAAL for {table}/{key} contains a cycle"
+            )));
+        }
+    }
+    Ok(Skeleton { chain })
+}
+
+/// Reads the full tail row of `key`'s DAAL, or `None` when the key has
+/// never been written.
+///
+/// This is the first half of the paper's `read` wrapper (Fig. 5): traverse
+/// to the tail via scan + projection, then point-read the tail row.
+pub(crate) fn read_tail_row(db: &Database, table: &str, key: &str) -> BeldiResult<Option<Value>> {
+    let skel = traverse(db, table, key, None)?;
+    let Some(tail) = skel.tail_row_id() else {
+        return Ok(None);
+    };
+    let pk = PrimaryKey::hash_sort(key, tail);
+    Ok(db.get(table, &pk, None)?)
+}
+
+/// The current value of `key`, i.e. the `Value` column of its tail row.
+///
+/// Absent keys and keys whose tail carries no value read as `Null`.
+pub(crate) fn read_value(db: &Database, table: &str, key: &str) -> BeldiResult<Value> {
+    Ok(read_tail_row(db, table, key)?
+        .and_then(|row| row.get_attr(A_VALUE).cloned())
+        .unwrap_or(Value::Null))
+}
+
+/// What a successful DAAL write applies to the target row, beyond logging.
+///
+/// The same lock-free loop serves plain writes (set `Value`), lock
+/// operations (set `LockOwner`), and shadow-table writes (set `Value` plus
+/// shadow metadata), so the payload is an arbitrary update fragment.
+#[derive(Debug, Clone)]
+pub(crate) struct WritePayload {
+    /// Update actions applied on success (e.g. `SET Value = v`).
+    pub apply: Update,
+}
+
+#[cfg_attr(not(test), allow(dead_code))] // Constructors exercised by unit tests.
+impl WritePayload {
+    /// Payload of a plain value write.
+    pub fn set_value(value: Value) -> Self {
+        WritePayload {
+            apply: Update::new().set(A_VALUE, value),
+        }
+    }
+
+    /// Payload that sets the lock owner (see [`crate::SsfContext::lock`]).
+    pub fn set_lock(owner: Value) -> Self {
+        WritePayload {
+            apply: Update::new().set(A_LOCK, owner),
+        }
+    }
+}
+
+/// Outcome of [`try_write`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum WriteOutcome {
+    /// The payload was applied (now, or by a previous execution of the
+    /// same step).
+    Applied,
+    /// The user condition evaluated to false (now, or previously); the
+    /// payload was not applied but the outcome was logged.
+    ConditionFalse,
+}
+
+impl WriteOutcome {
+    /// The boolean the paper's `condWrite` returns.
+    pub fn as_bool(self) -> bool {
+        matches!(self, WriteOutcome::Applied)
+    }
+
+    /// Decodes a `RecentWrites` flag back into an outcome.
+    fn from_flag(flag: &Value) -> Self {
+        match flag {
+            // Plain writes log `true` (Fig. 3); conditional writes log the
+            // condition outcome.
+            Value::Bool(false) => WriteOutcome::ConditionFalse,
+            _ => WriteOutcome::Applied,
+        }
+    }
+}
+
+/// Executes one exactly-once DAAL write step (Figs. 6/7 and 17/18).
+///
+/// Scans the DAAL for a prior record of `log_key` (case A anywhere in the
+/// chain), then runs the lock-free tail protocol: attempt the conditional
+/// update at the tail candidate (case B, split into B1/B2 when `user_cond`
+/// is present), re-read on failure and dispatch to case A (already done),
+/// C (follow `NextRow`), or D (append a fresh row and advance).
+///
+/// `user_cond` is evaluated *inside the database's atomicity scope* against
+/// the tail row, so callers may gate on `Value` or `LockOwner` paths.
+///
+/// Returns whether the payload was applied. Exactly-once: re-executions
+/// find the logged flag and return the original outcome without touching
+/// the row again.
+pub(crate) fn try_write(
+    p: &DaalParams<'_>,
+    table: &str,
+    key: &str,
+    log_key: &str,
+    payload: &WritePayload,
+    user_cond: Option<&Cond>,
+) -> BeldiResult<WriteOutcome> {
+    (p.crash)("daal.write.enter");
+    // Bound the retry loop defensively; every iteration either makes
+    // progress along the chain or observes a concurrent writer's progress,
+    // so this bound is never hit in practice.
+    for _ in 0..MAX_WRITE_ROUNDS {
+        let skel = traverse(p.db, table, key, Some(log_key))?;
+        if let Some(flag) = skel.logged_flag() {
+            // Case A (found during the scan): the operation already
+            // executed in some chain row; replay its outcome.
+            return Ok(WriteOutcome::from_flag(flag));
+        }
+        // Fresh DAALs start at HEAD (the conditional update creates it).
+        let start = skel
+            .tail_row_id()
+            .map(str::to_owned)
+            .unwrap_or_else(|| ROW_HEAD.to_owned());
+        match write_at(p, table, key, &start, log_key, payload, user_cond)? {
+            Some(outcome) => return Ok(outcome),
+            // The local view went stale (e.g. the GC deleted the candidate
+            // row under us); rebuild it and retry.
+            None => continue,
+        }
+    }
+    Err(BeldiError::Protocol(format!(
+        "DAAL write on {table}/{key} did not converge"
+    )))
+}
+
+const MAX_WRITE_ROUNDS: usize = 64;
+/// Bound on tail-chasing within one scan round. Concurrent writers can
+/// legitimately extend the chain a handful of rows while we chase; a long
+/// chase simply re-scans.
+const MAX_CHASE: usize = 128;
+
+/// The condition of case B / B1: this step is not yet logged in the row,
+/// the log has room, and the row is still the tail.
+fn case_b_cond(p: &DaalParams<'_>, log_key: &str) -> Cond {
+    Cond::not_exists(Path::attr(A_WRITES).then_attr(log_key))
+        .and(Cond::not_exists(A_LOG_SIZE).or(Cond::lt(A_LOG_SIZE, Value::Int(p.capacity as i64))))
+        .and(Cond::not_exists(A_NEXT_ROW))
+}
+
+/// The bookkeeping every successful log append performs.
+fn log_actions(p: &DaalParams<'_>, log_key: &str, flag: bool) -> Update {
+    Update::new()
+        .inc(A_LOG_SIZE, 1)
+        .set(Path::attr(A_WRITES).then_attr(log_key), Value::Bool(flag))
+        .set_if_absent(A_CREATED, Value::Int(p.now_ms as i64))
+}
+
+/// Merges two update fragments.
+fn merge(a: &Update, b: &Update) -> Update {
+    let mut out = a.clone();
+    for action in b.actions() {
+        out = out.push(action.clone());
+    }
+    out
+}
+
+/// Runs the tail protocol starting from row `row_id`.
+///
+/// Returns `Ok(Some(outcome))` when the step resolved, and `Ok(None)` when
+/// the local view proved stale and the caller should re-scan.
+fn write_at(
+    p: &DaalParams<'_>,
+    table: &str,
+    key: &str,
+    row_id: &str,
+    log_key: &str,
+    payload: &WritePayload,
+    user_cond: Option<&Cond>,
+) -> BeldiResult<Option<WriteOutcome>> {
+    let mut row_id = row_id.to_owned();
+    for _ in 0..MAX_CHASE {
+        let pk = PrimaryKey::hash_sort(key, row_id.as_str());
+        // Rows other than HEAD must already exist: a conditional update
+        // that "succeeds" against a row the GC deleted would resurrect it
+        // as an unreachable orphan, silently losing the write. HEAD is the
+        // one row the write path is allowed to create.
+        let existence = if row_id == ROW_HEAD {
+            Cond::True
+        } else {
+            Cond::exists(A_KEY)
+        };
+
+        // Case B1 (or plain B): apply payload + log, gated on the user
+        // condition when present.
+        let mut cond = case_b_cond(p, log_key).and(existence.clone());
+        if let Some(uc) = user_cond {
+            cond = cond.and(uc.clone());
+        }
+        let update = merge(&payload.apply, &log_actions(p, log_key, true));
+        (p.crash)("daal.write.pre_apply");
+        match p.db.update(table, &pk, &cond, &update) {
+            Ok(()) => {
+                (p.crash)("daal.write.post_apply");
+                return Ok(Some(WriteOutcome::Applied));
+            }
+            Err(DbError::ConditionFailed) => {}
+            Err(e) => return Err(e.into()),
+        }
+
+        // Case B2 (conditional writes only): the user condition was false
+        // at the serialization point; log the failed outcome.
+        if user_cond.is_some() {
+            let cond = case_b_cond(p, log_key).and(existence);
+            let update = log_actions(p, log_key, false);
+            (p.crash)("daal.write.pre_log_false");
+            match p.db.update(table, &pk, &cond, &update) {
+                Ok(()) => {
+                    (p.crash)("daal.write.post_log_false");
+                    return Ok(Some(WriteOutcome::ConditionFalse));
+                }
+                Err(DbError::ConditionFailed) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // The conditional writes failed: re-read the row and dispatch on
+        // the remaining cases (their order is safe because B has no
+        // incoming transitions, Fig. 7b).
+        let Some(row) = p.db.get(table, &pk, None)? else {
+            // Stale view: the candidate row is gone (GC) or was never
+            // created (we are past the end). Re-scan from scratch.
+            return Ok(None);
+        };
+        if let Ok(Some(flag)) = row.get_path(&Path::attr(A_WRITES).then_attr(log_key)) {
+            // Case A: a concurrent re-execution of this very step (the IC
+            // racing the original instance) already performed it.
+            return Ok(Some(WriteOutcome::from_flag(flag)));
+        }
+        match row.get_str(A_NEXT_ROW) {
+            // Case C: the row filled up and points onward; chase the tail.
+            Some(next) => {
+                row_id = next.to_owned();
+            }
+            // Case D: full tail. Append a fresh row and advance to it.
+            // (The row may instead still have space if only the user
+            // condition raced; looping retries case B1 on it.)
+            None => {
+                let full = row
+                    .get_int(A_LOG_SIZE)
+                    .map(|s| s >= p.capacity as i64)
+                    .unwrap_or(false);
+                if full {
+                    row_id = append_row(p, table, key, &row)?;
+                }
+            }
+        }
+    }
+    // Too much concurrent churn for one local view; rebuild it.
+    Ok(None)
+}
+
+/// Appends a fresh row after the full row `prev` (case D).
+///
+/// Creates the new row first — carrying over the current `Value`, the
+/// `LockOwner`, and shadow metadata so a concurrent reader that lands on
+/// the new tail still observes the item's state — and only then links
+/// `prev.NextRow` to it. If linking fails because a concurrent writer
+/// appended first, the fresh row is abandoned as an orphan (the GC ages it
+/// out) and the winner's row is followed instead.
+///
+/// Returns the row id the caller should advance to.
+fn append_row(p: &DaalParams<'_>, table: &str, key: &str, prev: &Value) -> BeldiResult<String> {
+    let prev_id = prev
+        .get_str(A_ROW_ID)
+        .ok_or_else(|| BeldiError::Protocol("DAAL row without RowId".into()))?
+        .to_owned();
+    let new_id = (p.new_row_id)();
+    debug_assert_ne!(new_id, ROW_HEAD);
+
+    // 1. Create the new row with the carried-over state.
+    let mut update = Update::new()
+        .set(A_LOG_SIZE, Value::Int(0))
+        .set(A_CREATED, Value::Int(p.now_ms as i64));
+    for attr in CARRY_ATTRS {
+        if let Some(v) = prev.get_attr(attr) {
+            update = update.set(attr, v.clone());
+        }
+    }
+    let new_pk = PrimaryKey::hash_sort(key, new_id.as_str());
+    (p.crash)("daal.append.pre_create");
+    p.db.update(table, &new_pk, &Cond::not_exists(A_KEY), &update)?;
+    (p.crash)("daal.append.post_create");
+
+    // 2. Link it, only if no one else appended in the meantime.
+    let prev_pk = PrimaryKey::hash_sort(key, prev_id.as_str());
+    let link = p.db.update(
+        table,
+        &prev_pk,
+        &Cond::not_exists(A_NEXT_ROW).and(Cond::exists(A_KEY)),
+        &Update::new().set(A_NEXT_ROW, new_id.as_str()),
+    );
+    (p.crash)("daal.append.post_link");
+    match link {
+        Ok(()) => Ok(new_id),
+        Err(DbError::ConditionFailed) => {
+            // Lost the race; our row is an orphan. Follow the winner.
+            let row =
+                p.db.get(table, &prev_pk, None)?
+                    .ok_or_else(|| BeldiError::Protocol("DAAL row vanished mid-append".into()))?;
+            row.get_str(A_NEXT_ROW)
+                .map(str::to_owned)
+                .ok_or_else(|| BeldiError::Protocol("link lost but NextRow absent".into()))
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Seeds the head row of a DAAL with an initial value, bypassing logging.
+///
+/// A data-loading convenience (used by application seeders and tests); not
+/// part of the exactly-once API.
+pub(crate) fn seed(
+    db: &Database,
+    table: &str,
+    key: &str,
+    value: Value,
+    now_ms: u64,
+) -> BeldiResult<()> {
+    let pk = PrimaryKey::hash_sort(key, ROW_HEAD);
+    db.update(
+        table,
+        &pk,
+        &Cond::True,
+        &Update::new()
+            .set(A_VALUE, value)
+            .set_if_absent(A_LOG_SIZE, Value::Int(0))
+            .set_if_absent(A_CREATED, Value::Int(now_ms as i64)),
+    )?;
+    Ok(())
+}
+
+/// The lock owner recorded on `key`'s tail row, if any.
+pub(crate) fn lock_owner(db: &Database, table: &str, key: &str) -> BeldiResult<Option<Value>> {
+    Ok(read_tail_row(db, table, key)?
+        .and_then(|row| row.get_attr(A_LOCK).cloned())
+        .filter(|v| !v.is_null()))
+}
+
+/// True when `row`'s `DangleTime` is older than `t_ms` (GC helper).
+pub(crate) fn dangling_expired(row: &Value, now_ms: u64, t_ms: u64) -> bool {
+    row.get_int(A_DANGLE)
+        .map(|d| now_ms.saturating_sub(d as u64) > t_ms)
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::daal_schema;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn no_crash(_: &str) {}
+
+    struct Fixture {
+        db: std::sync::Arc<Database>,
+        counter: AtomicU64,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let db = Database::for_tests();
+            db.create_table("t", daal_schema()).unwrap();
+            Fixture {
+                db,
+                counter: AtomicU64::new(0),
+            }
+        }
+
+        fn params(&self) -> DaalParams<'_> {
+            DaalParams {
+                db: &self.db,
+                capacity: 3,
+                now_ms: 0,
+                crash: &no_crash,
+                new_row_id: &|| unreachable!("row-id generator not wired"),
+            }
+        }
+
+        fn write(&self, key: &str, log_key: &str, v: i64) -> WriteOutcome {
+            let ids = &self.counter;
+            let gen = move || format!("R{}", ids.fetch_add(1, Ordering::Relaxed));
+            let p = DaalParams {
+                new_row_id: &gen,
+                ..self.params()
+            };
+            try_write(
+                &p,
+                "t",
+                key,
+                log_key,
+                &WritePayload::set_value(Value::Int(v)),
+                None,
+            )
+            .unwrap()
+        }
+
+        fn cond_write(&self, key: &str, log_key: &str, v: i64, cond: Cond) -> WriteOutcome {
+            let ids = &self.counter;
+            let gen = move || format!("R{}", ids.fetch_add(1, Ordering::Relaxed));
+            let p = DaalParams {
+                new_row_id: &gen,
+                ..self.params()
+            };
+            try_write(
+                &p,
+                "t",
+                key,
+                log_key,
+                &WritePayload::set_value(Value::Int(v)),
+                Some(&cond),
+            )
+            .unwrap()
+        }
+
+        fn value(&self, key: &str) -> Value {
+            read_value(&self.db, "t", key).unwrap()
+        }
+
+        fn chain_len(&self, key: &str) -> usize {
+            traverse(&self.db, "t", key, None).unwrap().chain.len()
+        }
+    }
+
+    #[test]
+    fn first_write_creates_head() {
+        let f = Fixture::new();
+        assert_eq!(f.write("k", "i#0", 7), WriteOutcome::Applied);
+        assert_eq!(f.value("k"), Value::Int(7));
+        assert_eq!(f.chain_len("k"), 1);
+    }
+
+    #[test]
+    fn read_of_absent_key_is_null() {
+        let f = Fixture::new();
+        assert_eq!(f.value("nope"), Value::Null);
+    }
+
+    #[test]
+    fn rewrite_of_same_step_is_idempotent() {
+        let f = Fixture::new();
+        assert_eq!(f.write("k", "i#0", 1), WriteOutcome::Applied);
+        // Re-execution of the same step: outcome replayed, value untouched.
+        assert_eq!(f.write("k", "i#0", 999), WriteOutcome::Applied);
+        assert_eq!(f.value("k"), Value::Int(1));
+    }
+
+    #[test]
+    fn chain_extends_when_row_fills() {
+        let f = Fixture::new();
+        for step in 0..10 {
+            f.write("k", &format!("i#{step}"), step);
+        }
+        assert_eq!(f.value("k"), Value::Int(9));
+        // Capacity 3 → 10 writes span 4 rows.
+        assert_eq!(f.chain_len("k"), 4);
+    }
+
+    #[test]
+    fn idempotence_survives_chain_growth() {
+        let f = Fixture::new();
+        f.write("k", "early#0", 42);
+        for step in 0..7 {
+            f.write("k", &format!("later#{step}"), step);
+        }
+        // The early write's record now lives in a non-tail row; replaying
+        // it must find the record there (case A during the scan).
+        assert_eq!(f.write("k", "early#0", 0), WriteOutcome::Applied);
+        assert_eq!(f.value("k"), Value::Int(6));
+    }
+
+    #[test]
+    fn cond_write_false_is_logged_and_replayed() {
+        let f = Fixture::new();
+        f.write("k", "a#0", 5);
+        let cond = Cond::ge(A_VALUE, Value::Int(100));
+        assert_eq!(
+            f.cond_write("k", "a#1", 1, cond.clone()),
+            WriteOutcome::ConditionFalse
+        );
+        assert_eq!(f.value("k"), Value::Int(5));
+        // Replay returns the logged false outcome even though the
+        // condition would now... still be false; flip the state to prove
+        // the log (not a re-evaluation) answers.
+        f.write("k", "a#2", 200);
+        assert_eq!(
+            f.cond_write("k", "a#1", 1, cond),
+            WriteOutcome::ConditionFalse
+        );
+        assert_eq!(f.value("k"), Value::Int(200));
+    }
+
+    #[test]
+    fn cond_write_true_applies() {
+        let f = Fixture::new();
+        f.write("k", "a#0", 5);
+        let ok = f.cond_write("k", "a#1", 6, Cond::eq(A_VALUE, Value::Int(5)));
+        assert_eq!(ok, WriteOutcome::Applied);
+        assert_eq!(f.value("k"), Value::Int(6));
+    }
+
+    #[test]
+    fn append_carries_value_forward() {
+        let f = Fixture::new();
+        for step in 0..3 {
+            f.write("k", &format!("i#{step}"), step);
+        }
+        // Row is now full. A failed cond write must extend the chain and
+        // still see the carried value in the new tail.
+        let out = f.cond_write("k", "i#3", 99, Cond::eq(A_VALUE, Value::Int(2)));
+        assert_eq!(out, WriteOutcome::Applied);
+        assert_eq!(f.value("k"), Value::Int(99));
+        assert_eq!(f.chain_len("k"), 2);
+    }
+
+    #[test]
+    fn lock_payload_sets_owner() {
+        let f = Fixture::new();
+        f.write("k", "a#0", 1);
+        let ids = &f.counter;
+        let gen = move || format!("R{}", ids.fetch_add(1, Ordering::Relaxed));
+        let p = DaalParams {
+            new_row_id: &gen,
+            ..f.params()
+        };
+        let owner = crate::txn::lock_owner_value("txn-1", 17);
+        let free = Cond::not_exists(A_LOCK).or(Cond::eq(A_LOCK, Value::Null));
+        let out = try_write(
+            &p,
+            "t",
+            "k",
+            "a#1",
+            &WritePayload::set_lock(owner.clone()),
+            Some(&free),
+        )
+        .unwrap();
+        assert_eq!(out, WriteOutcome::Applied);
+        assert_eq!(lock_owner(&f.db, "t", "k").unwrap(), Some(owner));
+        // A second transaction fails to acquire.
+        let out = try_write(
+            &p,
+            "t",
+            "k",
+            "b#0",
+            &WritePayload::set_lock(crate::txn::lock_owner_value("txn-2", 30)),
+            Some(&free),
+        )
+        .unwrap();
+        assert_eq!(out, WriteOutcome::ConditionFalse);
+    }
+
+    #[test]
+    fn traversal_ignores_orphan_rows() {
+        let f = Fixture::new();
+        f.write("k", "a#0", 1);
+        // Plant an orphan (as a failed append would leave behind).
+        f.db.put(
+            "t",
+            beldi_value::vmap! {
+                A_KEY => "k", A_ROW_ID => "Rorphan", A_VALUE => 777i64,
+                A_LOG_SIZE => 0i64
+            },
+        )
+        .unwrap();
+        assert_eq!(f.chain_len("k"), 1);
+        assert_eq!(f.value("k"), Value::Int(1));
+    }
+
+    #[test]
+    fn seed_then_read() {
+        let f = Fixture::new();
+        seed(&f.db, "t", "k", Value::Int(10), 0).unwrap();
+        assert_eq!(f.value("k"), Value::Int(10));
+        f.write("k", "a#0", 11);
+        assert_eq!(f.value("k"), Value::Int(11));
+    }
+
+    #[test]
+    fn concurrent_writers_converge() {
+        use std::sync::Arc;
+        let f = Arc::new(Fixture::new());
+        let mut handles = Vec::new();
+        for w in 0..8 {
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                for s in 0..20 {
+                    f.write("hot", &format!("w{w}#{s}"), (w * 100 + s) as i64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All 160 writes logged exactly once across the chain.
+        let rows =
+            f.db.query("t", &Value::from("hot"), &ScanRequest::all())
+                .unwrap();
+        let logged: usize = rows
+            .iter()
+            .filter_map(|r| r.get_attr(A_WRITES))
+            .filter_map(|w| w.as_map())
+            .map(|m| m.len())
+            .sum();
+        assert_eq!(logged, 160);
+        // And the tail holds one of the written values.
+        assert!(matches!(f.value("hot"), Value::Int(_)));
+    }
+}

@@ -1,0 +1,570 @@
+//! The Beldi environment: database + platform + registry + collectors.
+//!
+//! A [`BeldiEnv`] owns one simulated FaaS platform and one simulated NoSQL
+//! database (the paper's AWS Lambda + DynamoDB) and registers SSFs on
+//! them, wrapped by the Beldi runtime. It is the embedding-level
+//! counterpart of "deploy your functions and tables, then point clients at
+//! the workflow entry".
+//!
+//! Per-SSF resources created at registration (data sovereignty, §2.2):
+//! an intent table, a read log, an invoke log, the SSF's data tables
+//! (linked DAALs in Beldi mode), their shadow tables, and — as platform
+//! functions — the SSF's intent collector and garbage collector.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use beldi_simclock::{ScaledClock, SharedClock};
+use beldi_simdb::{Database, LatencyModel, MetricsSnapshot};
+use beldi_simfaas::{Platform, PlatformConfig, PlatformSnapshot};
+use beldi_value::Value;
+use parking_lot::{Mutex, RwLock};
+
+use crate::config::{BeldiConfig, Mode};
+use crate::context::SsfContext;
+use crate::daal;
+use crate::error::{BeldiError, BeldiResult};
+use crate::gc::{self, GcReport};
+use crate::ic::{self, IcReport};
+use crate::intent;
+use crate::invoke::{Envelope, Outcome};
+use crate::modes;
+use crate::schema;
+use crate::wrapper;
+
+/// An SSF body: deterministic application logic over a [`SsfContext`].
+///
+/// Bodies must be deterministic given their logged reads (Olive's intent
+/// requirement); all nondeterminism must flow through the context's
+/// logged helpers ([`SsfContext::logged_uuid`],
+/// [`SsfContext::logged_now_ms`]) or logged reads.
+pub type SsfBody = Arc<dyn Fn(&mut SsfContext, Value) -> BeldiResult<Value> + Send + Sync>;
+
+/// Registry entry for one SSF.
+pub(crate) struct SsfEntry {
+    /// Logical data-table names the SSF declared.
+    pub tables: Vec<String>,
+    /// The application body.
+    pub body: SsfBody,
+}
+
+/// Shared interior of a [`BeldiEnv`].
+pub(crate) struct EnvCore {
+    pub db: Arc<Database>,
+    pub platform: Arc<Platform>,
+    pub config: BeldiConfig,
+    pub registry: RwLock<HashMap<String, SsfEntry>>,
+    timers: Mutex<Vec<beldi_simfaas::TimerHandle>>,
+}
+
+/// Builder for a [`BeldiEnv`] with non-default substrate parameters
+/// (latency model, clock rate, platform limits) — what the benchmark
+/// harnesses use to reproduce the paper's setup.
+pub struct EnvBuilder {
+    config: BeldiConfig,
+    clock: Option<SharedClock>,
+    latency: LatencyModel,
+    platform: PlatformConfig,
+    seed: u64,
+}
+
+impl EnvBuilder {
+    /// Starts a builder with the given Beldi configuration, a zero-latency
+    /// database, a fast-forward clock, and a test platform.
+    pub fn new(config: BeldiConfig) -> Self {
+        EnvBuilder {
+            config,
+            clock: None,
+            latency: LatencyModel::zero(),
+            platform: PlatformConfig::for_tests(),
+            seed: 7,
+        }
+    }
+
+    /// Uses a scaled clock running at `rate` × real time.
+    pub fn clock_rate(mut self, rate: f64) -> Self {
+        self.clock = Some(ScaledClock::shared(rate));
+        self
+    }
+
+    /// Uses an explicit shared clock.
+    pub fn clock(mut self, clock: SharedClock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// Uses the given database latency model (e.g.
+    /// [`LatencyModel::dynamo`] for paper-shaped latencies).
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Uses the given platform configuration (concurrency cap, cold
+    /// starts, timeouts).
+    pub fn platform(mut self, platform: PlatformConfig) -> Self {
+        self.platform = platform;
+        self
+    }
+
+    /// Seeds the platform/database RNGs (UUIDs, latency jitter).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the environment.
+    pub fn build(self) -> BeldiEnv {
+        let clock = self.clock.unwrap_or_else(|| ScaledClock::shared(2_000.0));
+        let db = Database::new(clock.clone(), self.latency, self.seed);
+        let platform = Platform::new(clock, self.platform, self.seed.wrapping_add(1));
+        BeldiEnv {
+            core: Arc::new(EnvCore {
+                db,
+                platform,
+                config: self.config,
+                registry: RwLock::new(HashMap::new()),
+                timers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+}
+
+/// A Beldi deployment: simulated platform + database + registered SSFs.
+///
+/// See the [crate-level docs](crate) for a quickstart.
+pub struct BeldiEnv {
+    core: Arc<EnvCore>,
+}
+
+/// Root invocations retry (acting as an impatient intent collector for
+/// the workflow root) up to this many times.
+const MAX_ROOT_ATTEMPTS: usize = 50;
+
+impl BeldiEnv {
+    /// A fast, deterministic environment for tests and examples: Beldi
+    /// mode, zero storage latency, no platform overheads, a 2000× clock.
+    pub fn for_tests() -> Self {
+        EnvBuilder::new(BeldiConfig::beldi()).build()
+    }
+
+    /// Like [`BeldiEnv::for_tests`] with an explicit configuration.
+    pub fn for_tests_with(config: BeldiConfig) -> Self {
+        EnvBuilder::new(config).build()
+    }
+
+    /// Starts a builder for custom substrate parameters.
+    pub fn builder(config: BeldiConfig) -> EnvBuilder {
+        EnvBuilder::new(config)
+    }
+
+    // ---- Registration ----
+
+    /// Registers SSF `name` with its logical data tables and body.
+    ///
+    /// Creates the SSF's tables (intent, read log, invoke log, one linked
+    /// DAAL plus shadow table per data table — or their plain-table
+    /// equivalents in cross-table/baseline mode) and registers the SSF,
+    /// its intent collector (`{name}.ic`), and its garbage collector
+    /// (`{name}.gc`) on the platform.
+    ///
+    /// # Panics
+    ///
+    /// Panics on setup errors: duplicate registration or table creation
+    /// failures. Registration happens once at deployment time; failures
+    /// are deployment bugs.
+    pub fn register_ssf(&self, name: &str, tables: &[&str], body: SsfBody) {
+        let mode = self.core.config.mode;
+        {
+            let mut registry = self.core.registry.write();
+            assert!(
+                !registry.contains_key(name),
+                "SSF `{name}` registered twice"
+            );
+            registry.insert(
+                name.to_owned(),
+                SsfEntry {
+                    tables: tables.iter().map(|s| (*s).to_owned()).collect(),
+                    body,
+                },
+            );
+        }
+        let db = &self.core.db;
+        let create = |table: String, schema: beldi_simdb::TableSchema| {
+            db.create_table(table.clone(), schema)
+                .unwrap_or_else(|e| panic!("creating table {table}: {e}"));
+        };
+        if mode != Mode::Baseline {
+            create(schema::intent_table(name), schema::intent_schema());
+            create(schema::read_log_table(name), schema::read_log_schema());
+            create(schema::invoke_log_table(name), schema::invoke_log_schema());
+        }
+        if mode == Mode::CrossTable {
+            create(schema::write_log_table(name), schema::write_log_schema());
+        }
+        for table in tables {
+            match mode {
+                Mode::Beldi => {
+                    create(schema::data_table(name, table), schema::daal_schema());
+                    create(schema::shadow_table(name, table), schema::shadow_schema());
+                }
+                Mode::CrossTable | Mode::Baseline => {
+                    create(schema::data_table(name, table), schema::plain_data_schema());
+                }
+            }
+        }
+
+        // Platform functions: the SSF itself, its IC, and its GC.
+        let weak = Arc::downgrade(&self.core);
+        self.core
+            .platform
+            .register(name, wrapper::make_handler(weak, name.to_owned()));
+        if mode != Mode::Baseline {
+            self.core.platform.register(
+                format!("{name}.ic"),
+                collector_handler(&self.core, name, true),
+            );
+            self.core.platform.register(
+                format!("{name}.gc"),
+                collector_handler(&self.core, name, false),
+            );
+        }
+    }
+
+    // ---- Invocation ----
+
+    /// Invokes SSF `name` as a workflow root and waits for the result.
+    ///
+    /// The driver side of exactly-once: a fresh instance id is chosen
+    /// once, and platform-level failures (crashes, timeouts) are retried
+    /// with the *same* id until the intent completes — so the workflow
+    /// executes exactly once no matter how many times its instances crash
+    /// mid-flight. In baseline mode there are no retries (and no
+    /// guarantees), matching the paper's comparison system.
+    ///
+    /// # Errors
+    ///
+    /// - [`BeldiError::TxnAborted`] when the workflow's transaction
+    ///   aborted;
+    /// - [`BeldiError::Protocol`] for application errors;
+    /// - [`BeldiError::Invoke`] when the platform failed beyond recovery.
+    pub fn invoke(&self, name: &str, input: Value) -> BeldiResult<Value> {
+        let instance = self.core.platform.new_uuid();
+        self.invoke_as(name, &instance, input)
+    }
+
+    /// [`BeldiEnv::invoke`] with a caller-chosen instance id (useful for
+    /// tests that re-drive a specific intent).
+    pub fn invoke_as(&self, name: &str, instance: &str, input: Value) -> BeldiResult<Value> {
+        let envelope = Envelope::Call {
+            id: Some(instance.to_owned()),
+            input,
+            caller: None,
+            txn: None,
+            is_async: false,
+        }
+        .to_value();
+        if self.core.config.mode == Mode::Baseline {
+            let v = self
+                .core
+                .platform
+                .invoke_sync(name, envelope)
+                .map_err(BeldiError::Invoke)?;
+            return Outcome::from_value(&v).into_result();
+        }
+        let mut last_err = None;
+        for _ in 0..MAX_ROOT_ATTEMPTS {
+            match self.core.platform.invoke_sync(name, envelope.clone()) {
+                Ok(v) => return Outcome::from_value(&v).into_result(),
+                Err(e) => {
+                    last_err = Some(e);
+                    // The instance may have completed before dying (e.g.
+                    // crashed after marking done); check the intent table.
+                    let table = schema::intent_table(name);
+                    if let Some(rec) = intent::load(&self.core.db, &table, instance)? {
+                        if rec.done {
+                            let ret = rec.ret.unwrap_or(Value::Null);
+                            return Outcome::from_value(&ret).into_result();
+                        }
+                    }
+                    self.clock().sleep(Duration::from_millis(2));
+                }
+            }
+        }
+        Err(BeldiError::Invoke(last_err.expect("at least one attempt")))
+    }
+
+    /// Invokes SSF `name` asynchronously as a workflow root; returns the
+    /// instance id.
+    ///
+    /// The intent is registered *before* the call fires (the environment
+    /// plays the caller's role in Fig. 20), so the intent collector can
+    /// finish the execution even if this initial dispatch is lost.
+    pub fn invoke_async(&self, name: &str, input: Value) -> BeldiResult<String> {
+        let instance = self.core.platform.new_uuid();
+        let envelope = Envelope::Call {
+            id: Some(instance.clone()),
+            input,
+            caller: None,
+            txn: None,
+            is_async: true,
+        };
+        if self.core.config.mode != Mode::Baseline {
+            let now_ms = self.clock().now().as_millis();
+            intent::register(
+                &self.core.db,
+                &schema::intent_table(name),
+                &instance,
+                envelope.to_value(),
+                true,
+                None,
+                now_ms,
+            )?;
+        }
+        self.core
+            .platform
+            .invoke_async(name, envelope.to_value())
+            .map_err(BeldiError::Invoke)?;
+        Ok(instance)
+    }
+
+    // ---- Collectors ----
+
+    /// Runs one intent-collector pass for `ssf` synchronously.
+    pub fn run_ic_once(&self, ssf: &str) -> BeldiResult<IcReport> {
+        ic::run_ic(&self.core, ssf)
+    }
+
+    /// Runs one garbage-collector pass for `ssf` synchronously.
+    pub fn run_gc_once(&self, ssf: &str) -> BeldiResult<GcReport> {
+        gc::run_gc(&self.core, ssf)
+    }
+
+    /// Starts the timer-triggered intent and garbage collectors for every
+    /// registered SSF (period: [`BeldiConfig::collector_period`], the
+    /// paper's 1-minute timers). They stop when the environment drops.
+    pub fn start_collectors(&self) {
+        if self.core.config.mode == Mode::Baseline {
+            return;
+        }
+        let period = self.core.config.collector_period;
+        let names: Vec<String> = {
+            let registry = self.core.registry.read();
+            registry.keys().cloned().collect()
+        };
+        let mut timers = self.core.timers.lock();
+        for name in names {
+            timers.push(self.core.platform.schedule_timer(
+                format!("{name}.ic"),
+                period,
+                Value::Null,
+            ));
+            timers.push(self.core.platform.schedule_timer(
+                format!("{name}.gc"),
+                period,
+                Value::Null,
+            ));
+        }
+    }
+
+    /// Stops all collector timers.
+    pub fn stop_collectors(&self) {
+        for t in self.core.timers.lock().drain(..) {
+            t.stop();
+        }
+    }
+
+    // ---- Data loading and inspection ----
+
+    /// Seeds `key = value` in an SSF's data table, bypassing logging
+    /// (data loading, not part of the exactly-once API).
+    pub fn seed(&self, ssf: &str, table: &str, key: &str, value: Value) -> BeldiResult<()> {
+        let physical = schema::data_table(ssf, table);
+        match self.core.config.mode {
+            Mode::Beldi => daal::seed(
+                &self.core.db,
+                &physical,
+                key,
+                value,
+                self.clock().now().as_millis(),
+            ),
+            Mode::CrossTable | Mode::Baseline => {
+                modes::seed_plain(&self.core.db, &physical, key, value)
+            }
+        }
+    }
+
+    /// Reads the current committed value of `key` in an SSF's data table
+    /// (verification helper for tests and benchmarks; unlogged).
+    pub fn read_current(&self, ssf: &str, table: &str, key: &str) -> BeldiResult<Value> {
+        let physical = schema::data_table(ssf, table);
+        match self.core.config.mode {
+            Mode::Beldi => daal::read_value(&self.core.db, &physical, key),
+            Mode::CrossTable => modes::cross_table_read(&self.core.db, &physical, key),
+            Mode::Baseline => modes::baseline_read(&self.core.db, &physical, key),
+        }
+    }
+
+    /// The length of `key`'s DAAL chain (Beldi mode), for GC experiments.
+    pub fn daal_chain_len(&self, ssf: &str, table: &str, key: &str) -> BeldiResult<usize> {
+        let physical = schema::data_table(ssf, table);
+        Ok(daal::traverse(&self.core.db, &physical, key, None)?
+            .chain
+            .len())
+    }
+
+    // ---- Accessors ----
+
+    /// The simulated database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.core.db
+    }
+
+    /// The simulated platform.
+    pub fn platform(&self) -> &Arc<Platform> {
+        &self.core.platform
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SharedClock {
+        self.core.platform.clock()
+    }
+
+    /// The Beldi configuration.
+    pub fn config(&self) -> &BeldiConfig {
+        &self.core.config
+    }
+
+    /// A snapshot of database operation metrics.
+    pub fn db_metrics(&self) -> MetricsSnapshot {
+        self.core.db.metrics()
+    }
+
+    /// A snapshot of platform metrics.
+    pub fn platform_metrics(&self) -> PlatformSnapshot {
+        self.core.platform.metrics()
+    }
+
+    /// Builds a bare context bound to this environment (crate-internal
+    /// test helper: drives the ops layer without the wrapper).
+    #[doc(hidden)]
+    pub fn test_context(&self, ssf: &str, instance: &str) -> SsfContext {
+        SsfContext::new(self.core.clone(), ssf, instance, None, false, None)
+    }
+}
+
+impl Drop for BeldiEnv {
+    fn drop(&mut self) {
+        self.stop_collectors();
+    }
+}
+
+/// Platform handler for an IC or GC timer function.
+fn collector_handler(
+    core: &Arc<EnvCore>,
+    ssf: &str,
+    is_ic: bool,
+) -> beldi_simfaas::FunctionHandler {
+    let weak: Weak<EnvCore> = Arc::downgrade(core);
+    let ssf = ssf.to_owned();
+    Arc::new(move |_ictx, _payload| {
+        let Some(core) = weak.upgrade() else {
+            return Value::Null;
+        };
+        // Collector failures are non-fatal: the next timer tick retries.
+        let _ = if is_ic {
+            ic::run_ic(&core, &ssf).map(|_| ())
+        } else {
+            gc::run_gc(&core, &ssf).map(|_| ())
+        };
+        Value::Null
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_counter_counts() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "counter",
+            &["state"],
+            Arc::new(|ctx, _input| {
+                let cur = ctx.read("state", "hits")?.as_int().unwrap_or(0);
+                ctx.write("state", "hits", Value::Int(cur + 1))?;
+                Ok(Value::Int(cur + 1))
+            }),
+        );
+        assert_eq!(env.invoke("counter", Value::Null).unwrap(), Value::Int(1));
+        assert_eq!(env.invoke("counter", Value::Null).unwrap(), Value::Int(2));
+        assert_eq!(
+            env.read_current("counter", "state", "hits").unwrap(),
+            Value::Int(2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let env = BeldiEnv::for_tests();
+        let body: SsfBody = Arc::new(|_, _| Ok(Value::Null));
+        env.register_ssf("f", &[], body.clone());
+        env.register_ssf("f", &[], body);
+    }
+
+    #[test]
+    fn seed_and_read_current_all_modes() {
+        for cfg in [
+            BeldiConfig::beldi(),
+            BeldiConfig::cross_table(),
+            BeldiConfig::baseline(),
+        ] {
+            let env = BeldiEnv::for_tests_with(cfg);
+            env.register_ssf("f", &["t"], Arc::new(|_, _| Ok(Value::Null)));
+            env.seed("f", "t", "k", Value::Int(9)).unwrap();
+            assert_eq!(env.read_current("f", "t", "k").unwrap(), Value::Int(9));
+        }
+    }
+
+    #[test]
+    fn async_root_invocation_completes() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "writer",
+            &["t"],
+            Arc::new(|ctx, input| {
+                ctx.write("t", "k", input)?;
+                Ok(Value::Null)
+            }),
+        );
+        let id = env.invoke_async("writer", Value::Int(5)).unwrap();
+        // Wait for the async instance to finish.
+        let table = schema::intent_table("writer");
+        for _ in 0..500 {
+            if let Some(rec) = intent::load(env.db(), &table, &id).unwrap() {
+                if rec.done {
+                    break;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(env.read_current("writer", "t", "k").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn invoke_surfaces_application_errors() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "bad",
+            &[],
+            Arc::new(|_, _| Err(BeldiError::Protocol("nope".into()))),
+        );
+        assert!(matches!(
+            env.invoke("bad", Value::Null),
+            Err(BeldiError::Protocol(_))
+        ));
+    }
+}

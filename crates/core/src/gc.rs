@@ -1,0 +1,363 @@
+//! The garbage collector (§5, Fig. 10).
+//!
+//! Left alone, the linked DAAL and the read/invoke/intent logs grow
+//! without bound. The GC — a timer-triggered serverless function per SSF —
+//! prunes them *without blocking concurrent SSF, IC, or other GC
+//! instances*, relying on one synchrony assumption: an SSF instance lives
+//! at most `T` (derivable from the platform's execution timeout).
+//!
+//! A pass performs the paper's six steps:
+//!
+//! 1. stamp a finish time on intents that completed since the last pass;
+//! 2. classify intents whose finish time is older than `T` as
+//!    *recyclable* — no live instance can still need their logs;
+//! 3. delete the recyclable intents' read-log and invoke-log entries
+//!    (and, in cross-table mode, their write-log entries);
+//! 4. disconnect non-tail DAAL rows whose write logs are fully
+//!    recyclable, stamping them with a dangling time;
+//! 5. delete disconnected rows whose dangling time is older than `T`
+//!    and that are no longer reachable from the head (stragglers holding
+//!    references have died by then);
+//! 6. delete the recyclable intent rows themselves — last, so that a log
+//!    entry whose owner is *absent* from the intent table is provably
+//!    recyclable (its intent was removed by an earlier completed pass).
+//!
+//! Shadow tables (§6.2) are collected the same way, except whole chains —
+//! including head and tail — are deleted once every entry is recyclable,
+//! since a finished transaction never reads its shadow again.
+//!
+//! The GC needs only at-least-once semantics (Fig. 10 note): every action
+//! is an idempotent conditional update or delete.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use beldi_simdb::{Database, DbError, PrimaryKey, ScanRequest};
+use beldi_value::{Cond, Update, Value};
+
+use crate::config::Mode;
+use crate::daal;
+use crate::env::EnvCore;
+use crate::error::BeldiResult;
+use crate::ids::parse_log_key;
+use crate::intent::{self, IntentRecord};
+use crate::schema::{
+    self, A_CREATED, A_DANGLE, A_KEY, A_LOG_KEY, A_NEXT_ROW, A_OWNER, A_ROW_ID, A_WRITES, ROW_HEAD,
+};
+
+/// Summary of one garbage-collector pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Intents whose finish time was stamped this pass.
+    pub finish_stamped: usize,
+    /// Intents classified recyclable and removed.
+    pub recycled_intents: usize,
+    /// Read/invoke/write-log entries deleted.
+    pub deleted_log_entries: usize,
+    /// DAAL rows disconnected (stamped dangling).
+    pub disconnected_rows: usize,
+    /// DAAL / shadow rows physically deleted.
+    pub deleted_rows: usize,
+}
+
+/// Tracks which log owners are recyclable during one pass.
+struct OwnerStatus<'a> {
+    db: &'a Database,
+    intent_table: String,
+    recyclable: HashSet<String>,
+    cache: HashMap<String, bool>,
+}
+
+impl OwnerStatus<'_> {
+    /// True when the owner's logs may be pruned: either classified
+    /// recyclable this pass, or already absent from the intent table
+    /// (recycled by an earlier pass — every instance registers its intent
+    /// before any logged operation, so absence is conclusive).
+    fn is_recyclable(&mut self, owner: &str) -> BeldiResult<bool> {
+        if self.recyclable.contains(owner) {
+            return Ok(true);
+        }
+        if let Some(&hit) = self.cache.get(owner) {
+            return Ok(hit);
+        }
+        let absent = intent::load(self.db, &self.intent_table, owner)?.is_none();
+        self.cache.insert(owner.to_owned(), absent);
+        Ok(absent)
+    }
+}
+
+/// Runs one GC pass for `ssf`.
+pub(crate) fn run_gc(core: &Arc<EnvCore>, ssf: &str) -> BeldiResult<GcReport> {
+    let db = &core.db;
+    let now_ms = core.platform.clock().now().as_millis();
+    let t_ms = core.config.t_max.as_millis() as u64;
+    let intent_table = schema::intent_table(ssf);
+    let mut report = GcReport::default();
+
+    // Steps 1–2: stamp finish times; classify recyclable intents. A pass
+    // may be bounded (Appendix A): collectors are SSFs with execution
+    // timeouts, so the remainder waits for later passes.
+    let batch_limit = core.config.collector_batch_limit.unwrap_or(usize::MAX);
+    let mut recyclable: Vec<String> = Vec::new();
+    let rows = db.scan_all(&intent_table, &ScanRequest::all())?;
+    for row in &rows {
+        let Some(rec) = IntentRecord::from_row(row) else {
+            continue;
+        };
+        if !rec.done {
+            continue;
+        }
+        match rec.finish_ms {
+            None if report.finish_stamped < batch_limit => {
+                intent::stamp_finish(db, &intent_table, &rec.id, now_ms)?;
+                report.finish_stamped += 1;
+            }
+            None => {}
+            Some(f) if now_ms.saturating_sub(f) > t_ms && recyclable.len() < batch_limit => {
+                recyclable.push(rec.id.clone());
+            }
+            Some(_) => {}
+        }
+    }
+
+    // Step 3: prune the recyclable intents' log entries.
+    let mut log_tables = vec![schema::read_log_table(ssf), schema::invoke_log_table(ssf)];
+    if core.config.mode == Mode::CrossTable {
+        log_tables.push(schema::write_log_table(ssf));
+    }
+    for table in &log_tables {
+        for owner in &recyclable {
+            report.deleted_log_entries += delete_log_entries_of(db, table, owner)?;
+        }
+    }
+
+    // Steps 4–5: DAAL maintenance (Beldi mode only; cross-table and
+    // baseline data tables are single rows with no log to prune).
+    if core.config.mode == Mode::Beldi {
+        let mut status = OwnerStatus {
+            db,
+            intent_table: intent_table.clone(),
+            recyclable: recyclable.iter().cloned().collect(),
+            cache: HashMap::new(),
+        };
+        let logical_tables = {
+            let registry = core.registry.read();
+            registry
+                .get(ssf)
+                .map(|e| e.tables.clone())
+                .unwrap_or_default()
+        };
+        for logical in &logical_tables {
+            let data = schema::data_table(ssf, logical);
+            collect_daal_table(db, &data, &mut status, now_ms, t_ms, false, &mut report)?;
+            let shadow = schema::shadow_table(ssf, logical);
+            collect_daal_table(db, &shadow, &mut status, now_ms, t_ms, true, &mut report)?;
+        }
+    }
+
+    // Step 6: remove the recycled intents themselves.
+    for id in &recyclable {
+        intent::delete(db, &intent_table, id)?;
+        report.recycled_intents += 1;
+    }
+    Ok(report)
+}
+
+/// Deletes every entry of `owner` in a log table (via the owner index).
+fn delete_log_entries_of(db: &Database, table: &str, owner: &str) -> BeldiResult<usize> {
+    let rows = db.index_query(table, A_OWNER, &Value::from(owner))?;
+    let mut deleted = 0;
+    for row in rows {
+        if let Some(lk) = row.get_str(A_LOG_KEY) {
+            match db.delete(table, &PrimaryKey::hash(lk), &Cond::True) {
+                Ok(()) => deleted += 1,
+                Err(DbError::ConditionFailed) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+    Ok(deleted)
+}
+
+/// Collects one DAAL (or shadow) table: disconnect fully recyclable
+/// non-tail rows, then delete rows that have dangled for more than `T`.
+fn collect_daal_table(
+    db: &Database,
+    table: &str,
+    status: &mut OwnerStatus<'_>,
+    now_ms: u64,
+    t_ms: u64,
+    is_shadow: bool,
+    report: &mut GcReport,
+) -> BeldiResult<()> {
+    for key in db.distinct_hash_keys(table)? {
+        let Some(key_str) = key.as_str().map(str::to_owned) else {
+            continue;
+        };
+        collect_daal_key(db, table, &key_str, status, now_ms, t_ms, is_shadow, report)?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)] // Internal helper mirroring Fig. 10's loop.
+fn collect_daal_key(
+    db: &Database,
+    table: &str,
+    key: &str,
+    status: &mut OwnerStatus<'_>,
+    now_ms: u64,
+    t_ms: u64,
+    is_shadow: bool,
+    report: &mut GcReport,
+) -> BeldiResult<()> {
+    // Full (unprojected) rows: the GC inspects every log entry.
+    let rows = db.query(table, &Value::from(key), &ScanRequest::all())?;
+    let mut by_id: HashMap<String, &Value> = HashMap::new();
+    for row in &rows {
+        if let Some(id) = row.get_str(A_ROW_ID) {
+            by_id.insert(id.to_owned(), row);
+        }
+    }
+    // Reconstruct the reachable chain.
+    let mut chain: Vec<&Value> = Vec::new();
+    let mut cursor = by_id.get(ROW_HEAD).copied();
+    while let Some(row) = cursor {
+        chain.push(row);
+        cursor = row.get_str(A_NEXT_ROW).and_then(|n| by_id.get(n)).copied();
+        if chain.len() > rows.len() {
+            break; // Defensive against cycles.
+        }
+    }
+    let reachable: HashSet<&str> = chain.iter().filter_map(|r| r.get_str(A_ROW_ID)).collect();
+
+    // Shadow chains: once *every* row (tail included) is recyclable the
+    // whole chain — head and tail too, per §6.2 — is stamped and later
+    // deleted wholesale.
+    if is_shadow && !chain.is_empty() {
+        let mut all_recyclable = true;
+        for row in &chain {
+            if !row_fully_recyclable(row, status)? {
+                all_recyclable = false;
+                break;
+            }
+        }
+        if all_recyclable {
+            for row in &chain {
+                if row.get_int(A_DANGLE).is_none() {
+                    stamp_dangle(db, table, key, row, now_ms)?;
+                    report.disconnected_rows += 1;
+                }
+            }
+            // Deletion still waits out the dangle period below, with
+            // reachability ignored for shadow chains.
+        }
+    }
+
+    // Step 4: disconnect fully recyclable interior rows (never the head,
+    // never the tail).
+    if chain.len() > 2 {
+        for i in 1..chain.len() - 1 {
+            let row = chain[i];
+            if row.get_int(A_DANGLE).is_some() {
+                continue; // Already disconnected, awaiting deletion.
+            }
+            if !row_fully_recyclable(row, status)? {
+                continue;
+            }
+            let (Some(row_id), Some(next)) = (row.get_str(A_ROW_ID), row.get_str(A_NEXT_ROW))
+            else {
+                continue;
+            };
+            let Some(prev_id) = chain[i - 1].get_str(A_ROW_ID) else {
+                continue;
+            };
+            // Unlink: prev.NextRow = row.NextRow, guarded so a concurrent
+            // GC's earlier unlink is not clobbered.
+            let prev_pk = PrimaryKey::hash_sort(key, prev_id);
+            let cond = Cond::eq(A_NEXT_ROW, row_id);
+            let update = Update::new().set(A_NEXT_ROW, next);
+            match db.update(table, &prev_pk, &cond, &update) {
+                Ok(()) => {}
+                Err(DbError::ConditionFailed) => continue,
+                Err(e) => return Err(e.into()),
+            }
+            stamp_dangle(db, table, key, row, now_ms)?;
+            report.disconnected_rows += 1;
+        }
+    }
+
+    // Orphans from failed appends: unreachable, never linked, older than
+    // `T` (their creator has died). Stamp them dangling; deletion below
+    // waits out another `T`.
+    for row in &rows {
+        let Some(row_id) = row.get_str(A_ROW_ID) else {
+            continue;
+        };
+        if reachable.contains(row_id) || row.get_int(A_DANGLE).is_some() {
+            continue;
+        }
+        let created = row.get_int(A_CREATED).unwrap_or(0) as u64;
+        if now_ms.saturating_sub(created) > t_ms {
+            stamp_dangle(db, table, key, row, now_ms)?;
+            report.disconnected_rows += 1;
+        }
+    }
+
+    // Step 5: delete rows that dangled for more than `T`. Interior rows
+    // must additionally be unreachable (a fresh scan confirms); shadow
+    // chains are deleted wholesale once stamped.
+    for row in &rows {
+        let Some(row_id) = row.get_str(A_ROW_ID) else {
+            continue;
+        };
+        if !daal::dangling_expired(row, now_ms, t_ms) {
+            continue;
+        }
+        if !is_shadow && reachable.contains(row_id) {
+            continue;
+        }
+        let pk = PrimaryKey::hash_sort(key, row_id);
+        match db.delete(table, &pk, &Cond::True) {
+            Ok(()) => report.deleted_rows += 1,
+            Err(DbError::ConditionFailed) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// True when every write-log entry in `row` belongs to a recyclable owner.
+fn row_fully_recyclable(row: &Value, status: &mut OwnerStatus<'_>) -> BeldiResult<bool> {
+    let Some(writes) = row.get_attr(A_WRITES).and_then(Value::as_map) else {
+        return Ok(true); // Empty log.
+    };
+    for log_key in writes.keys() {
+        let Some((owner, _)) = parse_log_key(log_key) else {
+            return Ok(false); // Unparseable: be conservative.
+        };
+        if !status.is_recyclable(owner)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Stamps `DangleTime = now` on a row (idempotent-if-absent).
+fn stamp_dangle(
+    db: &Database,
+    table: &str,
+    key: &str,
+    row: &Value,
+    now_ms: u64,
+) -> BeldiResult<()> {
+    let Some(row_id) = row.get_str(A_ROW_ID) else {
+        return Ok(());
+    };
+    let pk = PrimaryKey::hash_sort(key, row_id);
+    let cond = Cond::not_exists(A_DANGLE).and(Cond::exists(A_KEY));
+    let update = Update::new().set(A_DANGLE, Value::Int(now_ms as i64));
+    match db.update(table, &pk, &cond, &update) {
+        Ok(()) | Err(DbError::ConditionFailed) => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}

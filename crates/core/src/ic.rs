@@ -1,0 +1,71 @@
+//! The intent collector (§3.3).
+//!
+//! Beldi's logs give *at-most-once* semantics; the intent collector (IC)
+//! supplies the *at-least-once* half. A timer-triggered serverless
+//! function per SSF, it scans the intent table for instances that have
+//! not completed and re-executes them with their original instance id and
+//! arguments. Re-executing a still-running instance is safe — every step
+//! replays from the logs — but wasteful, so the IC implements the paper's
+//! two optimizations: a secondary index on the `Done` flag, and a minimum
+//! re-launch delay enforced with a compare-and-swap on the last-launch
+//! timestamp (so concurrent IC instances do not double-restart).
+
+use std::sync::Arc;
+
+use beldi_value::Value;
+
+use crate::env::EnvCore;
+use crate::error::BeldiResult;
+use crate::intent::{self, IntentRecord};
+use crate::schema::{intent_table, A_DONE};
+
+/// Summary of one intent-collector pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IcReport {
+    /// Unfinished intents found.
+    pub unfinished: usize,
+    /// Instances re-launched this pass.
+    pub restarted: usize,
+    /// Intents skipped because they were launched too recently.
+    pub too_recent: usize,
+}
+
+/// Runs one IC pass for `ssf`.
+pub(crate) fn run_ic(core: &Arc<EnvCore>, ssf: &str) -> BeldiResult<IcReport> {
+    let table = intent_table(ssf);
+    let mut rows = core.db.index_query(&table, A_DONE, &Value::Bool(false))?;
+    // Appendix A: collectors are SSFs with execution timeouts, so a pass
+    // may be bounded; the remainder is picked up by later passes.
+    if let Some(limit) = core.config.collector_batch_limit {
+        rows.truncate(limit);
+    }
+    let now_ms = core.platform.clock().now().as_millis();
+    let delay_ms = core.config.ic_restart_delay.as_millis() as u64;
+
+    let mut report = IcReport::default();
+    for row in rows {
+        let Some(rec) = IntentRecord::from_row(&row) else {
+            continue;
+        };
+        report.unfinished += 1;
+        if now_ms.saturating_sub(rec.last_launch_ms) < delay_ms {
+            report.too_recent += 1;
+            continue;
+        }
+        if rec.args.is_null() {
+            // Nothing to re-fire (defensive; normal intents always store
+            // their call envelope).
+            continue;
+        }
+        // Claim the restart; losers saw a concurrent IC win the CAS.
+        if !intent::claim_launch(&core.db, &table, &rec.id, rec.last_launch_ms, now_ms)? {
+            continue;
+        }
+        // Re-fire the original envelope. Failures here are fine: the next
+        // pass tries again.
+        if core.platform.invoke_async(ssf, rec.args.clone()).is_ok() {
+            report.restarted += 1;
+        }
+    }
+    Ok(report)
+}

@@ -1,0 +1,59 @@
+//! Instance ids, step numbers, and log keys.
+//!
+//! Every SSF execution is identified by an *instance id* (§3.3): the
+//! platform request id for workflow roots, or a caller-generated UUID for
+//! callees. Every external operation inside an instance gets a
+//! monotonically increasing *step number*. The pair `(instance id, step)`
+//! keys all of Beldi's logs (Fig. 3).
+
+/// An SSF instance id (unique per execution intent, stable across
+/// re-executions of the same intent).
+pub type InstanceId = String;
+
+/// A step number within an instance.
+pub type StepNumber = u64;
+
+/// Separator between instance id and step in a log key.
+///
+/// Instance ids are platform UUIDs and never contain `#`.
+pub const LOG_KEY_SEP: char = '#';
+
+/// Builds the log key for `(instance, step)` — the primary key of read,
+/// write, and invoke log entries (paper Fig. 3).
+pub fn log_key(instance: &str, step: StepNumber) -> String {
+    format!("{instance}{LOG_KEY_SEP}{step}")
+}
+
+/// Splits a log key back into `(instance, step)`.
+///
+/// Returns `None` for malformed keys (useful when the GC scans logs).
+pub fn parse_log_key(key: &str) -> Option<(&str, StepNumber)> {
+    let (instance, step) = key.rsplit_once(LOG_KEY_SEP)?;
+    let step = step.parse().ok()?;
+    Some((instance, step))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_key_round_trips() {
+        let k = log_key("abc-123", 42);
+        assert_eq!(k, "abc-123#42");
+        assert_eq!(parse_log_key(&k), Some(("abc-123", 42)));
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert_eq!(parse_log_key("no-separator"), None);
+        assert_eq!(parse_log_key("a#notanumber"), None);
+    }
+
+    #[test]
+    fn parse_uses_last_separator() {
+        // Defensive: even if an id somehow contained the separator, the
+        // step is always the last segment.
+        assert_eq!(parse_log_key("a#b#3"), Some(("a#b", 3)));
+    }
+}

@@ -1,0 +1,233 @@
+//! The intent table (§3.3, Fig. 3).
+//!
+//! Every SSF execution intent is a row keyed by instance id, recording the
+//! original invocation envelope (so the intent collector can re-execute it
+//! verbatim), the completion flag, the return value, and GC bookkeeping.
+//! Registration is the first external action of every instance; completion
+//! (`Done = true` + return value) is the last.
+
+use beldi_simdb::{Database, DbError, PrimaryKey};
+use beldi_value::{Cond, Update, Value};
+
+use crate::error::BeldiResult;
+use crate::schema::{
+    A_ARGS, A_ASYNC, A_CALLER, A_CREATED, A_DONE, A_FINISH, A_ID, A_LAST_LAUNCH, A_RET,
+};
+
+/// A decoded intent-table row.
+#[derive(Debug, Clone)]
+pub(crate) struct IntentRecord {
+    /// Instance id.
+    pub id: String,
+    /// Completion flag.
+    pub done: bool,
+    /// Whether the instance was invoked asynchronously.
+    pub is_async: bool,
+    /// The original invocation envelope, re-sent verbatim by the IC.
+    pub args: Value,
+    /// The outcome envelope recorded at completion.
+    pub ret: Option<Value>,
+    /// Calling SSF name, if any.
+    pub caller: Option<String>,
+    /// Creation timestamp (virtual ms).
+    #[cfg_attr(not(test), allow(dead_code))] // Asserted by unit tests.
+    pub created_ms: u64,
+    /// Last (re-)launch timestamp (virtual ms), advanced by the IC.
+    pub last_launch_ms: u64,
+    /// GC finish timestamp, stamped by the first GC pass after `Done`.
+    pub finish_ms: Option<u64>,
+}
+
+impl IntentRecord {
+    /// Decodes an intent row; rows with unknown shape decode defensively
+    /// (the GC must tolerate anything it scans).
+    pub fn from_row(row: &Value) -> Option<Self> {
+        let id = row.get_str(A_ID)?.to_owned();
+        Some(IntentRecord {
+            id,
+            done: row.get_bool(A_DONE).unwrap_or(false),
+            is_async: row.get_bool(A_ASYNC).unwrap_or(false),
+            args: row.get_attr(A_ARGS).cloned().unwrap_or(Value::Null),
+            ret: row.get_attr(A_RET).cloned().filter(|v| !v.is_null()),
+            caller: row.get_str(A_CALLER).map(str::to_owned),
+            created_ms: row.get_int(A_CREATED).unwrap_or(0) as u64,
+            last_launch_ms: row.get_int(A_LAST_LAUNCH).unwrap_or(0) as u64,
+            finish_ms: row.get_int(A_FINISH).map(|v| v as u64),
+        })
+    }
+}
+
+/// Registers an intent if it is not already present.
+///
+/// Returns the *authoritative* record: the fresh one on first execution,
+/// or the existing one when this is a re-execution (in which case the
+/// caller must honor an already-set `Done` flag by replaying the recorded
+/// return value).
+pub(crate) fn register(
+    db: &Database,
+    table: &str,
+    id: &str,
+    args: Value,
+    is_async: bool,
+    caller: Option<&str>,
+    now_ms: u64,
+) -> BeldiResult<IntentRecord> {
+    let pk = PrimaryKey::hash(id);
+    let mut update = Update::new()
+        .set(A_DONE, Value::Bool(false))
+        .set(A_ASYNC, Value::Bool(is_async))
+        .set(A_ARGS, args.clone())
+        .set(A_CREATED, Value::Int(now_ms as i64))
+        .set(A_LAST_LAUNCH, Value::Int(now_ms as i64));
+    if let Some(c) = caller {
+        update = update.set(A_CALLER, Value::from(c));
+    }
+    match db.update(table, &pk, &Cond::not_exists(A_ID), &update) {
+        Ok(()) => {
+            // Our registration won: the record is exactly what we wrote,
+            // no read-back needed (one round trip saved on the hot path).
+            return Ok(IntentRecord {
+                id: id.to_owned(),
+                done: false,
+                is_async,
+                args,
+                ret: None,
+                caller: caller.map(str::to_owned),
+                created_ms: now_ms,
+                last_launch_ms: now_ms,
+                finish_ms: None,
+            });
+        }
+        Err(DbError::ConditionFailed) => {}
+        Err(e) => return Err(e.into()),
+    }
+    // A previous execution registered first; its record is authoritative.
+    load(db, table, id)?.ok_or_else(|| {
+        crate::error::BeldiError::Protocol(format!("intent {id} vanished after registration"))
+    })
+}
+
+/// Loads an intent record, if present.
+pub(crate) fn load(db: &Database, table: &str, id: &str) -> BeldiResult<Option<IntentRecord>> {
+    let row = db.get(table, &PrimaryKey::hash(id), None)?;
+    Ok(row.as_ref().and_then(IntentRecord::from_row))
+}
+
+/// Marks an intent as done, recording its outcome envelope.
+///
+/// Idempotent: re-executions overwrite with the identical (deterministic)
+/// outcome.
+pub(crate) fn mark_done(db: &Database, table: &str, id: &str, ret: Value) -> BeldiResult<()> {
+    let update = Update::new().set(A_DONE, Value::Bool(true)).set(A_RET, ret);
+    db.update(table, &PrimaryKey::hash(id), &Cond::exists(A_ID), &update)?;
+    Ok(())
+}
+
+/// Compare-and-swap of the last-launch timestamp (the IC's duplicate-
+/// suppression optimization, §3.3). Returns false when another IC instance
+/// advanced it first.
+pub(crate) fn claim_launch(
+    db: &Database,
+    table: &str,
+    id: &str,
+    seen_last_launch_ms: u64,
+    now_ms: u64,
+) -> BeldiResult<bool> {
+    let cond = Cond::eq(A_LAST_LAUNCH, Value::Int(seen_last_launch_ms as i64))
+        .and(Cond::eq(A_DONE, Value::Bool(false)));
+    let update = Update::new().set(A_LAST_LAUNCH, Value::Int(now_ms as i64));
+    match db.update(table, &PrimaryKey::hash(id), &cond, &update) {
+        Ok(()) => Ok(true),
+        Err(DbError::ConditionFailed) => Ok(false),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Stamps the GC finish time on a completed intent, if not already set.
+pub(crate) fn stamp_finish(db: &Database, table: &str, id: &str, now_ms: u64) -> BeldiResult<()> {
+    let cond = Cond::eq(A_DONE, Value::Bool(true)).and(Cond::not_exists(A_FINISH));
+    let update = Update::new().set(A_FINISH, Value::Int(now_ms as i64));
+    match db.update(table, &PrimaryKey::hash(id), &cond, &update) {
+        Ok(()) | Err(DbError::ConditionFailed) => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Deletes an intent row (the GC's final step for a recycled intent).
+pub(crate) fn delete(db: &Database, table: &str, id: &str) -> BeldiResult<()> {
+    match db.delete(table, &PrimaryKey::hash(id), &Cond::True) {
+        Ok(()) | Err(DbError::ConditionFailed) => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::intent_schema;
+    use beldi_simdb::Database;
+
+    fn db() -> std::sync::Arc<Database> {
+        let db = Database::for_tests();
+        db.create_table("i", intent_schema()).unwrap();
+        db
+    }
+
+    #[test]
+    fn register_is_first_wins() {
+        let db = db();
+        let a = register(&db, "i", "x", Value::Int(1), false, Some("caller"), 5).unwrap();
+        assert_eq!(a.args, Value::Int(1));
+        assert_eq!(a.caller.as_deref(), Some("caller"));
+        assert!(!a.done);
+        // A re-execution re-registers with different args; the original
+        // registration wins.
+        let b = register(&db, "i", "x", Value::Int(2), false, None, 9).unwrap();
+        assert_eq!(b.args, Value::Int(1));
+        assert_eq!(b.created_ms, 5);
+    }
+
+    #[test]
+    fn done_round_trips_return_value() {
+        let db = db();
+        register(&db, "i", "x", Value::Null, false, None, 0).unwrap();
+        mark_done(&db, "i", "x", Value::Int(42)).unwrap();
+        let rec = load(&db, "i", "x").unwrap().unwrap();
+        assert!(rec.done);
+        assert_eq!(rec.ret, Some(Value::Int(42)));
+    }
+
+    #[test]
+    fn claim_launch_is_a_cas() {
+        let db = db();
+        register(&db, "i", "x", Value::Null, false, None, 0).unwrap();
+        assert!(claim_launch(&db, "i", "x", 0, 10).unwrap());
+        // Second claimer saw the stale timestamp and loses.
+        assert!(!claim_launch(&db, "i", "x", 0, 11).unwrap());
+        // Done intents are never claimed.
+        mark_done(&db, "i", "x", Value::Null).unwrap();
+        assert!(!claim_launch(&db, "i", "x", 10, 20).unwrap());
+    }
+
+    #[test]
+    fn finish_stamp_is_sticky() {
+        let db = db();
+        register(&db, "i", "x", Value::Null, false, None, 0).unwrap();
+        // Not done yet: no stamp.
+        stamp_finish(&db, "i", "x", 7).unwrap();
+        assert_eq!(load(&db, "i", "x").unwrap().unwrap().finish_ms, None);
+        mark_done(&db, "i", "x", Value::Null).unwrap();
+        stamp_finish(&db, "i", "x", 7).unwrap();
+        stamp_finish(&db, "i", "x", 99).unwrap();
+        assert_eq!(load(&db, "i", "x").unwrap().unwrap().finish_ms, Some(7));
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let db = db();
+        register(&db, "i", "x", Value::Null, false, None, 0).unwrap();
+        delete(&db, "i", "x").unwrap();
+        delete(&db, "i", "x").unwrap();
+        assert!(load(&db, "i", "x").unwrap().is_none());
+    }
+}

@@ -1,0 +1,647 @@
+//! Exactly-once SSF invocations and the callback protocol (§4.5).
+//!
+//! There is no way to atomically log into a database *and* invoke another
+//! function, so Beldi decomposes an invocation into (1) the call itself
+//! and (2) the recording of its result, performed by the **callee** via an
+//! automatic *callback* invocation of some instance of the caller's
+//! function (Fig. 9). Only after the callback lands in the caller's
+//! invoke log does the callee mark its own intent done — otherwise the
+//! callee's garbage collector (running at its own pace in a federated
+//! deployment) could recycle the intent before the caller learned the
+//! result, and a re-executed caller would make the callee perform its
+//! work twice.
+//!
+//! Request routing is stateless: the callback reaches *some* instance of
+//! the caller function, not the blocked original. The handler resolves
+//! the invoke-log entry through a secondary index on the callee id.
+//!
+//! Asynchronous invocations (Fig. 20) flip the order: the caller first
+//! synchronously asks the callee to *register* the intent (confirmed by a
+//! callback that sets the `Registered` flag), then fires the actual
+//! asynchronous call. The callee stub refuses to run unregistered or
+//! completed intents so the GC can prune them without interference.
+
+use beldi_simdb::{DbError, PrimaryKey};
+use beldi_value::{Cond, Map, Update, Value};
+
+use crate::context::SsfContext;
+use crate::env::EnvCore;
+use crate::error::{BeldiError, BeldiResult};
+use crate::schema::{
+    invoke_log_table, A_CALLEE_FN, A_CALLEE_ID, A_LOG_KEY, A_OWNER, A_REGISTERED, A_RESULT,
+    A_TXN_ID,
+};
+use crate::txn::{TxnContext, TxnMode};
+
+/// How many times an invocation (or callback) is retried against platform
+/// failures before the instance gives up and crashes itself, deferring to
+/// the intent collector.
+const MAX_INVOKE_ATTEMPTS: usize = 5;
+
+/// Virtual-time backoff between invocation attempts.
+const RETRY_BACKOFF: std::time::Duration = std::time::Duration::from_millis(5);
+
+// ---- Envelopes ----
+
+/// The wire format between SSF instances.
+///
+/// Every platform invocation of a Beldi-wrapped function carries one of
+/// these, serialized as a [`Value`] map under the keys below.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Envelope {
+    /// Run the SSF's body.
+    Call {
+        /// Instance id chosen by the caller (None for workflow roots,
+        /// which adopt the platform request id).
+        id: Option<String>,
+        /// Application input.
+        input: Value,
+        /// Calling SSF name (for the result callback), if any.
+        caller: Option<String>,
+        /// Transaction context forwarded from the caller, if any.
+        txn: Option<TxnContext>,
+        /// True when this call was issued asynchronously.
+        is_async: bool,
+    },
+    /// Record a callee's result (or registration) in this SSF's invoke
+    /// log. At-least-once; never logged itself.
+    Callback {
+        /// The callee instance whose entry should be updated.
+        callee_id: String,
+        /// The outcome envelope, or `None` for an async-registration
+        /// confirmation (which sets `Registered` instead).
+        result: Option<Value>,
+    },
+    /// Register an intent for a later asynchronous call (Fig. 20, step 1).
+    AsyncReg {
+        /// The instance id the async call will use.
+        id: String,
+        /// Application input, stored as the intent's args.
+        input: Value,
+        /// Caller to confirm registration to.
+        caller: String,
+    },
+    /// Commit/abort propagation along workflow edges (§6.2).
+    TxnSignal {
+        /// Instance id for the signal execution (exactly-once).
+        id: String,
+        /// The transaction context in `Commit` or `Abort` mode.
+        txn: TxnContext,
+    },
+}
+
+const K_OP: &str = "Op";
+const K_ID: &str = "Id";
+const K_INPUT: &str = "Input";
+const K_CALLER: &str = "Caller";
+const K_TXN: &str = "TxnCtx";
+const K_ASYNC: &str = "Async";
+const K_CALLEE_ID: &str = "CalleeId";
+const K_RESULT: &str = "Result";
+
+impl Envelope {
+    /// Serializes the envelope for the platform payload.
+    pub fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        match self {
+            Envelope::Call {
+                id,
+                input,
+                caller,
+                txn,
+                is_async,
+            } => {
+                m.insert(K_OP.into(), "call".into());
+                if let Some(id) = id {
+                    m.insert(K_ID.into(), id.as_str().into());
+                }
+                m.insert(K_INPUT.into(), input.clone());
+                if let Some(c) = caller {
+                    m.insert(K_CALLER.into(), c.as_str().into());
+                }
+                if let Some(t) = txn {
+                    m.insert(K_TXN.into(), t.to_value());
+                }
+                m.insert(K_ASYNC.into(), Value::Bool(*is_async));
+            }
+            Envelope::Callback { callee_id, result } => {
+                m.insert(K_OP.into(), "callback".into());
+                m.insert(K_CALLEE_ID.into(), callee_id.as_str().into());
+                if let Some(r) = result {
+                    m.insert(K_RESULT.into(), r.clone());
+                }
+            }
+            Envelope::AsyncReg { id, input, caller } => {
+                m.insert(K_OP.into(), "asyncreg".into());
+                m.insert(K_ID.into(), id.as_str().into());
+                m.insert(K_INPUT.into(), input.clone());
+                m.insert(K_CALLER.into(), caller.as_str().into());
+            }
+            Envelope::TxnSignal { id, txn } => {
+                m.insert(K_OP.into(), "txnsignal".into());
+                m.insert(K_ID.into(), id.as_str().into());
+                m.insert(K_TXN.into(), txn.to_value());
+            }
+        }
+        Value::Map(m)
+    }
+
+    /// Parses a platform payload back into an envelope.
+    pub fn from_value(v: &Value) -> BeldiResult<Self> {
+        let op = v
+            .get_str(K_OP)
+            .ok_or_else(|| BeldiError::Protocol("payload is not a Beldi envelope".into()))?;
+        match op {
+            "call" => Ok(Envelope::Call {
+                id: v.get_str(K_ID).map(str::to_owned),
+                input: v.get_attr(K_INPUT).cloned().unwrap_or(Value::Null),
+                caller: v.get_str(K_CALLER).map(str::to_owned),
+                txn: match v.get_attr(K_TXN) {
+                    Some(t) => Some(TxnContext::from_value(t)?),
+                    None => None,
+                },
+                is_async: v.get_bool(K_ASYNC).unwrap_or(false),
+            }),
+            "callback" => Ok(Envelope::Callback {
+                callee_id: v
+                    .get_str(K_CALLEE_ID)
+                    .ok_or_else(|| BeldiError::Protocol("callback missing CalleeId".into()))?
+                    .to_owned(),
+                result: v.get_attr(K_RESULT).cloned(),
+            }),
+            "asyncreg" => Ok(Envelope::AsyncReg {
+                id: v
+                    .get_str(K_ID)
+                    .ok_or_else(|| BeldiError::Protocol("asyncreg missing Id".into()))?
+                    .to_owned(),
+                input: v.get_attr(K_INPUT).cloned().unwrap_or(Value::Null),
+                caller: v
+                    .get_str(K_CALLER)
+                    .ok_or_else(|| BeldiError::Protocol("asyncreg missing Caller".into()))?
+                    .to_owned(),
+            }),
+            "txnsignal" => Ok(Envelope::TxnSignal {
+                id: v
+                    .get_str(K_ID)
+                    .ok_or_else(|| BeldiError::Protocol("txnsignal missing Id".into()))?
+                    .to_owned(),
+                txn: TxnContext::from_value(
+                    v.get_attr(K_TXN)
+                        .ok_or_else(|| BeldiError::Protocol("txnsignal missing TxnCtx".into()))?,
+                )?,
+            }),
+            other => Err(BeldiError::Protocol(format!(
+                "unknown envelope op `{other}`"
+            ))),
+        }
+    }
+}
+
+// ---- Outcome envelopes ----
+
+/// The result of a completed SSF execution, as recorded in the intent
+/// table, delivered by callbacks, and returned to callers.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Outcome {
+    /// The body completed with this return value.
+    Ok(Value),
+    /// The enclosing transaction aborted.
+    Abort,
+    /// The body returned an application error.
+    Error(String),
+}
+
+impl Outcome {
+    /// Serializes the outcome.
+    pub fn to_value(&self) -> Value {
+        match self {
+            Outcome::Ok(v) => beldi_value::vmap! { "Outcome" => "ok", "Ret" => v.clone() },
+            Outcome::Abort => beldi_value::vmap! { "Outcome" => "abort" },
+            Outcome::Error(m) => {
+                beldi_value::vmap! { "Outcome" => "error", "Msg" => m.as_str() }
+            }
+        }
+    }
+
+    /// Parses an outcome; malformed payloads decode as errors so a caller
+    /// never mistakes infrastructure failures for success.
+    pub fn from_value(v: &Value) -> Self {
+        match v.get_str("Outcome") {
+            Some("ok") => Outcome::Ok(v.get_attr("Ret").cloned().unwrap_or(Value::Null)),
+            Some("abort") => Outcome::Abort,
+            Some("error") => Outcome::Error(v.get_str("Msg").unwrap_or("unknown error").to_owned()),
+            _ => Outcome::Error(format!("malformed outcome envelope: {v}")),
+        }
+    }
+
+    /// Converts the outcome into the caller-facing API result.
+    pub fn into_result(self) -> BeldiResult<Value> {
+        match self {
+            Outcome::Ok(v) => Ok(v),
+            Outcome::Abort => Err(BeldiError::TxnAborted),
+            Outcome::Error(m) => Err(BeldiError::Protocol(m)),
+        }
+    }
+}
+
+// ---- Invoke-log entries ----
+
+/// A decoded invoke-log row.
+#[derive(Debug, Clone)]
+pub(crate) struct InvokeEntry {
+    /// The callee instance id chosen at first execution.
+    pub callee_id: String,
+    /// The recorded outcome envelope, if the callback has landed.
+    pub result: Option<Value>,
+    /// Set once an async callee confirmed registration.
+    pub registered: bool,
+}
+
+impl InvokeEntry {
+    fn from_row(row: &Value) -> Option<Self> {
+        Some(InvokeEntry {
+            callee_id: row.get_str(A_CALLEE_ID)?.to_owned(),
+            result: row.get_attr(A_RESULT).cloned().filter(|v| !v.is_null()),
+            registered: row.get_bool(A_REGISTERED).unwrap_or(false),
+        })
+    }
+}
+
+impl SsfContext {
+    /// Creates (or replays) the invoke-log entry for the next step:
+    /// exactly-once assignment of a callee instance id (Fig. 8).
+    fn invoke_entry(&mut self, callee_fn: &str) -> BeldiResult<InvokeEntry> {
+        let log_key = self.next_log_key();
+        let ilog = self.invoke_log_table();
+        let fresh_id = self.fresh_uuid();
+        let mut update = Update::new()
+            .set(A_LOG_KEY, log_key.as_str())
+            .set(A_OWNER, self.instance_id())
+            .set(A_CALLEE_ID, fresh_id.as_str())
+            .set(A_CALLEE_FN, callee_fn);
+        if let Some(t) = &self.txn {
+            if t.ctx.mode == TxnMode::Execute && !t.ended {
+                update = update.set(A_TXN_ID, t.ctx.id.as_str());
+            }
+        }
+        let pk = PrimaryKey::hash(log_key.as_str());
+        self.crash("invoke.pre_entry");
+        match self
+            .db()
+            .update(&ilog, &pk, &Cond::not_exists(A_LOG_KEY), &update)
+        {
+            Ok(()) => Ok(InvokeEntry {
+                callee_id: fresh_id,
+                result: None,
+                registered: false,
+            }),
+            Err(DbError::ConditionFailed) => {
+                let row = self.db().get(&ilog, &pk, None)?.ok_or_else(|| {
+                    BeldiError::Protocol(format!("invoke-log entry {log_key} vanished"))
+                })?;
+                InvokeEntry::from_row(&row).ok_or_else(|| {
+                    BeldiError::Protocol(format!("invoke-log entry {log_key} malformed"))
+                })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Re-reads this step's invoke-log entry by log key (used to poll for
+    /// a callback-delivered result). `step` must be the step the entry was
+    /// created under.
+    fn reload_entry(&self, log_key: &str) -> BeldiResult<Option<InvokeEntry>> {
+        let ilog = self.invoke_log_table();
+        let row = self.db().get(&ilog, &PrimaryKey::hash(log_key), None)?;
+        Ok(row.as_ref().and_then(InvokeEntry::from_row))
+    }
+
+    // ---- Synchronous invocation (Figs. 8, 9, 19) ----
+
+    /// Invokes SSF `callee` with `input` and waits for its result.
+    ///
+    /// Exactly-once across caller and callee crashes: the callee instance
+    /// id is logged before the call, the callee logs every step under that
+    /// id, and its result reaches this SSF's invoke log via the callback
+    /// protocol before the callee completes. Inside a transaction the
+    /// context is forwarded, so the callee's operations join it.
+    ///
+    /// # Errors
+    ///
+    /// [`BeldiError::TxnAborted`] when the callee reported an abort
+    /// (wait-die or user abort) — the caller should propagate it to its
+    /// own `end_tx`.
+    pub fn sync_invoke(&mut self, callee: &str, input: Value) -> BeldiResult<Value> {
+        if self.mode() == crate::Mode::Baseline {
+            let env = Envelope::Call {
+                id: None,
+                input,
+                caller: None,
+                txn: None,
+                is_async: false,
+            };
+            let v = self
+                .platform()
+                .invoke_sync(callee, env.to_value())
+                .map_err(BeldiError::Invoke)?;
+            return Outcome::from_value(&v).into_result();
+        }
+        let txn = self
+            .txn
+            .as_ref()
+            .and_then(|t| (t.ctx.mode == TxnMode::Execute && !t.ended).then(|| t.ctx.clone()));
+        let caller = self.ssf.clone();
+        let outcome = self.invoke_with_entry(callee, |callee_id| Envelope::Call {
+            id: Some(callee_id.to_owned()),
+            input: input.clone(),
+            caller: Some(caller.clone()),
+            txn: txn.clone(),
+            is_async: false,
+        })?;
+        if matches!(outcome, Outcome::Abort) {
+            if let Some(t) = &mut self.txn {
+                t.aborted = true;
+            }
+        }
+        outcome.into_result()
+    }
+
+    /// The shared exactly-once call loop: create/replay the invoke-log
+    /// entry, then call until a result is obtained (directly or via the
+    /// callback landing in the log).
+    pub(crate) fn invoke_with_entry(
+        &mut self,
+        callee: &str,
+        make_envelope: impl Fn(&str) -> Envelope,
+    ) -> BeldiResult<Outcome> {
+        let step = self.step;
+        let entry = self.invoke_entry(callee)?;
+        if let Some(r) = &entry.result {
+            // A previous execution already has the callee's result.
+            return Ok(Outcome::from_value(r));
+        }
+        let log_key = crate::ids::log_key(&self.instance, step);
+        let envelope = make_envelope(&entry.callee_id).to_value();
+        self.crash("invoke.pre_call");
+        for attempt in 0..MAX_INVOKE_ATTEMPTS {
+            match self.platform().invoke_sync(callee, envelope.clone()) {
+                Ok(v) => return Ok(Outcome::from_value(&v)),
+                Err(_) => {
+                    // The callee (or the response channel) died. Its
+                    // callback may still have recorded the result.
+                    if let Some(e) = self.reload_entry(&log_key)? {
+                        if let Some(r) = e.result {
+                            return Ok(Outcome::from_value(&r));
+                        }
+                    }
+                    if attempt + 1 < MAX_INVOKE_ATTEMPTS {
+                        self.clock().sleep(RETRY_BACKOFF);
+                    }
+                }
+            }
+        }
+        // Give up this execution; the intent collector (or the caller's
+        // own re-invocation) will resume from the logs.
+        panic!("beldi: callee `{callee}` unreachable after {MAX_INVOKE_ATTEMPTS} attempts");
+    }
+
+    // ---- Asynchronous invocation (Fig. 20) ----
+
+    /// Invokes SSF `callee` asynchronously (fire and forget) with
+    /// exactly-once execution of the callee.
+    ///
+    /// The callee's intent is registered synchronously first; only then is
+    /// the asynchronous call fired, so a crash on either side never loses
+    /// or duplicates the execution.
+    ///
+    /// # Errors
+    ///
+    /// [`BeldiError::Unsupported`] inside a transaction (the paper defers
+    /// async calls in transactions to future work).
+    pub fn async_invoke(&mut self, callee: &str, input: Value) -> BeldiResult<()> {
+        if self.in_txn() {
+            return Err(BeldiError::Unsupported("async_invoke inside a transaction"));
+        }
+        if self.mode() == crate::Mode::Baseline {
+            let env = Envelope::Call {
+                id: None,
+                input,
+                caller: None,
+                txn: None,
+                is_async: true,
+            };
+            self.platform()
+                .invoke_async(callee, env.to_value())
+                .map_err(BeldiError::Invoke)?;
+            return Ok(());
+        }
+        let step = self.step;
+        let entry = self.invoke_entry(callee)?;
+        let log_key = crate::ids::log_key(&self.instance, step);
+
+        // Step 1: ensure the callee's intent is registered (skippable when
+        // a previous execution got the registration confirmed).
+        if !entry.registered {
+            let reg = Envelope::AsyncReg {
+                id: entry.callee_id.clone(),
+                input: input.clone(),
+                caller: self.ssf.clone(),
+            }
+            .to_value();
+            self.crash("invoke.pre_asyncreg");
+            let mut ok = false;
+            for attempt in 0..MAX_INVOKE_ATTEMPTS {
+                match self.platform().invoke_sync(callee, reg.clone()) {
+                    Ok(_) => {
+                        ok = true;
+                        break;
+                    }
+                    Err(_) if attempt + 1 < MAX_INVOKE_ATTEMPTS => {
+                        self.clock().sleep(RETRY_BACKOFF)
+                    }
+                    Err(_) => {}
+                }
+            }
+            if !ok {
+                panic!("beldi: async registration at `{callee}` unreachable");
+            }
+        }
+
+        // Step 2: fire the actual asynchronous invocation. Safe to repeat:
+        // the callee stub refuses unregistered or completed intents, and
+        // every step of a duplicate execution replays from its logs.
+        let call = Envelope::Call {
+            id: Some(entry.callee_id.clone()),
+            input,
+            caller: Some(self.ssf.clone()),
+            txn: None,
+            is_async: true,
+        }
+        .to_value();
+        self.crash("invoke.pre_async_call");
+        self.platform()
+            .invoke_async(callee, call)
+            .map_err(BeldiError::Invoke)?;
+        let _ = log_key;
+        Ok(())
+    }
+}
+
+// ---- Callbacks (callee → caller) ----
+
+/// Sends a callback to `caller_fn` recording `result` (or, when `None`, an
+/// async-registration confirmation) for `callee_id`.
+///
+/// At-least-once: retried a bounded number of times; returns whether some
+/// caller instance acknowledged it.
+pub(crate) fn send_callback(
+    core: &EnvCore,
+    caller_fn: &str,
+    callee_id: &str,
+    result: Option<Value>,
+) -> bool {
+    let envelope = Envelope::Callback {
+        callee_id: callee_id.to_owned(),
+        result,
+    }
+    .to_value();
+    for attempt in 0..MAX_INVOKE_ATTEMPTS {
+        match core.platform.invoke_sync(caller_fn, envelope.clone()) {
+            Ok(_) => return true,
+            Err(_) if attempt + 1 < MAX_INVOKE_ATTEMPTS => {
+                core.platform.clock().sleep(RETRY_BACKOFF);
+            }
+            Err(_) => {}
+        }
+    }
+    false
+}
+
+/// Handles an incoming callback at the caller's side: records the result
+/// (or registration) on the invoke-log entry addressed by callee id.
+///
+/// Spurious callbacks — for entries that no longer exist because the
+/// caller completed and was garbage collected — are detected and ignored
+/// (§4.5).
+pub(crate) fn handle_callback(
+    core: &EnvCore,
+    ssf: &str,
+    callee_id: &str,
+    result: Option<&Value>,
+) -> BeldiResult<()> {
+    let ilog = invoke_log_table(ssf);
+    let rows = core
+        .db
+        .index_query(&ilog, A_CALLEE_ID, &Value::from(callee_id))?;
+    for row in rows {
+        let Some(log_key) = row.get_str(A_LOG_KEY) else {
+            continue;
+        };
+        let pk = PrimaryKey::hash(log_key);
+        let update = match result {
+            Some(r) => Update::new()
+                .set_if_absent(A_RESULT, r.clone())
+                .set(A_REGISTERED, Value::Bool(true)),
+            None => Update::new().set(A_REGISTERED, Value::Bool(true)),
+        };
+        match core
+            .db
+            .update(&ilog, &pk, &Cond::exists(A_LOG_KEY), &update)
+        {
+            Ok(()) | Err(DbError::ConditionFailed) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips() {
+        let cases = [
+            Envelope::Call {
+                id: Some("i-1".into()),
+                input: Value::Int(7),
+                caller: Some("f".into()),
+                txn: Some(TxnContext {
+                    id: "t".into(),
+                    start_ms: 3,
+                    mode: TxnMode::Execute,
+                }),
+                is_async: false,
+            },
+            Envelope::Call {
+                id: None,
+                input: Value::Null,
+                caller: None,
+                txn: None,
+                is_async: true,
+            },
+            Envelope::Callback {
+                callee_id: "c".into(),
+                result: Some(Value::Int(1)),
+            },
+            Envelope::Callback {
+                callee_id: "c".into(),
+                result: None,
+            },
+            Envelope::AsyncReg {
+                id: "a".into(),
+                input: Value::Bool(true),
+                caller: "f".into(),
+            },
+            Envelope::TxnSignal {
+                id: "s".into(),
+                txn: TxnContext {
+                    id: "t".into(),
+                    start_ms: 9,
+                    mode: TxnMode::Commit,
+                },
+            },
+        ];
+        for e in cases {
+            assert_eq!(Envelope::from_value(&e.to_value()).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn non_envelope_payload_rejected() {
+        assert!(Envelope::from_value(&Value::Int(3)).is_err());
+        assert!(Envelope::from_value(&beldi_value::vmap! { "Op" => "bogus" }).is_err());
+    }
+
+    #[test]
+    fn outcome_round_trips() {
+        for o in [
+            Outcome::Ok(Value::Int(1)),
+            Outcome::Abort,
+            Outcome::Error("boom".into()),
+        ] {
+            assert_eq!(Outcome::from_value(&o.to_value()), o);
+        }
+        // Malformed outcomes decode as errors, never as success.
+        assert!(matches!(
+            Outcome::from_value(&Value::Null),
+            Outcome::Error(_)
+        ));
+    }
+
+    #[test]
+    fn outcome_into_result_maps_variants() {
+        assert_eq!(
+            Outcome::Ok(Value::Int(2)).into_result().unwrap(),
+            Value::Int(2)
+        );
+        assert!(matches!(
+            Outcome::Abort.into_result(),
+            Err(BeldiError::TxnAborted)
+        ));
+        assert!(matches!(
+            Outcome::Error("x".into()).into_result(),
+            Err(BeldiError::Protocol(_))
+        ));
+    }
+}

@@ -1,0 +1,194 @@
+//! Table naming and attribute constants.
+//!
+//! Beldi maintains, **per SSF** (data sovereignty, §2.2): an intent table,
+//! a read log, an invoke log, and the SSF's data tables stored as linked
+//! DAALs (Fig. 3). Each SSF's tables live under its own name prefix; an
+//! SSF can only reach its own prefix through [`crate::SsfContext`].
+
+use beldi_simdb::TableSchema;
+
+// ---- Attribute names: linked DAAL rows (Fig. 4) ----
+
+/// Item key (hash key of data tables).
+pub const A_KEY: &str = "Key";
+/// Row id within a DAAL (sort key); the head row has [`ROW_HEAD`].
+pub const A_ROW_ID: &str = "RowId";
+/// The item value as of this row.
+pub const A_VALUE: &str = "Value";
+/// Pointer to the next row (absent on the tail).
+pub const A_NEXT_ROW: &str = "NextRow";
+/// Number of write-log entries in this row.
+pub const A_LOG_SIZE: &str = "LogSize";
+/// The write log: map from log key to `Null` (plain write) or a boolean
+/// (conditional-write outcome).
+pub const A_WRITES: &str = "RecentWrites";
+/// Lock owner (map `{id, ts}`) or `Null`/absent when free.
+pub const A_LOCK: &str = "LockOwner";
+/// GC dangling timestamp (ms), set when the row is disconnected.
+pub const A_DANGLE: &str = "DangleTime";
+
+/// The distinguished row id of a DAAL head.
+pub const ROW_HEAD: &str = "HEAD";
+
+// ---- Attribute names: intent table (Fig. 3) ----
+
+/// Instance id (hash key of the intent table).
+pub const A_ID: &str = "Id";
+/// Completion flag.
+pub const A_DONE: &str = "Done";
+/// Whether the instance was launched asynchronously.
+pub const A_ASYNC: &str = "Async";
+/// Original arguments (for IC re-execution).
+pub const A_ARGS: &str = "Args";
+/// Return value (recorded at completion).
+pub const A_RET: &str = "Ret";
+/// Name of the calling SSF (for callbacks on re-execution), or absent.
+pub const A_CALLER: &str = "Caller";
+/// GC finish timestamp (ms), stamped by the first GC pass after `Done`.
+pub const A_FINISH: &str = "FinishTime";
+/// Creation timestamp (ms).
+pub const A_CREATED: &str = "Created";
+/// Instance id that claimed a transaction-finalize marker (§6.2).
+pub const A_CLAIMANT: &str = "Claimant";
+/// Last (re-)launch timestamp (ms), maintained by the IC.
+pub const A_LAST_LAUNCH: &str = "LastLaunch";
+
+// ---- Attribute names: read & invoke logs (Fig. 3) ----
+
+/// Log key `instance#step` (hash key of log tables).
+pub const A_LOG_KEY: &str = "LogKey";
+/// Owning instance id (indexed; lets the GC delete by instance).
+pub const A_OWNER: &str = "Owner";
+/// Callee instance id (indexed; resolves callbacks).
+pub const A_CALLEE_ID: &str = "CalleeId";
+/// Callee function name (lets commit/abort propagation find callees).
+pub const A_CALLEE_FN: &str = "CalleeFn";
+/// Result recorded by the callee's callback.
+pub const A_RESULT: &str = "Result";
+/// Set once an async callee confirmed intent registration.
+pub const A_REGISTERED: &str = "Registered";
+/// Transaction id the invocation happened under (indexed), or absent.
+pub const A_TXN_ID: &str = "TxnId";
+/// Logged write outcome in a cross-table-mode write-log entry.
+pub const A_FLAG: &str = "Flag";
+
+// ---- Attribute names: shadow tables (§6.2) ----
+
+/// Original item key a shadow entry belongs to.
+pub const A_ORIG_KEY: &str = "OrigKey";
+/// Original (logical) data-table name a shadow entry belongs to.
+pub const A_ORIG_TABLE: &str = "OrigTable";
+/// True when the transaction actually wrote the item (vs only locking it).
+pub const A_WRITTEN: &str = "Written";
+
+// ---- Table names ----
+
+/// Name of an SSF's intent table.
+pub fn intent_table(ssf: &str) -> String {
+    format!("{ssf}.intent")
+}
+
+/// Name of an SSF's read log table.
+pub fn read_log_table(ssf: &str) -> String {
+    format!("{ssf}.rlog")
+}
+
+/// Name of an SSF's invoke log table.
+pub fn invoke_log_table(ssf: &str) -> String {
+    format!("{ssf}.ilog")
+}
+
+/// Name of an SSF's write-log table (cross-table mode only).
+pub fn write_log_table(ssf: &str) -> String {
+    format!("{ssf}.wlog")
+}
+
+/// Fully qualified name of an SSF data table.
+pub fn data_table(ssf: &str, table: &str) -> String {
+    format!("{ssf}.data.{table}")
+}
+
+/// Name of the shadow table backing a data table (§6.2).
+pub fn shadow_table(ssf: &str, table: &str) -> String {
+    format!("{ssf}.data.{table}.shadow")
+}
+
+// ---- Schemas ----
+
+/// Schema of a linked-DAAL data table: hash `Key`, sort `RowId`.
+pub fn daal_schema() -> TableSchema {
+    TableSchema::hash_and_sort(A_KEY, A_ROW_ID)
+}
+
+/// Schema of an intent table (secondary index on `Done` — the IC's
+/// index optimization, §3.3).
+pub fn intent_schema() -> TableSchema {
+    TableSchema::hash_only(A_ID).with_index(A_DONE)
+}
+
+/// Schema of a read log (indexed by owner for GC deletion).
+pub fn read_log_schema() -> TableSchema {
+    TableSchema::hash_only(A_LOG_KEY).with_index(A_OWNER)
+}
+
+/// Schema of an invoke log (indexed by owner for GC, by callee id for
+/// callbacks, and by transaction id for commit/abort propagation).
+pub fn invoke_log_schema() -> TableSchema {
+    TableSchema::hash_only(A_LOG_KEY)
+        .with_index(A_OWNER)
+        .with_index(A_CALLEE_ID)
+        .with_index(A_TXN_ID)
+}
+
+/// Schema of a cross-table-mode write log.
+pub fn write_log_schema() -> TableSchema {
+    TableSchema::hash_only(A_LOG_KEY).with_index(A_OWNER)
+}
+
+/// Schema of a plain one-row-per-key data table (baseline and cross-table
+/// modes).
+pub fn plain_data_schema() -> TableSchema {
+    TableSchema::hash_only(A_KEY)
+}
+
+/// Schema of a shadow table: hash `Key` (= `txn|key`), sort `RowId`,
+/// indexed by transaction id and original key.
+pub fn shadow_schema() -> TableSchema {
+    TableSchema::hash_and_sort(A_KEY, A_ROW_ID)
+        .with_index(A_TXN_ID)
+        .with_index(A_ORIG_KEY)
+}
+
+/// The combined hash key of a shadow DAAL: transaction id + original key.
+pub fn shadow_key(txn_id: &str, key: &str) -> String {
+    format!("{txn_id}|{key}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_names_are_prefixed_per_ssf() {
+        assert_eq!(intent_table("hotel"), "hotel.intent");
+        assert_eq!(data_table("hotel", "rooms"), "hotel.data.rooms");
+        assert_eq!(shadow_table("hotel", "rooms"), "hotel.data.rooms.shadow");
+        // Two SSFs never share a table name.
+        assert_ne!(intent_table("a"), intent_table("b"));
+    }
+
+    #[test]
+    fn schemas_have_expected_indexes() {
+        assert!(intent_schema().index_attrs.contains(&A_DONE.to_string()));
+        let ilog = invoke_log_schema();
+        assert!(ilog.index_attrs.contains(&A_CALLEE_ID.to_string()));
+        assert!(ilog.index_attrs.contains(&A_TXN_ID.to_string()));
+        assert_eq!(daal_schema().sort_attr.as_deref(), Some(A_ROW_ID));
+    }
+
+    #[test]
+    fn shadow_key_is_unambiguous() {
+        assert_eq!(shadow_key("t1", "k"), "t1|k");
+        assert_ne!(shadow_key("t1", "k"), shadow_key("t2", "k"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Step-function workflows and transactions over them (§6.2, Fig. 21).
+//!
+//! Besides driver functions, serverless providers offer *step functions*:
+//! a declarative composition of SSFs where the platform handles
+//! scheduling and data movement. Beldi supports transactions across SSFs
+//! defined in step functions by having the developer place **begin** and
+//! **end** markers in the workflow: everything between them executes
+//! under one transaction context, and the end marker runs the commit (or
+//! abort) decision — kicking off the second phase of 2PC over the
+//! transactional subgraph.
+//!
+//! This module compiles a [`StepFunction`] definition into a generated
+//! driver SSF, which is how the paper says workflows may equivalently be
+//! expressed ("a driver function, a step function, or a combination",
+//! §2.1) — and gives the step function itself exactly-once semantics for
+//! free, since the driver is an ordinary Beldi SSF.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use beldi::{BeldiEnv, stepfn::{State, StepFunction}};
+//! use beldi::value::Value;
+//!
+//! let env = BeldiEnv::for_tests();
+//! env.register_ssf("double", &[], Arc::new(|_, v: Value| {
+//!     Ok(Value::Int(v.as_int().unwrap_or(0) * 2))
+//! }));
+//! env.register_ssf("inc", &[], Arc::new(|_, v: Value| {
+//!     Ok(Value::Int(v.as_int().unwrap_or(0) + 1))
+//! }));
+//!
+//! StepFunction::new("pipeline")
+//!     .task("double")
+//!     .task("inc")
+//!     .install(&env);
+//!
+//! // (3 * 2) + 1
+//! assert_eq!(env.invoke("pipeline", Value::Int(3)).unwrap(), Value::Int(7));
+//! ```
+
+use std::sync::Arc;
+
+use beldi_value::Value;
+
+use crate::env::BeldiEnv;
+use crate::error::{BeldiError, BeldiResult};
+use crate::txn::TxnOutcome;
+
+/// One state of a step-function workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum State {
+    /// Invoke an SSF, feeding it the previous state's output (the
+    /// original input for the first state).
+    Task {
+        /// The SSF to invoke.
+        ssf: String,
+    },
+    /// Invoke several SSFs with the *same* input; their outputs are
+    /// gathered into a list (a parallel fan-out state).
+    ///
+    /// Invocations are issued sequentially by the driver — the paper's
+    /// driver functions may also spawn threads, but sequential issue
+    /// keeps the driver's step numbering deterministic without extra
+    /// machinery, and the semantics (all outputs gathered) are the same.
+    Parallel {
+        /// The SSFs to invoke.
+        ssfs: Vec<String>,
+    },
+    /// The transaction-begin marker (the paper's 'begin' SSF).
+    TxnBegin,
+    /// The transaction-end marker (the paper's 'end' SSF): commits unless
+    /// an abort was observed, and propagates the decision through the
+    /// transactional subgraph.
+    TxnEnd,
+}
+
+/// A declarative workflow of SSFs, compiled to a Beldi driver SSF.
+///
+/// States execute in order; data flows linearly (each task's output is
+/// the next task's input). Transactions are delimited with
+/// [`StepFunction::txn_begin`] / [`StepFunction::txn_end`]; an abort
+/// anywhere inside the segment (wait-die or a callee abort) rolls the
+/// whole segment back and surfaces as [`BeldiError::TxnAborted`].
+#[derive(Debug, Clone)]
+pub struct StepFunction {
+    name: String,
+    states: Vec<State>,
+}
+
+impl StepFunction {
+    /// Starts an empty workflow that will register under `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        StepFunction {
+            name: name.into(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Appends a task state.
+    pub fn task(mut self, ssf: impl Into<String>) -> Self {
+        self.states.push(State::Task { ssf: ssf.into() });
+        self
+    }
+
+    /// Appends a parallel fan-out state.
+    pub fn parallel<I, S>(mut self, ssfs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.states.push(State::Parallel {
+            ssfs: ssfs.into_iter().map(Into::into).collect(),
+        });
+        self
+    }
+
+    /// Appends the transaction-begin marker.
+    pub fn txn_begin(mut self) -> Self {
+        self.states.push(State::TxnBegin);
+        self
+    }
+
+    /// Appends the transaction-end marker.
+    pub fn txn_end(mut self) -> Self {
+        self.states.push(State::TxnEnd);
+        self
+    }
+
+    /// The states, in execution order.
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Validates marker nesting: at most one transactional segment level,
+    /// properly opened and closed.
+    fn validate(&self) -> BeldiResult<()> {
+        let mut open = false;
+        for s in &self.states {
+            match s {
+                State::TxnBegin if open => {
+                    return Err(BeldiError::Protocol(
+                        "step function: nested txn_begin".into(),
+                    ))
+                }
+                State::TxnBegin => open = true,
+                State::TxnEnd if !open => {
+                    return Err(BeldiError::Protocol(
+                        "step function: txn_end without txn_begin".into(),
+                    ))
+                }
+                State::TxnEnd => open = false,
+                _ => {}
+            }
+        }
+        if open {
+            return Err(BeldiError::Protocol(
+                "step function: unclosed transactional segment".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Compiles the workflow into a driver SSF and registers it under the
+    /// step function's name. Invoke it like any SSF:
+    /// `env.invoke(name, input)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed marker nesting (a deployment-time bug), or if
+    /// the name is already registered.
+    pub fn install(self, env: &BeldiEnv) {
+        self.validate()
+            .unwrap_or_else(|e| panic!("invalid step function `{}`: {e}", self.name));
+        let states = Arc::new(self.states);
+        env.register_ssf(
+            &self.name,
+            &[],
+            Arc::new(move |ctx, input: Value| {
+                let mut cursor = input;
+                for state in states.iter() {
+                    match state {
+                        State::Task { ssf } => {
+                            cursor = ctx.sync_invoke(ssf, cursor)?;
+                        }
+                        State::Parallel { ssfs } => {
+                            let mut outputs = Vec::with_capacity(ssfs.len());
+                            for ssf in ssfs {
+                                outputs.push(ctx.sync_invoke(ssf, cursor.clone())?);
+                            }
+                            cursor = Value::List(outputs);
+                        }
+                        State::TxnBegin => ctx.begin_tx()?,
+                        State::TxnEnd => {
+                            if ctx.end_tx()? == TxnOutcome::Aborted {
+                                return Err(BeldiError::TxnAborted);
+                            }
+                        }
+                    }
+                }
+                Ok(cursor)
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BeldiEnv;
+    use beldi_value::vmap;
+
+    #[test]
+    fn linear_pipeline_threads_data() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "a",
+            &[],
+            Arc::new(|_, v| Ok(Value::Int(v.as_int().unwrap() + 1))),
+        );
+        env.register_ssf(
+            "b",
+            &[],
+            Arc::new(|_, v| Ok(Value::Int(v.as_int().unwrap() * 10))),
+        );
+        StepFunction::new("flow").task("a").task("b").install(&env);
+        assert_eq!(env.invoke("flow", Value::Int(4)).unwrap(), Value::Int(50));
+    }
+
+    #[test]
+    fn parallel_state_gathers_outputs() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "x2",
+            &[],
+            Arc::new(|_, v| Ok(Value::Int(v.as_int().unwrap() * 2))),
+        );
+        env.register_ssf(
+            "x3",
+            &[],
+            Arc::new(|_, v| Ok(Value::Int(v.as_int().unwrap() * 3))),
+        );
+        StepFunction::new("fan")
+            .parallel(["x2", "x3"])
+            .install(&env);
+        let out = env.invoke("fan", Value::Int(5)).unwrap();
+        assert_eq!(out.as_list().unwrap(), &[Value::Int(10), Value::Int(15)]);
+    }
+
+    #[test]
+    fn transactional_segment_commits_across_ssfs() {
+        let env = BeldiEnv::for_tests();
+        for (ssf, table) in [("debit", "acct-a"), ("credit", "acct-b")] {
+            env.register_ssf(
+                ssf,
+                &[table],
+                Arc::new(move |ctx, input| {
+                    let table = if ctx.ssf_name() == "debit" {
+                        "acct-a"
+                    } else {
+                        "acct-b"
+                    };
+                    let delta = if ctx.ssf_name() == "debit" { -10 } else { 10 };
+                    let v = ctx.read(table, "bal")?.as_int().unwrap_or(100);
+                    ctx.write(table, "bal", Value::Int(v + delta))?;
+                    Ok(input)
+                }),
+            );
+        }
+        StepFunction::new("transfer")
+            .txn_begin()
+            .task("debit")
+            .task("credit")
+            .txn_end()
+            .install(&env);
+        env.invoke("transfer", Value::Null).unwrap();
+        assert_eq!(
+            env.read_current("debit", "acct-a", "bal").unwrap(),
+            Value::Int(90)
+        );
+        assert_eq!(
+            env.read_current("credit", "acct-b", "bal").unwrap(),
+            Value::Int(110)
+        );
+    }
+
+    #[test]
+    fn abort_inside_segment_rolls_everything_back() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "writes",
+            &["t"],
+            Arc::new(|ctx, input| {
+                ctx.write("t", "k", Value::Int(99))?;
+                Ok(input)
+            }),
+        );
+        env.register_ssf("bails", &[], Arc::new(|_, _| Err(BeldiError::TxnAborted)));
+        StepFunction::new("doomed")
+            .txn_begin()
+            .task("writes")
+            .task("bails")
+            .txn_end()
+            .install(&env);
+        env.seed("writes", "t", "k", Value::Int(1)).unwrap();
+        assert!(matches!(
+            env.invoke("doomed", Value::Null),
+            Err(BeldiError::TxnAborted)
+        ));
+        // The first task's write never reached the real table.
+        assert_eq!(env.read_current("writes", "t", "k").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn mixed_plain_and_transactional_states() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf("pre", &[], Arc::new(|_, _| Ok(vmap! { "key" => "k" })));
+        env.register_ssf(
+            "inside",
+            &["t"],
+            Arc::new(|ctx, input| {
+                let key = input.get_str("key").unwrap().to_owned();
+                ctx.write("t", &key, Value::Int(7))?;
+                Ok(input)
+            }),
+        );
+        env.register_ssf("post", &[], Arc::new(|_, input| Ok(input)));
+        StepFunction::new("mixed")
+            .task("pre")
+            .txn_begin()
+            .task("inside")
+            .txn_end()
+            .task("post")
+            .install(&env);
+        let out = env.invoke("mixed", Value::Null).unwrap();
+        assert_eq!(out.get_str("key"), Some("k"));
+        assert_eq!(env.read_current("inside", "t", "k").unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn validation_rejects_bad_nesting() {
+        assert!(StepFunction::new("a").txn_end().validate().is_err());
+        assert!(StepFunction::new("b").txn_begin().validate().is_err());
+        assert!(StepFunction::new("c")
+            .txn_begin()
+            .txn_begin()
+            .validate()
+            .is_err());
+        assert!(StepFunction::new("d")
+            .txn_begin()
+            .task("x")
+            .txn_end()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn step_function_is_exactly_once_under_crashes() {
+        use beldi_simfaas::CrashPlan;
+        for ordinal in [0, 3, 7, 12] {
+            let env = BeldiEnv::for_tests();
+            env.register_ssf(
+                "bump",
+                &["t"],
+                Arc::new(|ctx, input| {
+                    let v = ctx.read("t", "n")?.as_int().unwrap_or(0);
+                    ctx.write("t", "n", Value::Int(v + 1))?;
+                    Ok(input)
+                }),
+            );
+            StepFunction::new("sf")
+                .task("bump")
+                .task("bump")
+                .install(&env);
+            let id = format!("sf-{ordinal}");
+            env.platform()
+                .faults()
+                .plan(id.clone(), CrashPlan::AtOrdinal(ordinal));
+            env.invoke_as("sf", &id, Value::Null).unwrap();
+            assert_eq!(
+                env.read_current("bump", "t", "n").unwrap(),
+                Value::Int(2),
+                "ordinal {ordinal}"
+            );
+        }
+    }
+}

@@ -1,0 +1,685 @@
+//! Transaction contexts and the cross-SSF transaction protocol (§6).
+//!
+//! Beldi transactions are 2PL with **wait-die** deadlock prevention and a
+//! coordinator-free two-phase commit: there is no entity with visibility
+//! over the whole workflow, so each SSF performs the coordinator's duties
+//! for its own data and recursively signals its callees.
+//!
+//! - A [`TxnContext`] (transaction id, intent-creation timestamp, and
+//!   [`TxnMode`]) is created by `begin_tx` and piggybacks on every SSF
+//!   invocation made inside the transaction.
+//! - In `Execute` mode, every `read`/`write`/`cond_write` first acquires
+//!   the item's lock (owned by the *transaction*, not the instance, so
+//!   crash-restart keeps ownership — "locks with intent", §6.1). Writes
+//!   are redirected to a per-transaction *shadow table*; reads check the
+//!   shadow first so transactions read their own writes.
+//! - `end_tx` flips the mode to `Commit` (flush shadow values to the real
+//!   tables, release locks) or `Abort` (release locks only) and invokes
+//!   every callee recorded in the invoke log under this transaction with
+//!   the new mode; those SSFs do the same for their data and callees,
+//!   which mimics the second phase of 2PC over the workflow graph.
+//!
+//! The target isolation level is **opacity**: strict serializability plus
+//! the guarantee that even doomed transactions only observe consistent
+//! state — necessary because Beldi's intent collector deterministically
+//! *replays* whatever a crashed instance read (Fig. 12's OCC infinite
+//! loop is reproduced as a test in `tests/opacity.rs`).
+
+use beldi_value::{Map, Value};
+
+use crate::error::{BeldiError, BeldiResult};
+
+/// Phase of a distributed transaction context (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnMode {
+    /// Operations execute against shadow state under 2PL.
+    Execute,
+    /// The decision was commit: flush shadow values, release locks,
+    /// propagate to callees.
+    Commit,
+    /// The decision was abort: discard shadow values, release locks,
+    /// propagate to callees.
+    Abort,
+}
+
+impl TxnMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            TxnMode::Execute => "execute",
+            TxnMode::Commit => "commit",
+            TxnMode::Abort => "abort",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "execute" => Some(TxnMode::Execute),
+            "commit" => Some(TxnMode::Commit),
+            "abort" => Some(TxnMode::Abort),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome reported by [`crate::SsfContext::end_tx`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// All operations succeeded; shadow state was flushed.
+    Committed,
+    /// The transaction was aborted (user abort or wait-die) and all its
+    /// effects discarded.
+    Aborted,
+}
+
+/// A transaction context, created by `begin_tx` and forwarded with every
+/// invocation inside the transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnContext {
+    /// Globally unique transaction id (also the lock-owner id).
+    pub id: String,
+    /// Intent-creation timestamp in virtual ms — the age used by wait-die.
+    pub start_ms: u64,
+    /// Current phase.
+    pub mode: TxnMode,
+}
+
+impl TxnContext {
+    /// Serializes the context for an invocation envelope or intent record.
+    pub(crate) fn to_value(&self) -> Value {
+        let mut m = Map::new();
+        m.insert("Id".into(), Value::from(self.id.as_str()));
+        m.insert("StartMs".into(), Value::Int(self.start_ms as i64));
+        m.insert("Mode".into(), Value::from(self.mode.as_str()));
+        Value::Map(m)
+    }
+
+    /// Parses a context from an envelope value.
+    pub(crate) fn from_value(v: &Value) -> BeldiResult<Self> {
+        let id = v
+            .get_str("Id")
+            .ok_or_else(|| BeldiError::Protocol("txn ctx missing Id".into()))?;
+        let start_ms = v
+            .get_int("StartMs")
+            .ok_or_else(|| BeldiError::Protocol("txn ctx missing StartMs".into()))?
+            as u64;
+        let mode = v
+            .get_str("Mode")
+            .and_then(TxnMode::parse)
+            .ok_or_else(|| BeldiError::Protocol("txn ctx missing Mode".into()))?;
+        Ok(TxnContext {
+            id: id.to_owned(),
+            start_ms,
+            mode,
+        })
+    }
+
+    /// A copy of this context in a different mode.
+    pub(crate) fn with_mode(&self, mode: TxnMode) -> Self {
+        TxnContext {
+            id: self.id.clone(),
+            start_ms: self.start_ms,
+            mode,
+        }
+    }
+
+    /// Wait-die seniority: `self` waits for `owner` only when `self` is
+    /// older. Ties break on the id so the order is total.
+    pub(crate) fn is_older_than(&self, owner_start_ms: u64, owner_id: &str) -> bool {
+        (self.start_ms, self.id.as_str()) < (owner_start_ms, owner_id)
+    }
+}
+
+/// Per-instance transaction bookkeeping held by a [`crate::SsfContext`].
+#[derive(Debug, Clone)]
+pub(crate) struct TxnState {
+    /// The (possibly inherited) context.
+    pub ctx: TxnContext,
+    /// True when this instance created the context (`begin_tx` ran here);
+    /// only the owner runs the commit/abort decision.
+    pub owned: bool,
+    /// Set when any operation observed an abort (wait-die kill, callee
+    /// abort, or user abort).
+    pub aborted: bool,
+    /// Set once `end_tx` completed, so the wrapper does not re-run the
+    /// decision protocol.
+    pub ended: bool,
+    /// Depth of ignored nested `begin_tx` calls (§6.2: nested begin/end
+    /// pairs are absorbed into the top-level transaction).
+    pub nested: u32,
+}
+
+impl TxnState {
+    /// A state for a context inherited from the caller.
+    pub fn inherited(ctx: TxnContext) -> Self {
+        TxnState {
+            ctx,
+            owned: false,
+            aborted: false,
+            ended: false,
+            nested: 0,
+        }
+    }
+
+    /// A state for a context created by this instance.
+    pub fn owned(ctx: TxnContext) -> Self {
+        TxnState {
+            ctx,
+            owned: true,
+            aborted: false,
+            ended: false,
+            nested: 0,
+        }
+    }
+}
+
+/// Builds the `LockOwner` column value for a transaction or instance
+/// (Fig. 11 stores `[TXNID, START_TIME]`).
+pub(crate) fn lock_owner_value(owner_id: &str, start_ms: u64) -> Value {
+    let mut m = Map::new();
+    m.insert("Id".into(), Value::from(owner_id));
+    m.insert("Ts".into(), Value::Int(start_ms as i64));
+    Value::Map(m)
+}
+
+/// Decodes a `LockOwner` column back into `(owner id, start ms)`.
+pub(crate) fn parse_lock_owner(v: &Value) -> Option<(&str, u64)> {
+    let id = v.get_str("Id")?;
+    let ts = v.get_int("Ts")? as u64;
+    Some((id, ts))
+}
+
+// ---- The transaction protocol on SsfContext ----
+
+use beldi_simdb::{DbError, PrimaryKey};
+use beldi_value::{Cond, Path, Update};
+
+use crate::config::Mode;
+use crate::context::SsfContext;
+use crate::daal;
+use crate::invoke::Envelope;
+use crate::schema::{
+    shadow_key, A_CALLEE_FN, A_CLAIMANT, A_DONE, A_ID, A_KEY, A_LOCK, A_ORIG_KEY, A_ORIG_TABLE,
+    A_TXN_ID, A_VALUE, A_WRITTEN, ROW_HEAD,
+};
+
+/// Wait-die retry budget: an older transaction spins this many times
+/// (sleeping between attempts) for a younger lock holder to finish.
+const MAX_WAIT_SPINS: usize = 20_000;
+
+/// Virtual-time pause between wait-die lock retries.
+const WAIT_BACKOFF: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// One item a transaction touched in this SSF, reconstructed from the
+/// shadow table at commit/abort time.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct ShadowEntry {
+    /// Logical data-table name.
+    logical: String,
+    /// Original item key.
+    key: String,
+    /// True when the transaction wrote the item (vs only locking it).
+    written: bool,
+}
+
+impl SsfContext {
+    // ---- Public API (Fig. 2) ----
+
+    /// Begins a transaction.
+    ///
+    /// Creates a fresh [`TxnContext`] that subsequent operations run
+    /// under: reads and writes acquire item locks (2PL with wait-die) and
+    /// writes are buffered in a shadow table until [`SsfContext::end_tx`].
+    /// The context is forwarded with every [`SsfContext::sync_invoke`], so
+    /// the transaction may span multiple SSFs.
+    ///
+    /// Inside an existing transaction (inherited or local), `begin_tx` is
+    /// absorbed into the top-level transaction (§6.2 — Beldi has no nested
+    /// transaction semantics).
+    ///
+    /// In baseline mode this is a no-op; in cross-table mode transactions
+    /// are unsupported (the paper only compares that mode on
+    /// non-transactional operations).
+    pub fn begin_tx(&mut self) -> BeldiResult<()> {
+        match self.mode() {
+            Mode::Baseline => return Ok(()),
+            Mode::CrossTable => {
+                return Err(BeldiError::Unsupported(
+                    "transactions in cross-table logging mode",
+                ))
+            }
+            Mode::Beldi => {}
+        }
+        if let Some(t) = &mut self.txn {
+            t.nested += 1;
+            return Ok(());
+        }
+        // The id and creation time are nondeterministic, so they are
+        // logged: a re-executed instance resumes the *same* transaction
+        // (and still owns its locks).
+        let id = self.logged_uuid()?;
+        let start_ms = self.logged_now_ms()?;
+        self.txn = Some(TxnState::owned(TxnContext {
+            id,
+            start_ms,
+            mode: TxnMode::Execute,
+        }));
+        Ok(())
+    }
+
+    /// Ends the enclosing transaction, committing unless any operation
+    /// aborted.
+    ///
+    /// For the SSF that created the transaction this runs the decision
+    /// protocol: flush shadow values (on commit), release locks, and
+    /// recursively signal every callee invoked inside the transaction
+    /// with the decision — the coordinator-free second phase of 2PC
+    /// (§6.2). For SSFs that inherited the context, `end_tx` only reports
+    /// the local outcome; the decision arrives later via the propagation
+    /// wave.
+    pub fn end_tx(&mut self) -> BeldiResult<TxnOutcome> {
+        if self.mode() == Mode::Baseline {
+            return Ok(TxnOutcome::Committed);
+        }
+        let Some(t) = &mut self.txn else {
+            return Err(BeldiError::NotInTransaction);
+        };
+        if t.nested > 0 {
+            t.nested -= 1;
+            return Ok(if t.aborted {
+                TxnOutcome::Aborted
+            } else {
+                TxnOutcome::Committed
+            });
+        }
+        if t.ended {
+            return Err(BeldiError::NotInTransaction);
+        }
+        if !t.owned {
+            // Inherited context: the top-level owner decides.
+            return Ok(if t.aborted {
+                TxnOutcome::Aborted
+            } else {
+                TxnOutcome::Committed
+            });
+        }
+        let decision = if t.aborted {
+            TxnMode::Abort
+        } else {
+            TxnMode::Commit
+        };
+        self.finalize(decision)?;
+        if let Some(t) = &mut self.txn {
+            t.ended = true;
+        }
+        Ok(match decision {
+            TxnMode::Abort => TxnOutcome::Aborted,
+            _ => TxnOutcome::Committed,
+        })
+    }
+
+    /// Marks the enclosing transaction aborted and ends it.
+    pub fn abort_tx(&mut self) -> BeldiResult<TxnOutcome> {
+        if self.mode() == Mode::Baseline {
+            return Ok(TxnOutcome::Aborted);
+        }
+        let Some(t) = &mut self.txn else {
+            return Err(BeldiError::NotInTransaction);
+        };
+        t.aborted = true;
+        self.end_tx()
+    }
+
+    // ---- Execute-mode operation semantics (§6.2) ----
+
+    /// Acquires the transaction's lock on `key` with wait-die deadlock
+    /// prevention (Fig. 11).
+    ///
+    /// # Errors
+    ///
+    /// [`BeldiError::TxnAborted`] when a strictly older transaction holds
+    /// the lock — this transaction must die (it cannot kill the holder;
+    /// SSFs have no way to kill each other, which is why wait-die rather
+    /// than wound-wait).
+    pub(crate) fn txn_lock(&mut self, logical: &str, key: &str) -> BeldiResult<()> {
+        let physical = self.data_table(logical)?;
+        let ctx = self.txn_ctx_cloned()?;
+        let owner = lock_owner_value(&ctx.id, ctx.start_ms);
+        for _ in 0..MAX_WAIT_SPINS {
+            let out = self.write_step(
+                &physical,
+                key,
+                Update::new().set(A_LOCK, owner.clone()),
+                Some(&Self::lock_free_cond(&ctx.id)),
+            )?;
+            if out.as_bool() {
+                self.ensure_shadow_entry(logical, key)?;
+                return Ok(());
+            }
+            // Who holds it? Logged so replay takes the same branch.
+            let holder = daal::lock_owner(self.db(), &physical, key)?.unwrap_or(Value::Null);
+            let holder = self.log_value(holder)?;
+            match parse_lock_owner(&holder) {
+                None => continue, // Freed in between; retry immediately.
+                Some((owner_id, owner_ts)) => {
+                    if owner_id == ctx.id {
+                        continue; // Stale view of our own lock; retry.
+                    }
+                    if ctx.is_older_than(owner_ts, owner_id) {
+                        // We are older: wait for the younger holder.
+                        self.clock().sleep(WAIT_BACKOFF);
+                    } else {
+                        // We are younger: die.
+                        if let Some(t) = &mut self.txn {
+                            t.aborted = true;
+                        }
+                        return Err(BeldiError::TxnAborted);
+                    }
+                }
+            }
+        }
+        Err(BeldiError::Protocol(format!(
+            "transaction lock on {logical}/{key} starved"
+        )))
+    }
+
+    /// Transactional read: lock, then read the shadow value if this
+    /// transaction wrote the item, else the real value. Logged.
+    pub(crate) fn txn_read(&mut self, logical: &str, key: &str) -> BeldiResult<Value> {
+        self.txn_lock(logical, key)?;
+        let val = self.txn_effective_value(logical, key)?;
+        self.log_value(val)
+    }
+
+    /// Transactional write: lock, then buffer the value in the shadow
+    /// table (flushed to the real table at commit).
+    pub(crate) fn txn_write(&mut self, logical: &str, key: &str, value: Value) -> BeldiResult<()> {
+        self.txn_lock(logical, key)?;
+        self.shadow_write(logical, key, value)
+    }
+
+    /// Transactional conditional write: the condition is evaluated against
+    /// the transaction's consistent view (shadow-over-real), which is
+    /// stable under the held lock; the outcome derives from a logged read,
+    /// so replay is deterministic.
+    ///
+    /// In-transaction conditions see a synthetic row holding only the
+    /// [`A_VALUE`] attribute.
+    pub(crate) fn txn_cond_write(
+        &mut self,
+        logical: &str,
+        key: &str,
+        value: Value,
+        cond: Cond,
+    ) -> BeldiResult<bool> {
+        self.txn_lock(logical, key)?;
+        let cur = self.txn_effective_value(logical, key)?;
+        let cur = self.log_value(cur)?;
+        let row = beldi_value::vmap! { A_VALUE => cur };
+        let holds = cond
+            .eval(&row)
+            .map_err(|e| BeldiError::Protocol(format!("in-txn condition error: {e}")))?;
+        if holds {
+            self.shadow_write(logical, key, value)?;
+        }
+        Ok(holds)
+    }
+
+    /// The value this transaction observes for `key`: its own shadow write
+    /// if present, else the committed value.
+    fn txn_effective_value(&mut self, logical: &str, key: &str) -> BeldiResult<Value> {
+        let ctx = self.txn_ctx_cloned()?;
+        let shadow = self.shadow_table(logical)?;
+        let skey = shadow_key(&ctx.id, key);
+        if let Some(tail) = daal::read_tail_row(self.db(), &shadow, &skey)? {
+            if tail.get_bool(A_WRITTEN).unwrap_or(false) {
+                return Ok(tail.get_attr(A_VALUE).cloned().unwrap_or(Value::Null));
+            }
+        }
+        let physical = self.data_table(logical)?;
+        daal::read_value(self.db(), &physical, key)
+    }
+
+    /// Creates the shadow-table entry for a locked item if absent
+    /// (idempotent, unlogged — `set_if_absent` semantics).
+    fn ensure_shadow_entry(&mut self, logical: &str, key: &str) -> BeldiResult<()> {
+        let ctx = self.txn_ctx_cloned()?;
+        let shadow = self.shadow_table(logical)?;
+        let skey = shadow_key(&ctx.id, key);
+        let pk = PrimaryKey::hash_sort(skey.as_str(), ROW_HEAD);
+        let update = Update::new()
+            .set(A_TXN_ID, ctx.id.as_str())
+            .set(A_ORIG_KEY, key)
+            .set(A_ORIG_TABLE, logical)
+            .set(A_WRITTEN, Value::Bool(false))
+            .set(crate::schema::A_LOG_SIZE, Value::Int(0))
+            .set(
+                crate::schema::A_CREATED,
+                Value::Int(self.raw_now_ms() as i64),
+            );
+        match self
+            .db()
+            .update(&shadow, &pk, &Cond::not_exists(A_KEY), &update)
+        {
+            Ok(()) | Err(DbError::ConditionFailed) => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Exactly-once buffered write into the shadow DAAL.
+    fn shadow_write(&mut self, logical: &str, key: &str, value: Value) -> BeldiResult<()> {
+        let ctx = self.txn_ctx_cloned()?;
+        let shadow = self.shadow_table(logical)?;
+        let skey = shadow_key(&ctx.id, key);
+        self.write_step(
+            &shadow,
+            &skey,
+            Update::new()
+                .set(A_VALUE, value)
+                .set(A_WRITTEN, Value::Bool(true)),
+            None,
+        )?;
+        Ok(())
+    }
+
+    fn txn_ctx_cloned(&self) -> BeldiResult<TxnContext> {
+        self.txn
+            .as_ref()
+            .map(|t| t.ctx.clone())
+            .ok_or(BeldiError::NotInTransaction)
+    }
+
+    // ---- Decision protocol and propagation (§6.2) ----
+
+    /// Runs the commit or abort protocol for this SSF's share of the
+    /// transaction, then signals this SSF's callees.
+    ///
+    /// Exactly-once overall: the *finalize marker* (a claimed row in the
+    /// intent table) guarantees each SSF finalizes a transaction once even
+    /// when workflow cycles or diamond topologies deliver multiple
+    /// signals, and every flush/release/propagate step below is a logged
+    /// step of the finalizing instance, so crash-restart resumes rather
+    /// than repeats.
+    pub(crate) fn finalize(&mut self, decision: TxnMode) -> BeldiResult<()> {
+        debug_assert!(matches!(decision, TxnMode::Commit | TxnMode::Abort));
+        let ctx = self.txn_ctx_cloned()?;
+        self.crash("txn.pre_finalize");
+        if !self.claim_finalize_marker(&ctx.id)? {
+            return Ok(());
+        }
+
+        let entries = self.shadow_entries(&ctx.id)?;
+
+        // 1. Commit only: flush shadow values to the real tables.
+        if decision == TxnMode::Commit {
+            for e in entries.iter().filter(|e| e.written) {
+                let shadow = self.shadow_table(&e.logical)?;
+                let skey = shadow_key(&ctx.id, &e.key);
+                let val = daal::read_value(self.db(), &shadow, &skey)?;
+                let physical = self.data_table(&e.logical)?;
+                self.crash("txn.pre_flush_item");
+                self.write_step(&physical, &e.key, Update::new().set(A_VALUE, val), None)?;
+            }
+        }
+
+        // 2. Release every lock the transaction holds here.
+        let held = Cond::eq(Path::attr(A_LOCK).then_attr("Id"), ctx.id.as_str());
+        for e in &entries {
+            let physical = self.data_table(&e.logical)?;
+            self.crash("txn.pre_release_item");
+            // ConditionFalse means a replayed release; both are fine.
+            self.write_step(
+                &physical,
+                &e.key,
+                Update::new().set(A_LOCK, Value::Null),
+                Some(&held),
+            )?;
+        }
+
+        // 3. Signal the callees this SSF invoked inside the transaction.
+        for callee in self.txn_callees(&ctx.id)? {
+            let signal_ctx = ctx.with_mode(decision);
+            self.crash("txn.pre_signal");
+            let _ = self.invoke_with_entry(&callee, |id| Envelope::TxnSignal {
+                id: id.to_owned(),
+                txn: signal_ctx.clone(),
+            })?;
+        }
+        self.crash("txn.post_finalize");
+        Ok(())
+    }
+
+    /// Claims the per-SSF finalize marker for `txn_id`.
+    ///
+    /// Returns true when this *intent* owns the claim (first claim or
+    /// re-execution of the claimant); false when another instance already
+    /// finalizes this transaction here.
+    fn claim_finalize_marker(&mut self, txn_id: &str) -> BeldiResult<bool> {
+        let table = self.intent_table();
+        let marker_id = format!("txnfinal#{txn_id}");
+        let pk = PrimaryKey::hash(marker_id.as_str());
+        // `Done = true` keeps the intent collector away; the GC recycles
+        // the marker like any completed intent.
+        let update = Update::new()
+            .set(A_ID, marker_id.as_str())
+            .set(A_DONE, Value::Bool(true))
+            .set(A_CLAIMANT, self.instance_id())
+            .set(
+                crate::schema::A_CREATED,
+                Value::Int(self.raw_now_ms() as i64),
+            );
+        match self
+            .db()
+            .update(&table, &pk, &Cond::not_exists(A_ID), &update)
+        {
+            Ok(()) => Ok(true),
+            Err(DbError::ConditionFailed) => {
+                let row = self.db().get(&table, &pk, None)?;
+                Ok(row
+                    .as_ref()
+                    .and_then(|r| r.get_str(A_CLAIMANT))
+                    .map(|c| c == self.instance_id())
+                    .unwrap_or(false))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Reconstructs, from the shadow tables, the deterministic sorted list
+    /// of items this transaction locked/wrote in this SSF.
+    fn shadow_entries(&mut self, txn_id: &str) -> BeldiResult<Vec<ShadowEntry>> {
+        let mut out = std::collections::BTreeSet::new();
+        for logical in self.logical_tables() {
+            let shadow = self.shadow_table(&logical)?;
+            let rows = self
+                .db()
+                .index_query(&shadow, A_TXN_ID, &Value::from(txn_id))?;
+            let mut skeys = std::collections::BTreeSet::new();
+            for row in &rows {
+                if let Some(k) = row.get_str(A_KEY) {
+                    skeys.insert(k.to_owned());
+                }
+            }
+            for skey in skeys {
+                let Some(tail) = daal::read_tail_row(self.db(), &shadow, &skey)? else {
+                    continue;
+                };
+                let Some(key) = tail.get_str(A_ORIG_KEY) else {
+                    continue;
+                };
+                out.insert(ShadowEntry {
+                    logical: tail
+                        .get_str(A_ORIG_TABLE)
+                        .unwrap_or(logical.as_str())
+                        .to_owned(),
+                    key: key.to_owned(),
+                    written: tail.get_bool(A_WRITTEN).unwrap_or(false),
+                });
+            }
+        }
+        Ok(out.into_iter().collect())
+    }
+
+    /// The deterministic sorted set of SSFs this SSF invoked inside the
+    /// transaction, from the invoke log's transaction-id index.
+    fn txn_callees(&self, txn_id: &str) -> BeldiResult<Vec<String>> {
+        let ilog = self.invoke_log_table();
+        let rows = self
+            .db()
+            .index_query(&ilog, A_TXN_ID, &Value::from(txn_id))?;
+        let mut set = std::collections::BTreeSet::new();
+        for row in rows {
+            if let Some(f) = row.get_str(A_CALLEE_FN) {
+                set.insert(f.to_owned());
+            }
+        }
+        Ok(set.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_round_trips() {
+        let ctx = TxnContext {
+            id: "t-1".into(),
+            start_ms: 42,
+            mode: TxnMode::Execute,
+        };
+        let v = ctx.to_value();
+        assert_eq!(TxnContext::from_value(&v).unwrap(), ctx);
+        let c2 = ctx.with_mode(TxnMode::Commit);
+        assert_eq!(c2.mode, TxnMode::Commit);
+        assert_eq!(c2.id, ctx.id);
+    }
+
+    #[test]
+    fn malformed_context_rejected() {
+        assert!(TxnContext::from_value(&Value::Null).is_err());
+        let partial = beldi_value::vmap! { "Id" => "x" };
+        assert!(TxnContext::from_value(&partial).is_err());
+    }
+
+    #[test]
+    fn wait_die_ordering_is_total() {
+        let a = TxnContext {
+            id: "a".into(),
+            start_ms: 10,
+            mode: TxnMode::Execute,
+        };
+        // Older (smaller timestamp) wins.
+        assert!(a.is_older_than(20, "b"));
+        assert!(!a.is_older_than(5, "b"));
+        // Ties break on id.
+        assert!(a.is_older_than(10, "b"));
+        assert!(!a.is_older_than(10, "A".to_lowercase().as_str()) || a.id == "a");
+    }
+
+    #[test]
+    fn lock_owner_round_trips() {
+        let v = lock_owner_value("txn-9", 123);
+        assert_eq!(parse_lock_owner(&v), Some(("txn-9", 123)));
+        assert_eq!(parse_lock_owner(&Value::Null), None);
+    }
+}

@@ -1,0 +1,348 @@
+//! The Beldi function wrapper (§3.2–3.3).
+//!
+//! Developers "write SSF code as they do today, but link Beldi's library";
+//! the wrapper is that library's runtime half. Registered as the platform
+//! handler for the SSF, it:
+//!
+//! 1. decodes the invocation envelope — a body call, a callback, an
+//!    async-registration request, or a commit/abort signal;
+//! 2. for calls, registers the execution intent (first external action),
+//!    determines the instance id (caller-assigned, or the platform
+//!    request id for workflow roots), and replays the recorded return
+//!    value if the intent already completed;
+//! 3. runs the body with a [`SsfContext`], converting its result (or a
+//!    dangling transaction) into an outcome envelope;
+//! 4. performs the result **callback** to the caller *before* marking the
+//!    intent done (Fig. 9 — the ordering that keeps federated garbage
+//!    collectors from outrunning the caller);
+//! 5. marks the intent done with the recorded outcome.
+//!
+//! Panics inside any step model crashes: the platform catches them and the
+//! intent collector later re-executes the instance from its logs.
+
+use std::sync::{Arc, Weak};
+
+use beldi_simfaas::{FunctionHandler, InvocationCtx};
+use beldi_value::Value;
+
+use crate::config::Mode;
+use crate::context::SsfContext;
+use crate::env::EnvCore;
+use crate::error::BeldiError;
+use crate::intent;
+use crate::invoke::{self, Envelope, Outcome};
+use crate::txn::{TxnMode, TxnState};
+
+/// Builds the platform handler wrapping SSF `name`.
+///
+/// The handler holds only a weak reference to the environment so dropping
+/// the [`crate::BeldiEnv`] tears everything down; invocations racing the
+/// teardown fail as crashes.
+pub(crate) fn make_handler(core: Weak<EnvCore>, name: String) -> FunctionHandler {
+    Arc::new(move |ictx: &InvocationCtx, payload: Value| -> Value {
+        let Some(core) = core.upgrade() else {
+            panic!("beldi: environment dropped");
+        };
+        dispatch(&core, &name, ictx, payload)
+    })
+}
+
+fn dispatch(core: &Arc<EnvCore>, ssf: &str, ictx: &InvocationCtx, payload: Value) -> Value {
+    let envelope = match Envelope::from_value(&payload) {
+        Ok(e) => e,
+        Err(e) => return Outcome::Error(format!("bad envelope: {e}")).to_value(),
+    };
+    match envelope {
+        Envelope::Call {
+            id,
+            input,
+            caller,
+            txn,
+            is_async,
+        } => {
+            let instance = id.unwrap_or_else(|| ictx.request_id.clone());
+            if core.config.mode == Mode::Baseline {
+                run_baseline(core, ssf, &instance, input)
+            } else {
+                run_call(core, ssf, &instance, input, caller, txn, is_async)
+            }
+        }
+        Envelope::Callback { callee_id, result } => {
+            match invoke::handle_callback(core, ssf, &callee_id, result.as_ref()) {
+                Ok(()) => Outcome::Ok(Value::Null).to_value(),
+                Err(e) => Outcome::Error(format!("callback failed: {e}")).to_value(),
+            }
+        }
+        Envelope::AsyncReg { id, input, caller } => run_async_reg(core, ssf, &id, input, &caller),
+        Envelope::TxnSignal { id, txn } => run_txn_signal(core, ssf, &id, txn),
+    }
+}
+
+/// Baseline mode: run the body with raw semantics — no intent, no logs, no
+/// guarantees. This is the paper's comparison system.
+fn run_baseline(core: &Arc<EnvCore>, ssf: &str, instance: &str, input: Value) -> Value {
+    let body = {
+        let registry = core.registry.read();
+        match registry.get(ssf) {
+            Some(e) => e.body.clone(),
+            None => return Outcome::Error(format!("SSF {ssf} not registered")).to_value(),
+        }
+    };
+    let mut ctx = SsfContext::new(core.clone(), ssf, instance, None, false, None);
+    match body(&mut ctx, input) {
+        Ok(v) => Outcome::Ok(v).to_value(),
+        Err(BeldiError::TxnAborted) => Outcome::Abort.to_value(),
+        Err(e) => Outcome::Error(e.to_string()).to_value(),
+    }
+}
+
+/// The full Beldi call path (Fig. 19 for synchronous callees; the async
+/// stub of Fig. 20 differs only in refusing unregistered intents and in
+/// skipping the result callback).
+fn run_call(
+    core: &Arc<EnvCore>,
+    ssf: &str,
+    instance: &str,
+    input: Value,
+    caller: Option<String>,
+    txn: Option<crate::TxnContext>,
+    is_async: bool,
+) -> Value {
+    let faults = core.platform.faults();
+    faults.instance_started(instance);
+    faults.crash_point(instance, "wrapper.enter");
+
+    let db = &core.db;
+    let intent_table = crate::schema::intent_table(ssf);
+    let now_ms = core.platform.clock().now().as_millis();
+
+    let record = if is_async {
+        // Async stub (Fig. 20): only run intents that were registered by
+        // the caller's registration step and are still incomplete, so the
+        // GC can prune completed intents without interference.
+        match intent::load(db, &intent_table, instance) {
+            Ok(Some(r)) if !r.done => r,
+            Ok(_) => return Outcome::Ok(Value::Null).to_value(),
+            Err(e) => return Outcome::Error(e.to_string()).to_value(),
+        }
+    } else {
+        // Synchronous path: register the intent (idempotent; the first
+        // registration wins and re-executions adopt it).
+        let envelope = Envelope::Call {
+            id: Some(instance.to_owned()),
+            input: input.clone(),
+            caller: caller.clone(),
+            txn: txn.clone(),
+            is_async,
+        };
+        match intent::register(
+            db,
+            &intent_table,
+            instance,
+            envelope.to_value(),
+            is_async,
+            caller.as_deref(),
+            now_ms,
+        ) {
+            Ok(r) => r,
+            Err(e) => return Outcome::Error(e.to_string()).to_value(),
+        }
+    };
+    faults.crash_point(instance, "wrapper.post_intent");
+
+    if record.done {
+        // Completed by a previous execution: replay the recorded outcome.
+        // The callback is re-issued (at-least-once) in case the original
+        // completion died between callback and response delivery; the
+        // *recorded* caller is authoritative (the envelope of a duplicate
+        // dispatch might be stale).
+        let outcome = record.ret.clone().unwrap_or(Value::Null);
+        if let Some(c) = &record.caller {
+            if !record.is_async {
+                invoke::send_callback(core, c, instance, Some(outcome.clone()));
+            }
+        }
+        return outcome;
+    }
+
+    // Fresh (or resumed) execution.
+    let body = {
+        let registry = core.registry.read();
+        match registry.get(ssf) {
+            Some(e) => e.body.clone(),
+            None => return Outcome::Error(format!("SSF {ssf} not registered")).to_value(),
+        }
+    };
+    let txn_state = txn.map(TxnState::inherited);
+    let mut ctx = SsfContext::new(
+        core.clone(),
+        ssf,
+        instance,
+        caller.clone(),
+        is_async,
+        txn_state,
+    );
+    let outcome = run_body(&mut ctx, &body, input);
+    finish(core, ssf, &mut ctx, caller.as_deref(), is_async, outcome)
+}
+
+/// Runs the body and normalizes its result, including cleanup of a
+/// transaction the body created but did not end.
+fn run_body(ctx: &mut SsfContext, body: &crate::env::SsfBody, input: Value) -> Outcome {
+    let result = body(ctx, input);
+    // A transaction begun here must be decided here: commit on success
+    // (the usual straight-line `begin_tx … end_tx` already set `ended`),
+    // abort on error. This mirrors the paper's end_tx, which "waits for
+    // the result and runs either a commit or abort protocol depending on
+    // the outcome of the contained operations".
+    let dangling_owned_txn = ctx
+        .txn
+        .as_ref()
+        .map(|t| t.owned && !t.ended)
+        .unwrap_or(false);
+    match result {
+        Ok(v) => {
+            if dangling_owned_txn {
+                match ctx.end_tx() {
+                    Ok(crate::TxnOutcome::Committed) => Outcome::Ok(v),
+                    Ok(crate::TxnOutcome::Aborted) => Outcome::Abort,
+                    Err(e) => Outcome::Error(e.to_string()),
+                }
+            } else {
+                Outcome::Ok(v)
+            }
+        }
+        Err(BeldiError::TxnAborted) => {
+            if dangling_owned_txn {
+                if let Some(t) = &mut ctx.txn {
+                    t.aborted = true;
+                }
+                if let Err(e) = ctx.end_tx() {
+                    return Outcome::Error(e.to_string());
+                }
+            }
+            Outcome::Abort
+        }
+        Err(e) => {
+            if dangling_owned_txn {
+                if let Some(t) = &mut ctx.txn {
+                    t.aborted = true;
+                }
+                let _ = ctx.end_tx();
+            }
+            Outcome::Error(e.to_string())
+        }
+    }
+}
+
+/// The completion sequence shared by calls and signals: callback to the
+/// caller, then mark the intent done (in that order — Fig. 9).
+fn finish(
+    core: &Arc<EnvCore>,
+    ssf: &str,
+    ctx: &mut SsfContext,
+    caller: Option<&str>,
+    is_async: bool,
+    outcome: Outcome,
+) -> Value {
+    let instance = ctx.instance_id().to_owned();
+    let outcome_value = outcome.to_value();
+    ctx.crash("wrapper.pre_callback");
+    if let (Some(c), false) = (caller, is_async) {
+        if !invoke::send_callback(core, c, &instance, Some(outcome_value.clone())) {
+            // Without the callback the caller may never learn the result;
+            // crash and let the intent collector retry the whole tail.
+            panic!("beldi: result callback to `{c}` undeliverable");
+        }
+    }
+    ctx.crash("wrapper.pre_done");
+    let intent_table = crate::schema::intent_table(ssf);
+    if let Err(e) = intent::mark_done(&core.db, &intent_table, &instance, outcome_value.clone()) {
+        panic!("beldi: marking intent done failed: {e}");
+    }
+    ctx.crash("wrapper.post_done");
+    outcome_value
+}
+
+/// Handles an async-registration request (Fig. 20, `asyncCalleeRegistration`):
+/// log the intent, confirm to the caller via callback, return.
+fn run_async_reg(
+    core: &Arc<EnvCore>,
+    ssf: &str,
+    instance: &str,
+    input: Value,
+    caller: &str,
+) -> Value {
+    let intent_table = crate::schema::intent_table(ssf);
+    let now_ms = core.platform.clock().now().as_millis();
+    // Args = the call envelope the IC should re-fire.
+    let call = Envelope::Call {
+        id: Some(instance.to_owned()),
+        input,
+        caller: Some(caller.to_owned()),
+        txn: None,
+        is_async: true,
+    };
+    if let Err(e) = intent::register(
+        &core.db,
+        &intent_table,
+        instance,
+        call.to_value(),
+        true,
+        Some(caller),
+        now_ms,
+    ) {
+        return Outcome::Error(e.to_string()).to_value();
+    }
+    core.platform
+        .faults()
+        .crash_point(instance, "asyncreg.post_intent");
+    // Registration confirmation: sets `Registered` on the caller's
+    // invoke-log entry. At-least-once.
+    invoke::send_callback(core, caller, instance, None);
+    Outcome::Ok(Value::Null).to_value()
+}
+
+/// Handles a commit/abort signal (§6.2): an exactly-once instance that
+/// skips the SSF's logic and runs only the decision protocol for its
+/// share of the transaction, then signals its own callees.
+fn run_txn_signal(core: &Arc<EnvCore>, ssf: &str, instance: &str, txn: crate::TxnContext) -> Value {
+    let faults = core.platform.faults();
+    faults.instance_started(instance);
+    let intent_table = crate::schema::intent_table(ssf);
+    let now_ms = core.platform.clock().now().as_millis();
+    let envelope = Envelope::TxnSignal {
+        id: instance.to_owned(),
+        txn: txn.clone(),
+    };
+    let record = match intent::register(
+        &core.db,
+        &intent_table,
+        instance,
+        envelope.to_value(),
+        false,
+        None,
+        now_ms,
+    ) {
+        Ok(r) => r,
+        Err(e) => return Outcome::Error(e.to_string()).to_value(),
+    };
+    if record.done {
+        return record.ret.unwrap_or(Value::Null);
+    }
+    let decision = txn.mode;
+    debug_assert!(matches!(decision, TxnMode::Commit | TxnMode::Abort));
+    let mut ctx = SsfContext::new(
+        core.clone(),
+        ssf,
+        instance,
+        None,
+        false,
+        Some(TxnState::inherited(txn)),
+    );
+    let outcome = match ctx.finalize(decision) {
+        Ok(()) => Outcome::Ok(Value::Null),
+        Err(e) => Outcome::Error(e.to_string()),
+    };
+    finish(core, ssf, &mut ctx, None, false, outcome)
+}

@@ -1,0 +1,178 @@
+//! The callback protocol in isolation (§4.5, Fig. 9): result delivery
+//! ordering, spurious callbacks, duplicate callbacks, and the federated
+//! GC race the protocol exists to prevent.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use beldi::value::{vmap, Value};
+use beldi::{BeldiConfig, BeldiEnv, CrashPlan};
+use beldi_simdb::ScanRequest;
+
+fn caller_callee_env(cfg: BeldiConfig) -> BeldiEnv {
+    let env = BeldiEnv::for_tests_with(cfg);
+    env.register_ssf(
+        "callee",
+        &["ct"],
+        Arc::new(|ctx, input| {
+            let n = ctx.read("ct", "runs")?.as_int().unwrap_or(0);
+            ctx.write("ct", "runs", Value::Int(n + 1))?;
+            Ok(vmap! { "echo" => input, "run" => n + 1 })
+        }),
+    );
+    env.register_ssf(
+        "caller",
+        &[],
+        Arc::new(|ctx, input| ctx.sync_invoke("callee", input)),
+    );
+    env
+}
+
+/// The Fig. 9 scenario: the caller crashes before completing; the callee
+/// finished, its callback landed, and the callee's *independently paced*
+/// garbage collector recycles the callee's intent and logs. When the
+/// caller is later re-executed, it must take the result from its own
+/// invoke log — the callback put it there *before* the callee marked
+/// itself done — and must not re-invoke the (long recycled) callee, which
+/// would mistakenly perform the operation again.
+#[test]
+fn callback_lands_before_done_so_gc_cannot_outrun_caller() {
+    let cfg = BeldiConfig::beldi().with_t_max(Duration::from_millis(50));
+    let env = caller_callee_env(cfg);
+    let caller_id = "caller-fig9";
+    env.platform().faults().plan(
+        caller_id.to_owned(),
+        CrashPlan::AtLabel("wrapper.pre_done".into()),
+    );
+    // Dispatch once, bypassing the driver's automatic retry, so the crash
+    // leaves the caller unfinished while the callee is fully done.
+    let envelope = vmap! {
+        "Op" => "call", "Id" => caller_id, "Input" => 7i64, "Async" => false,
+    };
+    let first = env.platform().invoke_sync("caller", envelope.clone());
+    assert!(first.is_err(), "caller must crash before completing");
+    assert_eq!(
+        env.read_current("callee", "ct", "runs").unwrap(),
+        Value::Int(1),
+        "callee completed before the caller crashed"
+    );
+
+    // The callee's GC recycles its intent and logs (finish stamp, then a
+    // T-wait, then recycling) while the caller is still unfinished.
+    for _ in 0..3 {
+        env.run_gc_once("callee").unwrap();
+        env.clock().sleep(Duration::from_millis(80));
+    }
+    let callee_intents = env
+        .db()
+        .scan_all("callee.intent", &ScanRequest::all())
+        .unwrap();
+    assert!(callee_intents.is_empty(), "callee intent recycled");
+
+    // Re-execute the caller (what its IC would do). It must resume from
+    // its invoke log — where the callback deposited the result — and not
+    // re-run the recycled callee.
+    let out = env.platform().invoke_sync("caller", envelope).unwrap();
+    assert_eq!(out.get_str("Outcome"), Some("ok"));
+    assert_eq!(out.get_attr("Ret").unwrap().get_int("run"), Some(1));
+    assert_eq!(
+        env.read_current("callee", "ct", "runs").unwrap(),
+        Value::Int(1),
+        "callee ran exactly once despite crash + GC + re-execution"
+    );
+}
+
+/// A spurious callback — for an invoke-log entry that no longer exists —
+/// is detected and ignored (§4.5: "SSF1 can detect and ignore this case").
+#[test]
+fn spurious_callbacks_are_ignored() {
+    let env = caller_callee_env(BeldiConfig::beldi());
+    // Deliver a callback for a callee id the caller never invoked.
+    let payload = vmap! {
+        "Op" => "callback",
+        "CalleeId" => "ghost-callee",
+        "Result" => vmap! { "Outcome" => "ok", "Ret" => 42i64 },
+    };
+    let out = env.platform().invoke_sync("caller", payload).unwrap();
+    // Acknowledged without effect.
+    assert_eq!(out.get_str("Outcome"), Some("ok"));
+    // The caller's invoke log is still empty.
+    let rows = env
+        .db()
+        .scan_all("caller.ilog", &ScanRequest::all())
+        .unwrap();
+    assert!(rows.is_empty());
+}
+
+/// Duplicate callbacks (at-least-once delivery) keep the first result.
+#[test]
+fn duplicate_callbacks_keep_first_result() {
+    let env = caller_callee_env(BeldiConfig::beldi());
+    env.invoke("caller", Value::Int(1)).unwrap();
+    // Find the recorded callee id and replay its callback with a *different*
+    // result; the original must win (set-if-absent semantics).
+    let rows = env
+        .db()
+        .scan_all("caller.ilog", &ScanRequest::all())
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    let callee_id = rows[0].get_str("CalleeId").unwrap().to_owned();
+    let forged = vmap! {
+        "Op" => "callback",
+        "CalleeId" => callee_id.as_str(),
+        "Result" => vmap! { "Outcome" => "ok", "Ret" => "forged" },
+    };
+    env.platform().invoke_sync("caller", forged).unwrap();
+    let rows = env
+        .db()
+        .scan_all("caller.ilog", &ScanRequest::all())
+        .unwrap();
+    let result = rows[0].get_attr("Result").unwrap();
+    assert_ne!(result.get_str("Ret"), Some("forged"));
+}
+
+/// A callee re-invoked after completion (a duplicate dispatch or racing
+/// IC) re-issues its callback and returns the recorded outcome without
+/// running its body.
+#[test]
+fn completed_callee_replays_and_recallbacks() {
+    let env = caller_callee_env(BeldiConfig::beldi());
+    let out = env.invoke("caller", Value::Int(3)).unwrap();
+    assert_eq!(out.get_int("run"), Some(1));
+    // Find the callee's instance id from its intent table and re-dispatch
+    // the original envelope, as a duplicated async delivery would.
+    let intents = env
+        .db()
+        .scan_all("callee.intent", &ScanRequest::all())
+        .unwrap();
+    assert_eq!(intents.len(), 1);
+    let args = intents[0].get_attr("Args").unwrap().clone();
+    let replay = env.platform().invoke_sync("callee", args).unwrap();
+    assert_eq!(
+        beldi::value::Value::from(replay.get_int("Ret").is_some() as bool),
+        Value::Bool(false),
+        "outcome envelope shape"
+    );
+    // Body did not rerun.
+    assert_eq!(
+        env.read_current("callee", "ct", "runs").unwrap(),
+        Value::Int(1)
+    );
+}
+
+/// Caller crash exactly between the callee's callback and the caller's
+/// own completion: recovery must reuse the logged result.
+#[test]
+fn caller_crash_after_callback_reuses_logged_result() {
+    let env = caller_callee_env(BeldiConfig::beldi());
+    let id = "caller-crash-postcb";
+    env.platform()
+        .faults()
+        .plan(id.to_owned(), CrashPlan::AtLabel("wrapper.pre_done".into()));
+    let out = env.invoke_as("caller", id, Value::Int(9)).unwrap();
+    assert_eq!(out.get_int("run"), Some(1));
+    assert_eq!(
+        env.read_current("callee", "ct", "runs").unwrap(),
+        Value::Int(1)
+    );
+}

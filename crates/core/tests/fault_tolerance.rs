@@ -1,0 +1,319 @@
+//! Exactly-once semantics under crash injection (§2.2, §7.2's failure
+//! model).
+//!
+//! These tests crash SSF instances at labelled points *inside* Beldi's own
+//! protocols — around database updates, log appends, invocations,
+//! callbacks, and intent completion — and assert that recovery (caller
+//! retry or the intent collector) always drives the system to the state of
+//! a single crash-free execution: counters incremented exactly once,
+//! conditional writes decided exactly once, callees executed exactly once.
+
+use std::sync::Arc;
+
+use beldi::value::{vmap, Value};
+use beldi::{BeldiConfig, BeldiEnv, CrashPlan, Mode, RandomCrashPolicy};
+
+/// A workflow that exercises every primitive: the root reads and bumps a
+/// counter, performs a conditional write, and synchronously invokes a
+/// worker that bumps its own counter.
+fn pipeline_env(cfg: BeldiConfig) -> BeldiEnv {
+    let env = BeldiEnv::for_tests_with(cfg);
+    env.register_ssf(
+        "worker",
+        &["wt"],
+        Arc::new(|ctx, input| {
+            let c = ctx.read("wt", "count")?.as_int().unwrap_or(0);
+            ctx.write("wt", "count", Value::Int(c + 1))?;
+            Ok(Value::Int(input.as_int().unwrap_or(0) + c + 1))
+        }),
+    );
+    env.register_ssf(
+        "root",
+        &["rt"],
+        Arc::new(|ctx, input| {
+            let c = ctx.read("rt", "count")?.as_int().unwrap_or(0);
+            ctx.write("rt", "count", Value::Int(c + 1))?;
+            let gated = ctx.cond_write(
+                "rt",
+                "gate",
+                Value::Int(c + 1),
+                beldi::value::Cond::not_exists(beldi::A_VALUE)
+                    .or(beldi::value::Cond::lt(beldi::A_VALUE, 1_000_000i64)),
+            )?;
+            let sub = ctx.sync_invoke("worker", input)?;
+            Ok(vmap! {
+                "count" => c + 1,
+                "gated" => gated,
+                "sub" => sub,
+            })
+        }),
+    );
+    env
+}
+
+/// Asserts the post-state of exactly `n` completed pipeline invocations.
+fn assert_pipeline_state(env: &BeldiEnv, n: i64) {
+    assert_eq!(
+        env.read_current("root", "rt", "count").unwrap(),
+        Value::Int(n),
+        "root counter"
+    );
+    assert_eq!(
+        env.read_current("worker", "wt", "count").unwrap(),
+        Value::Int(n),
+        "worker counter"
+    );
+    assert_eq!(
+        env.read_current("root", "rt", "gate").unwrap(),
+        Value::Int(n),
+        "gate value"
+    );
+}
+
+#[test]
+fn crash_free_pipeline_baseline_state() {
+    let env = pipeline_env(BeldiConfig::beldi());
+    let out = env.invoke("root", Value::Int(10)).unwrap();
+    assert_eq!(out.get_int("count"), Some(1));
+    assert_eq!(out.get_bool("gated"), Some(true));
+    assert_eq!(out.get_int("sub"), Some(11));
+    assert_pipeline_state(&env, 1);
+}
+
+/// Crash the root instance at each crash-point ordinal in turn; the driver
+/// retry (same instance id) must complete the workflow exactly once.
+#[test]
+fn root_crash_at_every_ordinal_is_exactly_once() {
+    // A crash-free root execution passes well under 60 points; ordinals
+    // beyond the end simply never fire (also asserted below).
+    let mut fired_any = false;
+    for ordinal in 0..60 {
+        let env = pipeline_env(BeldiConfig::beldi());
+        let root_id = format!("root-ord-{ordinal}");
+        env.platform()
+            .faults()
+            .plan(root_id.clone(), CrashPlan::AtOrdinal(ordinal));
+        let out = env.invoke_as("root", &root_id, Value::Int(5)).unwrap();
+        assert_eq!(out.get_int("count"), Some(1), "ordinal {ordinal}");
+        assert_pipeline_state(&env, 1);
+        fired_any |= env.platform().faults().injected_count() > 0;
+    }
+    assert!(fired_any, "no crash point ever fired — labels broken?");
+}
+
+/// Crash at each *named* point that brackets an externally visible effect.
+#[test]
+fn root_crash_at_named_labels_is_exactly_once() {
+    let labels = [
+        "wrapper.enter",
+        "wrapper.post_intent",
+        "read.pre_log",
+        "read.post_log",
+        "write.enter",
+        "write.exit",
+        "daal.write.pre_apply",
+        "daal.write.post_apply",
+        "daal.write.pre_log_false",
+        "invoke.pre_entry",
+        "invoke.pre_call",
+        "wrapper.pre_callback",
+        "wrapper.pre_done",
+        "wrapper.post_done",
+    ];
+    for label in labels {
+        let env = pipeline_env(BeldiConfig::beldi());
+        let root_id = format!("root-{label}");
+        env.platform()
+            .faults()
+            .plan(root_id.clone(), CrashPlan::AtLabel(label.to_owned()));
+        let out = env.invoke_as("root", &root_id, Value::Int(5)).unwrap();
+        assert_eq!(out.get_int("count"), Some(1), "label {label}");
+        assert_pipeline_state(&env, 1);
+    }
+}
+
+/// The same sweep in cross-table logging mode.
+#[test]
+fn cross_table_mode_crash_sweep_is_exactly_once() {
+    for ordinal in 0..40 {
+        let env = pipeline_env(BeldiConfig::cross_table());
+        let root_id = format!("xt-ord-{ordinal}");
+        env.platform()
+            .faults()
+            .plan(root_id.clone(), CrashPlan::AtOrdinal(ordinal));
+        env.invoke_as("root", &root_id, Value::Int(5)).unwrap();
+        assert_pipeline_state(&env, 1);
+    }
+}
+
+/// Random crash storm across a batch of workflows: every invocation must
+/// still take effect exactly once.
+#[test]
+fn random_crash_storm_preserves_exactly_once() {
+    let env = pipeline_env(BeldiConfig::beldi());
+    env.platform()
+        .faults()
+        .set_random_policy(Some(RandomCrashPolicy {
+            prob: 0.03,
+            max_crashes: 150,
+            seed: 0xBE1D1,
+        }));
+    const N: i64 = 25;
+    for i in 0..N {
+        env.invoke("root", Value::Int(i)).unwrap();
+    }
+    env.platform().faults().set_random_policy(None);
+    assert!(
+        env.platform().faults().injected_count() > 0,
+        "storm injected nothing"
+    );
+    assert_pipeline_state(&env, N);
+}
+
+/// The baseline (no Beldi) double-executes under the same fault: this is
+/// the anomaly the paper's §2.1 motivates. The test documents the contrast.
+#[test]
+fn baseline_mode_duplicates_effects_under_retry() {
+    let env = pipeline_env(BeldiConfig::baseline());
+    // Baseline instances have no crash points inside ops (no Beldi
+    // wrappers), so simulate the provider's retry-after-crash directly:
+    // run the same request twice, as a restarted worker would.
+    env.invoke("root", Value::Int(1)).unwrap();
+    env.invoke("root", Value::Int(1)).unwrap();
+    // The counter counted the duplicate — state corruption the paper's
+    // recommendation ("make your functions idempotent") leaves to the
+    // developer.
+    assert_eq!(
+        env.read_current("root", "rt", "count").unwrap(),
+        Value::Int(2)
+    );
+}
+
+/// A crashed *asynchronous* instance is finished by the intent collector.
+#[test]
+fn intent_collector_completes_crashed_async_instance() {
+    let cfg = BeldiConfig::beldi().with_ic_restart_delay(std::time::Duration::from_millis(200));
+    let env = BeldiEnv::for_tests_with(cfg);
+    env.register_ssf(
+        "sink",
+        &["t"],
+        Arc::new(|ctx, input| {
+            let c = ctx.read("t", "count")?.as_int().unwrap_or(0);
+            ctx.write("t", "count", Value::Int(c + 1))?;
+            ctx.write("t", "last", input)?;
+            Ok(Value::Null)
+        }),
+    );
+    let id = env.invoke_async("sink", Value::Int(7)).unwrap();
+    // Too late to crash the dispatch deterministically, so re-plan and
+    // re-check: crash its first write effect when it runs.
+    env.platform().faults().plan(
+        id.clone(),
+        CrashPlan::AtLabel("daal.write.pre_apply".into()),
+    );
+    // Let the (crashing) first execution happen.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    // Advance virtual time past the restart delay, then run the IC until
+    // the intent completes.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        env.clock().sleep(std::time::Duration::from_millis(300));
+        let report = env.run_ic_once("sink").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        if report.unfinished == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "IC never finished the intent"
+        );
+    }
+    assert_eq!(
+        env.read_current("sink", "t", "count").unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        env.read_current("sink", "t", "last").unwrap(),
+        Value::Int(7)
+    );
+}
+
+/// Crash the callee after its callback but before marking done: the caller
+/// has the result; re-execution of the callee must not re-run its effects
+/// (they replay from its logs) and must not double the caller's view.
+#[test]
+fn callee_crash_between_callback_and_done() {
+    let env = pipeline_env(BeldiConfig::beldi());
+    // The callee id is caller-generated, so use a random policy scoped by
+    // label: every instance that passes wrapper.pre_done crashes once.
+    // (Planned per-instance crashes need the id; instead crash the first
+    // instance that reaches the label using the ordinal-free API.)
+    env.platform()
+        .faults()
+        .set_random_policy(Some(RandomCrashPolicy {
+            prob: 1.0,
+            max_crashes: 1,
+            seed: 3,
+        }));
+    let out = env.invoke("root", Value::Int(2)).unwrap();
+    env.platform().faults().set_random_policy(None);
+    assert_eq!(out.get_int("count"), Some(1));
+    assert_pipeline_state(&env, 1);
+}
+
+/// Timer-driven collectors (the deployed configuration): with collectors
+/// started, crashed async work completes with no manual driving.
+#[test]
+fn timer_collectors_recover_crashed_work() {
+    // Periods are virtual; BeldiEnv::for_tests runs a 2000x clock, so one
+    // virtual second of period is 0.5 ms of real time — keep periods in
+    // whole seconds to avoid a timer storm.
+    let cfg = BeldiConfig::beldi()
+        .with_ic_restart_delay(std::time::Duration::from_secs(2))
+        .with_collector_period(std::time::Duration::from_secs(4));
+    let env = BeldiEnv::for_tests_with(cfg);
+    env.register_ssf(
+        "job",
+        &["t"],
+        Arc::new(|ctx, _| {
+            let c = ctx.read("t", "done")?.as_int().unwrap_or(0);
+            ctx.write("t", "done", Value::Int(c + 1))?;
+            Ok(Value::Null)
+        }),
+    );
+    env.start_collectors();
+    let id = env.invoke_async("job", Value::Null).unwrap();
+    env.platform()
+        .faults()
+        .plan(id, CrashPlan::AtLabel("daal.write.pre_apply".into()));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        if env.read_current("job", "t", "done").unwrap() == Value::Int(1) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timer collectors never completed the job"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    env.stop_collectors();
+    // Give any in-flight duplicate a moment, then confirm exactly-once.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert_eq!(env.read_current("job", "t", "done").unwrap(), Value::Int(1));
+}
+
+/// Mode sanity: the fault machinery itself only exists outside baseline.
+#[test]
+fn modes_report_expected_guarantees() {
+    for (cfg, mode) in [
+        (BeldiConfig::beldi(), Mode::Beldi),
+        (BeldiConfig::cross_table(), Mode::CrossTable),
+        (BeldiConfig::baseline(), Mode::Baseline),
+    ] {
+        let env = pipeline_env(cfg);
+        assert_eq!(env.config().mode, mode);
+        env.invoke("root", Value::Int(0)).unwrap();
+        assert_pipeline_state(&env, 1);
+    }
+}

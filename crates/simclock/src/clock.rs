@@ -1,0 +1,291 @@
+//! The [`Clock`] trait and its scaled/manual implementations.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// A point in virtual time: nanoseconds since the clock's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant {
+    nanos: u64,
+}
+
+impl SimInstant {
+    /// The clock epoch (time zero).
+    pub const EPOCH: SimInstant = SimInstant { nanos: 0 };
+
+    /// Creates an instant from nanoseconds since the epoch.
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimInstant { nanos }
+    }
+
+    /// Creates an instant from milliseconds since the epoch.
+    pub fn from_millis(ms: u64) -> Self {
+        SimInstant {
+            nanos: ms.saturating_mul(1_000_000),
+        }
+    }
+
+    /// Returns nanoseconds since the epoch.
+    pub fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Returns milliseconds since the epoch (truncating).
+    pub fn as_millis(self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero.
+    pub fn since(self, earlier: SimInstant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    /// Returns this instant advanced by `d`.
+    pub fn plus(self, d: Duration) -> SimInstant {
+        SimInstant {
+            nanos: self.nanos.saturating_add(d.as_nanos() as u64),
+        }
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ms = self.nanos / 1_000_000;
+        write!(f, "t+{}.{:03}s", ms / 1000, ms % 1000)
+    }
+}
+
+/// A source of virtual time.
+///
+/// Implementations must be monotonic: successive [`Clock::now`] calls never
+/// go backwards.
+pub trait Clock: Send + Sync {
+    /// Returns the current virtual time.
+    fn now(&self) -> SimInstant;
+
+    /// Blocks the calling thread for `d` of *virtual* time.
+    fn sleep(&self, d: Duration);
+
+    /// Blocks until the given virtual instant (no-op if already past).
+    fn sleep_until(&self, deadline: SimInstant) {
+        let now = self.now();
+        if deadline > now {
+            self.sleep(deadline.since(now));
+        }
+    }
+}
+
+/// A shareable, dynamically dispatched clock handle.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// A clock whose virtual time advances at `rate` × real time.
+///
+/// With `rate = 600.0`, one virtual minute costs 100 ms of wall time, so the
+/// paper's 60-minute GC experiment (Fig. 16) completes in 6 s while every
+/// timeout and timer relationship is preserved.
+pub struct ScaledClock {
+    start: Instant,
+    rate: f64,
+}
+
+impl ScaledClock {
+    /// Creates a clock running at `rate` × real time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not finite and positive.
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "clock rate must be finite and positive, got {rate}"
+        );
+        ScaledClock {
+            start: Instant::now(),
+            rate,
+        }
+    }
+
+    /// Creates a real-time clock (`rate = 1.0`).
+    pub fn realtime() -> Self {
+        ScaledClock::new(1.0)
+    }
+
+    /// Returns the configured rate.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Wraps the clock in a [`SharedClock`].
+    pub fn shared(rate: f64) -> SharedClock {
+        Arc::new(ScaledClock::new(rate))
+    }
+}
+
+impl Clock for ScaledClock {
+    fn now(&self) -> SimInstant {
+        let real = self.start.elapsed().as_nanos() as f64;
+        SimInstant::from_nanos((real * self.rate) as u64)
+    }
+
+    fn sleep(&self, d: Duration) {
+        let real = d.as_nanos() as f64 / self.rate;
+        // Sub-microsecond real sleeps would round to busy noise; skip them.
+        if real >= 1_000.0 {
+            std::thread::sleep(Duration::from_nanos(real as u64));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// A clock driven entirely by the test: time moves only on
+/// [`ManualClock::advance`].
+///
+/// Sleeping threads block on a condition variable and wake when the clock
+/// passes their deadline, making timer-dependent logic deterministic.
+pub struct ManualClock {
+    state: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl ManualClock {
+    /// Creates a clock at the epoch.
+    pub fn new() -> Self {
+        ManualClock {
+            state: Mutex::new(0),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Wraps a new manual clock in an [`Arc`] for sharing.
+    pub fn shared() -> Arc<ManualClock> {
+        Arc::new(ManualClock::new())
+    }
+
+    /// Advances virtual time by `d`, waking any sleepers whose deadline
+    /// passed.
+    pub fn advance(&self, d: Duration) {
+        let mut t = self.state.lock();
+        *t = t.saturating_add(d.as_nanos() as u64);
+        drop(t);
+        self.cv.notify_all();
+    }
+
+    /// Sets virtual time to `at` (must not move backwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn advance_to(&self, at: SimInstant) {
+        let mut t = self.state.lock();
+        assert!(at.as_nanos() >= *t, "manual clock may not move backwards");
+        *t = at.as_nanos();
+        drop(t);
+        self.cv.notify_all();
+    }
+}
+
+impl Default for ManualClock {
+    fn default() -> Self {
+        ManualClock::new()
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> SimInstant {
+        SimInstant::from_nanos(*self.state.lock())
+    }
+
+    fn sleep(&self, d: Duration) {
+        let mut t = self.state.lock();
+        let deadline = t.saturating_add(d.as_nanos() as u64);
+        while *t < deadline {
+            self.cv.wait(&mut t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn sim_instant_arithmetic() {
+        let a = SimInstant::from_millis(100);
+        let b = a.plus(Duration::from_millis(50));
+        assert_eq!(b.as_millis(), 150);
+        assert_eq!(b.since(a), Duration::from_millis(50));
+        assert_eq!(a.since(b), Duration::ZERO); // Saturates.
+        assert_eq!(format!("{b}"), "t+0.150s");
+    }
+
+    #[test]
+    fn scaled_clock_advances() {
+        let c = ScaledClock::new(1000.0);
+        let t0 = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let t1 = c.now();
+        // 2 ms real at 1000x is 2 virtual seconds.
+        assert!(t1.since(t0) >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn scaled_clock_sleep_scales_down() {
+        let c = ScaledClock::new(1000.0);
+        let start = Instant::now();
+        c.sleep(Duration::from_secs(1)); // 1 ms real.
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock rate")]
+    fn scaled_clock_rejects_bad_rate() {
+        let _ = ScaledClock::new(0.0);
+    }
+
+    #[test]
+    fn manual_clock_is_deterministic() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), SimInstant::EPOCH);
+        c.advance(Duration::from_secs(5));
+        assert_eq!(c.now().as_millis(), 5000);
+        c.advance_to(SimInstant::from_millis(8000));
+        assert_eq!(c.now().as_millis(), 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_backwards() {
+        let c = ManualClock::new();
+        c.advance(Duration::from_secs(5));
+        c.advance_to(SimInstant::from_millis(1));
+    }
+
+    #[test]
+    fn manual_clock_wakes_sleepers() {
+        let c = ManualClock::shared();
+        let woke = Arc::new(AtomicBool::new(false));
+        let (c2, woke2) = (c.clone(), woke.clone());
+        let h = std::thread::spawn(move || {
+            c2.sleep(Duration::from_secs(10));
+            woke2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!woke.load(Ordering::SeqCst));
+        c.advance(Duration::from_secs(10));
+        h.join().unwrap();
+        assert!(woke.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_is_noop() {
+        let c = ManualClock::new();
+        c.advance(Duration::from_secs(1));
+        c.sleep_until(SimInstant::from_millis(500)); // Must not block.
+        assert_eq!(c.now().as_millis(), 1000);
+    }
+}

@@ -1,0 +1,144 @@
+//! Periodic timers in virtual time.
+//!
+//! Beldi triggers its intent collector and garbage collector "by a timer
+//! every 1 minute, which is the finest resolution supported by AWS" (§7.2).
+//! [`Ticker`] reproduces that: it invokes a callback every `period` of
+//! virtual time on a dedicated thread until stopped.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::clock::SharedClock;
+
+/// A periodic virtual-time timer.
+pub struct Ticker;
+
+/// Handle to a running [`Ticker`]; stops the timer when dropped or on
+/// [`TickerHandle::stop`].
+pub struct TickerHandle {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl Ticker {
+    /// Spawns a timer that calls `tick` every `period` of virtual time.
+    ///
+    /// The first tick fires after one full period. Ticks never overlap:
+    /// if `tick` runs long, the next tick is delayed (matching how a
+    /// timer-triggered serverless function that is still running simply
+    /// skips its slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn spawn(
+        clock: SharedClock,
+        period: Duration,
+        mut tick: impl FnMut() + Send + 'static,
+    ) -> TickerHandle {
+        assert!(!period.is_zero(), "ticker period must be non-zero");
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let join = std::thread::Builder::new()
+            .name("sim-ticker".into())
+            .spawn(move || {
+                let mut next = clock.now().plus(period);
+                loop {
+                    clock.sleep_until(next);
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    tick();
+                    if stop2.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // Schedule relative to *now* so long ticks delay rather
+                    // than pile up.
+                    let now = clock.now();
+                    next = next.plus(period);
+                    if next < now {
+                        next = now.plus(period);
+                    }
+                }
+            })
+            .expect("spawn ticker thread");
+        TickerHandle {
+            stop,
+            join: Some(join),
+        }
+    }
+}
+
+impl TickerHandle {
+    /// Stops the timer and waits for its thread to exit.
+    ///
+    /// Note: with a [`crate::ManualClock`], the timer thread may be blocked
+    /// in `sleep_until`; the caller must advance the clock for the thread to
+    /// observe the stop flag. With a [`crate::ScaledClock`] this returns
+    /// within one period.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for TickerHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Detach rather than join: dropping must not deadlock if the clock
+        // never advances again.
+        self.join.take();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ScaledClock;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn ticker_fires_repeatedly() {
+        let clock = ScaledClock::shared(1000.0);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        let h = Ticker::spawn(clock.clone(), Duration::from_secs(1), move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        // 10 virtual seconds = 10 ms real.
+        std::thread::sleep(Duration::from_millis(50));
+        h.stop();
+        let n = count.load(Ordering::SeqCst);
+        assert!(n >= 3, "expected several ticks, got {n}");
+    }
+
+    #[test]
+    fn stop_prevents_further_ticks() {
+        let clock = ScaledClock::shared(1000.0);
+        let count = Arc::new(AtomicUsize::new(0));
+        let c2 = count.clone();
+        let h = Ticker::spawn(clock, Duration::from_secs(1), move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        h.stop();
+        let n = count.load(Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(count.load(Ordering::SeqCst), n);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let clock = ScaledClock::shared(1.0);
+        let _ = Ticker::spawn(clock, Duration::ZERO, || {});
+    }
+}

@@ -1,0 +1,985 @@
+//! The public [`Database`] API.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use beldi_simclock::{ScaledClock, SharedClock};
+use beldi_value::{Cond, SizeOf, Update, Value};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{DbError, DbResult};
+use crate::key::{PrimaryKey, TableSchema};
+use crate::latency::{LatencyModel, LatencySampler, OpKind};
+use crate::metrics::{DbMetrics, MetricsSnapshot};
+use crate::scan::{ScanPage, ScanRequest};
+use crate::table::TableData;
+
+/// Rows examined per internal lock acquisition during queries and scans.
+///
+/// Matches DynamoDB's behaviour of serving scans in pages: rows observed in
+/// different pages may interleave with concurrent writers, so scans are not
+/// atomic — the property §4.1 of the paper reasons about.
+const DEFAULT_PAGE_ROWS: usize = 32;
+
+struct TableHandle {
+    data: Mutex<TableData>,
+}
+
+/// One operation of a cross-table transactional write
+/// ([`Database::transact_write`]).
+#[derive(Debug, Clone)]
+pub enum TransactOp {
+    /// Conditionally update (or create) the row at `key`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Target row.
+        key: PrimaryKey,
+        /// Condition that must hold for the whole transaction to commit.
+        cond: Cond,
+        /// Update applied if every condition in the transaction holds.
+        update: Update,
+    },
+    /// Conditionally insert/replace a full item.
+    Put {
+        /// Target table.
+        table: String,
+        /// The full item (must contain key attributes).
+        item: Value,
+        /// Condition that must hold for the whole transaction to commit.
+        cond: Cond,
+    },
+    /// Conditionally delete the row at `key`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Target row.
+        key: PrimaryKey,
+        /// Condition that must hold for the whole transaction to commit.
+        cond: Cond,
+    },
+}
+
+/// A simulated strongly consistent NoSQL database.
+///
+/// See the [crate-level docs](crate) for the modelled guarantees. All
+/// methods are safe to call from many threads; single-row conditional
+/// updates are atomic and linearizable.
+pub struct Database {
+    tables: RwLock<HashMap<String, Arc<TableHandle>>>,
+    clock: SharedClock,
+    sampler: LatencySampler,
+    metrics: DbMetrics,
+    /// Serializes cross-table transactions against each other; single-row
+    /// ops never hold more than one table lock so this is deadlock-free.
+    txn_lock: Mutex<()>,
+    transactions_enabled: bool,
+    page_rows: usize,
+}
+
+impl Database {
+    /// Creates a database with the given clock and latency model.
+    pub fn new(clock: SharedClock, latency: LatencyModel, seed: u64) -> Arc<Self> {
+        Arc::new(Database {
+            tables: RwLock::new(HashMap::new()),
+            clock,
+            sampler: LatencySampler::new(latency, seed),
+            metrics: DbMetrics::new(),
+            txn_lock: Mutex::new(()),
+            transactions_enabled: true,
+            page_rows: DEFAULT_PAGE_ROWS,
+        })
+    }
+
+    /// Creates a zero-latency database on a real-time clock, for tests.
+    pub fn for_tests() -> Arc<Self> {
+        Database::new(ScaledClock::shared(1.0), LatencyModel::zero(), 0)
+    }
+
+    /// Disables cross-table transactions (simulating e.g. Bigtable).
+    pub fn without_transactions(clock: SharedClock, latency: LatencyModel, seed: u64) -> Arc<Self> {
+        Arc::new(Database {
+            tables: RwLock::new(HashMap::new()),
+            clock,
+            sampler: LatencySampler::new(latency, seed),
+            metrics: DbMetrics::new(),
+            txn_lock: Mutex::new(()),
+            transactions_enabled: false,
+            page_rows: DEFAULT_PAGE_ROWS,
+        })
+    }
+
+    /// Returns the database clock.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Returns the latency model in force.
+    pub fn latency_model(&self) -> &LatencyModel {
+        self.sampler.model()
+    }
+
+    /// Returns the live metrics counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Creates a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::TableExists`] if the name is taken.
+    pub fn create_table(&self, name: impl Into<String>, schema: TableSchema) -> DbResult<()> {
+        let name = name.into();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(DbError::TableExists(name));
+        }
+        tables.insert(
+            name,
+            Arc::new(TableHandle {
+                data: Mutex::new(TableData::new(schema)),
+            }),
+        );
+        Ok(())
+    }
+
+    /// Drops a table and all its rows.
+    pub fn delete_table(&self, name: &str) -> DbResult<()> {
+        self.tables
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DbError::TableNotFound(name.to_owned()))
+    }
+
+    /// Returns the names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    fn handle(&self, table: &str) -> DbResult<Arc<TableHandle>> {
+        self.tables
+            .read()
+            .get(table)
+            .cloned()
+            .ok_or_else(|| DbError::TableNotFound(table.to_owned()))
+    }
+
+    /// Point read of a row, optionally projected.
+    pub fn get(
+        &self,
+        table: &str,
+        key: &PrimaryKey,
+        projection: Option<&crate::scan::Projection>,
+    ) -> DbResult<Option<Value>> {
+        let handle = self.handle(table)?;
+        let item = {
+            let data = handle.data.lock();
+            data.rows.get(key).cloned()
+        };
+        let item = item.map(|v| match projection {
+            Some(p) => p.apply(&v),
+            None => v,
+        });
+        let bytes = item.as_ref().map(SizeOf::size_bytes).unwrap_or(0);
+        self.metrics.record_op(OpKind::Get);
+        self.metrics.record_read_bytes(bytes);
+        self.clock.sleep(self.sampler.sample(OpKind::Get, 1, bytes));
+        Ok(item)
+    }
+
+    /// Unconditional insert/replace of a full item.
+    pub fn put(&self, table: &str, item: Value) -> DbResult<()> {
+        let handle = self.handle(table)?;
+        let size = {
+            let mut data = handle.data.lock();
+            data.put_row(item)?
+        };
+        self.metrics.record_op(OpKind::Write);
+        self.metrics.record_written_bytes(size);
+        self.clock
+            .sleep(self.sampler.sample(OpKind::Write, 1, size));
+        Ok(())
+    }
+
+    /// Atomic conditional update (upsert) of one row.
+    ///
+    /// The condition is evaluated against the current row — or against an
+    /// empty item if the row does not exist (so `not_exists(attr)` holds
+    /// for absent rows, matching DynamoDB). On success the update is
+    /// applied to the existing row, or to a fresh row containing only the
+    /// key attributes.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::ConditionFailed`] when the condition is false — the
+    /// signal Beldi's write protocol dispatches on.
+    pub fn update(
+        &self,
+        table: &str,
+        key: &PrimaryKey,
+        cond: &Cond,
+        update: &Update,
+    ) -> DbResult<()> {
+        let handle = self.handle(table)?;
+        let result = {
+            let mut data = handle.data.lock();
+            Self::apply_update(&mut data, key, cond, update)
+        };
+        match result {
+            Ok(size) => {
+                self.metrics.record_op(OpKind::Write);
+                self.metrics.record_written_bytes(size);
+                self.clock
+                    .sleep(self.sampler.sample(OpKind::Write, 1, size));
+                Ok(())
+            }
+            Err(DbError::ConditionFailed) => {
+                self.metrics.record_op(OpKind::Write);
+                self.metrics.record_cond_failure();
+                // A failed conditional write still costs a round trip.
+                self.clock.sleep(self.sampler.sample(OpKind::Write, 1, 0));
+                Err(DbError::ConditionFailed)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Applies a conditional update under the table lock; returns new size.
+    fn apply_update(
+        data: &mut TableData,
+        key: &PrimaryKey,
+        cond: &Cond,
+        update: &Update,
+    ) -> DbResult<usize> {
+        let existing = data.rows.get(key).cloned();
+        let base = match &existing {
+            Some(row) => row.clone(),
+            None => Value::Map(beldi_value::Map::new()),
+        };
+        if !cond.eval(&base)? {
+            return Err(DbError::ConditionFailed);
+        }
+        let mut new_row = match existing {
+            Some(row) => row,
+            None => {
+                // Fresh row: seed it with the key attributes.
+                let mut m = beldi_value::Map::new();
+                m.insert(data.schema.hash_attr.clone(), key.hash.clone());
+                if let (Some(attr), Some(sort)) = (&data.schema.sort_attr, &key.sort) {
+                    m.insert(attr.clone(), sort.clone());
+                }
+                Value::Map(m)
+            }
+        };
+        update.apply(&mut new_row)?;
+        data.replace_row(key.clone(), new_row)
+    }
+
+    /// Conditionally deletes a row.
+    ///
+    /// Deleting an absent row succeeds if the condition holds against the
+    /// empty item (DynamoDB semantics).
+    pub fn delete(&self, table: &str, key: &PrimaryKey, cond: &Cond) -> DbResult<()> {
+        let handle = self.handle(table)?;
+        let result = {
+            let mut data = handle.data.lock();
+            let base = data
+                .rows
+                .get(key)
+                .cloned()
+                .unwrap_or_else(|| Value::Map(beldi_value::Map::new()));
+            if !cond.eval(&base)? {
+                Err(DbError::ConditionFailed)
+            } else {
+                data.remove_row(key);
+                Ok(())
+            }
+        };
+        self.metrics.record_op(OpKind::Delete);
+        if matches!(result, Err(DbError::ConditionFailed)) {
+            self.metrics.record_cond_failure();
+        }
+        self.clock.sleep(self.sampler.sample(OpKind::Delete, 1, 0));
+        result
+    }
+
+    /// Queries every row sharing a hash key, in sort-key order.
+    ///
+    /// Served in pages (`DEFAULT_PAGE_ROWS` rows each) with the table lock
+    /// released between pages, so the result is **not** an atomic snapshot
+    /// — exactly the behaviour Beldi's DAAL traversal must (and does)
+    /// tolerate (§4.1).
+    pub fn query(&self, table: &str, hash: &Value, req: &ScanRequest) -> DbResult<Vec<Value>> {
+        let handle = self.handle(table)?;
+        let mut out = Vec::new();
+        let mut resume: Option<PrimaryKey> = req.start_after.clone();
+        loop {
+            let mut page_rows = 0usize;
+            let mut page_bytes = 0usize;
+            let mut last: Option<PrimaryKey> = None;
+            {
+                let data = handle.data.lock();
+                let lo = match &resume {
+                    Some(k) => std::ops::Bound::Excluded(k.clone()),
+                    None => std::ops::Bound::Included(PrimaryKey {
+                        hash: hash.clone(),
+                        sort: None,
+                    }),
+                };
+                for (k, row) in data.rows.range((lo, std::ops::Bound::Unbounded)) {
+                    if &k.hash != hash {
+                        break;
+                    }
+                    page_rows += 1;
+                    last = Some(k.clone());
+                    let keep = match &req.filter {
+                        Some(f) => f.eval(row)?,
+                        None => true,
+                    };
+                    if keep {
+                        let item = match &req.projection {
+                            Some(p) => p.apply(row),
+                            None => row.clone(),
+                        };
+                        page_bytes += item.size_bytes();
+                        out.push(item);
+                        if let Some(limit) = req.limit {
+                            if out.len() >= limit {
+                                break;
+                            }
+                        }
+                    }
+                    if page_rows >= self.page_rows {
+                        break;
+                    }
+                }
+            }
+            self.metrics.record_op(OpKind::Query);
+            self.metrics.record_rows_scanned(page_rows);
+            self.metrics.record_read_bytes(page_bytes);
+            self.clock
+                .sleep(self.sampler.sample(OpKind::Query, page_rows, page_bytes));
+            if page_rows < self.page_rows {
+                break;
+            }
+            if let Some(limit) = req.limit {
+                if out.len() >= limit {
+                    break;
+                }
+            }
+            resume = last;
+        }
+        Ok(out)
+    }
+
+    /// Serves one page of a full-table scan.
+    pub fn scan_page(&self, table: &str, req: &ScanRequest) -> DbResult<ScanPage> {
+        let handle = self.handle(table)?;
+        let limit = req.limit.unwrap_or(self.page_rows).min(self.page_rows);
+        let mut items = Vec::new();
+        let mut last: Option<PrimaryKey> = None;
+        let mut rows_examined = 0usize;
+        let mut bytes = 0usize;
+        let mut exhausted = true;
+        {
+            let data = handle.data.lock();
+            let lo = match &req.start_after {
+                Some(k) => std::ops::Bound::Excluded(k.clone()),
+                None => std::ops::Bound::Unbounded,
+            };
+            for (k, row) in data.rows.range((lo, std::ops::Bound::Unbounded)) {
+                if items.len() >= limit || rows_examined >= self.page_rows {
+                    exhausted = false;
+                    break;
+                }
+                rows_examined += 1;
+                last = Some(k.clone());
+                let keep = match &req.filter {
+                    Some(f) => f.eval(row)?,
+                    None => true,
+                };
+                if keep {
+                    let item = match &req.projection {
+                        Some(p) => p.apply(row),
+                        None => row.clone(),
+                    };
+                    bytes += item.size_bytes();
+                    items.push(item);
+                }
+            }
+        }
+        self.metrics.record_op(OpKind::Scan);
+        self.metrics.record_rows_scanned(rows_examined);
+        self.metrics.record_read_bytes(bytes);
+        self.clock
+            .sleep(self.sampler.sample(OpKind::Scan, rows_examined, bytes));
+        Ok(ScanPage {
+            items,
+            last_key: if exhausted { None } else { last },
+        })
+    }
+
+    /// Scans the whole table, following pages to completion.
+    pub fn scan_all(&self, table: &str, req: &ScanRequest) -> DbResult<Vec<Value>> {
+        let mut out = Vec::new();
+        let mut page_req = req.clone();
+        page_req.limit = None;
+        loop {
+            let page = self.scan_page(table, &page_req)?;
+            out.extend(page.items);
+            match page.last_key {
+                Some(k) => page_req.start_after = Some(k),
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Exact-match lookup through a secondary index, returning full rows.
+    pub fn index_query(&self, table: &str, attr: &str, value: &Value) -> DbResult<Vec<Value>> {
+        let handle = self.handle(table)?;
+        let (items, bytes) = {
+            let data = handle.data.lock();
+            let keys = data.index_lookup(attr, value)?;
+            let mut items = Vec::with_capacity(keys.len());
+            let mut bytes = 0usize;
+            for k in keys {
+                if let Some(row) = data.rows.get(&k) {
+                    bytes += row.size_bytes();
+                    items.push(row.clone());
+                }
+            }
+            (items, bytes)
+        };
+        self.metrics.record_op(OpKind::Query);
+        self.metrics.record_rows_scanned(items.len());
+        self.metrics.record_read_bytes(bytes);
+        self.clock
+            .sleep(self.sampler.sample(OpKind::Query, items.len(), bytes));
+        Ok(items)
+    }
+
+    /// Returns the distinct hash-key values of a table (GC support).
+    pub fn distinct_hash_keys(&self, table: &str) -> DbResult<Vec<Value>> {
+        let handle = self.handle(table)?;
+        let keys = handle.data.lock().distinct_hash_keys();
+        self.metrics.record_op(OpKind::Scan);
+        self.metrics.record_rows_scanned(keys.len());
+        self.clock
+            .sleep(self.sampler.sample(OpKind::Scan, keys.len(), 0));
+        Ok(keys)
+    }
+
+    /// Atomically applies a batch of conditional writes across tables.
+    ///
+    /// All condition checks are evaluated first; if any fails the whole
+    /// batch is rejected with [`DbError::TransactionCanceled`] and nothing
+    /// is applied. This is the DynamoDB `TransactWriteItems` the paper's
+    /// cross-table-transaction comparator uses (Figs. 13, 16, 25).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::TransactionsUnsupported`] when disabled (Bigtable mode).
+    pub fn transact_write(&self, ops: &[TransactOp]) -> DbResult<()> {
+        if !self.transactions_enabled {
+            return Err(DbError::TransactionsUnsupported);
+        }
+        let _guard = self.txn_lock.lock();
+        // Resolve handles first so TableNotFound beats TransactionCanceled.
+        let mut handles = Vec::with_capacity(ops.len());
+        for op in ops {
+            let table = match op {
+                TransactOp::Update { table, .. }
+                | TransactOp::Put { table, .. }
+                | TransactOp::Delete { table, .. } => table,
+            };
+            handles.push(self.handle(table)?);
+        }
+        // Phase 1: check all conditions. Safe to do in two passes because
+        // `txn_lock` serializes transactions and single-row writers cannot
+        // interleave within one table lock acquisition below; we lock each
+        // table only while touching it, but re-evaluate conditions at apply
+        // time to stay correct against concurrent single-row writers.
+        let mut staged: Vec<(usize, PrimaryKey, Value)> = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            let handle = &handles[i];
+            let data = handle.data.lock();
+            let (key, cond) = match op {
+                TransactOp::Update { key, cond, .. } => (key.clone(), cond),
+                TransactOp::Put { item, cond, .. } => (data.schema.key_of(item)?, cond),
+                TransactOp::Delete { key, cond, .. } => (key.clone(), cond),
+            };
+            let base = data
+                .rows
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(|| Value::Map(beldi_value::Map::new()));
+            if !cond.eval(&base)? {
+                self.metrics.record_op(OpKind::TransactWrite);
+                self.metrics.record_cond_failure();
+                self.clock
+                    .sleep(self.sampler.sample(OpKind::TransactWrite, ops.len(), 0));
+                return Err(DbError::TransactionCanceled { failed_op: i });
+            }
+            staged.push((i, key, base));
+        }
+        // Phase 2: apply. Still under txn_lock; concurrent single-row
+        // writers could have slipped in between phase 1 and 2 per table, so
+        // re-check conditions during apply and roll back on failure.
+        let mut applied: Vec<(usize, PrimaryKey, Option<Value>)> = Vec::new();
+        let mut bytes = 0usize;
+        let mut failure: Option<usize> = None;
+        for (i, key, _) in &staged {
+            let op = &ops[*i];
+            let handle = &handles[*i];
+            let mut data = handle.data.lock();
+            let prior = data.rows.get(key).cloned();
+            let base = prior
+                .clone()
+                .unwrap_or_else(|| Value::Map(beldi_value::Map::new()));
+            let cond = match op {
+                TransactOp::Update { cond, .. }
+                | TransactOp::Put { cond, .. }
+                | TransactOp::Delete { cond, .. } => cond,
+            };
+            if !cond.eval(&base)? {
+                failure = Some(*i);
+                break;
+            }
+            let result = match op {
+                TransactOp::Update { update, .. } => {
+                    Self::apply_update(&mut data, key, &Cond::True, update)
+                }
+                TransactOp::Put { item, .. } => data.put_row(item.clone()),
+                TransactOp::Delete { .. } => {
+                    data.remove_row(key);
+                    Ok(0)
+                }
+            };
+            match result {
+                Ok(n) => {
+                    bytes += n;
+                    applied.push((*i, key.clone(), prior));
+                }
+                Err(e) => {
+                    drop(data);
+                    self.rollback(&handles, &applied);
+                    return Err(e);
+                }
+            }
+        }
+        if let Some(i) = failure {
+            self.rollback(&handles, &applied);
+            self.metrics.record_op(OpKind::TransactWrite);
+            self.metrics.record_cond_failure();
+            self.clock
+                .sleep(self.sampler.sample(OpKind::TransactWrite, ops.len(), 0));
+            return Err(DbError::TransactionCanceled { failed_op: i });
+        }
+        self.metrics.record_op(OpKind::TransactWrite);
+        self.metrics.record_written_bytes(bytes);
+        self.clock
+            .sleep(self.sampler.sample(OpKind::TransactWrite, ops.len(), bytes));
+        Ok(())
+    }
+
+    fn rollback(
+        &self,
+        handles: &[Arc<TableHandle>],
+        applied: &[(usize, PrimaryKey, Option<Value>)],
+    ) {
+        for (i, key, prior) in applied.iter().rev() {
+            let mut data = handles[*i].data.lock();
+            match prior {
+                Some(row) => {
+                    // Restoring a row that previously fit cannot overflow.
+                    let _ = data.replace_row(key.clone(), row.clone());
+                }
+                None => {
+                    data.remove_row(key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::Projection;
+    use beldi_value::vmap;
+
+    fn db_with_table() -> Arc<Database> {
+        let db = Database::for_tests();
+        db.create_table("t", TableSchema::hash_and_sort("Key", "RowId"))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let db = db_with_table();
+        db.put("t", vmap! { "Key" => "a", "RowId" => 0i64, "V" => 1i64 })
+            .unwrap();
+        let got = db
+            .get("t", &PrimaryKey::hash_sort("a", 0i64), None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.get_int("V"), Some(1));
+        assert!(db
+            .get("t", &PrimaryKey::hash_sort("a", 1i64), None)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn get_with_projection() {
+        let db = db_with_table();
+        db.put(
+            "t",
+            vmap! { "Key" => "a", "RowId" => 0i64, "V" => 1i64, "W" => 2i64 },
+        )
+        .unwrap();
+        let got = db
+            .get(
+                "t",
+                &PrimaryKey::hash_sort("a", 0i64),
+                Some(&Projection::attrs(["V"])),
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.get_int("V"), Some(1));
+        assert!(got.get_attr("W").is_none());
+        assert!(got.get_attr("Key").is_none());
+    }
+
+    #[test]
+    fn conditional_update_success_and_failure() {
+        let db = db_with_table();
+        let key = PrimaryKey::hash_sort("a", 0i64);
+        db.put("t", vmap! { "Key" => "a", "RowId" => 0i64, "N" => 1i64 })
+            .unwrap();
+        db.update("t", &key, &Cond::eq("N", 1i64), &Update::new().inc("N", 1))
+            .unwrap();
+        assert_eq!(
+            db.get("t", &key, None).unwrap().unwrap().get_int("N"),
+            Some(2)
+        );
+        let err = db
+            .update("t", &key, &Cond::eq("N", 1i64), &Update::new().inc("N", 1))
+            .unwrap_err();
+        assert_eq!(err, DbError::ConditionFailed);
+        assert_eq!(db.metrics().cond_failures, 1);
+    }
+
+    #[test]
+    fn update_upserts_row_with_key_attrs() {
+        let db = db_with_table();
+        let key = PrimaryKey::hash_sort("new", 3i64);
+        db.update(
+            "t",
+            &key,
+            &Cond::not_exists("Key"),
+            &Update::new().set("V", "hello"),
+        )
+        .unwrap();
+        let row = db.get("t", &key, None).unwrap().unwrap();
+        assert_eq!(row.get_str("Key"), Some("new"));
+        assert_eq!(row.get_int("RowId"), Some(3));
+        assert_eq!(row.get_str("V"), Some("hello"));
+    }
+
+    #[test]
+    fn update_on_missing_row_condition_sees_empty_item() {
+        let db = db_with_table();
+        let key = PrimaryKey::hash_sort("x", 0i64);
+        // Comparison against missing attr fails...
+        assert_eq!(
+            db.update(
+                "t",
+                &key,
+                &Cond::eq("N", 0i64),
+                &Update::new().set("N", 1i64)
+            ),
+            Err(DbError::ConditionFailed)
+        );
+        // ...but not_exists succeeds.
+        db.update(
+            "t",
+            &key,
+            &Cond::not_exists("N"),
+            &Update::new().set("N", 1i64),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn delete_with_condition() {
+        let db = db_with_table();
+        let key = PrimaryKey::hash_sort("a", 0i64);
+        db.put("t", vmap! { "Key" => "a", "RowId" => 0i64, "N" => 5i64 })
+            .unwrap();
+        assert_eq!(
+            db.delete("t", &key, &Cond::eq("N", 4i64)),
+            Err(DbError::ConditionFailed)
+        );
+        db.delete("t", &key, &Cond::eq("N", 5i64)).unwrap();
+        assert!(db.get("t", &key, None).unwrap().is_none());
+    }
+
+    #[test]
+    fn query_returns_hash_rows_in_sort_order() {
+        let db = db_with_table();
+        for i in [2i64, 0, 1] {
+            db.put("t", vmap! { "Key" => "a", "RowId" => i, "V" => i })
+                .unwrap();
+        }
+        db.put("t", vmap! { "Key" => "b", "RowId" => 0i64, "V" => 99i64 })
+            .unwrap();
+        let rows = db
+            .query("t", &Value::from("a"), &ScanRequest::all())
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        let ids: Vec<i64> = rows.iter().map(|r| r.get_int("RowId").unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn query_spans_multiple_pages() {
+        let db = db_with_table();
+        let n = DEFAULT_PAGE_ROWS * 3 + 5;
+        for i in 0..n {
+            db.put("t", vmap! { "Key" => "a", "RowId" => i as i64 })
+                .unwrap();
+        }
+        let rows = db
+            .query("t", &Value::from("a"), &ScanRequest::all())
+            .unwrap();
+        assert_eq!(rows.len(), n);
+    }
+
+    #[test]
+    fn query_with_filter_and_projection() {
+        let db = db_with_table();
+        for i in 0..10i64 {
+            db.put(
+                "t",
+                vmap! { "Key" => "a", "RowId" => i, "V" => i, "Junk" => "x".repeat(50) },
+            )
+            .unwrap();
+        }
+        let req = ScanRequest::all()
+            .with_filter(Cond::ge("V", 7i64))
+            .with_projection(Projection::attrs(["RowId"]));
+        let rows = db.query("t", &Value::from("a"), &req).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.get_attr("Junk").is_none()));
+    }
+
+    #[test]
+    fn scan_all_pages_through_everything() {
+        let db = db_with_table();
+        let n = DEFAULT_PAGE_ROWS * 2 + 7;
+        for i in 0..n {
+            db.put("t", vmap! { "Key" => format!("k{i:04}"), "RowId" => 0i64 })
+                .unwrap();
+        }
+        let rows = db.scan_all("t", &ScanRequest::all()).unwrap();
+        assert_eq!(rows.len(), n);
+    }
+
+    #[test]
+    fn scan_page_resumption() {
+        let db = db_with_table();
+        for i in 0..10i64 {
+            db.put("t", vmap! { "Key" => format!("k{i}"), "RowId" => 0i64 })
+                .unwrap();
+        }
+        let page1 = db
+            .scan_page("t", &ScanRequest::all().with_limit(4))
+            .unwrap();
+        assert_eq!(page1.items.len(), 4);
+        let page2 = db
+            .scan_page(
+                "t",
+                &ScanRequest::all()
+                    .with_limit(100)
+                    .with_start_after(page1.last_key.unwrap()),
+            )
+            .unwrap();
+        assert_eq!(page2.items.len(), 6);
+    }
+
+    #[test]
+    fn secondary_index_query() {
+        let db = Database::for_tests();
+        db.create_table("intents", TableSchema::hash_only("Id").with_index("Done"))
+            .unwrap();
+        db.put("intents", vmap! { "Id" => "i1", "Done" => false })
+            .unwrap();
+        db.put("intents", vmap! { "Id" => "i2", "Done" => true })
+            .unwrap();
+        db.put("intents", vmap! { "Id" => "i3", "Done" => false })
+            .unwrap();
+        let unfinished = db
+            .index_query("intents", "Done", &Value::Bool(false))
+            .unwrap();
+        assert_eq!(unfinished.len(), 2);
+    }
+
+    #[test]
+    fn transact_write_applies_all_or_nothing() {
+        let db = Database::for_tests();
+        db.create_table("a", TableSchema::hash_only("Id")).unwrap();
+        db.create_table("b", TableSchema::hash_only("Id")).unwrap();
+        db.put("a", vmap! { "Id" => "x", "N" => 1i64 }).unwrap();
+
+        // Succeeds: both conditions hold.
+        db.transact_write(&[
+            TransactOp::Update {
+                table: "a".into(),
+                key: PrimaryKey::hash("x"),
+                cond: Cond::eq("N", 1i64),
+                update: Update::new().inc("N", 1),
+            },
+            TransactOp::Put {
+                table: "b".into(),
+                item: vmap! { "Id" => "y", "V" => 7i64 },
+                cond: Cond::not_exists("Id"),
+            },
+        ])
+        .unwrap();
+        assert_eq!(
+            db.get("a", &PrimaryKey::hash("x"), None)
+                .unwrap()
+                .unwrap()
+                .get_int("N"),
+            Some(2)
+        );
+
+        // Fails atomically: second condition false, first must not apply.
+        let err = db
+            .transact_write(&[
+                TransactOp::Update {
+                    table: "a".into(),
+                    key: PrimaryKey::hash("x"),
+                    cond: Cond::eq("N", 2i64),
+                    update: Update::new().inc("N", 1),
+                },
+                TransactOp::Put {
+                    table: "b".into(),
+                    item: vmap! { "Id" => "y" },
+                    cond: Cond::not_exists("Id"),
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err, DbError::TransactionCanceled { failed_op: 1 });
+        assert_eq!(
+            db.get("a", &PrimaryKey::hash("x"), None)
+                .unwrap()
+                .unwrap()
+                .get_int("N"),
+            Some(2),
+            "first op must have been rolled back"
+        );
+    }
+
+    #[test]
+    fn transactions_can_be_disabled() {
+        let db = Database::without_transactions(ScaledClock::shared(1.0), LatencyModel::zero(), 0);
+        db.create_table("a", TableSchema::hash_only("Id")).unwrap();
+        assert_eq!(
+            db.transact_write(&[TransactOp::Put {
+                table: "a".into(),
+                item: vmap! { "Id" => "x" },
+                cond: Cond::True,
+            }]),
+            Err(DbError::TransactionsUnsupported)
+        );
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let db = Database::for_tests();
+        assert!(matches!(
+            db.get("nope", &PrimaryKey::hash("x"), None),
+            Err(DbError::TableNotFound(_))
+        ));
+        assert!(matches!(
+            db.query("nope", &Value::from("x"), &ScanRequest::all()),
+            Err(DbError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn create_table_twice_fails_and_delete_works() {
+        let db = db_with_table();
+        assert!(matches!(
+            db.create_table("t", TableSchema::hash_only("Id")),
+            Err(DbError::TableExists(_))
+        ));
+        db.delete_table("t").unwrap();
+        assert!(matches!(
+            db.delete_table("t"),
+            Err(DbError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_conditional_increments_never_lose_updates() {
+        let db = db_with_table();
+        let key = PrimaryKey::hash_sort("ctr", 0i64);
+        db.put("t", vmap! { "Key" => "ctr", "RowId" => 0i64, "N" => 0i64 })
+            .unwrap();
+        let threads = 8;
+        let per_thread = 50;
+        crossbeam::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|_| {
+                    for _ in 0..per_thread {
+                        // CAS loop: read then conditional increment.
+                        loop {
+                            let cur = db
+                                .get("t", &key, None)
+                                .unwrap()
+                                .unwrap()
+                                .get_int("N")
+                                .unwrap();
+                            let r = db.update(
+                                "t",
+                                &key,
+                                &Cond::eq("N", cur),
+                                &Update::new().inc("N", 1),
+                            );
+                            match r {
+                                Ok(()) => break,
+                                Err(DbError::ConditionFailed) => continue,
+                                Err(e) => panic!("unexpected: {e}"),
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let n = db.get("t", &key, None).unwrap().unwrap().get_int("N");
+        assert_eq!(n, Some((threads * per_thread) as i64));
+    }
+
+    #[test]
+    fn metrics_count_reads_and_bytes() {
+        let db = db_with_table();
+        db.put("t", vmap! { "Key" => "a", "RowId" => 0i64, "V" => "hello" })
+            .unwrap();
+        let before = db.metrics();
+        db.get("t", &PrimaryKey::hash_sort("a", 0i64), None)
+            .unwrap();
+        let d = db.metrics().delta(&before);
+        assert_eq!(d.gets, 1);
+        assert!(d.bytes_read > 0);
+    }
+}

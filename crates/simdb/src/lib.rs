@@ -1,0 +1,46 @@
+//! A simulated strongly consistent NoSQL database for the Beldi reproduction.
+//!
+//! Beldi (OSDI 2020) assumes only that SSF storage "supports strong
+//! consistency, tolerates faults, supports atomic updates on some atomicity
+//! scope (e.g., row, partition), and has a scan operation with the ability
+//! to filter results and create projections" (§2.2). This crate provides
+//! exactly that contract, modelled after DynamoDB:
+//!
+//! - **Row-scope atomic conditional updates** ([`Database::update`]): a
+//!   condition expression ([`beldi_value::Cond`]) is evaluated and an update
+//!   expression ([`beldi_value::Update`]) applied atomically on one row.
+//! - **Query and scan with filter + projection** ([`Database::query`],
+//!   [`Database::scan_page`]): scans are *paged* and therefore not atomic across
+//!   rows — matching DynamoDB, and matching the consistency reasoning Beldi
+//!   performs for linked-DAAL traversal (§4.1).
+//! - **Row size limits**: the default 400 KB cap is the very constraint the
+//!   linked DAAL exists to work around (§4.1).
+//! - **Secondary indexes** ([`Database::index_query`]): used by the intent
+//!   collector to find unfinished intents and by the invocation callback
+//!   handler to locate invoke-log entries by callee id.
+//! - **Optional cross-table transactions** ([`Database::transact_write`]):
+//!   the comparator the paper benchmarks against the linked DAAL in
+//!   Figs. 13, 16, and 25.
+//! - **A pluggable latency model** ([`LatencyModel`]) in virtual time, so
+//!   benchmarks reproduce the paper's latency *shapes*.
+//!
+//! The store itself is an in-process map guarded by per-table locks; "fault
+//! tolerance" of the storage layer is by construction (the process does not
+//! model storage-node failures — neither does the paper, which treats
+//! DynamoDB as reliable; *client* (SSF) crashes are injected by
+//! `beldi-simfaas`).
+
+mod database;
+mod error;
+mod key;
+mod latency;
+mod metrics;
+mod scan;
+mod table;
+
+pub use database::{Database, TransactOp};
+pub use error::{DbError, DbResult};
+pub use key::{PrimaryKey, TableSchema};
+pub use latency::{LatencyModel, OpKind};
+pub use metrics::{DbMetrics, MetricsSnapshot};
+pub use scan::{Projection, ScanPage, ScanRequest};

@@ -1,0 +1,166 @@
+//! Operation counters and byte accounting.
+//!
+//! §7.3 of the paper reports "other costs": extra bytes stored per
+//! operation, network bytes fetched by DAAL scans, and per-operation request
+//! counts (each Beldi read issues one extra scan and write, etc.). These
+//! metrics make that table reproducible: the database counts every
+//! operation and every byte it returns or stores.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::latency::OpKind;
+
+/// Monotonic counters maintained by the database.
+#[derive(Debug, Default)]
+pub struct DbMetrics {
+    gets: AtomicU64,
+    writes: AtomicU64,
+    queries: AtomicU64,
+    scans: AtomicU64,
+    transact_writes: AtomicU64,
+    deletes: AtomicU64,
+    cond_failures: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    rows_scanned: AtomicU64,
+}
+
+/// A point-in-time copy of [`DbMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Number of point reads.
+    pub gets: u64,
+    /// Number of single-row writes (put/update), including failed
+    /// conditional writes.
+    pub writes: u64,
+    /// Number of hash-key queries.
+    pub queries: u64,
+    /// Number of scan pages served.
+    pub scans: u64,
+    /// Number of cross-table transactional writes.
+    pub transact_writes: u64,
+    /// Number of deletes.
+    pub deletes: u64,
+    /// Number of conditional updates whose condition failed.
+    pub cond_failures: u64,
+    /// Total bytes returned to clients.
+    pub bytes_read: u64,
+    /// Total bytes written into rows.
+    pub bytes_written: u64,
+    /// Total rows examined by queries and scans.
+    pub rows_scanned: u64,
+}
+
+impl DbMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        DbMetrics::default()
+    }
+
+    pub(crate) fn record_op(&self, op: OpKind) {
+        let ctr = match op {
+            OpKind::Get => &self.gets,
+            OpKind::Write => &self.writes,
+            OpKind::Query => &self.queries,
+            OpKind::Scan => &self.scans,
+            OpKind::TransactWrite => &self.transact_writes,
+            OpKind::Delete => &self.deletes,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cond_failure(&self) {
+        self.cond_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_read_bytes(&self, n: usize) {
+        self.bytes_read.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_written_bytes(&self, n: usize) {
+        self.bytes_written.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rows_scanned(&self, n: usize) {
+        self.rows_scanned.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            transact_writes: self.transact_writes.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            cond_failures: self.cond_failures.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Total operation count across all kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.gets + self.writes + self.queries + self.scans + self.transact_writes + self.deletes
+    }
+
+    /// Difference between two snapshots (`self - earlier`), for measuring an
+    /// experiment window.
+    pub fn delta(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            gets: self.gets - earlier.gets,
+            writes: self.writes - earlier.writes,
+            queries: self.queries - earlier.queries,
+            scans: self.scans - earlier.scans,
+            transact_writes: self.transact_writes - earlier.transact_writes,
+            deletes: self.deletes - earlier.deletes,
+            cond_failures: self.cond_failures - earlier.cond_failures,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            rows_scanned: self.rows_scanned - earlier.rows_scanned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = DbMetrics::new();
+        m.record_op(OpKind::Get);
+        m.record_op(OpKind::Get);
+        m.record_op(OpKind::Write);
+        m.record_cond_failure();
+        m.record_read_bytes(100);
+        m.record_written_bytes(50);
+        m.record_rows_scanned(7);
+        let s = m.snapshot();
+        assert_eq!(s.gets, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.cond_failures, 1);
+        assert_eq!(s.bytes_read, 100);
+        assert_eq!(s.bytes_written, 50);
+        assert_eq!(s.rows_scanned, 7);
+        assert_eq!(s.total_ops(), 3);
+    }
+
+    #[test]
+    fn delta_subtracts() {
+        let m = DbMetrics::new();
+        m.record_op(OpKind::Query);
+        let before = m.snapshot();
+        m.record_op(OpKind::Query);
+        m.record_op(OpKind::Scan);
+        let after = m.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.queries, 1);
+        assert_eq!(d.scans, 1);
+        assert_eq!(d.gets, 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! In-memory table storage with secondary-index maintenance.
+//!
+//! A table's data sits behind a single mutex; every mutation happens under
+//! it, which is what makes a row update *atomic* (the table mutex is the
+//! simulated atomicity scope — per-row serialization, exactly DynamoDB's
+//! guarantee, just coarser-grained on the inside). Scans deliberately
+//! release the lock between pages (driven by [`crate::Database`]) so they
+//! are **not** atomic across rows, matching real DynamoDB scans.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use beldi_value::{SizeOf, Value};
+
+use crate::error::{DbError, DbResult};
+use crate::key::{PrimaryKey, TableSchema};
+
+/// The mutable state of one table (rows + indexes), always accessed under
+/// the owning table's lock.
+#[derive(Debug)]
+pub(crate) struct TableData {
+    pub(crate) schema: TableSchema,
+    pub(crate) rows: BTreeMap<PrimaryKey, Value>,
+    /// index attribute name -> indexed value -> set of row keys.
+    pub(crate) indexes: HashMap<String, BTreeMap<Value, BTreeSet<PrimaryKey>>>,
+}
+
+impl TableData {
+    pub(crate) fn new(schema: TableSchema) -> Self {
+        let mut indexes = HashMap::new();
+        for attr in &schema.index_attrs {
+            indexes.insert(attr.clone(), BTreeMap::new());
+        }
+        TableData {
+            schema,
+            rows: BTreeMap::new(),
+            indexes,
+        }
+    }
+
+    /// Inserts or replaces a full row, enforcing the size limit and
+    /// maintaining indexes. Returns the stored size in bytes.
+    pub(crate) fn put_row(&mut self, item: Value) -> DbResult<usize> {
+        let key = self.schema.key_of(&item)?;
+        let size = item.size_bytes();
+        if size > self.schema.max_row_bytes {
+            return Err(DbError::RowTooLarge {
+                size,
+                limit: self.schema.max_row_bytes,
+            });
+        }
+        if let Some(old) = self.rows.get(&key) {
+            let old = old.clone();
+            self.unindex_row(&key, &old);
+        }
+        self.index_row(&key, &item);
+        self.rows.insert(key, item);
+        Ok(size)
+    }
+
+    /// Removes a row, maintaining indexes. Returns the removed row.
+    pub(crate) fn remove_row(&mut self, key: &PrimaryKey) -> Option<Value> {
+        let row = self.rows.remove(key)?;
+        self.unindex_row(key, &row);
+        Some(row)
+    }
+
+    /// Re-checks the size limit and re-indexes after an in-place update.
+    ///
+    /// The caller mutated a clone; this installs it if it fits.
+    pub(crate) fn replace_row(&mut self, key: PrimaryKey, new_row: Value) -> DbResult<usize> {
+        let size = new_row.size_bytes();
+        if size > self.schema.max_row_bytes {
+            return Err(DbError::RowTooLarge {
+                size,
+                limit: self.schema.max_row_bytes,
+            });
+        }
+        if let Some(old) = self.rows.get(&key) {
+            let old = old.clone();
+            self.unindex_row(&key, &old);
+        }
+        self.index_row(&key, &new_row);
+        self.rows.insert(key, new_row);
+        Ok(size)
+    }
+
+    fn index_row(&mut self, key: &PrimaryKey, row: &Value) {
+        for (attr, index) in self.indexes.iter_mut() {
+            if let Some(v) = row.get_attr(attr) {
+                index.entry(v.clone()).or_default().insert(key.clone());
+            }
+        }
+    }
+
+    fn unindex_row(&mut self, key: &PrimaryKey, row: &Value) {
+        for (attr, index) in self.indexes.iter_mut() {
+            if let Some(v) = row.get_attr(attr) {
+                if let Some(set) = index.get_mut(v) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        index.remove(v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Looks up row keys via a secondary index.
+    pub(crate) fn index_lookup(&self, attr: &str, value: &Value) -> DbResult<Vec<PrimaryKey>> {
+        let index = self
+            .indexes
+            .get(attr)
+            .ok_or_else(|| DbError::IndexNotFound(attr.to_owned()))?;
+        Ok(index
+            .get(value)
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default())
+    }
+
+    /// Returns the distinct hash-key values present in the table.
+    ///
+    /// Used by the garbage collector's `getAllDataKeys` step (paper
+    /// Fig. 10).
+    pub(crate) fn distinct_hash_keys(&self) -> Vec<Value> {
+        let mut out: Vec<Value> = Vec::new();
+        for key in self.rows.keys() {
+            if out.last() != Some(&key.hash) {
+                out.push(key.hash.clone());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beldi_value::vmap;
+
+    fn schema() -> TableSchema {
+        TableSchema::hash_and_sort("Key", "RowId")
+            .with_index("Done")
+            .with_max_row_bytes(200)
+    }
+
+    fn row(k: &str, r: i64, done: bool) -> Value {
+        vmap! { "Key" => k, "RowId" => r, "Done" => done }
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut t = TableData::new(schema());
+        t.put_row(row("a", 0, false)).unwrap();
+        let k = PrimaryKey::hash_sort("a", 0i64);
+        assert!(t.rows.contains_key(&k));
+        let removed = t.remove_row(&k).unwrap();
+        assert_eq!(removed.get_str("Key"), Some("a"));
+        assert!(t.rows.is_empty());
+    }
+
+    #[test]
+    fn size_limit_enforced() {
+        let mut t = TableData::new(schema());
+        let big = vmap! { "Key" => "a", "RowId" => 0i64, "V" => "x".repeat(500) };
+        assert!(matches!(t.put_row(big), Err(DbError::RowTooLarge { .. })));
+    }
+
+    #[test]
+    fn index_tracks_puts_updates_and_removes() {
+        let mut t = TableData::new(schema());
+        t.put_row(row("a", 0, false)).unwrap();
+        t.put_row(row("b", 0, false)).unwrap();
+        let unfinished = t.index_lookup("Done", &Value::Bool(false)).unwrap();
+        assert_eq!(unfinished.len(), 2);
+
+        // Flip one to done via replace.
+        let k = PrimaryKey::hash_sort("a", 0i64);
+        t.replace_row(k.clone(), row("a", 0, true)).unwrap();
+        assert_eq!(
+            t.index_lookup("Done", &Value::Bool(false)).unwrap().len(),
+            1
+        );
+        assert_eq!(
+            t.index_lookup("Done", &Value::Bool(true)).unwrap(),
+            vec![k.clone()]
+        );
+
+        t.remove_row(&k);
+        assert!(t
+            .index_lookup("Done", &Value::Bool(true))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn index_lookup_unknown_index_is_error() {
+        let t = TableData::new(schema());
+        assert!(matches!(
+            t.index_lookup("Nope", &Value::Bool(true)),
+            Err(DbError::IndexNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn distinct_hash_keys_deduplicates() {
+        let mut t = TableData::new(schema());
+        t.put_row(row("a", 0, false)).unwrap();
+        t.put_row(row("a", 1, false)).unwrap();
+        t.put_row(row("b", 0, false)).unwrap();
+        let keys = t.distinct_hash_keys();
+        assert_eq!(keys, vec![Value::from("a"), Value::from("b")]);
+    }
+}

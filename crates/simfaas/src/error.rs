@@ -1,0 +1,37 @@
+//! Invocation error types.
+
+use std::fmt;
+
+/// Result alias for invocations.
+pub type InvokeResult<T> = Result<T, InvokeError>;
+
+/// Errors surfaced to the caller of an invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvokeError {
+    /// No function registered under this name.
+    FunctionNotFound(String),
+    /// The instance crashed (injected fault or function panic).
+    ///
+    /// The payload is the crash-point label, or the panic message for a
+    /// genuine (non-injected) panic.
+    Crashed(String),
+    /// The synchronous caller gave up waiting (the worker may still be
+    /// running — serverless platforms cannot deliver results late).
+    Timeout,
+    /// The platform rejected the invocation because the account-wide
+    /// concurrency limit was reached (and the saturation policy rejects).
+    Throttled,
+}
+
+impl fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvokeError::FunctionNotFound(n) => write!(f, "function `{n}` not found"),
+            InvokeError::Crashed(p) => write!(f, "instance crashed at `{p}`"),
+            InvokeError::Timeout => write!(f, "invocation timed out"),
+            InvokeError::Throttled => write!(f, "throttled: concurrency limit reached"),
+        }
+    }
+}
+
+impl std::error::Error for InvokeError {}

@@ -1,0 +1,302 @@
+//! Crash injection.
+//!
+//! Beldi's exactly-once guarantee must hold "even if an SSF crashes in the
+//! midst of its execution and is restarted by the provider an arbitrary
+//! number of times" (§2.2). To validate that, the Beldi library calls
+//! [`FaultInjector::crash_point`] at every labelled point around its
+//! externally visible effects (before/after each database write, log
+//! append, invocation, callback, and intent completion). The injector
+//! decides — per scripted plan or seeded random policy — whether the
+//! instance dies *right there*, by unwinding with a [`CrashSignal`] panic
+//! that the platform catches and reports as [`crate::InvokeError::Crashed`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Panic payload distinguishing an injected crash from a genuine bug.
+#[derive(Debug, Clone)]
+pub struct CrashSignal {
+    /// The crash-point label where the instance died.
+    pub point: String,
+}
+
+/// Installs a panic hook that silences injected [`CrashSignal`] panics
+/// (they are simulated crashes, not bugs) while delegating everything
+/// else to the previous hook.
+///
+/// Demos and long fault-injection runs call this once so their output is
+/// not drowned in backtraces; tests generally keep the default hook for
+/// diagnosability.
+pub fn silence_crash_backtraces() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if info.payload().downcast_ref::<CrashSignal>().is_none() {
+            previous(info);
+        }
+    }));
+}
+
+/// A scripted crash plan for one instance id.
+#[derive(Debug, Clone)]
+pub enum CrashPlan {
+    /// Crash at the `n`-th crash point the instance passes (0-based),
+    /// counting every labelled point in execution order. One-shot: the
+    /// plan is consumed when it fires, so the re-executed instance runs on.
+    AtOrdinal(usize),
+    /// Crash the first time the instance passes the given label. One-shot.
+    AtLabel(String),
+    /// Crash at the `n`-th occurrence (0-based) of the given label.
+    /// One-shot.
+    AtLabelOccurrence(String, usize),
+}
+
+/// A random crash policy applied to every instance without a scripted plan.
+#[derive(Debug, Clone)]
+pub struct RandomCrashPolicy {
+    /// Probability of dying at each crash point.
+    pub prob: f64,
+    /// Hard cap on total injected crashes (guarantees workloads finish).
+    pub max_crashes: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+struct InstanceState {
+    /// Crash points passed so far (across the *current* execution only —
+    /// reset on re-execution via [`FaultInjector::instance_started`]).
+    ordinal: usize,
+    /// Occurrences per label.
+    label_counts: HashMap<String, usize>,
+}
+
+/// Decides, at every crash point, whether the current instance dies.
+pub struct FaultInjector {
+    plans: Mutex<HashMap<String, CrashPlan>>,
+    states: Mutex<HashMap<String, InstanceState>>,
+    random: Mutex<Option<(RandomCrashPolicy, SmallRng)>>,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with no faults configured.
+    pub fn new() -> Self {
+        FaultInjector {
+            plans: Mutex::new(HashMap::new()),
+            states: Mutex::new(HashMap::new()),
+            random: Mutex::new(None),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Scripts a crash plan for a specific instance id.
+    ///
+    /// Applies to the instance's *next* execution that reaches the point;
+    /// plans are one-shot so the instance-collector re-execution proceeds.
+    pub fn plan(&self, instance_id: impl Into<String>, plan: CrashPlan) {
+        self.plans.lock().insert(instance_id.into(), plan);
+    }
+
+    /// Installs (or clears) the random crash policy.
+    pub fn set_random_policy(&self, policy: Option<RandomCrashPolicy>) {
+        *self.random.lock() = policy.map(|p| {
+            let rng = SmallRng::seed_from_u64(p.seed);
+            (p, rng)
+        });
+    }
+
+    /// Number of crashes injected so far.
+    pub fn injected_count(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Resets per-execution crash-point counters for an instance.
+    ///
+    /// The platform calls this when an execution (including a re-execution)
+    /// begins, so `AtOrdinal`/occurrence plans count points within a single
+    /// execution.
+    pub fn instance_started(&self, instance_id: &str) {
+        self.states.lock().insert(
+            instance_id.to_owned(),
+            InstanceState {
+                ordinal: 0,
+                label_counts: HashMap::new(),
+            },
+        );
+    }
+
+    /// Called by the Beldi library at each labelled crash point.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`CrashSignal`] payload when the instance is scripted
+    /// (or randomly chosen) to die here. The platform catches it.
+    pub fn crash_point(&self, instance_id: &str, label: &str) {
+        let (ordinal, label_count) = {
+            let mut states = self.states.lock();
+            let st = states
+                .entry(instance_id.to_owned())
+                .or_insert(InstanceState {
+                    ordinal: 0,
+                    label_counts: HashMap::new(),
+                });
+            let ordinal = st.ordinal;
+            st.ordinal += 1;
+            let c = st.label_counts.entry(label.to_owned()).or_insert(0);
+            let label_count = *c;
+            *c += 1;
+            (ordinal, label_count)
+        };
+
+        let should_crash = {
+            let mut plans = self.plans.lock();
+            let fire = match plans.get(instance_id) {
+                Some(CrashPlan::AtOrdinal(n)) => ordinal == *n,
+                Some(CrashPlan::AtLabel(l)) => l == label,
+                Some(CrashPlan::AtLabelOccurrence(l, n)) => l == label && label_count == *n,
+                None => false,
+            };
+            if fire {
+                plans.remove(instance_id);
+            }
+            fire
+        };
+
+        let random_crash = !should_crash && {
+            let mut guard = self.random.lock();
+            match guard.as_mut() {
+                Some((policy, rng))
+                    if self.injected.load(Ordering::Relaxed) < policy.max_crashes =>
+                {
+                    rng.gen_bool(policy.prob)
+                }
+                _ => false,
+            }
+        };
+
+        if should_crash || random_crash {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            std::panic::panic_any(CrashSignal {
+                point: format!("{label}#{label_count}@{ordinal}"),
+            });
+        }
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catches_crash(f: impl FnOnce() + std::panic::UnwindSafe) -> Option<CrashSignal> {
+        match std::panic::catch_unwind(f) {
+            Ok(()) => None,
+            Err(payload) => Some(
+                *payload
+                    .downcast::<CrashSignal>()
+                    .expect("panic payload must be a CrashSignal"),
+            ),
+        }
+    }
+
+    #[test]
+    fn no_plan_no_crash() {
+        let inj = FaultInjector::new();
+        inj.instance_started("i1");
+        inj.crash_point("i1", "write:before");
+        inj.crash_point("i1", "write:after");
+        assert_eq!(inj.injected_count(), 0);
+    }
+
+    #[test]
+    fn at_ordinal_fires_once() {
+        let inj = FaultInjector::new();
+        inj.plan("i1", CrashPlan::AtOrdinal(2));
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a");
+        inj.crash_point("i1", "b");
+        let sig = catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "c");
+        }))
+        .expect("third point must crash");
+        assert!(sig.point.starts_with("c#0@2"));
+        // Re-execution: plan consumed, no further crash.
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a");
+        inj.crash_point("i1", "b");
+        inj.crash_point("i1", "c");
+        assert_eq!(inj.injected_count(), 1);
+    }
+
+    #[test]
+    fn at_label_occurrence() {
+        let inj = FaultInjector::new();
+        inj.plan("i1", CrashPlan::AtLabelOccurrence("w".into(), 1));
+        inj.instance_started("i1");
+        inj.crash_point("i1", "w"); // Occurrence 0: survives.
+        let sig = catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "w"); // Occurrence 1: dies.
+        }))
+        .unwrap();
+        assert!(sig.point.starts_with("w#1"));
+    }
+
+    #[test]
+    fn plans_are_per_instance() {
+        let inj = FaultInjector::new();
+        inj.plan("victim", CrashPlan::AtLabel("x".into()));
+        inj.instance_started("victim");
+        inj.instance_started("bystander");
+        inj.crash_point("bystander", "x"); // Unaffected.
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("victim", "x");
+        }))
+        .is_some());
+    }
+
+    #[test]
+    fn random_policy_respects_cap() {
+        let inj = FaultInjector::new();
+        inj.set_random_policy(Some(RandomCrashPolicy {
+            prob: 1.0,
+            max_crashes: 3,
+            seed: 1,
+        }));
+        let mut crashes = 0;
+        for i in 0..10 {
+            let id = format!("i{i}");
+            inj.instance_started(&id);
+            if catches_crash(std::panic::AssertUnwindSafe(|| {
+                inj.crash_point(&id, "p");
+            }))
+            .is_some()
+            {
+                crashes += 1;
+            }
+        }
+        assert_eq!(crashes, 3);
+        assert_eq!(inj.injected_count(), 3);
+    }
+
+    #[test]
+    fn restart_resets_ordinals() {
+        let inj = FaultInjector::new();
+        inj.plan("i1", CrashPlan::AtOrdinal(1));
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a"); // ordinal 0.
+        inj.instance_started("i1"); // Restart before reaching ordinal 1.
+        inj.crash_point("i1", "a"); // ordinal 0 again — survives...
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "b"); // ...ordinal 1 — dies.
+        }))
+        .is_some());
+    }
+}

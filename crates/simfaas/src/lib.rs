@@ -1,0 +1,40 @@
+//! A simulated serverless (FaaS) platform for the Beldi reproduction.
+//!
+//! Models the aspects of AWS Lambda the paper depends on (§2.1, §7.2):
+//!
+//! - **Stateless routing with fresh instance ids**: every invocation gets a
+//!   new request id; nothing persists between invocations except what the
+//!   function writes to its database.
+//! - **Synchronous and asynchronous invocation** ([`Platform::invoke_sync`],
+//!   [`Platform::invoke_async`]); callers of a synchronous chain each occupy
+//!   a worker, as on Lambda.
+//! - **Cold/warm starts**: a per-function pool of warm workers; invocations
+//!   that find no idle warm worker pay a cold-start penalty.
+//! - **A platform-wide concurrency cap** (AWS: 1,000 concurrent Lambdas per
+//!   account) — the saturation bottleneck in the paper's Figs. 14, 15, 26.
+//! - **Execution timeouts**: a synchronous caller gives up after the
+//!   configured timeout; the stuck worker keeps running (providers expose
+//!   no kill switch — the fact Beldi's GC synchrony assumption leans on).
+//! - **Crash-restart failure injection** ([`FaultInjector`]): instances can
+//!   be crashed at any labelled crash point, deterministically (scripted
+//!   plans) or randomly (seeded policy). The paper's exactly-once guarantee
+//!   is validated against these crashes; automatic platform retry is *off*,
+//!   matching §7.2 ("We turn off automatic Lambda restarts and let Beldi's
+//!   intent collectors take care of restarting failed Lambdas").
+//! - **Timer triggers** ([`Platform::schedule_timer`]) for intent and
+//!   garbage collectors (1-minute resolution on AWS).
+
+mod error;
+mod fault;
+mod metrics;
+mod platform;
+mod semaphore;
+
+pub use error::{InvokeError, InvokeResult};
+pub use fault::{
+    silence_crash_backtraces, CrashPlan, CrashSignal, FaultInjector, RandomCrashPolicy,
+};
+pub use metrics::{PlatformMetrics, PlatformSnapshot};
+pub use platform::{
+    FunctionHandler, InvocationCtx, Platform, PlatformConfig, SaturationPolicy, TimerHandle,
+};

@@ -1,0 +1,117 @@
+//! Platform-level invocation metrics.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Monotonic counters and gauges maintained by the platform.
+#[derive(Debug, Default)]
+pub struct PlatformMetrics {
+    invocations: AtomicU64,
+    completions: AtomicU64,
+    crashes: AtomicU64,
+    timeouts: AtomicU64,
+    throttles: AtomicU64,
+    cold_starts: AtomicU64,
+    warm_starts: AtomicU64,
+    active: AtomicI64,
+    peak_active: AtomicI64,
+}
+
+/// A point-in-time copy of [`PlatformMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlatformSnapshot {
+    /// Invocations started.
+    pub invocations: u64,
+    /// Invocations that returned a value.
+    pub completions: u64,
+    /// Invocations that crashed (injected or panic).
+    pub crashes: u64,
+    /// Synchronous invocations whose caller timed out.
+    pub timeouts: u64,
+    /// Invocations rejected for exceeding the concurrency cap.
+    pub throttles: u64,
+    /// Invocations that paid a cold start.
+    pub cold_starts: u64,
+    /// Invocations served by a warm worker.
+    pub warm_starts: u64,
+    /// Currently running instances.
+    pub active: i64,
+    /// Maximum concurrently running instances observed.
+    pub peak_active: i64,
+}
+
+impl PlatformMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        PlatformMetrics::default()
+    }
+
+    pub(crate) fn start(&self, cold: bool) {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        if cold {
+            self.cold_starts.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.warm_starts.fetch_add(1, Ordering::Relaxed);
+        }
+        let now = self.active.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_active.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub(crate) fn finish_ok(&self) {
+        self.completions.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn finish_crash(&self) {
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_throttle(&self) {
+        self.throttles.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> PlatformSnapshot {
+        PlatformSnapshot {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            completions: self.completions.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            throttles: self.throttles.load(Ordering::Relaxed),
+            cold_starts: self.cold_starts.load(Ordering::Relaxed),
+            warm_starts: self.warm_starts.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            peak_active: self.peak_active.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn start_finish_bookkeeping() {
+        let m = PlatformMetrics::new();
+        m.start(true);
+        m.start(false);
+        m.finish_ok();
+        m.finish_crash();
+        m.record_timeout();
+        m.record_throttle();
+        let s = m.snapshot();
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.cold_starts, 1);
+        assert_eq!(s.warm_starts, 1);
+        assert_eq!(s.completions, 1);
+        assert_eq!(s.crashes, 1);
+        assert_eq!(s.timeouts, 1);
+        assert_eq!(s.throttles, 1);
+        assert_eq!(s.active, 0);
+        assert_eq!(s.peak_active, 2);
+    }
+}

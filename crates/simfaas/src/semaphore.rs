@@ -1,0 +1,104 @@
+//! A counting semaphore with timed acquisition, used for the platform-wide
+//! concurrency cap.
+
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A counting semaphore.
+pub(crate) struct Semaphore {
+    permits: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Semaphore {
+    pub(crate) fn new(permits: usize) -> Self {
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Acquires a permit, blocking up to `timeout` (real time).
+    ///
+    /// Returns `false` if the timeout elapsed. A `None` timeout blocks
+    /// forever.
+    pub(crate) fn acquire(&self, timeout: Option<Duration>) -> bool {
+        let mut permits = self.permits.lock();
+        match timeout {
+            None => {
+                while *permits == 0 {
+                    self.cv.wait(&mut permits);
+                }
+            }
+            Some(t) => {
+                let deadline = std::time::Instant::now() + t;
+                while *permits == 0 {
+                    if self.cv.wait_until(&mut permits, deadline).timed_out() {
+                        return false;
+                    }
+                }
+            }
+        }
+        *permits -= 1;
+        true
+    }
+
+    /// Tries to acquire without blocking.
+    pub(crate) fn try_acquire(&self) -> bool {
+        let mut permits = self.permits.lock();
+        if *permits == 0 {
+            false
+        } else {
+            *permits -= 1;
+            true
+        }
+    }
+
+    /// Releases a permit.
+    pub(crate) fn release(&self) {
+        let mut permits = self.permits.lock();
+        *permits += 1;
+        drop(permits);
+        self.cv.notify_one();
+    }
+
+    /// Current available permits (racy; for metrics only).
+    #[cfg_attr(not(test), allow(dead_code))] // Exercised by unit tests.
+    pub(crate) fn available(&self) -> usize {
+        *self.permits.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let s = Semaphore::new(2);
+        assert!(s.try_acquire());
+        assert!(s.try_acquire());
+        assert!(!s.try_acquire());
+        s.release();
+        assert!(s.try_acquire());
+        assert_eq!(s.available(), 0);
+    }
+
+    #[test]
+    fn timed_acquire_times_out() {
+        let s = Semaphore::new(0);
+        assert!(!s.acquire(Some(Duration::from_millis(10))));
+    }
+
+    #[test]
+    fn blocked_acquirer_wakes_on_release() {
+        let s = Arc::new(Semaphore::new(0));
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || s2.acquire(Some(Duration::from_secs(5))));
+        std::thread::sleep(Duration::from_millis(20));
+        s.release();
+        assert!(h.join().unwrap());
+    }
+}

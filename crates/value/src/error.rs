@@ -1,0 +1,42 @@
+//! Error type for value and expression operations.
+
+use std::fmt;
+
+/// Result alias for fallible value operations.
+pub type ValueResult<T> = Result<T, ValueError>;
+
+/// Errors raised while navigating values or evaluating expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueError {
+    /// A path segment addressed a map attribute that does not exist.
+    MissingAttr(String),
+    /// A path segment addressed a list index that is out of bounds.
+    IndexOutOfBounds(usize),
+    /// An operation expected a different [`crate::Kind`] of value.
+    TypeMismatch {
+        /// What the operation expected (e.g. `"map"`).
+        expected: &'static str,
+        /// What it found (e.g. `"list"`).
+        found: &'static str,
+    },
+    /// A path was empty or otherwise malformed.
+    BadPath(String),
+    /// Arithmetic in an update expression overflowed.
+    Overflow,
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueError::MissingAttr(a) => write!(f, "missing attribute `{a}`"),
+            ValueError::IndexOutOfBounds(i) => write!(f, "list index {i} out of bounds"),
+            ValueError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ValueError::BadPath(p) => write!(f, "malformed path `{p}`"),
+            ValueError::Overflow => write!(f, "integer overflow in update expression"),
+        }
+    }
+}
+
+impl std::error::Error for ValueError {}

@@ -1,0 +1,204 @@
+//! Attribute paths for navigating [`crate::Value`] trees.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ValueError, ValueResult};
+
+/// One step of a [`Path`]: a map attribute or a list index.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathSegment {
+    /// A map attribute name.
+    Attr(String),
+    /// A list index.
+    Index(usize),
+}
+
+/// A parsed attribute path such as `RecentWrites.step:3` or `items[2].id`.
+///
+/// Attribute names may contain any character except `.`, `[`, and `]`;
+/// Beldi log keys (`<instance>:<step>`) therefore embed directly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    segments: Vec<PathSegment>,
+}
+
+impl Path {
+    /// Creates a path from pre-built segments.
+    pub fn new(segments: Vec<PathSegment>) -> Self {
+        Path { segments }
+    }
+
+    /// Creates a single-attribute path without parsing.
+    ///
+    /// Unlike [`Path::parse`], the attribute may contain dots or brackets;
+    /// use this for dynamic keys such as Beldi log keys.
+    pub fn attr(name: impl Into<String>) -> Self {
+        Path {
+            segments: vec![PathSegment::Attr(name.into())],
+        }
+    }
+
+    /// Appends an attribute segment (builder style).
+    pub fn then_attr(mut self, name: impl Into<String>) -> Self {
+        self.segments.push(PathSegment::Attr(name.into()));
+        self
+    }
+
+    /// Appends an index segment (builder style).
+    pub fn then_index(mut self, i: usize) -> Self {
+        self.segments.push(PathSegment::Index(i));
+        self
+    }
+
+    /// Parses a dotted path with optional `[i]` index suffixes.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use beldi_value::Path;
+    ///
+    /// let p = Path::parse("a.b[2].c").unwrap();
+    /// assert_eq!(p.segments().len(), 4);
+    /// ```
+    pub fn parse(s: &str) -> ValueResult<Self> {
+        if s.is_empty() {
+            return Err(ValueError::BadPath(s.to_owned()));
+        }
+        let mut segments = Vec::new();
+        for part in s.split('.') {
+            if part.is_empty() {
+                return Err(ValueError::BadPath(s.to_owned()));
+            }
+            // Split off any `[i]` suffixes.
+            let mut rest = part;
+            let attr_end = rest.find('[').unwrap_or(rest.len());
+            let (attr, mut idx) = rest.split_at(attr_end);
+            if !attr.is_empty() {
+                segments.push(PathSegment::Attr(attr.to_owned()));
+            } else if !idx.is_empty() && segments.is_empty() {
+                return Err(ValueError::BadPath(s.to_owned()));
+            }
+            while !idx.is_empty() {
+                if !idx.starts_with('[') {
+                    return Err(ValueError::BadPath(s.to_owned()));
+                }
+                let close = idx
+                    .find(']')
+                    .ok_or_else(|| ValueError::BadPath(s.to_owned()))?;
+                let n: usize = idx[1..close]
+                    .parse()
+                    .map_err(|_| ValueError::BadPath(s.to_owned()))?;
+                segments.push(PathSegment::Index(n));
+                idx = &idx[close + 1..];
+            }
+            rest = "";
+            let _ = rest;
+        }
+        Ok(Path { segments })
+    }
+
+    /// Returns the segments of the path.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// Returns true if the path has no segments.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Returns the first segment's attribute name, if it is an attribute.
+    ///
+    /// Projections and filters often only need the top-level attribute.
+    pub fn root_attr(&self) -> Option<&str> {
+        match self.segments.first() {
+            Some(PathSegment::Attr(a)) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, seg) in self.segments.iter().enumerate() {
+            match seg {
+                PathSegment::Attr(a) => {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                PathSegment::Index(n) => write!(f, "[{n}]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for Path {
+    /// Parses the string, panicking on malformed paths.
+    ///
+    /// Intended for string literals in code; use [`Path::parse`] for
+    /// untrusted input and [`Path::attr`] for dynamic single attributes.
+    fn from(s: &str) -> Self {
+        Path::parse(s).expect("malformed path literal")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let p = Path::parse("abc").unwrap();
+        assert_eq!(p.segments(), &[PathSegment::Attr("abc".into())]);
+        assert_eq!(p.root_attr(), Some("abc"));
+    }
+
+    #[test]
+    fn parse_nested_and_indexed() {
+        let p = Path::parse("a.b[0][1].c").unwrap();
+        assert_eq!(
+            p.segments(),
+            &[
+                PathSegment::Attr("a".into()),
+                PathSegment::Attr("b".into()),
+                PathSegment::Index(0),
+                PathSegment::Index(1),
+                PathSegment::Attr("c".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(Path::parse("").is_err());
+        assert!(Path::parse("a..b").is_err());
+        assert!(Path::parse("a[x]").is_err());
+        assert!(Path::parse("a[1").is_err());
+    }
+
+    #[test]
+    fn attr_allows_special_chars() {
+        let p = Path::attr("instance:3.weird[chars]");
+        assert_eq!(p.segments().len(), 1);
+        assert_eq!(p.root_attr(), Some("instance:3.weird[chars]"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in ["a", "a.b", "a.b[3].c"] {
+            let p = Path::parse(s).unwrap();
+            assert_eq!(format!("{p}"), s);
+        }
+    }
+
+    #[test]
+    fn builder_style() {
+        let p = Path::attr("a").then_attr("b").then_index(2);
+        assert_eq!(format!("{p}"), "a.b[2]");
+    }
+}

@@ -1,0 +1,70 @@
+//! DynamoDB-style size accounting for values.
+//!
+//! The linked DAAL exists because DynamoDB's atomicity scope — one row —
+//! holds at most 400 KB (paper §4.1). The simulated database enforces a
+//! configurable row-size limit using the byte model below, which follows
+//! DynamoDB's documented item-size rules closely enough for the experiments:
+//! attribute names count their UTF-8 length, strings/bytes their raw
+//! length, numbers a fixed 9 bytes, booleans and null 1 byte, and
+//! containers 3 bytes of overhead plus their contents.
+
+use crate::value::Value;
+
+/// Types with a DynamoDB-style serialized size.
+pub trait SizeOf {
+    /// Returns the size in bytes this value contributes to a row.
+    fn size_bytes(&self) -> usize;
+}
+
+impl SizeOf for Value {
+    fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 9,
+            Value::Float(_) => 9,
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+            Value::List(l) => 3 + l.iter().map(SizeOf::size_bytes).sum::<usize>(),
+            Value::Map(m) => {
+                3 + m
+                    .iter()
+                    .map(|(k, v)| k.len() + v.size_bytes())
+                    .sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmap;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Value::Null.size_bytes(), 1);
+        assert_eq!(Value::Bool(true).size_bytes(), 1);
+        assert_eq!(Value::Int(0).size_bytes(), 9);
+        assert_eq!(Value::Float(0.0).size_bytes(), 9);
+        assert_eq!(Value::Str("abcd".into()).size_bytes(), 4);
+        assert_eq!(Value::Bytes(vec![0; 10]).size_bytes(), 10);
+    }
+
+    #[test]
+    fn container_sizes_include_overhead_and_names() {
+        let v = vmap! { "ab" => "xyz" };
+        // 3 (map) + 2 (name) + 3 (str) = 8.
+        assert_eq!(v.size_bytes(), 8);
+        let l = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(l.size_bytes(), 3 + 18);
+    }
+
+    #[test]
+    fn nested_sizes_compose() {
+        let inner = vmap! { "k" => 1i64 };
+        let inner_size = inner.size_bytes();
+        let outer = vmap! { "outer" => inner };
+        assert_eq!(outer.size_bytes(), 3 + 5 + inner_size);
+    }
+}

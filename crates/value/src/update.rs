@@ -1,0 +1,231 @@
+//! Update expressions applied atomically to a row.
+//!
+//! These model DynamoDB update expressions: an ordered list of actions
+//! applied within the row's atomicity scope. Beldi's write wrapper
+//! (paper Fig. 6) issues updates such as
+//! `Value = {val}; LogSize = LogSize + 1; RecentWrites[{logKey}] = NULL`,
+//! which map to a [`Update`] of three actions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ValueError, ValueResult};
+use crate::path::Path;
+use crate::value::Value;
+
+/// One action inside an [`Update`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UpdateAction {
+    /// `SET path = value`, creating intermediate maps as needed.
+    Set(Path, Value),
+    /// `SET path = path + delta` with a missing attribute treated as `0`
+    /// (DynamoDB `ADD` semantics).
+    Inc(Path, i64),
+    /// `REMOVE path`; removing an absent path is a no-op.
+    Remove(Path),
+    /// `SET path = value` only if the path is currently absent
+    /// (DynamoDB `if_not_exists`); otherwise a no-op.
+    SetIfAbsent(Path, Value),
+}
+
+/// An ordered list of update actions, applied atomically by the database.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Update {
+    actions: Vec<UpdateAction>,
+}
+
+impl Update {
+    /// Creates an empty update.
+    pub fn new() -> Self {
+        Update::default()
+    }
+
+    /// Appends `SET path = value` (builder style).
+    pub fn set(mut self, path: impl Into<Path>, value: impl Into<Value>) -> Self {
+        self.actions
+            .push(UpdateAction::Set(path.into(), value.into()));
+        self
+    }
+
+    /// Appends `SET path = path + delta` (builder style).
+    pub fn inc(mut self, path: impl Into<Path>, delta: i64) -> Self {
+        self.actions.push(UpdateAction::Inc(path.into(), delta));
+        self
+    }
+
+    /// Appends `REMOVE path` (builder style).
+    pub fn remove(mut self, path: impl Into<Path>) -> Self {
+        self.actions.push(UpdateAction::Remove(path.into()));
+        self
+    }
+
+    /// Appends `SET path = value` gated on absence (builder style).
+    pub fn set_if_absent(mut self, path: impl Into<Path>, value: impl Into<Value>) -> Self {
+        self.actions
+            .push(UpdateAction::SetIfAbsent(path.into(), value.into()));
+        self
+    }
+
+    /// Appends an already-built action (builder style); useful when
+    /// merging update fragments.
+    pub fn push(mut self, action: UpdateAction) -> Self {
+        self.actions.push(action);
+        self
+    }
+
+    /// Returns the actions in application order.
+    pub fn actions(&self) -> &[UpdateAction] {
+        &self.actions
+    }
+
+    /// Returns true if the update contains no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Applies all actions to `row`, in order.
+    ///
+    /// The caller (the database) is responsible for making the application
+    /// atomic; on error the caller must discard the partially updated row.
+    pub fn apply(&self, row: &mut Value) -> ValueResult<()> {
+        for action in &self.actions {
+            match action {
+                UpdateAction::Set(p, v) => row.set_path(p, v.clone())?,
+                UpdateAction::Inc(p, delta) => {
+                    let cur = match row.get_path(p)? {
+                        Some(Value::Int(i)) => *i,
+                        Some(other) => {
+                            return Err(ValueError::TypeMismatch {
+                                expected: "int",
+                                found: other.kind().name(),
+                            })
+                        }
+                        None => 0,
+                    };
+                    let next = cur.checked_add(*delta).ok_or(ValueError::Overflow)?;
+                    row.set_path(p, Value::Int(next))?;
+                }
+                UpdateAction::Remove(p) => {
+                    row.remove_path(p)?;
+                }
+                UpdateAction::SetIfAbsent(p, v) => {
+                    if row.get_path(p)?.is_none() {
+                        row.set_path(p, v.clone())?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Update {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.actions.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            match a {
+                UpdateAction::Set(p, v) => write!(f, "SET {p} = {v}")?,
+                UpdateAction::Inc(p, d) => write!(f, "SET {p} = {p} + {d}")?,
+                UpdateAction::Remove(p) => write!(f, "REMOVE {p}")?,
+                UpdateAction::SetIfAbsent(p, v) => write!(f, "SET {p} = if_not_exists({p}, {v})")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmap;
+
+    #[test]
+    fn set_and_inc() {
+        let mut row = vmap! { "LogSize" => 1i64 };
+        Update::new()
+            .set("Value", "v2")
+            .inc("LogSize", 1)
+            .apply(&mut row)
+            .unwrap();
+        assert_eq!(row.get_str("Value"), Some("v2"));
+        assert_eq!(row.get_int("LogSize"), Some(2));
+    }
+
+    #[test]
+    fn inc_missing_starts_at_zero() {
+        let mut row = vmap! {};
+        Update::new().inc("n", 5).apply(&mut row).unwrap();
+        assert_eq!(row.get_int("n"), Some(5));
+    }
+
+    #[test]
+    fn inc_non_int_is_error() {
+        let mut row = vmap! { "n" => "str" };
+        let err = Update::new().inc("n", 1).apply(&mut row).unwrap_err();
+        assert!(matches!(err, ValueError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn inc_overflow_is_error() {
+        let mut row = vmap! { "n" => i64::MAX };
+        let err = Update::new().inc("n", 1).apply(&mut row).unwrap_err();
+        assert_eq!(err, ValueError::Overflow);
+    }
+
+    #[test]
+    fn remove_absent_is_noop() {
+        let mut row = vmap! { "a" => 1i64 };
+        Update::new().remove("zzz").apply(&mut row).unwrap();
+        assert_eq!(row.get_int("a"), Some(1));
+    }
+
+    #[test]
+    fn set_if_absent() {
+        let mut row = vmap! { "a" => 1i64 };
+        Update::new()
+            .set_if_absent("a", 99i64)
+            .set_if_absent("b", 2i64)
+            .apply(&mut row)
+            .unwrap();
+        assert_eq!(row.get_int("a"), Some(1));
+        assert_eq!(row.get_int("b"), Some(2));
+    }
+
+    #[test]
+    fn nested_log_entry_write() {
+        // The shape used by Beldi's write wrapper for DAAL rows.
+        let mut row = vmap! { "RecentWrites" => vmap! {}, "LogSize" => 0i64 };
+        let log_key = Path::attr("RecentWrites").then_attr("inst-1:4");
+        Update::new()
+            .set("Value", "new")
+            .inc("LogSize", 1)
+            .set(log_key.clone(), Value::Null)
+            .apply(&mut row)
+            .unwrap();
+        assert_eq!(row.get_path(&log_key).unwrap(), Some(&Value::Null));
+        assert_eq!(row.get_int("LogSize"), Some(1));
+    }
+
+    #[test]
+    fn actions_apply_in_order() {
+        let mut row = vmap! {};
+        Update::new()
+            .set("a", 1i64)
+            .set("a", 2i64)
+            .apply(&mut row)
+            .unwrap();
+        assert_eq!(row.get_int("a"), Some(2));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let u = Update::new().set("a", 1i64).inc("b", 2).remove("c");
+        let s = format!("{u}");
+        assert!(s.contains("SET a = 1"));
+        assert!(s.contains("b + 2"));
+        assert!(s.contains("REMOVE c"));
+    }
+}

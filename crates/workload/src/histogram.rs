@@ -1,0 +1,259 @@
+//! Log-bucketed latency histograms (HdrHistogram-style, as wrk2 records).
+
+use std::time::Duration;
+
+/// Number of sub-buckets per power of two: trades memory for resolution.
+/// 32 sub-buckets keep relative error under ~3%, ample for p50/p99 shapes.
+const SUB_BUCKETS: usize = 32;
+/// Covers 2^0 .. 2^40 microseconds (~12 days) — every plausible latency.
+const MAX_EXP: usize = 40;
+
+/// A log-bucketed histogram of durations with percentile queries.
+///
+/// Values are recorded in microseconds into geometrically growing buckets,
+/// so percentile queries have bounded relative error at any magnitude —
+/// the same trade HdrHistogram (used by wrk2) makes.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    max_us: u64,
+    min_us: u64,
+    sum_us: u128,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.total)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; SUB_BUCKETS * (MAX_EXP + 1)],
+            total: 0,
+            max_us: 0,
+            min_us: u64::MAX,
+            sum_us: 0,
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        let us = us.max(1);
+        let exp = (63 - us.leading_zeros()) as usize;
+        if exp >= MAX_EXP {
+            return SUB_BUCKETS * (MAX_EXP + 1) - 1;
+        }
+        // Position within the power-of-two range, scaled to sub-buckets.
+        let base = 1u64 << exp;
+        let frac = ((us - base) as u128 * SUB_BUCKETS as u128 / base as u128) as usize;
+        exp * SUB_BUCKETS + frac.min(SUB_BUCKETS - 1)
+    }
+
+    fn bucket_value(idx: usize) -> u64 {
+        let exp = idx / SUB_BUCKETS;
+        let frac = idx % SUB_BUCKETS;
+        let base = 1u64 << exp;
+        // Upper edge of the sub-bucket: conservative (never understates).
+        base + (base as u128 * (frac as u128 + 1) / SUB_BUCKETS as u128) as u64
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        let us = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.counts[Self::bucket_of(us)] += 1;
+        self.total += 1;
+        self.max_us = self.max_us.max(us);
+        self.min_us = self.min_us.min(us);
+        self.sum_us += us as u128;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The value at quantile `q` in `[0, 1]` (e.g. `0.99`).
+    ///
+    /// Returns `Duration::ZERO` for an empty histogram. Exact for the min
+    /// and max; bounded relative error elsewhere.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let v = Self::bucket_value(idx).min(self.max_us).max(self.min_us);
+                return Duration::from_micros(v);
+            }
+        }
+        Duration::from_micros(self.max_us)
+    }
+
+    /// Maximum recorded value.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(if self.total == 0 { 0 } else { self.max_us })
+    }
+
+    /// Minimum recorded value.
+    pub fn min(&self) -> Duration {
+        Duration::from_micros(if self.total == 0 { 0 } else { self.min_us })
+    }
+
+    /// Arithmetic mean of recorded values.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.sum_us / self.total as u128) as u64)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_us += other.sum_us;
+        self.max_us = self.max_us.max(other.max_us);
+        self.min_us = self.min_us.min(other.min_us);
+    }
+
+    /// The standard percentile summary used by the figure harnesses.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+            mean: self.mean(),
+            count: self.total,
+        }
+    }
+}
+
+/// p50/p90/p99/max/mean summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Maximum.
+    pub max: Duration,
+    /// Mean.
+    pub mean: Duration,
+    /// Sample count.
+    pub count: u64,
+}
+
+impl std::fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms",
+            self.count,
+            self.p50.as_secs_f64() * 1e3,
+            self.p90.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.max.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_value_is_every_quantile() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(5));
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q);
+            let err = (v.as_micros() as f64 - 5_000.0).abs() / 5_000.0;
+            assert!(err < 0.05, "q={q}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn quantiles_of_uniform_ramp() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i * 100)); // 0.1ms .. 100ms
+        }
+        let p50 = h.quantile(0.5).as_micros() as f64;
+        let p99 = h.quantile(0.99).as_micros() as f64;
+        assert!((p50 - 50_000.0).abs() / 50_000.0 < 0.06, "p50 = {p50}");
+        assert!((p99 - 99_000.0).abs() / 99_000.0 < 0.06, "p99 = {p99}");
+        assert_eq!(h.len(), 1000);
+    }
+
+    #[test]
+    fn min_max_exact() {
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(123));
+        h.record(Duration::from_millis(40));
+        assert_eq!(h.min(), Duration::from_micros(123));
+        assert_eq!(h.max(), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn merge_combines_populations() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for _ in 0..100 {
+            a.record(Duration::from_millis(1));
+            b.record(Duration::from_millis(100));
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 200);
+        let p50 = a.quantile(0.50);
+        // Median of the merged population sits at the low mode's edge.
+        assert!(p50 <= Duration::from_millis(2), "{p50:?}");
+        let p99 = a.quantile(0.99);
+        assert!(p99 >= Duration::from_millis(90), "{p99:?}");
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(Duration::ZERO);
+        h.record(Duration::from_secs(1 << 30));
+        assert_eq!(h.len(), 2);
+        let _ = h.quantile(0.5);
+    }
+}

@@ -1,0 +1,23 @@
+//! Open-loop load generation and latency recording for the Beldi
+//! reproduction — the stand-in for wrk2 (§7.2).
+//!
+//! wrk2's two defining properties are reproduced:
+//!
+//! - **Open-loop constant-rate arrivals**: requests are issued on a fixed
+//!   schedule regardless of how long earlier requests take, so saturation
+//!   shows up as growing latency (Figs. 14/15/26) rather than reduced
+//!   offered load.
+//! - **Coordinated-omission-free recording**: each latency is measured
+//!   from the request's *intended* arrival time, not from when a delayed
+//!   issuer got around to sending it.
+//!
+//! All time is virtual ([`beldi_simclock::Clock`]); experiments compress
+//! minutes into milliseconds without changing any ordering.
+
+mod histogram;
+mod runner;
+mod sweep;
+
+pub use histogram::{Histogram, Percentiles};
+pub use runner::{RateRunner, RunReport};
+pub use sweep::{sweep, SweepPoint};

@@ -1,0 +1,84 @@
+//! Property tests for the latency histogram: quantile bounds, monotonicity,
+//! and merge equivalence.
+
+use std::time::Duration;
+
+use beldi_workload::Histogram;
+use proptest::prelude::*;
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(1u64..10_000_000, 1..400)
+}
+
+proptest! {
+    /// Quantiles are bounded by the true min and max.
+    #[test]
+    fn quantiles_within_min_max(us in samples(), q in 0.0f64..1.0) {
+        let mut h = Histogram::new();
+        for &v in &us {
+            h.record(Duration::from_micros(v));
+        }
+        let lo = *us.iter().min().unwrap();
+        let hi = *us.iter().max().unwrap();
+        let got = h.quantile(q).as_micros() as u64;
+        prop_assert!(got >= lo, "q={q}: {got} < min {lo}");
+        prop_assert!(got <= hi, "q={q}: {got} > max {hi}");
+    }
+
+    /// Quantiles are monotone in `q`.
+    #[test]
+    fn quantiles_monotone(us in samples()) {
+        let mut h = Histogram::new();
+        for &v in &us {
+            h.record(Duration::from_micros(v));
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+        }
+    }
+
+    /// The median has bounded relative error against an exact sort.
+    #[test]
+    fn median_relative_error_bounded(us in samples()) {
+        let mut h = Histogram::new();
+        for &v in &us {
+            h.record(Duration::from_micros(v));
+        }
+        let mut sorted = us.clone();
+        sorted.sort_unstable();
+        let exact = sorted[(sorted.len() - 1) / 2] as f64;
+        let got = h.quantile(0.5).as_micros() as f64;
+        // Log-bucketed storage guarantees bounded relative error; allow
+        // 10% (bucket width is ~3%, plus rank rounding on tiny samples).
+        prop_assert!(
+            (got - exact).abs() <= exact * 0.10 + 2.0,
+            "median {got} vs exact {exact}"
+        );
+    }
+
+    /// Merging two histograms equals recording the concatenation.
+    #[test]
+    fn merge_is_concatenation(a in samples(), b in samples()) {
+        let mut ha = Histogram::new();
+        for &v in &a {
+            ha.record(Duration::from_micros(v));
+        }
+        let mut hb = Histogram::new();
+        for &v in &b {
+            hb.record(Duration::from_micros(v));
+        }
+        let mut hc = Histogram::new();
+        for &v in a.iter().chain(&b) {
+            hc.record(Duration::from_micros(v));
+        }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.len(), hc.len());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q), "q={}", q);
+        }
+        prop_assert_eq!(ha.max(), hc.max());
+        prop_assert_eq!(ha.min(), hc.min());
+        prop_assert_eq!(ha.mean(), hc.mean());
+    }
+}

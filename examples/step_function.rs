@@ -1,0 +1,106 @@
+//! Step-function workflows with a transactional segment (§6.2, Fig. 21).
+//!
+//! Declares an order-processing workflow as a step function — validate,
+//! then *transactionally* charge the customer and decrement inventory
+//! across two independent SSFs, then confirm — and shows the whole
+//! segment rolling back when the inventory leg aborts.
+//!
+//! ```text
+//! cargo run --example step_function
+//! ```
+
+use std::sync::Arc;
+
+use beldi_repro::beldi::stepfn::StepFunction;
+use beldi_repro::beldi::{BeldiEnv, BeldiError};
+use beldi_repro::value::{vmap, Value};
+
+fn main() {
+    let env = BeldiEnv::for_tests();
+
+    // Three independently owned SSFs (separate tables — data sovereignty).
+    env.register_ssf(
+        "validate",
+        &[],
+        Arc::new(|_, input: Value| {
+            let qty = input.get_int("qty").unwrap_or(0);
+            if qty <= 0 {
+                return Err(BeldiError::Protocol("quantity must be positive".into()));
+            }
+            Ok(input)
+        }),
+    );
+    env.register_ssf(
+        "charge",
+        &["accounts"],
+        Arc::new(|ctx, input| {
+            let user = input.get_str("user").unwrap_or("?").to_owned();
+            let cost = input.get_int("qty").unwrap_or(0) * 10;
+            let balance = ctx.read("accounts", &user)?.as_int().unwrap_or(0);
+            if balance < cost {
+                return Err(BeldiError::TxnAborted);
+            }
+            ctx.write("accounts", &user, Value::Int(balance - cost))?;
+            Ok(input)
+        }),
+    );
+    env.register_ssf(
+        "inventory",
+        &["stock"],
+        Arc::new(|ctx, input| {
+            let item = input.get_str("item").unwrap_or("?").to_owned();
+            let qty = input.get_int("qty").unwrap_or(0);
+            let stock = ctx.read("stock", &item)?.as_int().unwrap_or(0);
+            if stock < qty {
+                return Err(BeldiError::TxnAborted);
+            }
+            ctx.write("stock", &item, Value::Int(stock - qty))?;
+            Ok(input)
+        }),
+    );
+    env.register_ssf(
+        "confirm",
+        &[],
+        Arc::new(|_, input: Value| Ok(vmap! { "status" => "confirmed", "order" => input })),
+    );
+
+    // The workflow, Fig. 21-style: begin/end markers delimit the
+    // transactional subgraph.
+    StepFunction::new("order")
+        .task("validate")
+        .txn_begin()
+        .task("charge")
+        .task("inventory")
+        .txn_end()
+        .task("confirm")
+        .install(&env);
+
+    env.seed("charge", "accounts", "ada", Value::Int(100))
+        .unwrap();
+    env.seed("inventory", "stock", "widget", Value::Int(5))
+        .unwrap();
+
+    println!("== A successful order ==");
+    let order = vmap! { "user" => "ada", "item" => "widget", "qty" => 3i64 };
+    let out = env.invoke("order", order).expect("order");
+    println!("   {out}");
+    let balance = env.read_current("charge", "accounts", "ada").unwrap();
+    let stock = env.read_current("inventory", "stock", "widget").unwrap();
+    println!("   balance = {balance}, stock = {stock}");
+    assert_eq!(balance, Value::Int(70));
+    assert_eq!(stock, Value::Int(2));
+
+    println!("\n== An order the inventory leg cannot satisfy ==");
+    let too_many = vmap! { "user" => "ada", "item" => "widget", "qty" => 4i64 };
+    let result = env.invoke("order", too_many);
+    println!("   result: {result:?}");
+    assert!(matches!(result, Err(BeldiError::TxnAborted)));
+    // The charge was rolled back atomically with the inventory abort.
+    let balance = env.read_current("charge", "accounts", "ada").unwrap();
+    let stock = env.read_current("inventory", "stock", "widget").unwrap();
+    println!("   balance = {balance} (unchanged), stock = {stock} (unchanged)");
+    assert_eq!(balance, Value::Int(70));
+    assert_eq!(stock, Value::Int(2));
+
+    println!("\nok: the transactional segment commits or aborts as a unit.");
+}

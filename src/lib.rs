@@ -1,0 +1,15 @@
+//! Umbrella crate for the Beldi reproduction workspace.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories; it simply re-exports the member crates so examples can use
+//! a single dependency.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use beldi;
+pub use beldi_apps as apps;
+pub use beldi_simclock as simclock;
+pub use beldi_simdb as simdb;
+pub use beldi_simfaas as simfaas;
+pub use beldi_value as value;
+pub use beldi_workload as workload;

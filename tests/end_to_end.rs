@@ -1,0 +1,245 @@
+//! Workspace-level integration tests: the full stack — applications from
+//! `beldi-apps`, the Beldi runtime, the simulated platform and database,
+//! collectors on timers, fault injection, and the workload driver —
+//! exercised together the way the paper's evaluation deploys them.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use beldi_repro::apps::{MediaApp, SocialApp, TravelApp};
+use beldi_repro::beldi::{BeldiConfig, BeldiEnv, Mode, RandomCrashPolicy};
+use beldi_repro::value::{vmap, Value};
+use beldi_repro::workload::RateRunner;
+
+/// Every app serves its full request mix in every mode.
+#[test]
+fn all_apps_serve_their_mix_in_all_modes() {
+    for mode in [Mode::Beldi, Mode::CrossTable, Mode::Baseline] {
+        let cfg = match mode {
+            Mode::Beldi => BeldiConfig::beldi(),
+            Mode::CrossTable => BeldiConfig::cross_table(),
+            Mode::Baseline => BeldiConfig::baseline(),
+        };
+        let env = BeldiEnv::for_tests_with(cfg);
+        let travel = TravelApp {
+            hotels: 6,
+            flights: 6,
+            users: 4,
+            rooms_per_hotel: 50,
+            seats_per_flight: 50,
+            transactional: mode != Mode::CrossTable,
+        };
+        let media = MediaApp {
+            movies: 6,
+            users: 4,
+        };
+        let social = SocialApp {
+            users: 6,
+            follows_per_user: 2,
+        };
+        travel.install(&env);
+        media.install(&env);
+        social.install(&env);
+        travel.seed(&env);
+        media.seed(&env);
+        social.seed(&env);
+        let mut rng = beldi_repro::apps::rng::request_rng(99);
+        for _ in 0..15 {
+            env.invoke(travel.entry(), travel.request(&mut rng))
+                .unwrap_or_else(|e| panic!("travel in {mode:?}: {e}"));
+            env.invoke(media.entry(), media.request(&mut rng))
+                .unwrap_or_else(|e| panic!("media in {mode:?}: {e}"));
+            env.invoke(social.entry(), social.request(&mut rng))
+                .unwrap_or_else(|e| panic!("social in {mode:?}: {e}"));
+        }
+    }
+}
+
+/// The paper's headline consistency claim, end to end: under a crash
+/// storm with collectors running on timers, the travel app's two
+/// inventory legs never drift on Beldi.
+#[test]
+fn travel_inventory_consistent_under_crash_storm() {
+    // Collector periods are virtual; at the 100× clock below one virtual
+    // minute is 0.6 s real, keeping the 20 timers lightweight.
+    let cfg = BeldiConfig::beldi()
+        .with_ic_restart_delay(Duration::from_secs(30))
+        .with_collector_period(Duration::from_secs(60))
+        .with_t_max(Duration::from_secs(120));
+    let env = BeldiEnv::builder(cfg).clock_rate(100.0).build();
+    let app = TravelApp {
+        hotels: 8,
+        flights: 8,
+        users: 4,
+        rooms_per_hotel: 5,
+        seats_per_flight: 5,
+        transactional: true,
+    };
+    app.install(&env);
+    app.seed(&env);
+    env.start_collectors();
+    env.platform()
+        .faults()
+        .set_random_policy(Some(RandomCrashPolicy {
+            prob: 0.01,
+            max_crashes: 60,
+            seed: 0xABCD,
+        }));
+
+    let env = Arc::new(env);
+    let mut handles = Vec::new();
+    for t in 0..6u64 {
+        let env = Arc::clone(&env);
+        let app = app.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = beldi_repro::apps::rng::request_rng(t);
+            let mut reserved = 0i64;
+            for _ in 0..10 {
+                if let Ok(out) = env.invoke(app.entry(), app.reserve_request(&mut rng)) {
+                    if out.get_str("status") == Some("reserved") {
+                        reserved += 1;
+                    }
+                }
+            }
+            reserved
+        }));
+    }
+    let mut total_reserved = 0;
+    for h in handles {
+        total_reserved += h.join().unwrap();
+    }
+    env.platform().faults().set_random_policy(None);
+    env.stop_collectors();
+
+    let (rooms, seats) = app.remaining_inventory(&env);
+    assert_eq!(rooms, seats, "legs must never drift under Beldi");
+    assert_eq!(
+        rooms,
+        8 * 5 - total_reserved,
+        "every successful reservation decremented exactly one room"
+    );
+}
+
+/// The same storm on the baseline shows the motivating anomaly: retrying
+/// a request (what the provider's restart does) duplicates its effects.
+#[test]
+fn baseline_duplicates_reservations_on_retry() {
+    let env = BeldiEnv::for_tests_with(BeldiConfig::baseline());
+    let app = TravelApp {
+        hotels: 4,
+        flights: 4,
+        users: 2,
+        rooms_per_hotel: 10,
+        seats_per_flight: 10,
+        transactional: true, // begin/end are no-ops in baseline mode.
+    };
+    app.install(&env);
+    app.seed(&env);
+    let req = vmap! { "op" => "reserve", "user" => "user-0", "hotel" => "hotel-1", "flight" => "flight-1" };
+    // One logical reservation, delivered twice (provider retry).
+    env.invoke(app.entry(), req.clone()).unwrap();
+    env.invoke(app.entry(), req).unwrap();
+    let (rooms, seats) = app.remaining_inventory(&env);
+    // 2 rooms + 2 seats gone for one logical booking.
+    assert_eq!(rooms, 38);
+    assert_eq!(seats, 38);
+}
+
+/// Open-loop load through the workload driver against a real app, with
+/// collectors running: the full Figs. 14/15/26 pipeline in miniature.
+#[test]
+fn load_driver_runs_media_app_under_timers() {
+    let cfg = BeldiConfig::beldi().with_collector_period(Duration::from_secs(60));
+    let env = BeldiEnv::builder(cfg).clock_rate(100.0).build();
+    let app = MediaApp {
+        movies: 10,
+        users: 6,
+    };
+    app.install(&env);
+    app.seed(&env);
+    env.start_collectors();
+    let env = Arc::new(env);
+    let runner = RateRunner::new(env.clock().clone(), 60.0, Duration::from_secs(2), 16);
+    let env2 = Arc::clone(&env);
+    let app2 = app.clone();
+    let report = runner.run(Arc::new(move |i| {
+        let mut rng = beldi_repro::apps::rng::request_rng(1000 + i);
+        env2.invoke(app2.entry(), app2.request(&mut rng)).is_ok()
+    }));
+    env.stop_collectors();
+    assert_eq!(report.errors, 0, "all requests served");
+    assert_eq!(report.latency.count, 120);
+    assert!(report.latency.p99 >= report.latency.p50);
+}
+
+/// Garbage collection keeps total storage bounded across a long run of a
+/// real application (logs + intents + DAAL rows all pruned).
+#[test]
+fn storage_stays_bounded_under_gc() {
+    let cfg = BeldiConfig::beldi()
+        .with_row_capacity(4)
+        .with_t_max(Duration::from_millis(80));
+    let env = BeldiEnv::for_tests_with(cfg);
+    let app = SocialApp {
+        users: 5,
+        follows_per_user: 2,
+    };
+    app.install(&env);
+    app.seed(&env);
+
+    let intent_rows = |env: &BeldiEnv| {
+        let mut n = 0;
+        for ssf in beldi_repro::apps::social::SSFS {
+            n += env
+                .db()
+                .scan_all(
+                    &format!("{ssf}.intent"),
+                    &beldi_repro::simdb::ScanRequest::all(),
+                )
+                .map(|r| r.len())
+                .unwrap_or(0);
+        }
+        n
+    };
+
+    let mut rng = beldi_repro::apps::rng::request_rng(3);
+    for round in 0..4 {
+        for _ in 0..8 {
+            env.invoke(app.entry(), app.request(&mut rng)).unwrap();
+        }
+        // Two GC passes with a T-wait between them recycle the round.
+        for ssf in beldi_repro::apps::social::SSFS {
+            env.run_gc_once(ssf).unwrap();
+        }
+        env.clock().sleep(Duration::from_millis(150));
+        for ssf in beldi_repro::apps::social::SSFS {
+            env.run_gc_once(ssf).unwrap();
+        }
+        let _ = round;
+    }
+    let remaining = intent_rows(&env);
+    assert!(
+        remaining <= 4,
+        "intents must be recycled (found {remaining})"
+    );
+}
+
+/// Data sovereignty across the whole deployment: one SSF cannot name
+/// another's tables even when they share the environment.
+#[test]
+fn sovereignty_holds_across_apps() {
+    let env = BeldiEnv::for_tests();
+    env.register_ssf(
+        "intruder",
+        &[],
+        Arc::new(|ctx, _| ctx.read("users", "user-1")),
+    );
+    let media = MediaApp {
+        movies: 2,
+        users: 2,
+    };
+    media.install(&env);
+    media.seed(&env);
+    let out = env.invoke("intruder", Value::Null);
+    assert!(out.is_err(), "intruder read another SSF's table");
+}
