@@ -186,7 +186,7 @@ impl TravelApp {
             1 => vmap! {
                 "op" => "recommend",
                 "require" => *["price", "rating", "dist"]
-                    .get(rng.gen_range(0..3))
+                    .get(rng.gen_range(0..3usize))
                     .unwrap(),
             },
             2 => {

@@ -107,6 +107,9 @@ fn wlog_flag(db: &Database, wlog: &str, log_key: &str) -> BeldiResult<WriteOutco
 /// `payload` is applied to the data row on success (e.g. `SET Value = v`
 /// or `SET LockOwner = o`); `user_cond` gates it, with the false outcome
 /// logged exactly as in the DAAL protocol (Fig. 17).
+// The argument list mirrors the DAAL write-protocol inputs one-to-one;
+// bundling them into a struct would just rename the call sites.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn cross_table_write(
     db: &Database,
     table: &str,

@@ -149,7 +149,7 @@ fn completed_callee_replays_and_recallbacks() {
     let args = intents[0].get_attr("Args").unwrap().clone();
     let replay = env.platform().invoke_sync("callee", args).unwrap();
     assert_eq!(
-        beldi::value::Value::from(replay.get_int("Ret").is_some() as bool),
+        beldi::value::Value::from(replay.get_int("Ret").is_some()),
         Value::Bool(false),
         "outcome envelope shape"
     );

@@ -937,9 +937,9 @@ mod tests {
             .unwrap();
         let threads = 8;
         let per_thread = 50;
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for _ in 0..threads {
-                s.spawn(|_| {
+                s.spawn(|| {
                     for _ in 0..per_thread {
                         // CAS loop: read then conditional increment.
                         loop {
@@ -964,8 +964,7 @@ mod tests {
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let n = db.get("t", &key, None).unwrap().unwrap().get_int("N");
         assert_eq!(n, Some((threads * per_thread) as i64));
     }

@@ -3,12 +3,11 @@
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 use beldi_simclock::{ScaledClock, SharedClock, SimInstant, Ticker, TickerHandle};
 use beldi_value::Value;
-use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -250,13 +249,13 @@ impl Platform {
         loop {
             match rx.recv_timeout(Duration::from_micros(200)) {
                 Ok(result) => return result,
-                Err(channel::RecvTimeoutError::Timeout) => {
+                Err(mpsc::RecvTimeoutError::Timeout) => {
                     if self.clock.now() >= deadline {
                         self.metrics.record_timeout();
                         return Err(InvokeError::Timeout);
                     }
                 }
-                Err(channel::RecvTimeoutError::Disconnected) => {
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
                     // Worker vanished without sending: treat as crash.
                     return Err(InvokeError::Crashed("worker-lost".into()));
                 }
@@ -279,7 +278,7 @@ impl Platform {
         name: &str,
         payload: Value,
         deadline: SimInstant,
-    ) -> InvokeResult<channel::Receiver<InvokeResult<Value>>> {
+    ) -> InvokeResult<mpsc::Receiver<InvokeResult<Value>>> {
         self.dispatch_inner(name, payload, deadline)
             .map(|(_, rx)| rx)
     }
@@ -289,7 +288,7 @@ impl Platform {
         name: &str,
         payload: Value,
         deadline: SimInstant,
-    ) -> InvokeResult<(String, channel::Receiver<InvokeResult<Value>>)> {
+    ) -> InvokeResult<(String, mpsc::Receiver<InvokeResult<Value>>)> {
         let (handler, warm_idle) = self.lookup(name)?;
         self.acquire_permit(deadline)?;
 
@@ -310,7 +309,7 @@ impl Platform {
             function: name.to_owned(),
             platform: self.clone(),
         };
-        let (tx, rx) = channel::bounded::<InvokeResult<Value>>(1);
+        let (tx, rx) = mpsc::sync_channel::<InvokeResult<Value>>(1);
         let platform = self.clone();
         let fn_name = name.to_owned();
         let startup = self.config.invoke_overhead
@@ -510,7 +509,7 @@ mod tests {
         cfg.concurrency_limit = 1;
         cfg.saturation = SaturationPolicy::Reject;
         let p = Platform::new(ScaledClock::shared(1.0), cfg, 0);
-        let (tx, rx) = channel::bounded::<()>(0);
+        let (tx, rx) = mpsc::sync_channel::<()>(0);
         let rx = Arc::new(Mutex::new(rx));
         let rx2 = rx.clone();
         p.register(

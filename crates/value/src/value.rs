@@ -17,9 +17,10 @@ pub type Map = BTreeMap<String, Value>;
 /// `Value` supports a *total* order (used for sort keys and condition
 /// comparisons): values of different kinds order by [`Kind`] rank, floats
 /// order by IEEE total ordering so that `Value` can implement [`Eq`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub enum Value {
     /// The absent value.
+    #[default]
     Null,
     /// A boolean.
     Bool(bool),
@@ -308,12 +309,6 @@ impl Value {
             }
             _ => Ok(None),
         }
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
     }
 }
 

@@ -1,0 +1,428 @@
+//! Offline shim for the slice of `proptest` this workspace uses.
+//!
+//! Provides the `proptest!`, `prop_oneof!`, `prop_assert!`, and
+//! `prop_assert_eq!` macros, a [`Strategy`] trait implemented for ranges,
+//! tuples, mapped strategies, unions, `prop::collection::vec`, and
+//! regex-subset string patterns (`"[a-z0-9-]{1,24}"` style).
+//!
+//! Unlike the real proptest there is no shrinking and no persisted failure
+//! seeds: each test runs `ProptestConfig::cases` deterministic cases, with
+//! the RNG seeded from the test name and case index, so failures reproduce
+//! exactly across runs.
+
+use std::ops::Range;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each `proptest!` test executes.
+    pub cases: u32,
+    /// Accepted for source compatibility with the real proptest; the shim
+    /// never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The RNG handed to strategies; deterministic per (test, case).
+pub struct TestRng {
+    inner: SmallRng,
+}
+
+impl TestRng {
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.gen()
+    }
+
+    fn gen_usize(&mut self, range: Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+}
+
+/// Seeds a [`TestRng`] from a test name and case index (FNV-1a).
+#[doc(hidden)]
+pub fn test_rng(test_name: &str, case: u32) -> TestRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes().chain(case.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng {
+        inner: SmallRng::seed_from_u64(h),
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.inner.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// One erased arm of a [`Union`]; implemented for every [`Strategy`].
+pub trait UniformArm<V> {
+    /// Draws one value from this arm.
+    fn gen_arm(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> UniformArm<S::Value> for S {
+    fn gen_arm(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice between heterogeneous strategies with a common value
+/// type; produced by [`prop_oneof!`].
+pub struct Union<V> {
+    arms: Vec<Box<dyn UniformArm<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from erased arms.
+    pub fn new(arms: Vec<Box<dyn UniformArm<V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+/// Erases a strategy into a [`Union`] arm (the coercion point for
+/// [`prop_oneof!`]).
+#[doc(hidden)]
+pub fn erase_arm<S>(strategy: S) -> Box<dyn UniformArm<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.gen_usize(0..self.arms.len());
+        self.arms[i].gen_arm(rng)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            size.start < size.end,
+            "prop::collection::vec: empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_usize(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String patterns: a `&str` is a strategy generating matching strings.
+///
+/// Supports the regex subset the tests use: literal characters, character
+/// classes `[a-z0-9-]` (ranges, literals, trailing `-`), and the
+/// quantifiers `{n}`, `{m,n}`, `?`, `+`, `*` (the open-ended ones capped
+/// at 8 repetitions).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one unit: a character class or a literal.
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let class = &chars[i + 1..close];
+                i = close + 1;
+                expand_class(class, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Parse an optional quantifier.
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("bad {m,n}"),
+                        n.trim().parse::<usize>().expect("bad {m,n}"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad {n}");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.gen_usize(lo..hi + 1)
+        };
+        for _ in 0..count {
+            out.push(choices[rng.gen_usize(0..choices.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(!class.is_empty(), "empty character class in {pattern:?}");
+    let mut choices = Vec::new();
+    let mut j = 0;
+    while j < class.len() {
+        if j + 2 < class.len() && class[j + 1] == '-' {
+            let (a, b) = (class[j], class[j + 2]);
+            assert!(a <= b, "reversed class range in {pattern:?}");
+            for c in a..=b {
+                choices.push(c);
+            }
+            j += 3;
+        } else {
+            choices.push(class[j]);
+            j += 1;
+        }
+    }
+    choices
+}
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy};
+
+    /// Namespace alias so `prop::collection::vec` resolves.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => { assert_eq!($left, $right) };
+    ($left:expr, $right:expr, $($fmt:tt)+) => { assert_eq!($left, $right, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::erase_arm($arm)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` body runs
+/// for `cases` deterministic random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), __case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_matches_subset() {
+        let mut rng = crate::test_rng("pattern", 0);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-zA-Z0-9-]{1,24}", &mut rng);
+            assert!((1..=24).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro surface end-to-end: tuples, oneof, map, vec.
+        #[test]
+        fn macro_surface_works(
+            xs in prop::collection::vec(
+                prop_oneof![
+                    (0..3usize, -5i64..5).prop_map(|(a, b)| a as i64 + b),
+                    (0..10usize).prop_map(|a| a as i64),
+                ],
+                1..20,
+            ),
+            q in 0.0f64..1.0,
+        ) {
+            prop_assert!((0.0..1.0).contains(&q));
+            prop_assert!(!xs.is_empty() && xs.len() < 20);
+            for x in xs {
+                prop_assert!((-5..10).contains(&x), "x={}", x);
+            }
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline shim for the `serde` facade.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize};` plus `#[derive(Serialize, Deserialize)]` compile without
+//! registry access. No trait machinery is provided because nothing in the
+//! workspace serializes through serde — `beldi_value` carries its own
+//! canonical encoding.
+
+pub use serde_derive::{Deserialize, Serialize};

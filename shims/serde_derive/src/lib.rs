@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The build environment has no registry access, so the real `serde_derive`
+//! cannot be fetched. The workspace only uses the derives as markers (no
+//! code path actually serializes through serde traits — `beldi_value` has
+//! its own canonical encoding), so expanding to nothing is sufficient and
+//! keeps the seed sources unmodified.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts any input the real derive would.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,42 @@
+//! Workspace smoke test: the cheapest possible end-to-end signal that the
+//! manifests, feature wiring, and mode configs are intact. If this fails,
+//! everything else will too — start here.
+
+use std::sync::Arc;
+
+use beldi_repro::beldi::{BeldiConfig, BeldiEnv, Mode};
+use beldi_repro::value::Value;
+
+fn config_for(mode: Mode) -> BeldiConfig {
+    match mode {
+        Mode::Beldi => BeldiConfig::beldi(),
+        Mode::CrossTable => BeldiConfig::cross_table(),
+        Mode::Baseline => BeldiConfig::baseline(),
+    }
+}
+
+/// `BeldiEnv::for_tests_with` round-trips a put/get in every mode.
+#[test]
+fn put_get_round_trips_in_all_modes() {
+    for mode in [Mode::Beldi, Mode::CrossTable, Mode::Baseline] {
+        let env = BeldiEnv::for_tests_with(config_for(mode));
+        env.register_ssf(
+            "kv",
+            &["t"],
+            Arc::new(|ctx, payload| {
+                ctx.write("t", "k", payload)?;
+                ctx.read("t", "k")
+            }),
+        );
+        let out = env
+            .invoke("kv", Value::Int(42))
+            .unwrap_or_else(|e| panic!("put/get failed in {mode:?}: {e}"));
+        assert_eq!(out, Value::Int(42), "read-back mismatch in {mode:?}");
+        assert_eq!(
+            env.read_current("kv", "t", "k")
+                .unwrap_or_else(|e| panic!("read_current failed in {mode:?}: {e}")),
+            Value::Int(42),
+            "stored value mismatch in {mode:?}"
+        );
+    }
+}
