@@ -1,0 +1,144 @@
+//! Criterion bench: storage contention — partition count × key skew.
+//!
+//! Measures the simulated database directly (no Beldi layer, zero latency
+//! model) so the numbers isolate lock contention in the store itself:
+//!
+//! - `uniform/pN` — 8 threads spraying conditional increments over 256
+//!   keys. Throughput should *improve* as partitions grow from 1 to 8:
+//!   with `P = 1` every write serializes behind one lock, with `P = 8`
+//!   disjoint keys commute.
+//! - `hotkey/pN` — the adversarial bound: every write hits one key, so
+//!   all of them share a partition no matter how many exist and partition
+//!   count should *not* help. The gap between the two series is the win
+//!   attributable to sharding.
+//! - `txn/pN` — 2-op cross-table transactions on random key pairs: the
+//!   ordered multi-partition commit path (which replaced the global
+//!   transaction lock) under thread contention.
+
+use std::sync::Arc;
+
+use beldi::value::{vmap, Cond, Update};
+use beldi_simdb::{Database, PrimaryKey, TableSchema, TransactOp};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: usize = 64;
+const KEYSPACE: usize = 256;
+
+fn fresh_db(partitions: usize) -> Arc<Database> {
+    // Zero-latency, real-time clock: the measurement is pure lock/data
+    // cost, not the modelled DynamoDB round trips. Rows carry a payload so
+    // the work under the partition lock (row clone + reindex) is the
+    // dominant per-op cost, as it would be for real item sizes.
+    let db = Database::for_tests_with_partitions(partitions);
+    for table in ["t", "u"] {
+        db.create_table(table, TableSchema::hash_only("Id"))
+            .unwrap();
+        for k in 0..KEYSPACE {
+            db.put(
+                table,
+                vmap! { "Id" => format!("k{k}"), "N" => 0i64, "Payload" => "x".repeat(256) },
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+/// The benchmark keyspace, precomputed so key construction stays out of
+/// the measured loop.
+fn keys() -> Vec<PrimaryKey> {
+    (0..KEYSPACE)
+        .map(|k| PrimaryKey::hash(format!("k{k}")))
+        .collect()
+}
+
+/// One batch: every thread issues `OPS_PER_THREAD` conditional increments,
+/// choosing keys by `pick(thread, i)`.
+fn increment_batch(
+    db: &Database,
+    keys: &[PrimaryKey],
+    pick: impl Fn(usize, usize) -> usize + Sync,
+) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pick = &pick;
+            s.spawn(move || {
+                let update = Update::new().inc("N", 1);
+                let cond = Cond::exists("Id");
+                for i in 0..OPS_PER_THREAD {
+                    db.update("t", &keys[pick(t, i)], &cond, &update).unwrap();
+                }
+            });
+        }
+    });
+}
+
+/// One batch of 2-op transactions across two tables (usually two
+/// partitions), on a deterministic per-thread key walk.
+fn txn_batch(db: &Database, keys: &[PrimaryKey]) {
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    let a = (t * OPS_PER_THREAD + i * 7919) % KEYSPACE;
+                    let b = (a + 127) % KEYSPACE;
+                    db.transact_write(&[
+                        TransactOp::Update {
+                            table: "t".into(),
+                            key: keys[a].clone(),
+                            cond: Cond::exists("Id"),
+                            update: Update::new().inc("N", 1),
+                        },
+                        TransactOp::Update {
+                            table: "u".into(),
+                            key: keys[b].clone(),
+                            cond: Cond::exists("Id"),
+                            update: Update::new().inc("N", 1),
+                        },
+                    ])
+                    .unwrap();
+                }
+            });
+        }
+    });
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contention");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(1));
+    let keys = keys();
+    for partitions in [1usize, 2, 4, 8] {
+        let db = fresh_db(partitions);
+        group.bench_with_input(
+            BenchmarkId::new("uniform", format!("p{partitions}")),
+            &db,
+            |b, db| {
+                b.iter(|| {
+                    increment_batch(db, &keys, |t, i| (t * OPS_PER_THREAD + i * 7919) % KEYSPACE)
+                });
+            },
+        );
+        let db = fresh_db(partitions);
+        group.bench_with_input(
+            BenchmarkId::new("hotkey", format!("p{partitions}")),
+            &db,
+            |b, db| {
+                b.iter(|| increment_batch(db, &keys, |_, _| 0));
+            },
+        );
+        let db = fresh_db(partitions);
+        group.bench_with_input(
+            BenchmarkId::new("txn", format!("p{partitions}")),
+            &db,
+            |b, db| {
+                b.iter(|| txn_batch(db, &keys));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contention);
+criterion_main!(benches);

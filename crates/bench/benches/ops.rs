@@ -10,7 +10,7 @@ fn bench_ops(c: &mut Criterion) {
     group.sample_size(20);
     group.measurement_time(std::time::Duration::from_secs(3));
     for (system, mode) in beldi_bench::SYSTEMS {
-        let env = experiment_env(mode, 5, 5_000.0);
+        let env = experiment_env(mode, 5, 5_000.0, beldi_simdb::DEFAULT_PARTITIONS);
         register_micro_ops(&env);
         for op in ["read", "write", "condwrite"] {
             let payload = beldi_bench::micro_payload(op);

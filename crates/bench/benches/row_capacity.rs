@@ -14,7 +14,12 @@ fn bench_row_capacity(c: &mut Criterion) {
     let mut group = c.benchmark_group("row_capacity");
     group.sample_size(15);
     for capacity in [1usize, 5, 25, 100] {
-        let env = experiment_env(Mode::Beldi, capacity, 5_000.0);
+        let env = experiment_env(
+            Mode::Beldi,
+            capacity,
+            5_000.0,
+            beldi_simdb::DEFAULT_PARTITIONS,
+        );
         register_micro_ops(&env);
         group.bench_with_input(BenchmarkId::new("write", capacity), &env, |b, env| {
             b.iter(|| {

@@ -13,25 +13,32 @@
 //! bytes read, bytes written, and write amplification, for baseline vs
 //! Beldi vs cross-table.
 //!
+//! It also reports the partition-load fingerprint of each run: lock
+//! acquisitions per partition and the number that had to wait, so key
+//! skew (everything here hammers one hot key) is visible directly.
+//!
 //! ```text
-//! cargo run -p beldi-bench --release --bin costs [-- --rows 20 --iters 100]
+//! cargo run -p beldi-bench --release --bin costs \
+//!     [-- --rows 20 --iters 100 --partitions 8]
 //! ```
 
 use beldi::value::Value;
 use beldi::Mode;
 use beldi_bench::{
-    arg_usize, experiment_env, micro_payload_n, prepopulate_daal, print_table, register_micro_ops,
-    SYSTEMS, VALUE_16B,
+    arg_partitions, arg_usize, experiment_env, micro_payload_n, prepopulate_daal, print_table,
+    register_micro_ops, SYSTEMS, VALUE_16B,
 };
 
 fn main() {
     let rows = arg_usize("--rows", 20);
     let iters = arg_usize("--iters", 100);
+    let partitions = arg_partitions();
 
     let mut table = Vec::new();
     let mut storage = Vec::new();
+    let mut partition_load = Vec::new();
     for (system, mode) in SYSTEMS {
-        let env = experiment_env(mode, 100, 2_000.0);
+        let env = experiment_env(mode, 100, 2_000.0, partitions);
         register_micro_ops(&env);
         env.seed("micro", "t", "k", Value::from(VALUE_16B))
             .expect("seed");
@@ -71,6 +78,17 @@ fn main() {
                 env.db_metrics().bytes_written.to_string(),
             ]);
         }
+        // Partition-load fingerprint of the whole run for this system.
+        let m = env.db_metrics();
+        let ops = &m.partition_ops;
+        partition_load.push(vec![
+            system.to_owned(),
+            ops.len().to_string(),
+            m.lock_waits.to_string(),
+            ops.iter().min().copied().unwrap_or(0).to_string(),
+            ops.iter().max().copied().unwrap_or(0).to_string(),
+            ops.iter().map(u64::to_string).collect::<Vec<_>>().join(","),
+        ]);
     }
     print_table(
         "Per-operation database costs (averages per op)",
@@ -88,5 +106,17 @@ fn main() {
         "Beldi storage footprint of the hot key",
         &["system", "daal_rows", "total_bytes_written"],
         &storage,
+    );
+    print_table(
+        "Partition load (lock acquisitions per partition; skew fingerprint)",
+        &[
+            "system",
+            "partitions",
+            "lock_waits",
+            "min_ops",
+            "max_ops",
+            "ops_by_partition",
+        ],
+        &partition_load,
     );
 }

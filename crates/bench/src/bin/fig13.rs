@@ -9,14 +9,15 @@
 //! without garbage collection").
 //!
 //! ```text
-//! cargo run -p beldi-bench --release --bin fig13 [-- --rows 20 --iters 300]
+//! cargo run -p beldi-bench --release --bin fig13 \
+//!     [-- --rows 20 --iters 300 --partitions 8]
 //! ```
 
 use beldi::value::Value;
 use beldi::Mode;
 use beldi_bench::{
-    arg_usize, experiment_env, measure_op, measure_op_amortized, ms, prepopulate_daal, print_table,
-    register_micro_ops, SYSTEMS,
+    arg_partitions, arg_usize, experiment_env, measure_op, measure_op_amortized, ms,
+    prepopulate_daal, print_table, register_micro_ops, SYSTEMS,
 };
 
 /// Micro-op row capacity (log entries per row). A real 400 KB DynamoDB
@@ -30,10 +31,11 @@ fn main() {
     // Modest clock rate: virtual sleeps dominate real scheduling noise
     // (see `measure_op`'s docs).
     let clock_rate = beldi_bench::arg_f64("--clock-rate", 15.0);
+    let partitions = arg_partitions();
 
     let mut table = Vec::new();
     for (system, mode) in SYSTEMS {
-        let env = experiment_env(mode, CAPACITY, clock_rate);
+        let env = experiment_env(mode, CAPACITY, clock_rate, partitions);
         register_micro_ops(&env);
         if mode == Mode::Beldi {
             // Pre-populate the hot key's DAAL to the target depth; reads,

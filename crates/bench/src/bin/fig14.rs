@@ -8,7 +8,8 @@
 //!
 //! ```text
 //! cargo run -p beldi-bench --release --bin fig14 \
-//!     [-- --duration-ms 3000 --issuers 192 --clock-rate 4 --max-rate 800]
+//!     [-- --duration-ms 3000 --issuers 192 --clock-rate 4 --max-rate 800 \
+//!      --partitions 8]
 //! ```
 
 use std::sync::Arc;
@@ -17,7 +18,8 @@ use std::time::Duration;
 use beldi::Mode;
 use beldi_apps::MediaApp;
 use beldi_bench::{
-    app_env, arg_f64, arg_usize, print_table, sweep_app, sweep_rows, AppHandle, SWEEP_HEADERS,
+    app_env, arg_f64, arg_partitions, arg_usize, print_table, sweep_app, sweep_rows, AppHandle,
+    SWEEP_HEADERS,
 };
 
 fn main() {
@@ -25,6 +27,7 @@ fn main() {
     let issuers = arg_usize("--issuers", 192);
     let clock_rate = arg_f64("--clock-rate", 4.0);
     let max_rate = arg_f64("--max-rate", 800.0);
+    let partitions = arg_partitions();
     let rates: Vec<f64> = (1..=8).map(|i| max_rate * i as f64 / 8.0).collect();
 
     let setup = |env: &beldi::BeldiEnv| -> AppHandle {
@@ -42,7 +45,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (system, mode) in [("baseline", Mode::Baseline), ("beldi", Mode::Beldi)] {
-        let make_env = || app_env(mode, clock_rate);
+        let make_env = || app_env(mode, clock_rate, partitions);
         let points = sweep_app(&make_env, &setup, &rates, duration, issuers);
         rows.extend(sweep_rows(system, &points));
     }

@@ -11,7 +11,8 @@
 //!
 //! ```text
 //! cargo run -p beldi-bench --release --bin fig15 \
-//!     [-- --duration-ms 3000 --issuers 192 --clock-rate 4 --max-rate 800]
+//!     [-- --duration-ms 3000 --issuers 192 --clock-rate 4 --max-rate 800 \
+//!      --partitions 8]
 //! ```
 
 use std::sync::Arc;
@@ -19,7 +20,9 @@ use std::time::Duration;
 
 use beldi::{BeldiEnv, Mode};
 use beldi_apps::TravelApp;
-use beldi_bench::{app_env, arg_f64, arg_usize, ms, print_table, sweep_app, AppHandle};
+use beldi_bench::{
+    app_env, arg_f64, arg_partitions, arg_usize, ms, print_table, sweep_app, AppHandle,
+};
 
 fn travel(transactional: bool) -> TravelApp {
     TravelApp {
@@ -37,6 +40,7 @@ fn main() {
     let issuers = arg_usize("--issuers", 192);
     let clock_rate = arg_f64("--clock-rate", 4.0);
     let max_rate = arg_f64("--max-rate", 800.0);
+    let partitions = arg_partitions();
     let rates: Vec<f64> = (1..=8).map(|i| max_rate * i as f64 / 8.0).collect();
 
     let systems: [(&str, Mode, bool); 3] = [
@@ -59,7 +63,7 @@ fn main() {
                 }),
             }
         };
-        let make_env = || app_env(mode, clock_rate);
+        let make_env = || app_env(mode, clock_rate, partitions);
         let points = sweep_app(&make_env, &setup, &rates, duration, issuers);
         for p in &points {
             rows.push(vec![
@@ -83,7 +87,7 @@ fn main() {
     // reservation is transactional).
     let mut consistency = Vec::new();
     for (system, mode, transactional) in systems {
-        let env = app_env(mode, 50.0);
+        let env = app_env(mode, 50.0, partitions);
         let app = TravelApp {
             rooms_per_hotel: 2,
             seats_per_flight: 2,

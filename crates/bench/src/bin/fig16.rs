@@ -22,7 +22,7 @@
 //!
 //! ```text
 //! cargo run -p beldi-bench --release --bin fig16 \
-//!     [-- --minutes 15 --rate 2 --clock-rate 20]
+//!     [-- --minutes 15 --rate 2 --clock-rate 20 --partitions 8]
 //! ```
 
 use std::sync::Arc;
@@ -30,7 +30,7 @@ use std::time::Duration;
 
 use beldi::value::Value;
 use beldi::{BeldiConfig, BeldiEnv, Mode};
-use beldi_bench::{arg_f64, arg_usize, ms, print_table};
+use beldi_bench::{arg_f64, arg_partitions, arg_usize, ms, print_table};
 use beldi_workload::RateRunner;
 
 struct GcConfig {
@@ -40,7 +40,7 @@ struct GcConfig {
     t_max: Option<Duration>,
 }
 
-fn build_env(cfg: &GcConfig, clock_rate: f64) -> BeldiEnv {
+fn build_env(cfg: &GcConfig, clock_rate: f64, partitions: usize) -> BeldiEnv {
     let mut config = match cfg.mode {
         Mode::Beldi => BeldiConfig::beldi(),
         Mode::CrossTable => BeldiConfig::cross_table(),
@@ -49,7 +49,8 @@ fn build_env(cfg: &GcConfig, clock_rate: f64) -> BeldiEnv {
     // Small rows so DAAL growth is visible within a short run.
     .with_row_capacity(10)
     // The paper's 1-minute collector trigger (§7.2).
-    .with_collector_period(Duration::from_secs(60));
+    .with_collector_period(Duration::from_secs(60))
+    .with_partitions(partitions);
     if let Some(t) = cfg.t_max {
         config = config.with_t_max(t);
     }
@@ -65,6 +66,7 @@ fn main() {
     let minutes = arg_usize("--minutes", 15);
     let rate = arg_f64("--rate", 2.0);
     let clock_rate = arg_f64("--clock-rate", 20.0);
+    let partitions = arg_partitions();
 
     let configs = [
         GcConfig {
@@ -96,7 +98,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for cfg in &configs {
-        let env = Arc::new(build_env(cfg, clock_rate));
+        let env = Arc::new(build_env(cfg, clock_rate, partitions));
         env.register_ssf(
             "hot-writer",
             &["t"],

@@ -30,13 +30,20 @@ pub const SYSTEMS: [(&str, Mode); 3] = [
 ];
 
 /// Beldi configuration for a mode with experiment-friendly knobs.
-pub fn config_for(mode: Mode, row_capacity: usize) -> BeldiConfig {
+pub fn config_for(mode: Mode, row_capacity: usize, partitions: usize) -> BeldiConfig {
     let base = match mode {
         Mode::Beldi => BeldiConfig::beldi(),
         Mode::CrossTable => BeldiConfig::cross_table(),
         Mode::Baseline => BeldiConfig::baseline(),
     };
     base.with_row_capacity(row_capacity)
+        .with_partitions(partitions)
+}
+
+/// Parses the storage-sharding flag shared by all experiment binaries:
+/// `--partitions n` (default: [`beldi_simdb::DEFAULT_PARTITIONS`]).
+pub fn arg_partitions() -> usize {
+    arg_usize("--partitions", beldi_simdb::DEFAULT_PARTITIONS)
 }
 
 /// A platform shaped like the paper's AWS setup: 1,000-concurrent-Lambda
@@ -73,8 +80,13 @@ pub fn microbench_platform() -> PlatformConfig {
 
 /// Builds an environment with the DynamoDB-shaped latency model and the
 /// low-overhead platform (per-operation experiments).
-pub fn experiment_env(mode: Mode, row_capacity: usize, clock_rate: f64) -> BeldiEnv {
-    BeldiEnv::builder(config_for(mode, row_capacity))
+pub fn experiment_env(
+    mode: Mode,
+    row_capacity: usize,
+    clock_rate: f64,
+    partitions: usize,
+) -> BeldiEnv {
+    BeldiEnv::builder(config_for(mode, row_capacity, partitions))
         .latency(beldi_simdb::LatencyModel::dynamo())
         .platform(microbench_platform())
         .clock_rate(clock_rate)
@@ -86,12 +98,12 @@ pub fn experiment_env(mode: Mode, row_capacity: usize, clock_rate: f64) -> Beldi
 /// wall-clock benches run at very high clock rates, where a realistic
 /// *virtual* timeout corresponds to only milliseconds of real time and
 /// scheduling jitter would abort requests spuriously.
-pub fn bench_env(mode: Mode, clock_rate: f64) -> BeldiEnv {
+pub fn bench_env(mode: Mode, clock_rate: f64, partitions: usize) -> BeldiEnv {
     let platform = PlatformConfig {
         invoke_timeout: Duration::from_secs(24 * 3600),
         ..lambda_like_platform()
     };
-    BeldiEnv::builder(config_for(mode, 100))
+    BeldiEnv::builder(config_for(mode, 100, partitions))
         .latency(beldi_simdb::LatencyModel::dynamo())
         .platform(platform)
         .clock_rate(clock_rate)
@@ -101,8 +113,8 @@ pub fn bench_env(mode: Mode, clock_rate: f64) -> BeldiEnv {
 
 /// Builds an environment for the app-level load experiments (Figs.
 /// 14/15/26): DynamoDB latencies plus the Lambda-like platform.
-pub fn app_env(mode: Mode, clock_rate: f64) -> BeldiEnv {
-    BeldiEnv::builder(config_for(mode, 100))
+pub fn app_env(mode: Mode, clock_rate: f64, partitions: usize) -> BeldiEnv {
+    BeldiEnv::builder(config_for(mode, 100, partitions))
         .latency(beldi_simdb::LatencyModel::dynamo())
         .platform(lambda_like_platform())
         .clock_rate(clock_rate)
@@ -331,7 +343,7 @@ mod tests {
 
     #[test]
     fn micro_env_runs_every_op() {
-        let env = experiment_env(Mode::Beldi, 5, 2000.0);
+        let env = experiment_env(Mode::Beldi, 5, 2000.0, beldi_simdb::DEFAULT_PARTITIONS);
         register_micro_ops(&env);
         for op in ["read", "write", "condwrite"] {
             let h = measure_op(&env, "micro", &micro_payload(op), 3);
@@ -344,7 +356,7 @@ mod tests {
 
     #[test]
     fn prepopulate_grows_the_chain() {
-        let env = experiment_env(Mode::Beldi, 5, 2000.0);
+        let env = experiment_env(Mode::Beldi, 5, 2000.0, beldi_simdb::DEFAULT_PARTITIONS);
         register_micro_ops(&env);
         prepopulate_daal(&env, 4, 5);
         let len = env.daal_chain_len("micro", "t", "k").unwrap();
@@ -354,7 +366,7 @@ mod tests {
     #[test]
     fn all_three_systems_run_the_micro_ops() {
         for (name, mode) in SYSTEMS {
-            let env = experiment_env(mode, 5, 2000.0);
+            let env = experiment_env(mode, 5, 2000.0, 4);
             register_micro_ops(&env);
             let h = measure_op(&env, "micro", &micro_payload("write"), 2);
             assert_eq!(h.len(), 2, "{name}");

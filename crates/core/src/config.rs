@@ -40,6 +40,15 @@ pub struct BeldiConfig {
     /// collectors are SSFs themselves and must fit inside execution
     /// timeouts, so work is paged across passes). `None` = unbounded.
     pub collector_batch_limit: Option<usize>,
+    /// Hash partitions per simulated-database table. Each partition is an
+    /// independently locked shard; more partitions mean more storage
+    /// parallelism under multi-threaded load (the `contention` bench
+    /// sweeps this). A substrate knob: row contents, single-row results,
+    /// and per-hash-key query order are identical for any value — only
+    /// contention and *full-table scan order* change (scans return items
+    /// in partition-major order, as DynamoDB's physical-partition scans
+    /// do).
+    pub partitions: usize,
 }
 
 impl BeldiConfig {
@@ -52,6 +61,7 @@ impl BeldiConfig {
             ic_restart_delay: Duration::from_secs(30),
             collector_period: Duration::from_secs(60),
             collector_batch_limit: None,
+            partitions: beldi_simdb::DEFAULT_PARTITIONS,
         }
     }
 
@@ -102,6 +112,13 @@ impl BeldiConfig {
         self.collector_batch_limit = Some(n);
         self
     }
+
+    /// Sets the database partition count (builder style).
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        assert!(n >= 1, "partition count must be at least 1");
+        self.partitions = n;
+        self
+    }
 }
 
 impl Default for BeldiConfig {
@@ -127,16 +144,32 @@ mod tests {
             .with_row_capacity(7)
             .with_t_max(Duration::from_secs(5))
             .with_ic_restart_delay(Duration::from_secs(1))
-            .with_collector_period(Duration::from_secs(2));
+            .with_collector_period(Duration::from_secs(2))
+            .with_partitions(4);
         assert_eq!(c.daal_row_capacity, 7);
         assert_eq!(c.t_max, Duration::from_secs(5));
         assert_eq!(c.ic_restart_delay, Duration::from_secs(1));
         assert_eq!(c.collector_period, Duration::from_secs(2));
+        assert_eq!(c.partitions, 4);
+    }
+
+    #[test]
+    fn default_partition_count_matches_simdb() {
+        assert_eq!(
+            BeldiConfig::beldi().partitions,
+            beldi_simdb::DEFAULT_PARTITIONS
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least 1")]
     fn zero_capacity_rejected() {
         let _ = BeldiConfig::beldi().with_row_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_partitions_rejected() {
+        let _ = BeldiConfig::beldi().with_partitions(0);
     }
 }

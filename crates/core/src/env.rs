@@ -117,7 +117,12 @@ impl EnvBuilder {
     /// Builds the environment.
     pub fn build(self) -> BeldiEnv {
         let clock = self.clock.unwrap_or_else(|| ScaledClock::shared(2_000.0));
-        let db = Database::new(clock.clone(), self.latency, self.seed);
+        let db = Database::with_partitions(
+            clock.clone(),
+            self.latency,
+            self.seed,
+            self.config.partitions,
+        );
         let platform = Platform::new(clock, self.platform, self.seed.wrapping_add(1));
         BeldiEnv {
             core: Arc::new(EnvCore {
@@ -513,6 +518,13 @@ mod tests {
         let body: SsfBody = Arc::new(|_, _| Ok(Value::Null));
         env.register_ssf("f", &[], body.clone());
         env.register_ssf("f", &[], body);
+    }
+
+    #[test]
+    fn partitions_knob_reaches_the_database() {
+        let env = BeldiEnv::for_tests_with(BeldiConfig::beldi().with_partitions(3));
+        assert_eq!(env.db().partitions(), 3);
+        assert_eq!(env.db_metrics().partition_ops.len(), 3);
     }
 
     #[test]

@@ -1,18 +1,19 @@
 //! The public [`Database`] API.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use beldi_simclock::{ScaledClock, SharedClock};
 use beldi_value::{Cond, SizeOf, Update, Value};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{MutexGuard, RwLock};
 
 use crate::error::{DbError, DbResult};
 use crate::key::{PrimaryKey, TableSchema};
 use crate::latency::{LatencyModel, LatencySampler, OpKind};
 use crate::metrics::{DbMetrics, MetricsSnapshot};
-use crate::scan::{ScanPage, ScanRequest};
-use crate::table::TableData;
+use crate::partition::{PartitionData, DEFAULT_PARTITIONS};
+use crate::scan::{ScanCursor, ScanPage, ScanRequest};
+use crate::table::Table;
 
 /// Rows examined per internal lock acquisition during queries and scans.
 ///
@@ -20,10 +21,6 @@ use crate::table::TableData;
 /// different pages may interleave with concurrent writers, so scans are not
 /// atomic — the property §4.1 of the paper reasons about.
 const DEFAULT_PAGE_ROWS: usize = 32;
-
-struct TableHandle {
-    data: Mutex<TableData>,
-}
 
 /// One operation of a cross-table transactional write
 /// ([`Database::transact_write`]).
@@ -60,35 +57,58 @@ pub enum TransactOp {
     },
 }
 
+impl TransactOp {
+    fn table(&self) -> &str {
+        match self {
+            TransactOp::Update { table, .. }
+            | TransactOp::Put { table, .. }
+            | TransactOp::Delete { table, .. } => table,
+        }
+    }
+
+    fn cond(&self) -> &Cond {
+        match self {
+            TransactOp::Update { cond, .. }
+            | TransactOp::Put { cond, .. }
+            | TransactOp::Delete { cond, .. } => cond,
+        }
+    }
+}
+
 /// A simulated strongly consistent NoSQL database.
 ///
-/// See the [crate-level docs](crate) for the modelled guarantees. All
+/// Tables are hash-partitioned: each row lives in the partition selected by
+/// hashing its hash-key value, and each partition has its own lock. All
 /// methods are safe to call from many threads; single-row conditional
-/// updates are atomic and linearizable.
+/// updates are atomic and linearizable, and [`Database::transact_write`]
+/// commits across partitions by acquiring exactly the partition locks its
+/// ops touch, in a deterministic global order (no global transaction lock).
 pub struct Database {
-    tables: RwLock<HashMap<String, Arc<TableHandle>>>,
+    tables: RwLock<HashMap<String, Arc<Table>>>,
     clock: SharedClock,
     sampler: LatencySampler,
     metrics: DbMetrics,
-    /// Serializes cross-table transactions against each other; single-row
-    /// ops never hold more than one table lock so this is deadlock-free.
-    txn_lock: Mutex<()>,
     transactions_enabled: bool,
     page_rows: usize,
+    partitions: usize,
 }
 
 impl Database {
-    /// Creates a database with the given clock and latency model.
+    /// Creates a database with the given clock and latency model and the
+    /// default partition count ([`DEFAULT_PARTITIONS`]).
     pub fn new(clock: SharedClock, latency: LatencyModel, seed: u64) -> Arc<Self> {
-        Arc::new(Database {
-            tables: RwLock::new(HashMap::new()),
-            clock,
-            sampler: LatencySampler::new(latency, seed),
-            metrics: DbMetrics::new(),
-            txn_lock: Mutex::new(()),
-            transactions_enabled: true,
-            page_rows: DEFAULT_PAGE_ROWS,
-        })
+        Database::with_partitions(clock, latency, seed, DEFAULT_PARTITIONS)
+    }
+
+    /// Creates a database whose tables are split into `partitions`
+    /// independently locked hash partitions.
+    pub fn with_partitions(
+        clock: SharedClock,
+        latency: LatencyModel,
+        seed: u64,
+        partitions: usize,
+    ) -> Arc<Self> {
+        Database::build(clock, latency, seed, partitions, true)
     }
 
     /// Creates a zero-latency database on a real-time clock, for tests.
@@ -96,16 +116,37 @@ impl Database {
         Database::new(ScaledClock::shared(1.0), LatencyModel::zero(), 0)
     }
 
+    /// [`Database::for_tests`] with an explicit partition count.
+    pub fn for_tests_with_partitions(partitions: usize) -> Arc<Self> {
+        Database::with_partitions(
+            ScaledClock::shared(1.0),
+            LatencyModel::zero(),
+            0,
+            partitions,
+        )
+    }
+
     /// Disables cross-table transactions (simulating e.g. Bigtable).
     pub fn without_transactions(clock: SharedClock, latency: LatencyModel, seed: u64) -> Arc<Self> {
+        Database::build(clock, latency, seed, DEFAULT_PARTITIONS, false)
+    }
+
+    fn build(
+        clock: SharedClock,
+        latency: LatencyModel,
+        seed: u64,
+        partitions: usize,
+        transactions_enabled: bool,
+    ) -> Arc<Self> {
+        assert!(partitions >= 1, "a database needs at least one partition");
         Arc::new(Database {
             tables: RwLock::new(HashMap::new()),
             clock,
             sampler: LatencySampler::new(latency, seed),
-            metrics: DbMetrics::new(),
-            txn_lock: Mutex::new(()),
-            transactions_enabled: false,
+            metrics: DbMetrics::new(partitions),
+            transactions_enabled,
             page_rows: DEFAULT_PAGE_ROWS,
+            partitions,
         })
     }
 
@@ -117,6 +158,11 @@ impl Database {
     /// Returns the latency model in force.
     pub fn latency_model(&self) -> &LatencyModel {
         self.sampler.model()
+    }
+
+    /// Returns the number of partitions per table.
+    pub fn partitions(&self) -> usize {
+        self.partitions
     }
 
     /// Returns the live metrics counters.
@@ -135,12 +181,7 @@ impl Database {
         if tables.contains_key(&name) {
             return Err(DbError::TableExists(name));
         }
-        tables.insert(
-            name,
-            Arc::new(TableHandle {
-                data: Mutex::new(TableData::new(schema)),
-            }),
-        );
+        tables.insert(name, Arc::new(Table::new(schema, self.partitions)));
         Ok(())
     }
 
@@ -160,12 +201,20 @@ impl Database {
         names
     }
 
-    fn handle(&self, table: &str) -> DbResult<Arc<TableHandle>> {
+    fn handle(&self, table: &str) -> DbResult<Arc<Table>> {
         self.tables
             .read()
             .get(table)
             .cloned()
             .ok_or_else(|| DbError::TableNotFound(table.to_owned()))
+    }
+
+    /// Locks one partition, recording the access (and any lock wait) in
+    /// the metrics.
+    fn lock_partition<'a>(&self, table: &'a Table, p: usize) -> MutexGuard<'a, PartitionData> {
+        let (guard, waited) = table.lock_partition(p);
+        self.metrics.record_partition_access(p, waited);
+        guard
     }
 
     /// Point read of a row, optionally projected.
@@ -175,9 +224,9 @@ impl Database {
         key: &PrimaryKey,
         projection: Option<&crate::scan::Projection>,
     ) -> DbResult<Option<Value>> {
-        let handle = self.handle(table)?;
+        let t = self.handle(table)?;
         let item = {
-            let data = handle.data.lock();
+            let data = self.lock_partition(&t, t.route(&key.hash));
             data.rows.get(key).cloned()
         };
         let item = item.map(|v| match projection {
@@ -193,10 +242,11 @@ impl Database {
 
     /// Unconditional insert/replace of a full item.
     pub fn put(&self, table: &str, item: Value) -> DbResult<()> {
-        let handle = self.handle(table)?;
+        let t = self.handle(table)?;
+        let key = t.schema.key_of(&item)?;
         let size = {
-            let mut data = handle.data.lock();
-            data.put_row(item)?
+            let mut data = self.lock_partition(&t, t.route(&key.hash));
+            data.put_row(key, item, t.schema.max_row_bytes)?
         };
         self.metrics.record_op(OpKind::Write);
         self.metrics.record_written_bytes(size);
@@ -224,10 +274,10 @@ impl Database {
         cond: &Cond,
         update: &Update,
     ) -> DbResult<()> {
-        let handle = self.handle(table)?;
+        let t = self.handle(table)?;
         let result = {
-            let mut data = handle.data.lock();
-            Self::apply_update(&mut data, key, cond, update)
+            let mut data = self.lock_partition(&t, t.route(&key.hash));
+            Self::apply_update(&mut data, &t.schema, key, cond, update)
         };
         match result {
             Ok(size) => {
@@ -248,9 +298,11 @@ impl Database {
         }
     }
 
-    /// Applies a conditional update under the table lock; returns new size.
+    /// Applies a conditional update under a partition lock; returns the
+    /// new row size.
     fn apply_update(
-        data: &mut TableData,
+        data: &mut PartitionData,
+        schema: &TableSchema,
         key: &PrimaryKey,
         cond: &Cond,
         update: &Update,
@@ -268,15 +320,15 @@ impl Database {
             None => {
                 // Fresh row: seed it with the key attributes.
                 let mut m = beldi_value::Map::new();
-                m.insert(data.schema.hash_attr.clone(), key.hash.clone());
-                if let (Some(attr), Some(sort)) = (&data.schema.sort_attr, &key.sort) {
+                m.insert(schema.hash_attr.clone(), key.hash.clone());
+                if let (Some(attr), Some(sort)) = (&schema.sort_attr, &key.sort) {
                     m.insert(attr.clone(), sort.clone());
                 }
                 Value::Map(m)
             }
         };
         update.apply(&mut new_row)?;
-        data.replace_row(key.clone(), new_row)
+        data.put_row(key.clone(), new_row, schema.max_row_bytes)
     }
 
     /// Conditionally deletes a row.
@@ -284,9 +336,9 @@ impl Database {
     /// Deleting an absent row succeeds if the condition holds against the
     /// empty item (DynamoDB semantics).
     pub fn delete(&self, table: &str, key: &PrimaryKey, cond: &Cond) -> DbResult<()> {
-        let handle = self.handle(table)?;
+        let t = self.handle(table)?;
         let result = {
-            let mut data = handle.data.lock();
+            let mut data = self.lock_partition(&t, t.route(&key.hash));
             let base = data
                 .rows
                 .get(key)
@@ -309,12 +361,14 @@ impl Database {
 
     /// Queries every row sharing a hash key, in sort-key order.
     ///
-    /// Served in pages (`DEFAULT_PAGE_ROWS` rows each) with the table lock
-    /// released between pages, so the result is **not** an atomic snapshot
-    /// — exactly the behaviour Beldi's DAAL traversal must (and does)
-    /// tolerate (§4.1).
+    /// All rows of one hash key live in a single partition, so the query
+    /// locks exactly that partition — and only page by page
+    /// (`DEFAULT_PAGE_ROWS` rows each), with the lock released between
+    /// pages, so the result is **not** an atomic snapshot — exactly the
+    /// behaviour Beldi's DAAL traversal must (and does) tolerate (§4.1).
     pub fn query(&self, table: &str, hash: &Value, req: &ScanRequest) -> DbResult<Vec<Value>> {
-        let handle = self.handle(table)?;
+        let t = self.handle(table)?;
+        let part = t.route(hash);
         let mut out = Vec::new();
         let mut resume: Option<PrimaryKey> = req.start_after.clone();
         loop {
@@ -322,7 +376,7 @@ impl Database {
             let mut page_bytes = 0usize;
             let mut last: Option<PrimaryKey> = None;
             {
-                let data = handle.data.lock();
+                let data = self.lock_partition(&t, part);
                 let lo = match &resume {
                     Some(k) => std::ops::Bound::Excluded(k.clone()),
                     None => std::ops::Bound::Included(PrimaryKey {
@@ -377,27 +431,37 @@ impl Database {
     }
 
     /// Serves one page of a full-table scan.
+    ///
+    /// Partitions are visited in index order, each in key order; one page
+    /// may span a partition boundary but never holds more than one
+    /// partition lock at a time. Resume via [`ScanPage::cursor`].
     pub fn scan_page(&self, table: &str, req: &ScanRequest) -> DbResult<ScanPage> {
-        let handle = self.handle(table)?;
+        let t = self.handle(table)?;
         let limit = req.limit.unwrap_or(self.page_rows).min(self.page_rows);
+        let (mut part, mut after) = match &req.cursor {
+            Some(c) => (c.partition, Some(c.key.clone())),
+            None => (0, None),
+        };
         let mut items = Vec::new();
-        let mut last: Option<PrimaryKey> = None;
+        let mut cursor: Option<ScanCursor> = None;
         let mut rows_examined = 0usize;
         let mut bytes = 0usize;
-        let mut exhausted = true;
-        {
-            let data = handle.data.lock();
-            let lo = match &req.start_after {
-                Some(k) => std::ops::Bound::Excluded(k.clone()),
+        'partitions: while part < t.partition_count() {
+            let data = self.lock_partition(&t, part);
+            let lo = match after.take() {
+                Some(k) => std::ops::Bound::Excluded(k),
                 None => std::ops::Bound::Unbounded,
             };
             for (k, row) in data.rows.range((lo, std::ops::Bound::Unbounded)) {
                 if items.len() >= limit || rows_examined >= self.page_rows {
-                    exhausted = false;
-                    break;
+                    // Page full with this row still unexamined: resume here.
+                    break 'partitions;
                 }
                 rows_examined += 1;
-                last = Some(k.clone());
+                cursor = Some(ScanCursor {
+                    partition: part,
+                    key: k.clone(),
+                });
                 let keep = match &req.filter {
                     Some(f) => f.eval(row)?,
                     None => true,
@@ -411,16 +475,19 @@ impl Database {
                     items.push(item);
                 }
             }
+            drop(data);
+            part += 1;
+            if part >= t.partition_count() {
+                // Walked every partition to its end: the scan is complete.
+                cursor = None;
+            }
         }
         self.metrics.record_op(OpKind::Scan);
         self.metrics.record_rows_scanned(rows_examined);
         self.metrics.record_read_bytes(bytes);
         self.clock
             .sleep(self.sampler.sample(OpKind::Scan, rows_examined, bytes));
-        Ok(ScanPage {
-            items,
-            last_key: if exhausted { None } else { last },
-        })
+        Ok(ScanPage { items, cursor })
     }
 
     /// Scans the whole table, following pages to completion.
@@ -431,30 +498,31 @@ impl Database {
         loop {
             let page = self.scan_page(table, &page_req)?;
             out.extend(page.items);
-            match page.last_key {
-                Some(k) => page_req.start_after = Some(k),
+            match page.cursor {
+                Some(c) => page_req.cursor = Some(c),
                 None => break,
             }
         }
         Ok(out)
     }
 
-    /// Exact-match lookup through a secondary index, returning full rows.
+    /// Exact-match lookup through a secondary index, returning full rows
+    /// in key order (the per-partition index shards are merged on read).
     pub fn index_query(&self, table: &str, attr: &str, value: &Value) -> DbResult<Vec<Value>> {
-        let handle = self.handle(table)?;
-        let (items, bytes) = {
-            let data = handle.data.lock();
-            let keys = data.index_lookup(attr, value)?;
-            let mut items = Vec::with_capacity(keys.len());
-            let mut bytes = 0usize;
-            for k in keys {
+        let t = self.handle(table)?;
+        let mut hits: Vec<(PrimaryKey, Value)> = Vec::new();
+        let mut bytes = 0usize;
+        for part in 0..t.partition_count() {
+            let data = self.lock_partition(&t, part);
+            for k in data.index_lookup(attr, value)? {
                 if let Some(row) = data.rows.get(&k) {
                     bytes += row.size_bytes();
-                    items.push(row.clone());
+                    hits.push((k, row.clone()));
                 }
             }
-            (items, bytes)
-        };
+        }
+        hits.sort_by(|a, b| a.0.cmp(&b.0));
+        let items: Vec<Value> = hits.into_iter().map(|(_, row)| row).collect();
         self.metrics.record_op(OpKind::Query);
         self.metrics.record_rows_scanned(items.len());
         self.metrics.record_read_bytes(bytes);
@@ -463,10 +531,17 @@ impl Database {
         Ok(items)
     }
 
-    /// Returns the distinct hash-key values of a table (GC support).
+    /// Returns the distinct hash-key values of a table, sorted (GC
+    /// support; per-partition listings are merged on read).
     pub fn distinct_hash_keys(&self, table: &str) -> DbResult<Vec<Value>> {
-        let handle = self.handle(table)?;
-        let keys = handle.data.lock().distinct_hash_keys();
+        let t = self.handle(table)?;
+        let mut keys: Vec<Value> = Vec::new();
+        for part in 0..t.partition_count() {
+            let data = self.lock_partition(&t, part);
+            keys.extend(data.distinct_hash_keys());
+        }
+        keys.sort();
+        keys.dedup();
         self.metrics.record_op(OpKind::Scan);
         self.metrics.record_rows_scanned(keys.len());
         self.clock
@@ -481,80 +556,105 @@ impl Database {
     /// is applied. This is the DynamoDB `TransactWriteItems` the paper's
     /// cross-table-transaction comparator uses (Figs. 13, 16, 25).
     ///
+    /// There is no global transaction lock: the transaction determines the
+    /// `(table, partition)` pairs its ops touch, acquires exactly those
+    /// partition locks in ascending `(table, partition)` order — a total
+    /// order shared by every transaction, so lock acquisition cannot
+    /// deadlock — validates every condition, and applies all ops while
+    /// still holding the locks. Transactions touching disjoint partitions
+    /// proceed fully in parallel.
+    ///
     /// # Errors
     ///
-    /// [`DbError::TransactionsUnsupported`] when disabled (Bigtable mode).
+    /// - [`DbError::TransactionsUnsupported`] when disabled (Bigtable
+    ///   mode);
+    /// - [`DbError::DuplicateTransactionItem`] when two ops target the
+    ///   same row (DynamoDB's restriction — and a semantic necessity here,
+    ///   since conditions are validated against the pre-state only).
     pub fn transact_write(&self, ops: &[TransactOp]) -> DbResult<()> {
         if !self.transactions_enabled {
             return Err(DbError::TransactionsUnsupported);
         }
-        let _guard = self.txn_lock.lock();
-        // Resolve handles first so TableNotFound beats TransactionCanceled.
-        let mut handles = Vec::with_capacity(ops.len());
+        // Resolve handles first so TableNotFound beats TransactionCanceled,
+        // then extract per-op keys (Puts derive theirs from the schema,
+        // which lives outside the partition locks) and the lock set.
+        let mut handles: HashMap<String, Arc<Table>> = HashMap::new();
         for op in ops {
-            let table = match op {
-                TransactOp::Update { table, .. }
-                | TransactOp::Put { table, .. }
-                | TransactOp::Delete { table, .. } => table,
-            };
-            handles.push(self.handle(table)?);
+            if !handles.contains_key(op.table()) {
+                handles.insert(op.table().to_owned(), self.handle(op.table())?);
+            }
         }
-        // Phase 1: check all conditions. Safe to do in two passes because
-        // `txn_lock` serializes transactions and single-row writers cannot
-        // interleave within one table lock acquisition below; we lock each
-        // table only while touching it, but re-evaluate conditions at apply
-        // time to stay correct against concurrent single-row writers.
-        let mut staged: Vec<(usize, PrimaryKey, Value)> = Vec::with_capacity(ops.len());
-        for (i, op) in ops.iter().enumerate() {
-            let handle = &handles[i];
-            let data = handle.data.lock();
-            let (key, cond) = match op {
-                TransactOp::Update { key, cond, .. } => (key.clone(), cond),
-                TransactOp::Put { item, cond, .. } => (data.schema.key_of(item)?, cond),
-                TransactOp::Delete { key, cond, .. } => (key.clone(), cond),
+        let mut op_keys: Vec<(PrimaryKey, usize)> = Vec::with_capacity(ops.len());
+        let mut lock_set: BTreeSet<(&str, usize)> = BTreeSet::new();
+        let mut seen_rows: BTreeSet<(&str, PrimaryKey)> = BTreeSet::new();
+        for op in ops {
+            let t = &handles[op.table()];
+            let key = match op {
+                TransactOp::Update { key, .. } | TransactOp::Delete { key, .. } => key.clone(),
+                TransactOp::Put { item, .. } => t.schema.key_of(item)?,
             };
+            // DynamoDB rejects transactions with multiple operations on
+            // one item; conditions here are validated against the
+            // pre-state only, so allowing duplicates would let a later
+            // op's condition ignore an earlier op's effect.
+            if !seen_rows.insert((op.table(), key.clone())) {
+                return Err(DbError::DuplicateTransactionItem {
+                    item: format!("{}/{}", op.table(), key),
+                });
+            }
+            let part = t.route(&key.hash);
+            lock_set.insert((op.table(), part));
+            op_keys.push((key, part));
+        }
+
+        // Acquire the partition locks in ascending (table, partition)
+        // order — the deadlock-freedom invariant.
+        let mut guards: BTreeMap<(&str, usize), MutexGuard<'_, PartitionData>> = BTreeMap::new();
+        for &(table, part) in &lock_set {
+            let guard = self.lock_partition(&handles[table], part);
+            guards.insert((table, part), guard);
+        }
+
+        // Validate every condition against the pre-state. All touched
+        // partitions are locked, so this is one atomic validation point —
+        // no re-check or rollback dance against racing single-row writers.
+        for (i, op) in ops.iter().enumerate() {
+            let (key, part) = &op_keys[i];
+            let data = &guards[&(op.table(), *part)];
             let base = data
                 .rows
-                .get(&key)
+                .get(key)
                 .cloned()
                 .unwrap_or_else(|| Value::Map(beldi_value::Map::new()));
-            if !cond.eval(&base)? {
+            if !op.cond().eval(&base)? {
+                drop(guards);
                 self.metrics.record_op(OpKind::TransactWrite);
                 self.metrics.record_cond_failure();
                 self.clock
                     .sleep(self.sampler.sample(OpKind::TransactWrite, ops.len(), 0));
                 return Err(DbError::TransactionCanceled { failed_op: i });
             }
-            staged.push((i, key, base));
         }
-        // Phase 2: apply. Still under txn_lock; concurrent single-row
-        // writers could have slipped in between phase 1 and 2 per table, so
-        // re-check conditions during apply and roll back on failure.
-        let mut applied: Vec<(usize, PrimaryKey, Option<Value>)> = Vec::new();
+
+        // Apply. Structural failures (e.g. a row outgrowing the size cap)
+        // roll the already-applied ops back under the still-held locks, so
+        // even the failure path is atomic.
+        let mut applied: Vec<(usize, PrimaryKey, usize, Option<Value>)> = Vec::new();
         let mut bytes = 0usize;
-        let mut failure: Option<usize> = None;
-        for (i, key, _) in &staged {
-            let op = &ops[*i];
-            let handle = &handles[*i];
-            let mut data = handle.data.lock();
+        for (i, op) in ops.iter().enumerate() {
+            let (key, part) = &op_keys[i];
+            let t = &handles[op.table()];
+            let data = guards
+                .get_mut(&(op.table(), *part))
+                .expect("partition locked above");
             let prior = data.rows.get(key).cloned();
-            let base = prior
-                .clone()
-                .unwrap_or_else(|| Value::Map(beldi_value::Map::new()));
-            let cond = match op {
-                TransactOp::Update { cond, .. }
-                | TransactOp::Put { cond, .. }
-                | TransactOp::Delete { cond, .. } => cond,
-            };
-            if !cond.eval(&base)? {
-                failure = Some(*i);
-                break;
-            }
             let result = match op {
                 TransactOp::Update { update, .. } => {
-                    Self::apply_update(&mut data, key, &Cond::True, update)
+                    Self::apply_update(data, &t.schema, key, &Cond::True, update)
                 }
-                TransactOp::Put { item, .. } => data.put_row(item.clone()),
+                TransactOp::Put { item, .. } => {
+                    data.put_row(key.clone(), item.clone(), t.schema.max_row_bytes)
+                }
                 TransactOp::Delete { .. } => {
                     data.remove_row(key);
                     Ok(0)
@@ -563,47 +663,36 @@ impl Database {
             match result {
                 Ok(n) => {
                     bytes += n;
-                    applied.push((*i, key.clone(), prior));
+                    applied.push((i, key.clone(), *part, prior));
                 }
                 Err(e) => {
-                    drop(data);
-                    self.rollback(&handles, &applied);
+                    for (j, key, part, prior) in applied.iter().rev() {
+                        let t = &handles[ops[*j].table()];
+                        let data = guards
+                            .get_mut(&(ops[*j].table(), *part))
+                            .expect("partition locked above");
+                        match prior {
+                            // Restoring a row that previously fit cannot
+                            // overflow.
+                            Some(row) => {
+                                let _ =
+                                    data.put_row(key.clone(), row.clone(), t.schema.max_row_bytes);
+                            }
+                            None => {
+                                data.remove_row(key);
+                            }
+                        }
+                    }
                     return Err(e);
                 }
             }
         }
-        if let Some(i) = failure {
-            self.rollback(&handles, &applied);
-            self.metrics.record_op(OpKind::TransactWrite);
-            self.metrics.record_cond_failure();
-            self.clock
-                .sleep(self.sampler.sample(OpKind::TransactWrite, ops.len(), 0));
-            return Err(DbError::TransactionCanceled { failed_op: i });
-        }
+        drop(guards);
         self.metrics.record_op(OpKind::TransactWrite);
         self.metrics.record_written_bytes(bytes);
         self.clock
             .sleep(self.sampler.sample(OpKind::TransactWrite, ops.len(), bytes));
         Ok(())
-    }
-
-    fn rollback(
-        &self,
-        handles: &[Arc<TableHandle>],
-        applied: &[(usize, PrimaryKey, Option<Value>)],
-    ) {
-        for (i, key, prior) in applied.iter().rev() {
-            let mut data = handles[*i].data.lock();
-            match prior {
-                Some(row) => {
-                    // Restoring a row that previously fit cannot overflow.
-                    let _ = data.replace_row(key.clone(), row.clone());
-                }
-                None => {
-                    data.remove_row(key);
-                }
-            }
-        }
     }
 }
 
@@ -808,7 +897,7 @@ mod tests {
                 "t",
                 &ScanRequest::all()
                     .with_limit(100)
-                    .with_start_after(page1.last_key.unwrap()),
+                    .with_cursor(page1.cursor.unwrap()),
             )
             .unwrap();
         assert_eq!(page2.items.len(), 6);
@@ -884,8 +973,118 @@ mod tests {
                 .unwrap()
                 .get_int("N"),
             Some(2),
-            "first op must have been rolled back"
+            "first op must not have been applied"
         );
+    }
+
+    #[test]
+    fn transact_write_rolls_back_structural_failures() {
+        let db = Database::for_tests();
+        db.create_table("a", TableSchema::hash_only("Id").with_max_row_bytes(64))
+            .unwrap();
+        db.put("a", vmap! { "Id" => "x", "N" => 1i64 }).unwrap();
+        // Op 0 applies, op 1 overflows the row cap: op 0 must be rolled
+        // back under the still-held partition locks.
+        let err = db
+            .transact_write(&[
+                TransactOp::Update {
+                    table: "a".into(),
+                    key: PrimaryKey::hash("x"),
+                    cond: Cond::True,
+                    update: Update::new().inc("N", 1),
+                },
+                TransactOp::Put {
+                    table: "a".into(),
+                    item: vmap! { "Id" => "big", "V" => "x".repeat(200) },
+                    cond: Cond::True,
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, DbError::RowTooLarge { .. }));
+        assert_eq!(
+            db.get("a", &PrimaryKey::hash("x"), None)
+                .unwrap()
+                .unwrap()
+                .get_int("N"),
+            Some(1),
+            "applied op must have been rolled back"
+        );
+        assert!(db
+            .get("a", &PrimaryKey::hash("big"), None)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn transact_write_with_multiple_ops_in_one_partition() {
+        // P = 1 forces every op into the same partition: the lock set must
+        // deduplicate rather than self-deadlock.
+        let db = Database::for_tests_with_partitions(1);
+        db.create_table("a", TableSchema::hash_only("Id")).unwrap();
+        db.transact_write(&[
+            TransactOp::Put {
+                table: "a".into(),
+                item: vmap! { "Id" => "x", "N" => 1i64 },
+                cond: Cond::True,
+            },
+            TransactOp::Put {
+                table: "a".into(),
+                item: vmap! { "Id" => "y", "N" => 2i64 },
+                cond: Cond::True,
+            },
+        ])
+        .unwrap();
+        assert_eq!(
+            db.get("a", &PrimaryKey::hash("y"), None)
+                .unwrap()
+                .unwrap()
+                .get_int("N"),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn transact_write_rejects_duplicate_items() {
+        let db = Database::for_tests();
+        db.create_table("a", TableSchema::hash_only("Id")).unwrap();
+        // Two ops on the same row: the second op's condition would be
+        // validated against the pre-state, blind to the first op's Put —
+        // DynamoDB rejects such transactions, and so do we.
+        let err = db
+            .transact_write(&[
+                TransactOp::Put {
+                    table: "a".into(),
+                    item: vmap! { "Id" => "x" },
+                    cond: Cond::True,
+                },
+                TransactOp::Update {
+                    table: "a".into(),
+                    key: PrimaryKey::hash("x"),
+                    cond: Cond::not_exists("Id"),
+                    update: Update::new().set("N", 1i64),
+                },
+            ])
+            .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateTransactionItem { .. }));
+        assert!(
+            db.get("a", &PrimaryKey::hash("x"), None).unwrap().is_none(),
+            "rejected transaction must not apply anything"
+        );
+        // Same key in different tables is fine.
+        db.create_table("b", TableSchema::hash_only("Id")).unwrap();
+        db.transact_write(&[
+            TransactOp::Put {
+                table: "a".into(),
+                item: vmap! { "Id" => "x" },
+                cond: Cond::True,
+            },
+            TransactOp::Put {
+                table: "b".into(),
+                item: vmap! { "Id" => "x" },
+                cond: Cond::True,
+            },
+        ])
+        .unwrap();
     }
 
     #[test]
@@ -980,5 +1179,26 @@ mod tests {
         let d = db.metrics().delta(&before);
         assert_eq!(d.gets, 1);
         assert!(d.bytes_read > 0);
+    }
+
+    #[test]
+    fn metrics_track_partition_accesses() {
+        let db = db_with_table();
+        assert_eq!(db.metrics().partition_ops.len(), db.partitions());
+        for i in 0..20i64 {
+            db.put("t", vmap! { "Key" => format!("k{i}"), "RowId" => 0i64 })
+                .unwrap();
+        }
+        let s = db.metrics();
+        assert_eq!(
+            s.partition_ops.iter().sum::<u64>(),
+            20,
+            "each put locks exactly one partition"
+        );
+        assert!(
+            s.partition_ops.iter().filter(|&&n| n > 0).count() > 1,
+            "uniform keys should spread over partitions: {:?}",
+            s.partition_ops
+        );
     }
 }

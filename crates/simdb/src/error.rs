@@ -44,6 +44,13 @@ pub enum DbError {
     /// Cross-table transactions were disabled for this database
     /// (e.g. when simulating Bigtable, which lacks them — paper §7.3).
     TransactionsUnsupported,
+    /// A cross-table transaction named the same row in more than one
+    /// operation (DynamoDB `ValidationException`: "Transaction request
+    /// cannot include multiple operations on one item").
+    DuplicateTransactionItem {
+        /// `table/key` of the duplicated row.
+        item: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -63,6 +70,9 @@ impl fmt::Display for DbError {
             }
             DbError::TransactionsUnsupported => {
                 write!(f, "cross-table transactions are not supported")
+            }
+            DbError::DuplicateTransactionItem { item } => {
+                write!(f, "transaction includes multiple operations on {item}")
             }
         }
     }

@@ -24,17 +24,23 @@
 //! - **A pluggable latency model** ([`LatencyModel`]) in virtual time, so
 //!   benchmarks reproduce the paper's latency *shapes*.
 //!
-//! The store itself is an in-process map guarded by per-table locks; "fault
-//! tolerance" of the storage layer is by construction (the process does not
-//! model storage-node failures — neither does the paper, which treats
-//! DynamoDB as reliable; *client* (SSF) crashes are injected by
-//! `beldi-simfaas`).
+//! The store itself is an in-process map, **hash-partitioned**: every table
+//! is split into `P` independently locked partitions (rows routed by their
+//! hash-key value, so a row — the DynamoDB atomicity scope — never spans
+//! partitions). Single-row operations lock exactly one partition;
+//! cross-table transactions lock exactly the partitions their ops touch, in
+//! a deterministic global order (no global transaction lock), so disjoint
+//! work scales with the partition count. "Fault tolerance" of the storage
+//! layer is by construction (the process does not model storage-node
+//! failures — neither does the paper, which treats DynamoDB as reliable;
+//! *client* (SSF) crashes are injected by `beldi-simfaas`).
 
 mod database;
 mod error;
 mod key;
 mod latency;
 mod metrics;
+mod partition;
 mod scan;
 mod table;
 
@@ -43,4 +49,5 @@ pub use error::{DbError, DbResult};
 pub use key::{PrimaryKey, TableSchema};
 pub use latency::{LatencyModel, OpKind};
 pub use metrics::{DbMetrics, MetricsSnapshot};
-pub use scan::{Projection, ScanPage, ScanRequest};
+pub use partition::DEFAULT_PARTITIONS;
+pub use scan::{Projection, ScanCursor, ScanPage, ScanRequest};

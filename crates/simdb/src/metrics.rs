@@ -5,6 +5,12 @@
 //! counts (each Beldi read issues one extra scan and write, etc.). These
 //! metrics make that table reproducible: the database counts every
 //! operation and every byte it returns or stores.
+//!
+//! Since the store is hash-partitioned, the counters also expose *where*
+//! the load lands: one lock-acquisition counter per partition index
+//! (aggregated across tables) and a tally of contended acquisitions
+//! (`lock_waits`), so key skew and partition hot spots are observable in
+//! the `costs` harness output.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -23,10 +29,13 @@ pub struct DbMetrics {
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
     rows_scanned: AtomicU64,
+    lock_waits: AtomicU64,
+    /// Lock acquisitions per partition index, aggregated across tables.
+    partition_ops: Vec<AtomicU64>,
 }
 
 /// A point-in-time copy of [`DbMetrics`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Number of point reads.
     pub gets: u64,
@@ -49,12 +58,20 @@ pub struct MetricsSnapshot {
     pub bytes_written: u64,
     /// Total rows examined by queries and scans.
     pub rows_scanned: u64,
+    /// Partition-lock acquisitions that had to wait for another holder.
+    pub lock_waits: u64,
+    /// Partition-lock acquisitions per partition index (across tables);
+    /// the skew fingerprint of the workload.
+    pub partition_ops: Vec<u64>,
 }
 
 impl DbMetrics {
-    /// Creates zeroed metrics.
-    pub fn new() -> Self {
-        DbMetrics::default()
+    /// Creates zeroed metrics tracking `partitions` partition indices.
+    pub fn new(partitions: usize) -> Self {
+        DbMetrics {
+            partition_ops: (0..partitions).map(|_| AtomicU64::new(0)).collect(),
+            ..DbMetrics::default()
+        }
     }
 
     pub(crate) fn record_op(&self, op: OpKind) {
@@ -85,6 +102,16 @@ impl DbMetrics {
         self.rows_scanned.fetch_add(n as u64, Ordering::Relaxed);
     }
 
+    /// Records one partition-lock acquisition; `waited` marks contention.
+    pub(crate) fn record_partition_access(&self, partition: usize, waited: bool) {
+        if waited {
+            self.lock_waits.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(ctr) = self.partition_ops.get(partition) {
+            ctr.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Takes a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -98,6 +125,12 @@ impl DbMetrics {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            lock_waits: self.lock_waits.load(Ordering::Relaxed),
+            partition_ops: self
+                .partition_ops
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -122,6 +155,13 @@ impl MetricsSnapshot {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             rows_scanned: self.rows_scanned - earlier.rows_scanned,
+            lock_waits: self.lock_waits - earlier.lock_waits,
+            partition_ops: self
+                .partition_ops
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v - earlier.partition_ops.get(i).copied().unwrap_or(0))
+                .collect(),
         }
     }
 }
@@ -132,7 +172,7 @@ mod tests {
 
     #[test]
     fn counters_accumulate() {
-        let m = DbMetrics::new();
+        let m = DbMetrics::new(4);
         m.record_op(OpKind::Get);
         m.record_op(OpKind::Get);
         m.record_op(OpKind::Write);
@@ -140,6 +180,9 @@ mod tests {
         m.record_read_bytes(100);
         m.record_written_bytes(50);
         m.record_rows_scanned(7);
+        m.record_partition_access(1, false);
+        m.record_partition_access(1, true);
+        m.record_partition_access(3, false);
         let s = m.snapshot();
         assert_eq!(s.gets, 2);
         assert_eq!(s.writes, 1);
@@ -148,19 +191,33 @@ mod tests {
         assert_eq!(s.bytes_written, 50);
         assert_eq!(s.rows_scanned, 7);
         assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.lock_waits, 1);
+        assert_eq!(s.partition_ops, vec![0, 2, 0, 1]);
+    }
+
+    #[test]
+    fn out_of_range_partition_access_is_ignored() {
+        let m = DbMetrics::new(2);
+        m.record_partition_access(99, false);
+        assert_eq!(m.snapshot().partition_ops, vec![0, 0]);
     }
 
     #[test]
     fn delta_subtracts() {
-        let m = DbMetrics::new();
+        let m = DbMetrics::new(2);
         m.record_op(OpKind::Query);
+        m.record_partition_access(0, true);
         let before = m.snapshot();
         m.record_op(OpKind::Query);
         m.record_op(OpKind::Scan);
+        m.record_partition_access(0, false);
+        m.record_partition_access(1, true);
         let after = m.snapshot();
         let d = after.delta(&before);
         assert_eq!(d.queries, 1);
         assert_eq!(d.scans, 1);
         assert_eq!(d.gets, 0);
+        assert_eq!(d.lock_waits, 1);
+        assert_eq!(d.partition_ops, vec![1, 1]);
     }
 }

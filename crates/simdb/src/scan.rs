@@ -62,6 +62,23 @@ impl Projection {
     }
 }
 
+/// Position of a paused full-table scan: the partition being walked and
+/// the last key examined inside it.
+///
+/// Tables are hash-partitioned, so a full scan visits partitions in index
+/// order and each partition in key order — the overall item order is
+/// *partition-major*, not globally key-sorted (matching DynamoDB, where
+/// scan order follows physical partitions). A cursor therefore must name
+/// the partition as well as the key; resuming with a plain key would be
+/// ambiguous across partitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanCursor {
+    /// Index of the partition the scan stopped in.
+    pub partition: usize,
+    /// Last key examined in that partition (resume is exclusive).
+    pub key: PrimaryKey,
+}
+
 /// Parameters of a scan or query.
 #[derive(Debug, Clone, Default)]
 pub struct ScanRequest {
@@ -71,9 +88,13 @@ pub struct ScanRequest {
     pub projection: Option<Projection>,
     /// Maximum number of *matching* items to return in this page.
     pub limit: Option<usize>,
-    /// Resume after this key (exclusive), from a previous page's
-    /// [`ScanPage::last_key`].
+    /// Queries only: resume after this key (exclusive) within the hash
+    /// key's partition. Ignored by full-table scans, which resume via
+    /// [`ScanRequest::cursor`].
     pub start_after: Option<PrimaryKey>,
+    /// Full-table scans only: resume from a previous page's
+    /// [`ScanPage::cursor`].
+    pub cursor: Option<ScanCursor>,
 }
 
 impl ScanRequest {
@@ -100,9 +121,15 @@ impl ScanRequest {
         self
     }
 
-    /// Sets the resume key (builder style).
+    /// Sets the within-partition resume key for queries (builder style).
     pub fn with_start_after(mut self, key: PrimaryKey) -> Self {
         self.start_after = Some(key);
+        self
+    }
+
+    /// Sets the scan resume cursor (builder style).
+    pub fn with_cursor(mut self, cursor: ScanCursor) -> Self {
+        self.cursor = Some(cursor);
         self
     }
 }
@@ -110,10 +137,11 @@ impl ScanRequest {
 /// One page of scan/query results.
 #[derive(Debug, Clone, Default)]
 pub struct ScanPage {
-    /// The matching (possibly projected) items, in key order.
+    /// The matching (possibly projected) items, in partition-major key
+    /// order (see [`ScanCursor`]).
     pub items: Vec<Value>,
-    /// Key to resume from; `None` when the scan is complete.
-    pub last_key: Option<PrimaryKey>,
+    /// Cursor to resume from; `None` when the scan is complete.
+    pub cursor: Option<ScanCursor>,
 }
 
 #[cfg(test)]
@@ -160,12 +188,18 @@ mod tests {
 
     #[test]
     fn scan_request_builder() {
+        let cursor = ScanCursor {
+            partition: 3,
+            key: PrimaryKey::hash("k"),
+        };
         let r = ScanRequest::all()
             .with_filter(Cond::eq("Key", "k"))
             .with_projection(Projection::attrs(["Key"]))
-            .with_limit(5);
+            .with_limit(5)
+            .with_cursor(cursor.clone());
         assert!(r.filter.is_some());
         assert!(r.projection.is_some());
         assert_eq!(r.limit, Some(5));
+        assert_eq!(r.cursor, Some(cursor));
     }
 }

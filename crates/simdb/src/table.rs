@@ -1,213 +1,115 @@
-//! In-memory table storage with secondary-index maintenance.
+//! A table: an immutable schema plus `P` independently locked partitions.
 //!
-//! A table's data sits behind a single mutex; every mutation happens under
-//! it, which is what makes a row update *atomic* (the table mutex is the
-//! simulated atomicity scope — per-row serialization, exactly DynamoDB's
-//! guarantee, just coarser-grained on the inside). Scans deliberately
+//! The partition mutex is the simulated atomicity scope — a strict
+//! superset of DynamoDB's per-row guarantee, since a row never spans
+//! partitions. Single-row operations lock exactly one partition; scans
 //! release the lock between pages (driven by [`crate::Database`]) so they
-//! are **not** atomic across rows, matching real DynamoDB scans.
+//! are **not** atomic across rows, matching real DynamoDB scans; and
+//! cross-table transactions lock exactly the partitions their ops touch,
+//! in a deterministic global order (see [`crate::Database::transact_write`]).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use beldi_value::Value;
+use parking_lot::{Mutex, MutexGuard};
 
-use beldi_value::{SizeOf, Value};
+use crate::key::TableSchema;
+use crate::partition::{route, PartitionData};
 
-use crate::error::{DbError, DbResult};
-use crate::key::{PrimaryKey, TableSchema};
-
-/// The mutable state of one table (rows + indexes), always accessed under
-/// the owning table's lock.
+/// One table: schema (immutable, readable without any lock) and its
+/// hash partitions.
 #[derive(Debug)]
-pub(crate) struct TableData {
+pub(crate) struct Table {
     pub(crate) schema: TableSchema,
-    pub(crate) rows: BTreeMap<PrimaryKey, Value>,
-    /// index attribute name -> indexed value -> set of row keys.
-    pub(crate) indexes: HashMap<String, BTreeMap<Value, BTreeSet<PrimaryKey>>>,
+    partitions: Vec<Mutex<PartitionData>>,
 }
 
-impl TableData {
-    pub(crate) fn new(schema: TableSchema) -> Self {
-        let mut indexes = HashMap::new();
-        for attr in &schema.index_attrs {
-            indexes.insert(attr.clone(), BTreeMap::new());
-        }
-        TableData {
+impl Table {
+    /// Creates a table with `partitions` empty partitions.
+    pub(crate) fn new(schema: TableSchema, partitions: usize) -> Self {
+        assert!(partitions >= 1, "a table needs at least one partition");
+        let parts = (0..partitions)
+            .map(|_| Mutex::new(PartitionData::new(&schema)))
+            .collect();
+        Table {
             schema,
-            rows: BTreeMap::new(),
-            indexes,
+            partitions: parts,
         }
     }
 
-    /// Inserts or replaces a full row, enforcing the size limit and
-    /// maintaining indexes. Returns the stored size in bytes.
-    pub(crate) fn put_row(&mut self, item: Value) -> DbResult<usize> {
-        let key = self.schema.key_of(&item)?;
-        let size = item.size_bytes();
-        if size > self.schema.max_row_bytes {
-            return Err(DbError::RowTooLarge {
-                size,
-                limit: self.schema.max_row_bytes,
-            });
-        }
-        if let Some(old) = self.rows.get(&key) {
-            let old = old.clone();
-            self.unindex_row(&key, &old);
-        }
-        self.index_row(&key, &item);
-        self.rows.insert(key, item);
-        Ok(size)
+    /// Number of partitions.
+    pub(crate) fn partition_count(&self) -> usize {
+        self.partitions.len()
     }
 
-    /// Removes a row, maintaining indexes. Returns the removed row.
-    pub(crate) fn remove_row(&mut self, key: &PrimaryKey) -> Option<Value> {
-        let row = self.rows.remove(key)?;
-        self.unindex_row(key, &row);
-        Some(row)
+    /// The partition index a hash-key value routes to.
+    pub(crate) fn route(&self, hash_key: &Value) -> usize {
+        route(hash_key, self.partitions.len())
     }
 
-    /// Re-checks the size limit and re-indexes after an in-place update.
-    ///
-    /// The caller mutated a clone; this installs it if it fits.
-    pub(crate) fn replace_row(&mut self, key: PrimaryKey, new_row: Value) -> DbResult<usize> {
-        let size = new_row.size_bytes();
-        if size > self.schema.max_row_bytes {
-            return Err(DbError::RowTooLarge {
-                size,
-                limit: self.schema.max_row_bytes,
-            });
+    /// Locks partition `p`, reporting whether the acquisition had to wait
+    /// for another holder (the per-partition contention signal surfaced in
+    /// [`crate::MetricsSnapshot::lock_waits`]).
+    pub(crate) fn lock_partition(&self, p: usize) -> (MutexGuard<'_, PartitionData>, bool) {
+        let slot = &self.partitions[p];
+        match slot.try_lock() {
+            Some(guard) => (guard, false),
+            None => (slot.lock(), true),
         }
-        if let Some(old) = self.rows.get(&key) {
-            let old = old.clone();
-            self.unindex_row(&key, &old);
-        }
-        self.index_row(&key, &new_row);
-        self.rows.insert(key, new_row);
-        Ok(size)
-    }
-
-    fn index_row(&mut self, key: &PrimaryKey, row: &Value) {
-        for (attr, index) in self.indexes.iter_mut() {
-            if let Some(v) = row.get_attr(attr) {
-                index.entry(v.clone()).or_default().insert(key.clone());
-            }
-        }
-    }
-
-    fn unindex_row(&mut self, key: &PrimaryKey, row: &Value) {
-        for (attr, index) in self.indexes.iter_mut() {
-            if let Some(v) = row.get_attr(attr) {
-                if let Some(set) = index.get_mut(v) {
-                    set.remove(key);
-                    if set.is_empty() {
-                        index.remove(v);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Looks up row keys via a secondary index.
-    pub(crate) fn index_lookup(&self, attr: &str, value: &Value) -> DbResult<Vec<PrimaryKey>> {
-        let index = self
-            .indexes
-            .get(attr)
-            .ok_or_else(|| DbError::IndexNotFound(attr.to_owned()))?;
-        Ok(index
-            .get(value)
-            .map(|set| set.iter().cloned().collect())
-            .unwrap_or_default())
-    }
-
-    /// Returns the distinct hash-key values present in the table.
-    ///
-    /// Used by the garbage collector's `getAllDataKeys` step (paper
-    /// Fig. 10).
-    pub(crate) fn distinct_hash_keys(&self) -> Vec<Value> {
-        let mut out: Vec<Value> = Vec::new();
-        for key in self.rows.keys() {
-            if out.last() != Some(&key.hash) {
-                out.push(key.hash.clone());
-            }
-        }
-        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::key::PrimaryKey;
     use beldi_value::vmap;
 
-    fn schema() -> TableSchema {
-        TableSchema::hash_and_sort("Key", "RowId")
-            .with_index("Done")
-            .with_max_row_bytes(200)
-    }
-
-    fn row(k: &str, r: i64, done: bool) -> Value {
-        vmap! { "Key" => k, "RowId" => r, "Done" => done }
+    fn table(partitions: usize) -> Table {
+        Table::new(TableSchema::hash_and_sort("Key", "RowId"), partitions)
     }
 
     #[test]
-    fn put_get_remove() {
-        let mut t = TableData::new(schema());
-        t.put_row(row("a", 0, false)).unwrap();
-        let k = PrimaryKey::hash_sort("a", 0i64);
-        assert!(t.rows.contains_key(&k));
-        let removed = t.remove_row(&k).unwrap();
-        assert_eq!(removed.get_str("Key"), Some("a"));
-        assert!(t.rows.is_empty());
+    fn rows_of_one_hash_key_share_a_partition() {
+        let t = table(8);
+        let p = t.route(&Value::from("a"));
+        for sort in 0..20i64 {
+            let key = PrimaryKey::hash_sort("a", sort);
+            assert_eq!(t.route(&key.hash), p, "sort {sort} rerouted");
+        }
     }
 
     #[test]
-    fn size_limit_enforced() {
-        let mut t = TableData::new(schema());
-        let big = vmap! { "Key" => "a", "RowId" => 0i64, "V" => "x".repeat(500) };
-        assert!(matches!(t.put_row(big), Err(DbError::RowTooLarge { .. })));
+    fn lock_partition_reports_contention() {
+        let t = table(2);
+        let (guard, contended) = t.lock_partition(0);
+        assert!(!contended, "uncontended lock must not report a wait");
+        // The other partition stays free while 0 is held.
+        let (other, contended) = t.lock_partition(1);
+        assert!(!contended);
+        drop(other);
+        drop(guard);
     }
 
     #[test]
-    fn index_tracks_puts_updates_and_removes() {
-        let mut t = TableData::new(schema());
-        t.put_row(row("a", 0, false)).unwrap();
-        t.put_row(row("b", 0, false)).unwrap();
-        let unfinished = t.index_lookup("Done", &Value::Bool(false)).unwrap();
-        assert_eq!(unfinished.len(), 2);
-
-        // Flip one to done via replace.
-        let k = PrimaryKey::hash_sort("a", 0i64);
-        t.replace_row(k.clone(), row("a", 0, true)).unwrap();
-        assert_eq!(
-            t.index_lookup("Done", &Value::Bool(false)).unwrap().len(),
-            1
-        );
-        assert_eq!(
-            t.index_lookup("Done", &Value::Bool(true)).unwrap(),
-            vec![k.clone()]
-        );
-
-        t.remove_row(&k);
-        assert!(t
-            .index_lookup("Done", &Value::Bool(true))
-            .unwrap()
-            .is_empty());
+    fn partitions_hold_disjoint_rows() {
+        let t = table(4);
+        let mut total = 0;
+        for i in 0..32i64 {
+            let item = vmap! { "Key" => format!("k{i}"), "RowId" => 0i64 };
+            let key = t.schema.key_of(&item).unwrap();
+            let p = t.route(&key.hash);
+            let (mut data, _) = t.lock_partition(p);
+            data.put_row(key, item, t.schema.max_row_bytes).unwrap();
+        }
+        for p in 0..t.partition_count() {
+            let (data, _) = t.lock_partition(p);
+            total += data.rows.len();
+        }
+        assert_eq!(total, 32, "rows lost or duplicated across partitions");
     }
 
     #[test]
-    fn index_lookup_unknown_index_is_error() {
-        let t = TableData::new(schema());
-        assert!(matches!(
-            t.index_lookup("Nope", &Value::Bool(true)),
-            Err(DbError::IndexNotFound(_))
-        ));
-    }
-
-    #[test]
-    fn distinct_hash_keys_deduplicates() {
-        let mut t = TableData::new(schema());
-        t.put_row(row("a", 0, false)).unwrap();
-        t.put_row(row("a", 1, false)).unwrap();
-        t.put_row(row("b", 0, false)).unwrap();
-        let keys = t.distinct_hash_keys();
-        assert_eq!(keys, vec![Value::from("a"), Value::from("b")]);
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_rejected() {
+        let _ = table(0);
     }
 }

@@ -8,6 +8,10 @@
 //! `measurement_time / sample_size`), printed one line per benchmark. No
 //! statistical analysis, HTML reports, or baseline comparison — just
 //! enough to run `cargo bench` offline and eyeball relative cost.
+//!
+//! Like real criterion, `cargo bench -- --test` runs every benchmark
+//! exactly once without measuring — the smoke mode CI uses to catch bench
+//! bit-rot cheaply.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -21,6 +25,8 @@ pub fn black_box<T>(value: T) -> T {
 pub struct Criterion {
     sample_size: usize,
     measurement_time: Duration,
+    /// `cargo bench -- --test`: run each benchmark once, skip measuring.
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -28,6 +34,7 @@ impl Default for Criterion {
         Criterion {
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -35,11 +42,13 @@ impl Default for Criterion {
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name: name.into(),
             sample_size: 10,
             measurement_time: Duration::from_secs(3),
+            test_mode,
         }
     }
 
@@ -49,7 +58,11 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
-        run_benchmark(&id.to_string(), sample_size, measurement_time, f);
+        if self.test_mode {
+            run_once(&id.to_string(), f);
+        } else {
+            run_benchmark(&id.to_string(), sample_size, measurement_time, f);
+        }
         self
     }
 }
@@ -87,6 +100,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     measurement_time: Duration,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -109,7 +123,11 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id);
-        run_benchmark(&full, self.sample_size, self.measurement_time, |b| f(b));
+        if self.test_mode {
+            run_once(&full, |b| f(b));
+        } else {
+            run_benchmark(&full, self.sample_size, self.measurement_time, |b| f(b));
+        }
         self
     }
 
@@ -124,9 +142,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id);
-        run_benchmark(&full, self.sample_size, self.measurement_time, |b| {
-            f(b, input)
-        });
+        if self.test_mode {
+            run_once(&full, |b| f(b, input));
+        } else {
+            run_benchmark(&full, self.sample_size, self.measurement_time, |b| {
+                f(b, input)
+            });
+        }
         self
     }
 
@@ -149,6 +171,19 @@ impl Bencher {
         }
         self.elapsed = start.elapsed();
     }
+}
+
+/// `--test` smoke mode: execute the benchmark body once, unmeasured.
+fn run_once<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("{name:<50} test: ok");
 }
 
 fn run_benchmark<F>(name: &str, sample_size: usize, measurement_time: Duration, mut f: F)
