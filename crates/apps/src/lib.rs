@@ -30,3 +30,69 @@ pub mod travel;
 pub use media::MediaApp;
 pub use social::SocialApp;
 pub use travel::TravelApp;
+
+use beldi::value::Value;
+use beldi::BeldiEnv;
+use rand::rngs::SmallRng;
+
+/// A uniform interface over the three case-study applications, used by
+/// the crash-schedule explorer (`beldi-workload`) to drive any workflow
+/// generically and to check exactly-once semantics after recovery.
+///
+/// The two verification hooks are the contract that makes the explorer's
+/// oracle comparison sound:
+///
+/// - [`WorkflowApp::canonical_state`] projects the application's final
+///   state into a [`Value`] that is *identical* between a crash-free run
+///   and any crashed-and-recovered run of the same request sequence.
+///   Identifiers minted via `logged_uuid` can legitimately differ when a
+///   crash lands before the id was logged (the re-execution draws a fresh
+///   one), so the projection replaces uuid-valued ids with the content
+///   they point to and keeps only deterministic fields.
+/// - [`WorkflowApp::effect_count`] totals the externally visible side
+///   effects recorded in state (rows stored, list entries appended,
+///   inventory consumed). A duplicated effect — the failure exactly-once
+///   semantics rule out — changes the count even if it escapes the
+///   canonical projection.
+pub trait WorkflowApp: Send + Sync {
+    /// Short app name ("media", "social", "travel").
+    fn kind(&self) -> &'static str;
+
+    /// The workflow's frontend SSF.
+    fn entry_point(&self) -> &'static str;
+
+    /// Installs every SSF and seeds the dataset.
+    fn setup(&self, env: &BeldiEnv);
+
+    /// Draws one frontend request from the app's mix.
+    fn gen_request(&self, rng: &mut SmallRng) -> Value;
+
+    /// Canonical post-run application state (see trait docs).
+    fn canonical_state(&self, env: &BeldiEnv) -> Value;
+
+    /// Total externally visible effects recorded in state.
+    fn effect_count(&self, env: &BeldiEnv) -> i64;
+}
+
+/// Builds the explorer-sized instance of an app by name
+/// (`media` / `social` / `travel`) for the given mode.
+///
+/// Travel normally wraps reservations in a cross-SSF transaction; that
+/// machinery is implemented over the DAAL/shadow tables and is
+/// unsupported in cross-table logging mode, so there the factory returns
+/// the paper's "fault-tolerance without transactions" configuration
+/// (§7.4) instead.
+pub fn small_app(kind: &str, mode: beldi::Mode) -> Option<Box<dyn WorkflowApp>> {
+    match kind {
+        "media" => Some(Box::new(MediaApp::small())),
+        "social" => Some(Box::new(SocialApp::small())),
+        "travel" => {
+            let mut app = TravelApp::small();
+            if mode == beldi::Mode::CrossTable {
+                app.transactional = false;
+            }
+            Some(Box::new(app))
+        }
+        _ => None,
+    }
+}

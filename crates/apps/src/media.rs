@@ -77,6 +77,16 @@ fn user_key(i: usize) -> String {
 }
 
 impl MediaApp {
+    /// A small configuration for the crash-schedule explorer: enough
+    /// movies/users for the request mix, cheap to re-seed hundreds of
+    /// times.
+    pub fn small() -> Self {
+        MediaApp {
+            movies: 6,
+            users: 4,
+        }
+    }
+
     /// The workflow's entry SSF.
     pub fn entry(&self) -> &'static str {
         "media-frontend"
@@ -163,6 +173,116 @@ impl MediaApp {
                 "rating" => rng.gen_range(0..11i64),
             },
         }
+    }
+}
+
+impl crate::WorkflowApp for MediaApp {
+    fn kind(&self) -> &'static str {
+        "media"
+    }
+
+    fn entry_point(&self) -> &'static str {
+        self.entry()
+    }
+
+    fn setup(&self, env: &BeldiEnv) {
+        self.install(env);
+        self.seed(env);
+    }
+
+    /// The explorer over-weights composes (50% instead of the mix's 10%)
+    /// so short request sequences exercise the write-heavy path — the one
+    /// exactly-once semantics actually protect.
+    fn gen_request(&self, rng: &mut SmallRng) -> Value {
+        if rng.gen_range(0..2usize) == 0 {
+            vmap! {
+                "op" => "compose",
+                "user" => user_key(rng.gen_range(0..self.users)),
+                "title" => title_of(rng.gen_range(0..self.movies)),
+                "text" => "A review with depth and nuance. ",
+                "rating" => rng.gen_range(0..11i64),
+            }
+        } else {
+            self.request(rng)
+        }
+    }
+
+    /// Review ids are `logged_uuid`s and may differ across recoveries, so
+    /// the projection resolves each id in the per-movie and per-user lists
+    /// to the review's deterministic content (user, movie, rating, text)
+    /// and adds the review-storage row count (a duplicated store shows up
+    /// there even if no list references it).
+    fn canonical_state(&self, env: &BeldiEnv) -> Value {
+        let project = |id: &Value| -> Value {
+            let Some(id) = id.as_str() else {
+                return Value::Null;
+            };
+            let r = env
+                .read_current("media-review-storage", "reviews", id)
+                .unwrap_or(Value::Null);
+            vmap! {
+                "user" => r.get_str("user_id").unwrap_or_default(),
+                "movie" => r.get_str("movie_id").unwrap_or_default(),
+                "rating" => r.get_int("rating").unwrap_or(-1),
+                "text" => r.get_attr("text").cloned().unwrap_or(Value::Null),
+            }
+        };
+        let list_of = |ssf: &str, table: &str, key: &str| -> Value {
+            let ids = env
+                .read_current(ssf, table, key)
+                .unwrap_or(Value::Null)
+                .as_list()
+                .cloned()
+                .unwrap_or_default();
+            Value::List(ids.iter().map(project).collect())
+        };
+        let mut by_movie = beldi::value::Map::new();
+        for i in 0..self.movies {
+            let key = movie_key(i);
+            by_movie.insert(key.clone(), list_of("media-movie-review", "bymovie", &key));
+        }
+        let mut by_user = beldi::value::Map::new();
+        for u in 0..self.users {
+            let uid = format!("uid-{u}");
+            by_user.insert(uid.clone(), list_of("media-user-review", "byuser", &uid));
+        }
+        let review_rows = env
+            .db()
+            .distinct_hash_keys(&beldi::schema::data_table(
+                "media-review-storage",
+                "reviews",
+            ))
+            .map(|k| k.len())
+            .unwrap_or(0);
+        vmap! {
+            "by_movie" => Value::Map(by_movie),
+            "by_user" => Value::Map(by_user),
+            "review_rows" => review_rows as i64,
+        }
+    }
+
+    fn effect_count(&self, env: &BeldiEnv) -> i64 {
+        let list_len = |ssf: &str, table: &str, key: &str| -> i64 {
+            env.read_current(ssf, table, key)
+                .ok()
+                .and_then(|v| v.as_list().map(Vec::len))
+                .unwrap_or(0) as i64
+        };
+        let mut total = env
+            .db()
+            .distinct_hash_keys(&beldi::schema::data_table(
+                "media-review-storage",
+                "reviews",
+            ))
+            .map(|k| k.len())
+            .unwrap_or(0) as i64;
+        for i in 0..self.movies {
+            total += list_len("media-movie-review", "bymovie", &movie_key(i));
+        }
+        for u in 0..self.users {
+            total += list_len("media-user-review", "byuser", &format!("uid-{u}"));
+        }
+        total
     }
 }
 

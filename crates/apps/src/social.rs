@@ -70,6 +70,14 @@ fn user_key(i: usize) -> String {
 }
 
 impl SocialApp {
+    /// A small configuration for the crash-schedule explorer.
+    pub fn small() -> Self {
+        SocialApp {
+            users: 5,
+            follows_per_user: 2,
+        }
+    }
+
     /// The workflow's entry SSF.
     pub fn entry(&self) -> &'static str {
         "social-frontend"
@@ -134,6 +142,142 @@ impl SocialApp {
             }
         }
     }
+}
+
+impl crate::WorkflowApp for SocialApp {
+    fn kind(&self) -> &'static str {
+        "social"
+    }
+
+    fn entry_point(&self) -> &'static str {
+        self.entry()
+    }
+
+    fn setup(&self, env: &BeldiEnv) {
+        self.install(env);
+        self.seed(env);
+    }
+
+    /// The explorer over-weights composes (50% instead of the mix's 10%)
+    /// so short request sequences exercise posting — storage writes, the
+    /// url shortener, and the locked timeline fan-out.
+    fn gen_request(&self, rng: &mut SmallRng) -> Value {
+        if rng.gen_range(0..2usize) == 0 {
+            let user = user_key(rng.gen_range(0..self.users));
+            let mention = user_key(rng.gen_range(0..self.users));
+            vmap! {
+                "op" => "compose",
+                "user" => user,
+                "text" => format!(
+                    "hello @{mention} see http://long.example/{}",
+                    rng.gen_range(0..10_000)
+                ),
+                "media" => Value::List(vec![Value::from(format!(
+                    "img-{}",
+                    rng.gen_range(0..100)
+                ))]),
+            }
+        } else {
+            self.request(rng)
+        }
+    }
+
+    /// Post ids and shortened links are `logged_uuid`s, so timelines are
+    /// projected id → post content, with `s.ly/<uuid8>` tokens normalized
+    /// to `s.ly/~`; the url table contributes its (deterministic) original
+    /// URLs sorted, plus row counts for posts and urls so a duplicated
+    /// store is visible even when unreferenced.
+    fn canonical_state(&self, env: &BeldiEnv) -> Value {
+        let project_post = |id: &Value| -> Value {
+            let Some(id) = id.as_str() else {
+                return Value::Null;
+            };
+            let p = env
+                .read_current("social-post-storage", "posts", id)
+                .unwrap_or(Value::Null);
+            let text = normalize_short_links(p.get_str("text").unwrap_or_default());
+            vmap! {
+                "creator" => p.get_attr("creator").cloned().unwrap_or(Value::Null),
+                "text" => text,
+                "media" => p.get_attr("media").cloned().unwrap_or(Value::Null),
+            }
+        };
+        let timeline = |table: &str, user: &str| -> Value {
+            let ids = env
+                .read_current("social-timeline-storage", table, user)
+                .unwrap_or(Value::Null)
+                .as_list()
+                .cloned()
+                .unwrap_or_default();
+            Value::List(ids.iter().map(project_post).collect())
+        };
+        let mut user_tls = beldi::value::Map::new();
+        let mut home_tls = beldi::value::Map::new();
+        for u in 0..self.users {
+            let user = user_key(u);
+            user_tls.insert(user.clone(), timeline("usertl", &user));
+            home_tls.insert(user.clone(), timeline("hometl", &user));
+        }
+        let row_count = |ssf: &str, table: &str| -> i64 {
+            env.db()
+                .distinct_hash_keys(&beldi::schema::data_table(ssf, table))
+                .map(|k| k.len())
+                .unwrap_or(0) as i64
+        };
+        let mut urls: Vec<Value> = Vec::new();
+        if let Ok(keys) = env
+            .db()
+            .distinct_hash_keys(&beldi::schema::data_table("social-url-shorten", "urls"))
+        {
+            for k in keys {
+                if let Some(short) = k.as_str() {
+                    urls.push(
+                        env.read_current("social-url-shorten", "urls", short)
+                            .unwrap_or(Value::Null),
+                    );
+                }
+            }
+        }
+        urls.sort_by_key(|v| v.to_string());
+        vmap! {
+            "user_timelines" => Value::Map(user_tls),
+            "home_timelines" => Value::Map(home_tls),
+            "post_rows" => row_count("social-post-storage", "posts"),
+            "url_rows" => row_count("social-url-shorten", "urls"),
+            "url_targets" => Value::List(urls),
+        }
+    }
+
+    fn effect_count(&self, env: &BeldiEnv) -> i64 {
+        let row_count = |ssf: &str, table: &str| -> i64 {
+            env.db()
+                .distinct_hash_keys(&beldi::schema::data_table(ssf, table))
+                .map(|k| k.len())
+                .unwrap_or(0) as i64
+        };
+        let mut total =
+            row_count("social-post-storage", "posts") + row_count("social-url-shorten", "urls");
+        for u in 0..self.users {
+            let user = user_key(u);
+            for table in ["usertl", "hometl"] {
+                total += env
+                    .read_current("social-timeline-storage", table, &user)
+                    .ok()
+                    .and_then(|v| v.as_list().map(Vec::len))
+                    .unwrap_or(0) as i64;
+            }
+        }
+        total
+    }
+}
+
+/// Replaces shortened-link tokens (`s.ly/<logged uuid prefix>`) with a
+/// stable placeholder so canonical text compares across recoveries.
+fn normalize_short_links(text: &str) -> String {
+    text.split_whitespace()
+        .map(|w| if w.starts_with("s.ly/") { "s.ly/~" } else { w })
+        .collect::<Vec<&str>>()
+        .join(" ")
 }
 
 // ---- SSF bodies ----

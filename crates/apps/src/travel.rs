@@ -83,6 +83,18 @@ fn user_key(i: usize) -> String {
 }
 
 impl TravelApp {
+    /// A small configuration for the crash-schedule explorer.
+    pub fn small() -> Self {
+        TravelApp {
+            hotels: 4,
+            flights: 4,
+            users: 3,
+            rooms_per_hotel: 100,
+            seats_per_flight: 100,
+            transactional: true,
+        }
+    }
+
     /// The workflow's entry SSF.
     pub fn entry(&self) -> &'static str {
         "travel-frontend"
@@ -228,6 +240,65 @@ impl TravelApp {
                 .unwrap_or(0);
         }
         (rooms, seats)
+    }
+}
+
+impl crate::WorkflowApp for TravelApp {
+    fn kind(&self) -> &'static str {
+        "travel"
+    }
+
+    fn entry_point(&self) -> &'static str {
+        self.entry()
+    }
+
+    fn setup(&self, env: &BeldiEnv) {
+        self.install(env);
+        self.seed(env);
+    }
+
+    /// The explorer over-weights reservations (50% instead of the mix's
+    /// 5%) so short request sequences still exercise the cross-SSF
+    /// transaction path — the machinery most worth crash-sweeping.
+    fn gen_request(&self, rng: &mut SmallRng) -> Value {
+        if rng.gen_range(0..2usize) == 0 {
+            self.reserve_request(rng)
+        } else {
+            self.request(rng)
+        }
+    }
+
+    /// All travel keys are deterministic (hotel-i / flight-i), so the
+    /// canonical state is simply the remaining inventory per hotel and
+    /// flight — a lost or duplicated reservation leg shifts a counter.
+    fn canonical_state(&self, env: &BeldiEnv) -> Value {
+        let mut inventory = Map::new();
+        for i in 0..self.hotels {
+            let key = hotel_key(i);
+            let rooms = env
+                .read_current("travel-reserve-hotel", "rooms", &key)
+                .unwrap_or(Value::Null)
+                .get_int("available")
+                .unwrap_or(-1);
+            inventory.insert(key, Value::Int(rooms));
+        }
+        for i in 0..self.flights {
+            let key = flight_key(i);
+            let seats = env
+                .read_current("travel-reserve-flight", "seats", &key)
+                .unwrap_or(Value::Null)
+                .get_int("available")
+                .unwrap_or(-1);
+            inventory.insert(key, Value::Int(seats));
+        }
+        Value::Map(inventory)
+    }
+
+    fn effect_count(&self, env: &BeldiEnv) -> i64 {
+        let (rooms, seats) = self.remaining_inventory(env);
+        let initial =
+            self.hotels as i64 * self.rooms_per_hotel + self.flights as i64 * self.seats_per_flight;
+        initial - rooms - seats
     }
 }
 

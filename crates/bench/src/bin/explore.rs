@@ -1,0 +1,139 @@
+//! Systematic crash-schedule exploration over the paper's applications:
+//! sweep every labelled crash point (depth 1) plus sampled multi-crash
+//! schedules (depth 2), recover via the intent collector, and diff the
+//! final state against a crash-free oracle (see `DESIGN.md` §8).
+//!
+//! ```text
+//! cargo run -p beldi-bench --release --bin explore -- \
+//!     [--app media|social|travel|all] [--mode beldi|cross-table|baseline|all] \
+//!     [--requests 4] [--seed 42] [--stride 1] [--depth2-samples 0] \
+//!     [--max-schedules N] [--gc-check] [--smoke] [--canary]
+//! ```
+//!
+//! `--smoke` is the CI configuration: fewer requests and a strided sweep
+//! so all apps finish in seconds. `--canary` plants a deliberate
+//! exactly-once bug and *expects* the sweep to report violations (exit 0
+//! when it does — the self-test). The canary runs on the synthetic
+//! `pipeline` workload, whose gate write recomputes from an earlier read
+//! — the dependency shape a read-replay bug needs to become visible
+//! (pass `--app` explicitly to canary a different workload).
+//!
+//! Exit status: 0 when every sweep is clean (or, under `--canary`, when
+//! the bug was caught); 1 otherwise. Every violation line carries the
+//! seed and schedule needed to replay it.
+
+use beldi::Mode;
+use beldi_apps::small_app;
+use beldi_workload::{explore, mode_name, ExploreOptions};
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+fn main() {
+    beldi::silence_crash_backtraces();
+
+    let app_arg = beldi_bench::arg_value("--app").unwrap_or_else(|| "all".into());
+    let mode_arg = beldi_bench::arg_value("--mode").unwrap_or_else(|| "all".into());
+    let smoke = flag("--smoke");
+    let canary = flag("--canary");
+
+    let opts = ExploreOptions {
+        requests: beldi_bench::arg_usize("--requests", if smoke { 2 } else { 4 }),
+        seed: beldi_bench::arg_usize("--seed", 42) as u64,
+        stride: beldi_bench::arg_usize("--stride", if smoke { 7 } else { 1 }),
+        max_depth1: beldi_bench::arg_value("--max-schedules").and_then(|v| v.parse().ok()),
+        depth2_samples: beldi_bench::arg_usize("--depth2-samples", if smoke { 2 } else { 0 }),
+        gc_check: flag("--gc-check"),
+        canary,
+    };
+
+    let apps: Vec<&str> = match app_arg.as_str() {
+        "all" if canary => vec!["pipeline"],
+        "all" => vec!["media", "social", "travel"],
+        one => vec![one],
+    };
+    let modes: Vec<Mode> = match mode_arg.as_str() {
+        "all" => vec![Mode::Beldi, Mode::CrossTable, Mode::Baseline],
+        "beldi" => vec![Mode::Beldi],
+        "cross-table" | "cross" => vec![Mode::CrossTable],
+        "baseline" => vec![Mode::Baseline],
+        other => {
+            eprintln!("unknown --mode {other}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut all_violations = Vec::new();
+    for kind in &apps {
+        for &mode in &modes {
+            let app: Box<dyn beldi_apps::WorkflowApp> = if *kind == "pipeline" {
+                Box::new(beldi_workload::PipelineApp)
+            } else {
+                match small_app(kind, mode) {
+                    Some(app) => app,
+                    None => {
+                        eprintln!("unknown --app {kind}");
+                        std::process::exit(2);
+                    }
+                }
+            };
+            let report = explore(app.as_ref(), mode, &opts);
+            rows.push(vec![
+                report.app.clone(),
+                mode_name(report.mode).to_owned(),
+                report.crash_points.to_string(),
+                report.schedules.to_string(),
+                report.crashes_injected.to_string(),
+                report.oracle_effects.to_string(),
+                report.violations.len().to_string(),
+            ]);
+            for v in &report.violations {
+                all_violations.push(format!(
+                    "{} {} {} — replay: explore --app {} --mode {} --seed {} --requests {}",
+                    report.app,
+                    mode_name(report.mode),
+                    v,
+                    report.app,
+                    mode_name(report.mode),
+                    report.seed,
+                    report.requests,
+                ));
+            }
+        }
+    }
+
+    beldi_bench::print_table(
+        "Crash-schedule exploration (depth-1 sweep + sampled depth-2)",
+        &[
+            "app",
+            "mode",
+            "crash_points",
+            "schedules",
+            "crashes",
+            "effects",
+            "violations",
+        ],
+        &rows,
+    );
+
+    if !all_violations.is_empty() {
+        println!("\n# Violations");
+        for v in &all_violations {
+            println!("{v}");
+        }
+    }
+
+    if canary {
+        if all_violations.is_empty() {
+            eprintln!("canary mode: the planted bug was NOT detected — the checker is broken");
+            std::process::exit(1);
+        }
+        println!("\ncanary mode: planted bug detected as expected");
+        return;
+    }
+    if !all_violations.is_empty() {
+        std::process::exit(1);
+    }
+}

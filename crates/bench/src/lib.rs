@@ -31,12 +31,8 @@ pub const SYSTEMS: [(&str, Mode); 3] = [
 
 /// Beldi configuration for a mode with experiment-friendly knobs.
 pub fn config_for(mode: Mode, row_capacity: usize, partitions: usize) -> BeldiConfig {
-    let base = match mode {
-        Mode::Beldi => BeldiConfig::beldi(),
-        Mode::CrossTable => BeldiConfig::cross_table(),
-        Mode::Baseline => BeldiConfig::baseline(),
-    };
-    base.with_row_capacity(row_capacity)
+    BeldiConfig::for_mode(mode)
+        .with_row_capacity(row_capacity)
         .with_partitions(partitions)
 }
 

@@ -49,6 +49,16 @@ pub struct BeldiConfig {
     /// in partition-major order, as DynamoDB's physical-partition scans
     /// do).
     pub partitions: usize,
+    /// **Test-only sabotage switch** (the crash explorer's canary): when
+    /// set, read-log appends skip their first-writer-wins guard, so a
+    /// re-executed instance re-reads *fresh* state instead of replaying
+    /// its logged reads — a deliberate exactly-once bug. The explorer's
+    /// self-test enables this and asserts the sweep reports violations,
+    /// proving the checker has teeth. Only compiled with the `canary`
+    /// cargo feature (enabled by `beldi-workload` for the self-test);
+    /// plain `beldi` builds cannot reach the sabotage.
+    #[cfg(feature = "canary")]
+    pub canary_skip_read_guard: bool,
 }
 
 impl BeldiConfig {
@@ -62,6 +72,8 @@ impl BeldiConfig {
             collector_period: Duration::from_secs(60),
             collector_batch_limit: None,
             partitions: beldi_simdb::DEFAULT_PARTITIONS,
+            #[cfg(feature = "canary")]
+            canary_skip_read_guard: false,
         }
     }
 
@@ -78,6 +90,16 @@ impl BeldiConfig {
         BeldiConfig {
             mode: Mode::Baseline,
             ..BeldiConfig::beldi()
+        }
+    }
+
+    /// Defaults for the given mode (the harness-facing dispatch the
+    /// benches and the crash explorer share).
+    pub fn for_mode(mode: Mode) -> Self {
+        match mode {
+            Mode::Beldi => BeldiConfig::beldi(),
+            Mode::CrossTable => BeldiConfig::cross_table(),
+            Mode::Baseline => BeldiConfig::baseline(),
         }
     }
 
@@ -118,6 +140,27 @@ impl BeldiConfig {
         assert!(n >= 1, "partition count must be at least 1");
         self.partitions = n;
         self
+    }
+
+    /// Sets the canary sabotage switch (builder style; see
+    /// [`BeldiConfig::canary_skip_read_guard`]). Test-only.
+    #[cfg(feature = "canary")]
+    pub fn with_canary_skip_read_guard(mut self, on: bool) -> Self {
+        self.canary_skip_read_guard = on;
+        self
+    }
+
+    /// True when the canary sabotage is active. Always false without the
+    /// `canary` cargo feature.
+    pub(crate) fn canary_active(&self) -> bool {
+        #[cfg(feature = "canary")]
+        {
+            self.canary_skip_read_guard
+        }
+        #[cfg(not(feature = "canary"))]
+        {
+            false
+        }
     }
 }
 

@@ -147,6 +147,18 @@ pub struct BeldiEnv {
 /// the workflow root) up to this many times.
 const MAX_ROOT_ATTEMPTS: usize = 50;
 
+/// Summary of one [`BeldiEnv::drain_recovery`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Intent-collector passes performed.
+    pub passes: usize,
+    /// Instances re-launched across all passes.
+    pub restarted: usize,
+    /// Unfinished intents remaining after the final pass (zero on a
+    /// successful drain).
+    pub unfinished: usize,
+}
+
 impl BeldiEnv {
     /// A fast, deterministic environment for tests and examples: Beldi
     /// mode, zero storage latency, no platform overheads, a 2000× clock.
@@ -380,6 +392,71 @@ impl BeldiEnv {
         }
     }
 
+    /// Drives intent-collector passes until no unfinished intent remains
+    /// for any registered SSF (or `max_passes` is exhausted) — the
+    /// "recovery drain" the crash-schedule explorer runs after a crashed
+    /// workload so every interrupted execution is re-driven to completion
+    /// on virtual time.
+    ///
+    /// Each pass advances the virtual clock past the IC restart delay
+    /// (so `too_recent` intents become eligible), runs one IC pass per
+    /// SSF, and — when a pass restarted anything — waits for that SSF's
+    /// re-executions to settle before the next SSF's pass fires, so
+    /// recoveries are serialized across SSFs and their crash points
+    /// interleave deterministically in the fault injector's global stream
+    /// (re-executions of *one* SSF restarted in the same pass may still
+    /// run concurrently). The caller checks [`DrainReport::unfinished`] —
+    /// zero means the system is quiescent. At least one pass always runs
+    /// (`max_passes` is clamped to 1), so a zero report is a real
+    /// observation, never a skipped scan. Baseline mode has no intents to
+    /// drain and returns immediately.
+    pub fn drain_recovery(&self, max_passes: usize) -> BeldiResult<DrainReport> {
+        let mut report = DrainReport::default();
+        if self.core.config.mode == Mode::Baseline {
+            return Ok(report);
+        }
+        let names: Vec<String> = self.ssf_names();
+        let step = self.core.config.ic_restart_delay + Duration::from_millis(5);
+        for pass in 0..max_passes.max(1) {
+            report.passes = pass + 1;
+            self.clock().sleep(step);
+            let mut unfinished = 0;
+            for name in &names {
+                let r = ic::run_ic(&self.core, name)?;
+                unfinished += r.unfinished;
+                report.restarted += r.restarted;
+                if r.restarted > 0 {
+                    self.await_ssf_quiescence(name);
+                }
+            }
+            report.unfinished = unfinished;
+            if unfinished == 0 {
+                return Ok(report);
+            }
+        }
+        Ok(report)
+    }
+
+    /// Best-effort wait (bounded real time) until an SSF has no unfinished
+    /// intents — used by [`BeldiEnv::drain_recovery`] to serialize
+    /// restarted re-executions. A re-execution that crashes again simply
+    /// leaves its intent unfinished; the next drain pass picks it up.
+    fn await_ssf_quiescence(&self, ssf: &str) {
+        let table = schema::intent_table(ssf);
+        for _ in 0..50 {
+            std::thread::sleep(Duration::from_millis(1));
+            let left = self
+                .core
+                .db
+                .index_query(&table, schema::A_DONE, &Value::Bool(false))
+                .map(|rows| rows.len())
+                .unwrap_or(0);
+            if left == 0 {
+                return;
+            }
+        }
+    }
+
     // ---- Data loading and inspection ----
 
     /// Seeds `key = value` in an SSF's data table, bypassing logging
@@ -420,6 +497,24 @@ impl BeldiEnv {
     }
 
     // ---- Accessors ----
+
+    /// Names of all registered SSFs, sorted.
+    pub fn ssf_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.core.registry.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The logical data tables an SSF declared at registration (empty for
+    /// unknown SSFs).
+    pub fn ssf_tables(&self, ssf: &str) -> Vec<String> {
+        self.core
+            .registry
+            .read()
+            .get(ssf)
+            .map(|e| e.tables.clone())
+            .unwrap_or_default()
+    }
 
     /// The simulated database.
     pub fn db(&self) -> &Arc<Database> {

@@ -74,7 +74,7 @@ mod wrapper;
 
 pub use config::{BeldiConfig, Mode};
 pub use context::SsfContext;
-pub use env::{BeldiEnv, EnvBuilder, SsfBody};
+pub use env::{BeldiEnv, DrainReport, EnvBuilder, SsfBody};
 pub use error::{BeldiError, BeldiResult};
 pub use gc::GcReport;
 pub use ic::IcReport;

@@ -73,7 +73,16 @@ impl SsfContext {
         let log_key = self.next_log_key();
         let rlog = self.read_log_table();
         self.crash("read.pre_log");
-        let entry_cond = Cond::not_exists(A_LOG_KEY);
+        // Canary sabotage (`canary` feature only, see
+        // `BeldiConfig::canary_skip_read_guard`): dropping the
+        // first-writer-wins guard lets every re-execution overwrite the
+        // log with a fresh read — the exactly-once violation the
+        // crash-schedule explorer's self-test must detect.
+        let entry_cond = if self.core.config.canary_active() {
+            Cond::True
+        } else {
+            Cond::not_exists(A_LOG_KEY)
+        };
         let update = Update::new()
             .set(A_LOG_KEY, log_key.as_str())
             .set(A_OWNER, self.instance_id())
@@ -321,11 +330,7 @@ mod tests {
     use std::sync::Arc;
 
     fn test_ctx(mode: crate::Mode) -> (BeldiEnv, SsfContext) {
-        let cfg = match mode {
-            crate::Mode::Beldi => BeldiConfig::beldi(),
-            crate::Mode::CrossTable => BeldiConfig::cross_table(),
-            crate::Mode::Baseline => BeldiConfig::baseline(),
-        };
+        let cfg = BeldiConfig::for_mode(mode);
         let env = BeldiEnv::for_tests_with(cfg.with_row_capacity(3));
         env.register_ssf("f", &["state"], Arc::new(|_, _| Ok(Value::Null)));
         let ctx = env.test_context("f", "inst-1");

@@ -113,6 +113,39 @@ pub fn shadow_table(ssf: &str, table: &str) -> String {
     format!("{ssf}.data.{table}.shadow")
 }
 
+/// True when `table` is one of Beldi's own metadata tables — intent,
+/// read/invoke/write logs, or shadow tables — rather than application
+/// data.
+///
+/// The crash-schedule explorer uses this to split snapshot diffs
+/// ([`beldi_simdb::SnapshotDiff::split`]): metadata legitimately differs
+/// between a crash-free and a crashed-and-recovered run (extra intents,
+/// replayed log entries), while application state must not. Note that in
+/// Beldi mode the data tables themselves are linked DAALs whose rows
+/// embed write logs, so raw data-table rows are only comparable between
+/// *identically scheduled* runs; semantic equivalence goes through the
+/// apps' canonical-state projections.
+pub fn is_meta_table(table: &str) -> bool {
+    // Shadow tables are `{ssf}.data.{logical}.shadow`: the stem before the
+    // suffix must still contain `.data.` — this keeps an application table
+    // whose *logical* name is literally "shadow" (`{ssf}.data.shadow`)
+    // classified as data.
+    if let Some(stem) = table.strip_suffix(".shadow") {
+        if stem.contains(".data.") {
+            return true;
+        }
+    }
+    // Everything under `.data.` is an application table, whatever its
+    // logical name (`{ssf}.data.wlog` is data, not a write log).
+    if table.contains(".data.") {
+        return false;
+    }
+    table.ends_with(".intent")
+        || table.ends_with(".rlog")
+        || table.ends_with(".ilog")
+        || table.ends_with(".wlog")
+}
+
 // ---- Schemas ----
 
 /// Schema of a linked-DAAL data table: hash `Key`, sort `RowId`.
@@ -184,6 +217,28 @@ mod tests {
         assert!(ilog.index_attrs.contains(&A_CALLEE_ID.to_string()));
         assert!(ilog.index_attrs.contains(&A_TXN_ID.to_string()));
         assert_eq!(daal_schema().sort_attr.as_deref(), Some(A_ROW_ID));
+    }
+
+    #[test]
+    fn meta_table_classifier_matches_naming() {
+        for t in [
+            intent_table("f"),
+            read_log_table("f"),
+            invoke_log_table("f"),
+            write_log_table("f"),
+            shadow_table("f", "t"),
+        ] {
+            assert!(is_meta_table(&t), "{t} must classify as metadata");
+        }
+        assert!(!is_meta_table(&data_table("f", "t")));
+        // Application tables whose logical names collide with metadata
+        // suffixes stay application data.
+        for logical in ["wlog", "rlog", "ilog", "intent", "shadow"] {
+            let t = data_table("f", logical);
+            assert!(!is_meta_table(&t), "{t} is app data, not metadata");
+        }
+        // ...while a real shadow of such a table is still metadata.
+        assert!(is_meta_table(&shadow_table("f", "wlog")));
     }
 
     #[test]

@@ -303,6 +303,111 @@ fn timer_collectors_recover_crashed_work() {
     assert_eq!(env.read_current("job", "t", "done").unwrap(), Value::Int(1));
 }
 
+/// A scripted multi-crash sequence: the root dies at lifetime ordinal 2,
+/// its restart dies again further in, and the second restart completes —
+/// still exactly once.
+#[test]
+fn scripted_multi_crash_across_restarts_is_exactly_once() {
+    let env = pipeline_env(BeldiConfig::beldi());
+    let root_id = "root-script".to_owned();
+    env.platform()
+        .faults()
+        .plan(root_id.clone(), CrashPlan::Script(vec![2, 9]));
+    let out = env.invoke_as("root", &root_id, Value::Int(5)).unwrap();
+    assert_eq!(out.get_int("count"), Some(1));
+    assert_pipeline_state(&env, 1);
+    assert_eq!(
+        env.platform().faults().injected_count(),
+        2,
+        "both scripted crashes must have fired"
+    );
+}
+
+/// `AtLifetimeOrdinal` counts across restarts: combined with an earlier
+/// crash it fires inside the *re-execution*, not the first run.
+#[test]
+fn lifetime_ordinal_crash_in_reexecution_is_exactly_once() {
+    let env = pipeline_env(BeldiConfig::beldi());
+    let root_id = "root-lifetime".to_owned();
+    // Crash at the very first point; the restart then passes lifetime
+    // ordinals 1.. and dies once more at 6.
+    env.platform()
+        .faults()
+        .plan(root_id.clone(), CrashPlan::Script(vec![0, 6]));
+    env.invoke_as("root", &root_id, Value::Int(5)).unwrap();
+    assert_pipeline_state(&env, 1);
+    assert_eq!(env.platform().faults().injected_count(), 2);
+}
+
+/// A global plan kills whatever instance (root *or* callee) reaches the
+/// scheduled step of the whole workload — and recovery still yields
+/// exactly-once state. Sweeping a few steps crosses the root/worker
+/// boundary without knowing any instance id in advance.
+#[test]
+fn global_schedule_crashes_are_exactly_once() {
+    // First measure the crash-free stream length.
+    let env = pipeline_env(BeldiConfig::beldi());
+    env.platform().faults().start_trace();
+    env.invoke("root", Value::Int(1)).unwrap();
+    let trace = env.platform().faults().take_trace();
+    assert!(trace.len() > 20, "stream too short: {}", trace.len());
+    let instances: std::collections::HashSet<&str> =
+        trace.iter().map(|t| t.instance.as_str()).collect();
+    assert!(instances.len() >= 2, "root and callee must both appear");
+
+    for step in (0..trace.len() as u64).step_by(7) {
+        let env = pipeline_env(BeldiConfig::beldi());
+        env.platform()
+            .faults()
+            .set_global_plan(Some(CrashPlan::AtOrdinal(step as usize)));
+        env.invoke("root", Value::Int(1)).unwrap();
+        assert_pipeline_state(&env, 1);
+        assert_eq!(
+            env.platform().faults().injected_count(),
+            1,
+            "step {step} must have fired"
+        );
+    }
+}
+
+/// `drain_recovery` finishes a crashed asynchronous instance with no
+/// manual IC driving.
+#[test]
+fn drain_recovery_completes_crashed_async_work() {
+    let cfg = BeldiConfig::beldi().with_ic_restart_delay(std::time::Duration::from_millis(50));
+    let env = BeldiEnv::for_tests_with(cfg);
+    env.register_ssf(
+        "sink",
+        &["t"],
+        Arc::new(|ctx, input| {
+            let c = ctx.read("t", "count")?.as_int().unwrap_or(0);
+            ctx.write("t", "count", Value::Int(c + 1))?;
+            ctx.write("t", "last", input)?;
+            Ok(Value::Null)
+        }),
+    );
+    let id = env.invoke_async("sink", Value::Int(7)).unwrap();
+    env.platform()
+        .faults()
+        .plan(id, CrashPlan::AtLabel("daal.write.pre_apply".into()));
+    // Let the (crashing) first execution happen, then drain.
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    let report = env.drain_recovery(40).unwrap();
+    assert_eq!(report.unfinished, 0, "drain must quiesce: {report:?}");
+    assert!(
+        report.restarted >= 1,
+        "the IC must have re-launched: {report:?}"
+    );
+    assert_eq!(
+        env.read_current("sink", "t", "count").unwrap(),
+        Value::Int(1)
+    );
+    assert_eq!(
+        env.read_current("sink", "t", "last").unwrap(),
+        Value::Int(7)
+    );
+}
+
 /// Mode sanity: the fault machinery itself only exists outside baseline.
 #[test]
 fn modes_report_expected_guarantees() {

@@ -549,6 +549,39 @@ impl Database {
         Ok(keys)
     }
 
+    /// Takes a deterministic logical snapshot of every table
+    /// ([`crate::DbSnapshot`]).
+    ///
+    /// Rows are collected per table in primary-key order, so the result is
+    /// independent of the partition count and of partition visit order —
+    /// two databases holding the same logical rows snapshot identically.
+    /// This is out-of-band verification tooling: it bypasses the latency
+    /// model and the operation metrics, and it is not atomic across
+    /// partitions (snapshot a quiescent database).
+    pub fn snapshot(&self) -> crate::DbSnapshot {
+        let handles: Vec<(String, Arc<Table>)> = {
+            let tables = self.tables.read();
+            let mut v: Vec<(String, Arc<Table>)> = tables
+                .iter()
+                .map(|(name, t)| (name.clone(), t.clone()))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let mut out: BTreeMap<String, BTreeMap<PrimaryKey, Value>> = BTreeMap::new();
+        for (name, t) in handles {
+            let mut rows = BTreeMap::new();
+            for p in 0..t.partition_count() {
+                let (data, _) = t.lock_partition(p);
+                for (k, v) in &data.rows {
+                    rows.insert(k.clone(), v.clone());
+                }
+            }
+            out.insert(name, rows);
+        }
+        crate::DbSnapshot::new(out)
+    }
+
     /// Atomically applies a batch of conditional writes across tables.
     ///
     /// All condition checks are evaluated first; if any fails the whole

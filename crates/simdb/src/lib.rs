@@ -42,6 +42,7 @@ mod latency;
 mod metrics;
 mod partition;
 mod scan;
+mod snapshot;
 mod table;
 
 pub use database::{Database, TransactOp};
@@ -51,3 +52,4 @@ pub use latency::{LatencyModel, OpKind};
 pub use metrics::{DbMetrics, MetricsSnapshot};
 pub use partition::DEFAULT_PARTITIONS;
 pub use scan::{Projection, ScanCursor, ScanPage, ScanRequest};
+pub use snapshot::{DbSnapshot, RowDiff, SnapshotDiff};

@@ -9,9 +9,20 @@
 //! decides — per scripted plan or seeded random policy — whether the
 //! instance dies *right there*, by unwinding with a [`CrashSignal`] panic
 //! that the platform catches and reports as [`crate::InvokeError::Crashed`].
+//!
+//! Besides per-instance plans, the injector maintains one **global crash
+//! stream**: every crash point, from any instance, is numbered by a
+//! monotonically increasing *global step*. A plan installed with
+//! [`FaultInjector::set_global_plan`] is evaluated against this stream, so
+//! a test can say "crash whatever instance passes the N-th crash point of
+//! this whole workload" without knowing instance ids in advance — the
+//! primitive the crash-schedule explorer sweeps. [Trace
+//! mode](FaultInjector::start_trace) records the stream (one
+//! [`TraceEntry`] per point) so a crash-free run enumerates exactly the
+//! schedules worth exploring.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
@@ -24,14 +35,23 @@ pub struct CrashSignal {
     pub point: String,
 }
 
+/// Guards [`silence_crash_backtraces`] against double installation.
+static BACKTRACES_SILENCED: AtomicBool = AtomicBool::new(false);
+
 /// Installs a panic hook that silences injected [`CrashSignal`] panics
 /// (they are simulated crashes, not bugs) while delegating everything
 /// else to the previous hook.
 ///
-/// Demos and long fault-injection runs call this once so their output is
-/// not drowned in backtraces; tests generally keep the default hook for
+/// Idempotent: only the first call installs the hook; repeated calls are
+/// no-ops instead of chaining ever-deeper hook wrappers.
+///
+/// Demos and long fault-injection runs call this so their output is not
+/// drowned in backtraces; tests generally keep the default hook for
 /// diagnosability.
 pub fn silence_crash_backtraces() {
+    if BACKTRACES_SILENCED.swap(true, Ordering::SeqCst) {
+        return;
+    }
     let previous = std::panic::take_hook();
     std::panic::set_hook(Box::new(move |info| {
         if info.payload().downcast_ref::<CrashSignal>().is_none() {
@@ -40,18 +60,36 @@ pub fn silence_crash_backtraces() {
     }));
 }
 
-/// A scripted crash plan for one instance id.
-#[derive(Debug, Clone)]
+/// A scripted crash plan.
+///
+/// Installed per instance id ([`FaultInjector::plan`]), ordinals and
+/// occurrences count that instance's own crash points; installed globally
+/// ([`FaultInjector::set_global_plan`]), they count the *global* crash
+/// stream across every instance (and "lifetime" equals "ordinal", since
+/// the global stream is never reset).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CrashPlan {
     /// Crash at the `n`-th crash point the instance passes (0-based),
-    /// counting every labelled point in execution order. One-shot: the
-    /// plan is consumed when it fires, so the re-executed instance runs on.
+    /// counting every labelled point in execution order and resetting on
+    /// re-execution. One-shot: the plan is consumed when it fires, so the
+    /// re-executed instance runs on.
     AtOrdinal(usize),
     /// Crash the first time the instance passes the given label. One-shot.
     AtLabel(String),
     /// Crash at the `n`-th occurrence (0-based) of the given label.
     /// One-shot.
     AtLabelOccurrence(String, usize),
+    /// Crash at the `n`-th crash point of the instance's whole *lifetime*
+    /// (0-based), counted across restarts — never reset by
+    /// [`FaultInjector::instance_started`]. One-shot.
+    AtLifetimeOrdinal(usize),
+    /// Scripted multi-crash sequence: crash at each listed lifetime
+    /// ordinal in turn (write entries strictly ascending), so one plan
+    /// kills the instance several times across successive restarts. An
+    /// entry whose exact point was missed (e.g. another plan fired there
+    /// first) triggers at the next point reached instead of stalling the
+    /// script. The plan is consumed when its last entry fires.
+    Script(Vec<usize>),
 }
 
 /// A random crash policy applied to every instance without a scripted plan.
@@ -65,18 +103,97 @@ pub struct RandomCrashPolicy {
     pub seed: u64,
 }
 
+/// One recorded crash-point visit (trace mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Position in the global crash stream (0-based, across all
+    /// instances).
+    pub step: u64,
+    /// The instance that passed the point.
+    pub instance: String,
+    /// The crash-point label.
+    pub label: String,
+    /// Whether an injected crash fired here.
+    pub crashed: bool,
+}
+
 struct InstanceState {
-    /// Crash points passed so far (across the *current* execution only —
-    /// reset on re-execution via [`FaultInjector::instance_started`]).
+    /// Crash points passed during the *current* execution (reset on
+    /// re-execution via [`FaultInjector::instance_started`]).
     ordinal: usize,
-    /// Occurrences per label.
+    /// Crash points passed across the instance's whole lifetime (never
+    /// reset).
+    lifetime: usize,
+    /// Occurrences per label (reset on re-execution).
     label_counts: HashMap<String, usize>,
+}
+
+/// A plan plus its progress (for [`CrashPlan::Script`]).
+struct PlanState {
+    plan: CrashPlan,
+    /// Next unfired index into a [`CrashPlan::Script`].
+    script_pos: usize,
+}
+
+impl PlanState {
+    fn new(plan: CrashPlan) -> Self {
+        PlanState {
+            plan,
+            script_pos: 0,
+        }
+    }
+
+    /// Evaluates the plan at one crash point; returns `(fire, consumed)`.
+    ///
+    /// `ordinal`/`label_count` are per-execution counters, `lifetime` the
+    /// across-restarts counter (for the global stream all three coincide
+    /// with the global step).
+    fn check(
+        &mut self,
+        ordinal: usize,
+        lifetime: usize,
+        label: &str,
+        label_count: usize,
+    ) -> (bool, bool) {
+        match &self.plan {
+            CrashPlan::AtOrdinal(n) => (ordinal == *n, true),
+            CrashPlan::AtLabel(l) => (l == label, true),
+            CrashPlan::AtLabelOccurrence(l, n) => (l == label && label_count == *n, true),
+            CrashPlan::AtLifetimeOrdinal(n) => (lifetime == *n, true),
+            // `<=` so an entry whose exact step was passed while another
+            // plan (or the random policy) fired there still triggers at
+            // the next point instead of silently stalling the rest of the
+            // script; it also makes a non-ascending entry fire immediately
+            // rather than never.
+            CrashPlan::Script(steps) => match steps.get(self.script_pos) {
+                Some(&next) if next <= lifetime => {
+                    self.script_pos += 1;
+                    (true, self.script_pos >= steps.len())
+                }
+                _ => (false, false),
+            },
+        }
+    }
+}
+
+/// State of the global crash stream.
+#[derive(Default)]
+struct GlobalState {
+    /// Next global step number.
+    step: u64,
+    /// Label occurrence counts over the global stream.
+    label_counts: HashMap<String, usize>,
+    /// The global plan, if any.
+    plan: Option<PlanState>,
+    /// Recorded entries while trace mode is on.
+    trace: Option<Vec<TraceEntry>>,
 }
 
 /// Decides, at every crash point, whether the current instance dies.
 pub struct FaultInjector {
-    plans: Mutex<HashMap<String, CrashPlan>>,
+    plans: Mutex<HashMap<String, PlanState>>,
     states: Mutex<HashMap<String, InstanceState>>,
+    global: Mutex<GlobalState>,
     random: Mutex<Option<(RandomCrashPolicy, SmallRng)>>,
     injected: AtomicU64,
 }
@@ -87,6 +204,7 @@ impl FaultInjector {
         FaultInjector {
             plans: Mutex::new(HashMap::new()),
             states: Mutex::new(HashMap::new()),
+            global: Mutex::new(GlobalState::default()),
             random: Mutex::new(None),
             injected: AtomicU64::new(0),
         }
@@ -95,9 +213,22 @@ impl FaultInjector {
     /// Scripts a crash plan for a specific instance id.
     ///
     /// Applies to the instance's *next* execution that reaches the point;
-    /// plans are one-shot so the instance-collector re-execution proceeds.
+    /// plans are one-shot so the intent-collector re-execution proceeds.
     pub fn plan(&self, instance_id: impl Into<String>, plan: CrashPlan) {
-        self.plans.lock().insert(instance_id.into(), plan);
+        self.plans
+            .lock()
+            .insert(instance_id.into(), PlanState::new(plan));
+    }
+
+    /// Installs (or clears) the global crash plan, evaluated against the
+    /// global crash stream: ordinals count every crash point any instance
+    /// passes, in execution order, and are never reset.
+    ///
+    /// This is the crash-schedule explorer's primitive — "crash whoever
+    /// reaches step `n` of this workload", with [`CrashPlan::Script`]
+    /// extending it to multi-crash schedules across recoveries.
+    pub fn set_global_plan(&self, plan: Option<CrashPlan>) {
+        self.global.lock().plan = plan.map(PlanState::new);
     }
 
     /// Installs (or clears) the random crash policy.
@@ -113,16 +244,39 @@ impl FaultInjector {
         self.injected.load(Ordering::Relaxed)
     }
 
+    /// The number of crash points passed so far across every instance
+    /// (the length of the global crash stream).
+    pub fn global_step(&self) -> u64 {
+        self.global.lock().step
+    }
+
+    /// Starts (or restarts) trace mode: subsequent crash points are
+    /// recorded until [`FaultInjector::take_trace`].
+    pub fn start_trace(&self) {
+        self.global.lock().trace = Some(Vec::new());
+    }
+
+    /// Stops trace mode and returns the recorded entries (empty if trace
+    /// mode was never started).
+    pub fn take_trace(&self) -> Vec<TraceEntry> {
+        self.global.lock().trace.take().unwrap_or_default()
+    }
+
     /// Resets per-execution crash-point counters for an instance.
     ///
     /// The platform calls this when an execution (including a re-execution)
     /// begins, so `AtOrdinal`/occurrence plans count points within a single
-    /// execution.
+    /// execution. The lifetime counter (for
+    /// [`CrashPlan::AtLifetimeOrdinal`] and [`CrashPlan::Script`]) is
+    /// preserved across restarts.
     pub fn instance_started(&self, instance_id: &str) {
-        self.states.lock().insert(
+        let mut states = self.states.lock();
+        let lifetime = states.get(instance_id).map(|s| s.lifetime).unwrap_or(0);
+        states.insert(
             instance_id.to_owned(),
             InstanceState {
                 ordinal: 0,
+                lifetime,
                 label_counts: HashMap::new(),
             },
         );
@@ -133,54 +287,92 @@ impl FaultInjector {
     /// # Panics
     ///
     /// Panics with a [`CrashSignal`] payload when the instance is scripted
-    /// (or randomly chosen) to die here. The platform catches it.
+    /// (per-instance plan, global plan, or random policy) to die here. The
+    /// platform catches it.
     pub fn crash_point(&self, instance_id: &str, label: &str) {
-        let (ordinal, label_count) = {
+        let (ordinal, lifetime, label_count) = {
             let mut states = self.states.lock();
             let st = states
                 .entry(instance_id.to_owned())
                 .or_insert(InstanceState {
                     ordinal: 0,
+                    lifetime: 0,
                     label_counts: HashMap::new(),
                 });
             let ordinal = st.ordinal;
             st.ordinal += 1;
+            let lifetime = st.lifetime;
+            st.lifetime += 1;
             let c = st.label_counts.entry(label.to_owned()).or_insert(0);
             let label_count = *c;
             *c += 1;
-            (ordinal, label_count)
+            (ordinal, lifetime, label_count)
         };
 
-        let should_crash = {
+        let mut should_crash = {
             let mut plans = self.plans.lock();
-            let fire = match plans.get(instance_id) {
-                Some(CrashPlan::AtOrdinal(n)) => ordinal == *n,
-                Some(CrashPlan::AtLabel(l)) => l == label,
-                Some(CrashPlan::AtLabelOccurrence(l, n)) => l == label && label_count == *n,
-                None => false,
+            let (fire, consumed) = match plans.get_mut(instance_id) {
+                Some(ps) => ps.check(ordinal, lifetime, label, label_count),
+                None => (false, false),
             };
-            if fire {
+            if fire && consumed {
                 plans.remove(instance_id);
             }
             fire
         };
 
-        let random_crash = !should_crash && {
-            let mut guard = self.random.lock();
-            match guard.as_mut() {
-                Some((policy, rng))
-                    if self.injected.load(Ordering::Relaxed) < policy.max_crashes =>
-                {
-                    rng.gen_bool(policy.prob)
+        // The global stream: assign this point its step number, evaluate
+        // the global plan, and record the trace entry. The random policy
+        // draws inside the same critical section so the whole decision is
+        // a single ordered event in the stream.
+        let step = {
+            let mut g = self.global.lock();
+            let step = g.step;
+            g.step += 1;
+            let global_count = {
+                let c = g.label_counts.entry(label.to_owned()).or_insert(0);
+                let n = *c;
+                *c += 1;
+                n
+            };
+            if !should_crash {
+                let (fire, consumed) = match g.plan.as_mut() {
+                    // In the global stream the point's ordinal, lifetime,
+                    // and occurrence counters are the stream's own.
+                    Some(ps) => ps.check(step as usize, step as usize, label, global_count),
+                    None => (false, false),
+                };
+                if fire && consumed {
+                    g.plan = None;
                 }
-                _ => false,
+                should_crash |= fire;
             }
+            if !should_crash {
+                let mut guard = self.random.lock();
+                should_crash = match guard.as_mut() {
+                    Some((policy, rng))
+                        if self.injected.load(Ordering::Relaxed) < policy.max_crashes =>
+                    {
+                        rng.gen_bool(policy.prob)
+                    }
+                    _ => false,
+                };
+            }
+            if let Some(trace) = g.trace.as_mut() {
+                trace.push(TraceEntry {
+                    step,
+                    instance: instance_id.to_owned(),
+                    label: label.to_owned(),
+                    crashed: should_crash,
+                });
+            }
+            step
         };
 
-        if should_crash || random_crash {
+        if should_crash {
             self.injected.fetch_add(1, Ordering::Relaxed);
             std::panic::panic_any(CrashSignal {
-                point: format!("{label}#{label_count}@{ordinal}"),
+                point: format!("{label}#{label_count}@{ordinal}/g{step}"),
             });
         }
     }
@@ -214,6 +406,7 @@ mod tests {
         inj.crash_point("i1", "write:before");
         inj.crash_point("i1", "write:after");
         assert_eq!(inj.injected_count(), 0);
+        assert_eq!(inj.global_step(), 2);
     }
 
     #[test]
@@ -296,6 +489,161 @@ mod tests {
         inj.crash_point("i1", "a"); // ordinal 0 again — survives...
         assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
             inj.crash_point("i1", "b"); // ...ordinal 1 — dies.
+        }))
+        .is_some());
+    }
+
+    #[test]
+    fn lifetime_ordinal_survives_restarts() {
+        let inj = FaultInjector::new();
+        inj.plan("i1", CrashPlan::AtLifetimeOrdinal(3));
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a"); // lifetime 0
+        inj.crash_point("i1", "b"); // lifetime 1
+        inj.instance_started("i1"); // restart resets ordinal, not lifetime
+        inj.crash_point("i1", "a"); // lifetime 2
+        let sig = catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "b"); // lifetime 3 — dies (ordinal is 1).
+        }))
+        .unwrap();
+        // Per-execution counters reset on restart: this is execution 2's
+        // first `b` (occurrence 0, ordinal 1) — only the lifetime count
+        // made the plan fire.
+        assert!(sig.point.starts_with("b#0@1"), "{}", sig.point);
+    }
+
+    #[test]
+    fn script_fires_across_restarts_in_order() {
+        let inj = FaultInjector::new();
+        inj.plan("i1", CrashPlan::Script(vec![1, 4]));
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a"); // lifetime 0
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "b"); // lifetime 1 — first crash.
+        }))
+        .is_some());
+        // Restart: re-runs the same points.
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a"); // lifetime 2
+        inj.crash_point("i1", "b"); // lifetime 3
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "c"); // lifetime 4 — second crash.
+        }))
+        .is_some());
+        // Script exhausted: a third restart runs clean.
+        inj.instance_started("i1");
+        for l in ["a", "b", "c", "d"] {
+            inj.crash_point("i1", l);
+        }
+        assert_eq!(inj.injected_count(), 2);
+    }
+
+    #[test]
+    fn script_entry_whose_step_was_missed_fires_at_the_next_point() {
+        let inj = FaultInjector::new();
+        // Per-instance plan fires at global step 1 — exactly where the
+        // global script's first entry points. The script must catch up at
+        // step 2 instead of stalling forever.
+        inj.plan("i1", CrashPlan::AtOrdinal(1));
+        inj.set_global_plan(Some(CrashPlan::Script(vec![1, 3])));
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a"); // step 0
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "b"); // step 1 — per-instance plan wins.
+        }))
+        .is_some());
+        inj.instance_started("i1");
+        assert!(
+            catches_crash(std::panic::AssertUnwindSafe(|| {
+                inj.crash_point("i1", "a"); // step 2 — script catches up.
+            }))
+            .is_some(),
+            "missed script entry must fire at the next point"
+        );
+        inj.instance_started("i1");
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "a"); // step 3 — second entry on time.
+        }))
+        .is_some());
+        assert_eq!(inj.injected_count(), 3);
+    }
+
+    #[test]
+    fn global_plan_crashes_across_instances() {
+        let inj = FaultInjector::new();
+        inj.set_global_plan(Some(CrashPlan::AtOrdinal(2)));
+        inj.instance_started("i1");
+        inj.instance_started("i2");
+        inj.crash_point("i1", "a"); // global step 0
+        inj.crash_point("i2", "a"); // global step 1
+        let sig = catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i2", "b"); // global step 2 — dies.
+        }))
+        .unwrap();
+        assert!(sig.point.ends_with("/g2"), "{}", sig.point);
+        // One-shot: the stream continues crash-free.
+        inj.crash_point("i1", "b");
+        assert_eq!(inj.injected_count(), 1);
+        assert_eq!(inj.global_step(), 4);
+    }
+
+    #[test]
+    fn global_script_schedules_multiple_crashes() {
+        let inj = FaultInjector::new();
+        inj.set_global_plan(Some(CrashPlan::Script(vec![0, 2])));
+        inj.instance_started("i1");
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "a"); // step 0 — dies.
+        }))
+        .is_some());
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a"); // step 1
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "b"); // step 2 — dies.
+        }))
+        .is_some());
+        inj.instance_started("i1");
+        inj.crash_point("i1", "a"); // step 3 — script exhausted.
+        assert_eq!(inj.injected_count(), 2);
+    }
+
+    #[test]
+    fn trace_records_the_global_stream() {
+        let inj = FaultInjector::new();
+        inj.start_trace();
+        inj.instance_started("i1");
+        inj.instance_started("i2");
+        inj.crash_point("i1", "a");
+        inj.crash_point("i2", "b");
+        inj.plan("i1", CrashPlan::AtLabel("c".into()));
+        let _ = catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "c");
+        }));
+        let trace = inj.take_trace();
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].step, 0);
+        assert_eq!(trace[0].instance, "i1");
+        assert_eq!(trace[0].label, "a");
+        assert!(!trace[0].crashed);
+        assert_eq!(trace[2].label, "c");
+        assert!(trace[2].crashed);
+        // Trace mode is off after take_trace.
+        inj.crash_point("i2", "d");
+        assert!(inj.take_trace().is_empty());
+    }
+
+    #[test]
+    fn silence_crash_backtraces_is_idempotent() {
+        // Repeated calls must not chain new hooks (the second call is a
+        // no-op) — and injected crashes must still unwind normally.
+        silence_crash_backtraces();
+        silence_crash_backtraces();
+        silence_crash_backtraces();
+        let inj = FaultInjector::new();
+        inj.plan("i1", CrashPlan::AtOrdinal(0));
+        inj.instance_started("i1");
+        assert!(catches_crash(std::panic::AssertUnwindSafe(|| {
+            inj.crash_point("i1", "x");
         }))
         .is_some());
     }

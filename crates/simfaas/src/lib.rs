@@ -32,7 +32,7 @@ mod semaphore;
 
 pub use error::{InvokeError, InvokeResult};
 pub use fault::{
-    silence_crash_backtraces, CrashPlan, CrashSignal, FaultInjector, RandomCrashPolicy,
+    silence_crash_backtraces, CrashPlan, CrashSignal, FaultInjector, RandomCrashPolicy, TraceEntry,
 };
 pub use metrics::{PlatformMetrics, PlatformSnapshot};
 pub use platform::{

@@ -125,22 +125,33 @@ impl Cond {
 
     /// Evaluates the condition against a row value.
     ///
-    /// Structural errors (e.g. indexing into a scalar) propagate so that
-    /// the database can reject the request, matching a validation error.
+    /// A document path that cannot be resolved — because an attribute is
+    /// missing *or* because the path traverses a non-container (e.g.
+    /// `LockOwner.Id` when `LockOwner` is `Null`) — counts as **absent**:
+    /// comparisons and `exists` are false, `not_exists` is true. This
+    /// matches DynamoDB, where condition expressions never raise type
+    /// errors, they just fail to match. (The crash-schedule explorer
+    /// caught the previous stricter behaviour: a re-executed `unlock`
+    /// evaluates its held-by-me condition against an already-released
+    /// `LockOwner: null` row, which must read as "condition false →
+    /// consult the write log", not as a validation error.)
     pub fn eval(&self, row: &Value) -> ValueResult<bool> {
+        // Unresolvable paths (including traversal through scalars) are
+        // absent, per the DynamoDB semantics above.
+        let lookup = |p: &Path| row.get_path(p).ok().flatten();
         Ok(match self {
             Cond::True => true,
             Cond::False => false,
-            Cond::Exists(p) => row.get_path(p)?.is_some(),
-            Cond::NotExists(p) => row.get_path(p)?.is_none(),
-            Cond::Eq(p, v) => matches!(row.get_path(p)?, Some(x) if x == v),
-            Cond::Ne(p, v) => matches!(row.get_path(p)?, Some(x) if x != v),
-            Cond::Lt(p, v) => matches!(row.get_path(p)?, Some(x) if x < v),
-            Cond::Le(p, v) => matches!(row.get_path(p)?, Some(x) if x <= v),
-            Cond::Gt(p, v) => matches!(row.get_path(p)?, Some(x) if x > v),
-            Cond::Ge(p, v) => matches!(row.get_path(p)?, Some(x) if x >= v),
+            Cond::Exists(p) => lookup(p).is_some(),
+            Cond::NotExists(p) => lookup(p).is_none(),
+            Cond::Eq(p, v) => matches!(lookup(p), Some(x) if x == v),
+            Cond::Ne(p, v) => matches!(lookup(p), Some(x) if x != v),
+            Cond::Lt(p, v) => matches!(lookup(p), Some(x) if x < v),
+            Cond::Le(p, v) => matches!(lookup(p), Some(x) if x <= v),
+            Cond::Gt(p, v) => matches!(lookup(p), Some(x) if x > v),
+            Cond::Ge(p, v) => matches!(lookup(p), Some(x) if x >= v),
             Cond::BeginsWith(p, prefix) => matches!(
-                row.get_path(p)?,
+                lookup(p),
                 Some(Value::Str(s)) if s.starts_with(prefix.as_str())
             ),
             Cond::And(a, b) => a.eval(row)? && b.eval(row)?,
@@ -175,6 +186,29 @@ impl fmt::Display for Cond {
 mod tests {
     use super::*;
     use crate::vmap;
+
+    #[test]
+    fn path_through_non_container_is_absent_not_an_error() {
+        // DynamoDB semantics: `LockOwner.Id` with `LockOwner: null` fails
+        // to match rather than raising a type error (regression caught by
+        // the crash-schedule explorer's unlock-replay sweep).
+        let row = vmap! { "LockOwner" => Value::Null, "N" => 4i64 };
+        let held = Cond::eq(Path::attr("LockOwner").then_attr("Id"), "me");
+        assert_eq!(held.eval(&row), Ok(false));
+        assert_eq!(
+            Cond::exists(Path::attr("LockOwner").then_attr("Id")).eval(&row),
+            Ok(false)
+        );
+        assert_eq!(
+            Cond::not_exists(Path::attr("LockOwner").then_attr("Id")).eval(&row),
+            Ok(true)
+        );
+        // Traversing through a scalar behaves the same way.
+        assert_eq!(
+            Cond::eq(Path::attr("N").then_attr("x"), 1i64).eval(&row),
+            Ok(false)
+        );
+    }
 
     fn row() -> Value {
         vmap! {

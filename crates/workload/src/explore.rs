@@ -1,0 +1,560 @@
+//! The systematic crash-schedule explorer.
+//!
+//! FoundationDB-style simulation testing applied to Beldi's headline
+//! guarantee: exactly-once execution "even if an SSF crashes in the midst
+//! of its execution and is restarted an arbitrary number of times" (§2.2).
+//! Instead of hand-picking a few crash points, the explorer *enumerates*
+//! them:
+//!
+//! 1. **Oracle run** — a crash-free run of a fixed, seeded request
+//!    sequence with the fault injector in trace mode, recording every
+//!    crash point any instance passes (the *global crash stream*) plus the
+//!    final canonical application state and effect count.
+//! 2. **Depth-1 sweep** — one run per recorded crash point `k`, with a
+//!    global plan that kills whatever instance reaches step `k`. Up to the
+//!    crash the run is byte-identical to the oracle (same seeds, same
+//!    sequential schedule), so every schedule is reached deterministically.
+//! 3. **Depth-2 samples** — seeded random pairs `[i, i+gap]`
+//!    ([`beldi_simfaas::CrashPlan::Script`]): the second crash lands in
+//!    the *recovery* of the first, exercising multi-crash restarts.
+//!
+//! After each crashed run the driver lets root-level retries finish, then
+//! [`beldi::BeldiEnv::drain_recovery`] re-drives any still-unfinished
+//! intent through the intent collector on virtual time. The run passes
+//! when (a) every request succeeded, (b) recovery quiesced, (c) the
+//! canonical state equals the oracle's, and (d) the effect count equals
+//! the oracle's. Any failure becomes a [`Violation`] carrying the exact
+//! seed and schedule needed to replay it (see `DESIGN.md` §8).
+//!
+//! With [`ExploreOptions::gc_check`] the explorer additionally verifies
+//! GC quiescence per schedule: after `T` elapses, repeated GC passes must
+//! empty the read/invoke/write logs and intent tables and shrink every
+//! DAAL to head + tail.
+
+use std::time::Duration;
+
+use beldi::value::Value;
+use beldi::{schema, BeldiConfig, BeldiEnv, CrashPlan, Mode};
+use beldi_apps::rng::request_rng;
+use beldi_apps::WorkflowApp;
+use beldi_simdb::{DbSnapshot, ScanRequest};
+use beldi_simfaas::TraceEntry;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tuning knobs for one exploration ([`explore`]).
+#[derive(Debug, Clone)]
+pub struct ExploreOptions {
+    /// Frontend requests per run (the same seeded sequence every run).
+    pub requests: usize,
+    /// Seed for the request stream, the substrate RNGs, and the depth-2
+    /// pair sampler. Identical options ⇒ identical report.
+    pub seed: u64,
+    /// Sweep every `stride`-th crash point (1 = exhaustive; smoke tests
+    /// use larger strides).
+    pub stride: usize,
+    /// Cap on depth-1 schedules after striding (`None` = all).
+    pub max_depth1: Option<usize>,
+    /// Seeded random depth-2 pairs to run (0 = depth 1 only).
+    pub depth2_samples: usize,
+    /// Also assert GC quiescence after every schedule.
+    pub gc_check: bool,
+    /// Enable the deliberate exactly-once bug
+    /// ([`BeldiConfig::canary_skip_read_guard`]); the sweep is then
+    /// expected to *report* violations.
+    pub canary: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            requests: 4,
+            seed: 42,
+            stride: 1,
+            max_depth1: None,
+            depth2_samples: 0,
+            gc_check: false,
+            canary: false,
+        }
+    }
+}
+
+/// What a schedule violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A frontend request returned an error the oracle did not.
+    RequestError,
+    /// Recovery never quiesced (unfinished intents after the drain cap).
+    IncompleteRecovery,
+    /// The scheduled crash never fired — determinism itself is broken.
+    NoCrashInjected,
+    /// Canonical application state differs from the crash-free oracle.
+    StateDivergence,
+    /// Effect count differs from the crash-free oracle.
+    EffectDivergence,
+    /// Logs/intents/DAAL rows survived the GC quiescence check.
+    GcResidue,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ViolationKind::RequestError => "request-error",
+            ViolationKind::IncompleteRecovery => "incomplete-recovery",
+            ViolationKind::NoCrashInjected => "no-crash-injected",
+            ViolationKind::StateDivergence => "state-divergence",
+            ViolationKind::EffectDivergence => "effect-divergence",
+            ViolationKind::GcResidue => "gc-residue",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One detected violation, with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The global crash schedule that produced it (empty = oracle run).
+    pub schedule: Vec<u64>,
+    /// The label of the first scheduled crash point (from the oracle
+    /// trace), when known.
+    pub label: String,
+    /// Human-readable specifics (divergent rows, error messages).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let schedule: Vec<String> = self.schedule.iter().map(u64::to_string).collect();
+        write!(
+            f,
+            "[{}] schedule=[{}] at `{}`: {}",
+            self.kind,
+            schedule.join(","),
+            self.label,
+            self.detail
+        )
+    }
+}
+
+/// The outcome of one exploration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreReport {
+    /// App explored.
+    pub app: String,
+    /// Table/logging mode explored.
+    pub mode: Mode,
+    /// The seed everything derived from.
+    pub seed: u64,
+    /// Requests per run.
+    pub requests: usize,
+    /// Crash points the oracle run recorded (the global stream length).
+    pub crash_points: usize,
+    /// Crash schedules executed (depth 1 + depth 2).
+    pub schedules: usize,
+    /// Total crashes injected across all schedules.
+    pub crashes_injected: u64,
+    /// The oracle's effect count.
+    pub oracle_effects: i64,
+    /// Everything that failed verification.
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreReport {
+    /// True when every schedule passed every check.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One summary line (greppable).
+    pub fn summary(&self) -> String {
+        format!(
+            "app={} mode={} seed={} points={} schedules={} crashes={} effects={} violations={}",
+            self.app,
+            mode_name(self.mode),
+            self.seed,
+            self.crash_points,
+            self.schedules,
+            self.crashes_injected,
+            self.oracle_effects,
+            self.violations.len()
+        )
+    }
+}
+
+/// Short name of a mode (CLI flag spelling).
+pub fn mode_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::Beldi => "beldi",
+        Mode::CrossTable => "cross-table",
+        Mode::Baseline => "baseline",
+    }
+}
+
+/// A two-SSF synthetic pipeline exercising every primitive — read, write,
+/// conditional write, and a synchronous sub-invocation — with tiny
+/// per-run cost.
+///
+/// This is the explorer's reference workload and the **canary's**
+/// sensitizer: its conditional write computes from an earlier read
+/// (`gate = count + 1`), so a crash landing between the read and the
+/// not-yet-applied gate write forces the re-execution to recompute the
+/// write's value from its replayed read. With the canary sabotage
+/// ([`BeldiConfig::canary_skip_read_guard`]) that replay re-reads fresh
+/// state and the gate diverges — the detection the self-test asserts.
+/// Workloads whose writes don't depend on earlier reads (pure stores,
+/// self-correcting list appends) cannot expose a read-replay bug, which
+/// is exactly why the canary runs here.
+pub struct PipelineApp;
+
+impl WorkflowApp for PipelineApp {
+    fn kind(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn entry_point(&self) -> &'static str {
+        "root"
+    }
+
+    fn setup(&self, env: &BeldiEnv) {
+        use std::sync::Arc;
+        env.register_ssf(
+            "worker",
+            &["wt"],
+            Arc::new(|ctx, input: Value| {
+                let c = ctx.read("wt", "count")?.as_int().unwrap_or(0);
+                ctx.write("wt", "count", Value::Int(c + 1))?;
+                Ok(Value::Int(input.as_int().unwrap_or(0) + c + 1))
+            }),
+        );
+        env.register_ssf(
+            "root",
+            &["rt"],
+            Arc::new(|ctx, input| {
+                let c = ctx.read("rt", "count")?.as_int().unwrap_or(0);
+                ctx.write("rt", "count", Value::Int(c + 1))?;
+                let gated = ctx.cond_write(
+                    "rt",
+                    "gate",
+                    Value::Int(c + 1),
+                    beldi::value::Cond::not_exists(beldi::A_VALUE)
+                        .or(beldi::value::Cond::lt(beldi::A_VALUE, 1_000_000i64)),
+                )?;
+                let sub = ctx.sync_invoke("worker", input)?;
+                Ok(beldi::value::vmap! { "count" => c + 1, "gated" => gated, "sub" => sub })
+            }),
+        );
+    }
+
+    fn gen_request(&self, rng: &mut SmallRng) -> Value {
+        Value::Int(rng.gen_range(0..100i64))
+    }
+
+    fn canonical_state(&self, env: &BeldiEnv) -> Value {
+        beldi::value::vmap! {
+            "root" => env.read_current("root", "rt", "count").unwrap_or(Value::Null),
+            "gate" => env.read_current("root", "rt", "gate").unwrap_or(Value::Null),
+            "worker" => env.read_current("worker", "wt", "count").unwrap_or(Value::Null),
+        }
+    }
+
+    fn effect_count(&self, env: &BeldiEnv) -> i64 {
+        let get = |ssf: &str, table: &str, key: &str| {
+            env.read_current(ssf, table, key)
+                .ok()
+                .and_then(|v| v.as_int())
+                .unwrap_or(0)
+        };
+        get("root", "rt", "count") + get("root", "rt", "gate") + get("worker", "wt", "count")
+    }
+}
+
+/// Everything captured from one run. The environment rides along so
+/// forensics (raw snapshot diffs) can be taken lazily — only when a
+/// schedule actually diverges — instead of cloning every table on every
+/// clean run.
+struct RunOutcome {
+    trace: Vec<TraceEntry>,
+    injected: u64,
+    errors: Vec<String>,
+    unfinished: usize,
+    state: Value,
+    effects: i64,
+    gc_residue: Option<String>,
+}
+
+/// `T` used for explorer environments: small, so GC quiescence elapses in
+/// microseconds of real time on the fast-forward clock.
+const EXPLORE_T_MAX: Duration = Duration::from_millis(200);
+
+/// IC restart delay for explorer environments (virtual).
+const EXPLORE_IC_DELAY: Duration = Duration::from_millis(40);
+
+/// Drain passes before concluding recovery is stuck.
+const DRAIN_PASSES: usize = 40;
+
+fn build_env(mode: Mode, opts: &ExploreOptions) -> BeldiEnv {
+    let cfg = BeldiConfig::for_mode(mode)
+        .with_t_max(EXPLORE_T_MAX)
+        .with_ic_restart_delay(EXPLORE_IC_DELAY)
+        .with_canary_skip_read_guard(opts.canary);
+    BeldiEnv::builder(cfg).seed(opts.seed).build()
+}
+
+/// Runs the seeded request sequence once under the given global crash
+/// schedule (empty = crash-free), drains recovery, and captures the
+/// verification state.
+fn run_schedule(
+    app: &dyn WorkflowApp,
+    mode: Mode,
+    opts: &ExploreOptions,
+    schedule: &[u64],
+    with_trace: bool,
+) -> (RunOutcome, BeldiEnv) {
+    let env = build_env(mode, opts);
+    app.setup(&env);
+    let faults = env.platform().faults();
+    if with_trace {
+        faults.start_trace();
+    }
+    if !schedule.is_empty() {
+        let steps: Vec<usize> = schedule.iter().map(|&s| s as usize).collect();
+        faults.set_global_plan(Some(CrashPlan::Script(steps)));
+    }
+    let mut rng = request_rng(opts.seed);
+    let mut errors = Vec::new();
+    for i in 0..opts.requests {
+        let payload = app.gen_request(&mut rng);
+        if let Err(e) = env.invoke(app.entry_point(), payload) {
+            errors.push(format!("request {i}: {e}"));
+        }
+    }
+    let unfinished = match env.drain_recovery(DRAIN_PASSES) {
+        Ok(report) => report.unfinished,
+        Err(e) => {
+            errors.push(format!("drain: {e}"));
+            usize::MAX
+        }
+    };
+    let trace = if with_trace {
+        faults.take_trace()
+    } else {
+        Vec::new()
+    };
+    let state = app.canonical_state(&env);
+    let effects = app.effect_count(&env);
+    let gc_residue = if opts.gc_check && mode != Mode::Baseline {
+        gc_quiescence_residue(&env, mode)
+    } else {
+        None
+    };
+    let outcome = RunOutcome {
+        trace,
+        injected: faults.injected_count(),
+        errors,
+        unfinished,
+        state,
+        effects,
+        gc_residue,
+    };
+    (outcome, env)
+}
+
+/// Drives the GC to quiescence and reports anything left behind.
+///
+/// Four passes with `T` elapsing in between cover the full pipeline:
+/// stamp finish times → recycle intents + delete logs + disconnect DAAL
+/// rows → delete dangled rows (orphans from failed appends need one extra
+/// stamp-then-delete round).
+fn gc_quiescence_residue(env: &BeldiEnv, mode: Mode) -> Option<String> {
+    let ssfs = env.ssf_names();
+    for _ in 0..4 {
+        env.clock().sleep(EXPLORE_T_MAX + Duration::from_millis(20));
+        for ssf in &ssfs {
+            if let Err(e) = env.run_gc_once(ssf) {
+                return Some(format!("gc pass failed for {ssf}: {e}"));
+            }
+        }
+    }
+    let count = |table: &str| -> usize {
+        env.db()
+            .scan_all(table, &ScanRequest::all())
+            .map(|r| r.len())
+            .unwrap_or(0)
+    };
+    let mut residue = Vec::new();
+    for ssf in &ssfs {
+        for table in [schema::intent_table(ssf), schema::read_log_table(ssf)] {
+            let n = count(&table);
+            if n > 0 {
+                residue.push(format!("{table}: {n} row(s)"));
+            }
+        }
+        let n = count(&schema::invoke_log_table(ssf));
+        if n > 0 {
+            residue.push(format!("{}: {n} row(s)", schema::invoke_log_table(ssf)));
+        }
+        if mode == Mode::CrossTable {
+            let n = count(&schema::write_log_table(ssf));
+            if n > 0 {
+                residue.push(format!("{}: {n} row(s)", schema::write_log_table(ssf)));
+            }
+        }
+        if mode == Mode::Beldi {
+            for logical in env.ssf_tables(ssf) {
+                let shadow = schema::shadow_table(ssf, &logical);
+                let n = count(&shadow);
+                if n > 0 {
+                    residue.push(format!("{shadow}: {n} shadow row(s)"));
+                }
+                // Every DAAL must have been compacted to head + tail.
+                let data = schema::data_table(ssf, &logical);
+                if let Ok(keys) = env.db().distinct_hash_keys(&data) {
+                    for key in keys {
+                        let rows = env
+                            .db()
+                            .query(&data, &key, &ScanRequest::all())
+                            .map(|r| r.len())
+                            .unwrap_or(0);
+                        if rows > 2 {
+                            residue.push(format!("{data}/{key}: {rows} DAAL rows (> head+tail)"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if residue.is_empty() {
+        None
+    } else {
+        Some(residue.join("; "))
+    }
+}
+
+/// Explores one app in one mode. See the module docs for the procedure.
+pub fn explore(app: &dyn WorkflowApp, mode: Mode, opts: &ExploreOptions) -> ExploreReport {
+    let (oracle, oracle_env) = run_schedule(app, mode, opts, &[], true);
+    // Raw-forensics snapshot of the oracle, taken only once a schedule
+    // actually diverges (clean sweeps never pay for it).
+    let mut oracle_snapshot: Option<DbSnapshot> = None;
+    let mut report = ExploreReport {
+        app: app.kind().to_owned(),
+        mode,
+        seed: opts.seed,
+        requests: opts.requests,
+        crash_points: oracle.trace.len(),
+        schedules: 0,
+        crashes_injected: 0,
+        oracle_effects: oracle.effects,
+        violations: Vec::new(),
+    };
+    if !oracle.errors.is_empty() || oracle.unfinished != 0 {
+        report.violations.push(Violation {
+            kind: ViolationKind::RequestError,
+            schedule: Vec::new(),
+            label: "<oracle>".to_owned(),
+            detail: format!(
+                "crash-free oracle run failed: errors={:?} unfinished={}",
+                oracle.errors, oracle.unfinished
+            ),
+        });
+        return report;
+    }
+
+    // Baseline mode makes no exactly-once claim: a crashed instance is
+    // simply lost (or, if the provider retried it, duplicated — the §2.1
+    // anomaly `fault_tolerance.rs` documents). There is no guarantee to
+    // verify, so the sweep stops at the oracle.
+    if mode == Mode::Baseline {
+        return report;
+    }
+
+    // Depth 1: one schedule per (strided) crash point.
+    let stride = opts.stride.max(1);
+    let mut schedules: Vec<Vec<u64>> = (0..oracle.trace.len() as u64)
+        .step_by(stride)
+        .map(|k| vec![k])
+        .collect();
+    if let Some(cap) = opts.max_depth1 {
+        schedules.truncate(cap);
+    }
+
+    // Depth 2: seeded pairs [i, i+gap]; the second crash lands during the
+    // recovery of the first (the global stream keeps counting across
+    // re-executions).
+    let mut pair_rng = SmallRng::seed_from_u64(opts.seed ^ 0xD2D2_D2D2);
+    for _ in 0..opts.depth2_samples {
+        if oracle.trace.is_empty() {
+            break;
+        }
+        let i = pair_rng.gen_range(0..oracle.trace.len()) as u64;
+        let gap = pair_rng.gen_range(1..25usize) as u64;
+        schedules.push(vec![i, i + gap]);
+    }
+
+    for schedule in schedules {
+        report.schedules += 1;
+        let (out, run_env) = run_schedule(app, mode, opts, &schedule, false);
+        report.crashes_injected += out.injected;
+        let label = schedule
+            .first()
+            .and_then(|&k| oracle.trace.get(k as usize))
+            .map(|t| t.label.clone())
+            .unwrap_or_default();
+        let mut fail = |kind, detail| {
+            report.violations.push(Violation {
+                kind,
+                schedule: schedule.clone(),
+                label: label.clone(),
+                detail,
+            });
+        };
+        if !out.errors.is_empty() {
+            fail(ViolationKind::RequestError, out.errors.join("; "));
+        }
+        if out.unfinished != 0 {
+            fail(
+                ViolationKind::IncompleteRecovery,
+                format!(
+                    "{} unfinished intent(s) after {DRAIN_PASSES} passes",
+                    out.unfinished
+                ),
+            );
+        }
+        if out.injected == 0 {
+            // Up to the first scheduled step the run replays the oracle
+            // exactly, so the crash must fire; anything else means the
+            // schedule itself is nondeterministic.
+            fail(
+                ViolationKind::NoCrashInjected,
+                "scheduled crash point was never reached".to_owned(),
+            );
+        }
+        if out.state != oracle.state {
+            // Pinpoint the rows via the raw snapshot diff, keeping only
+            // application tables (metadata legitimately differs).
+            let (app_diff, _meta) = oracle_snapshot
+                .get_or_insert_with(|| oracle_env.db().snapshot())
+                .diff(&run_env.db().snapshot())
+                .split(schema::is_meta_table);
+            fail(
+                ViolationKind::StateDivergence,
+                format!(
+                    "canonical state differs from oracle; raw app-table diff: {}",
+                    app_diff.summarize(4)
+                ),
+            );
+        }
+        if out.effects != oracle.effects {
+            fail(
+                ViolationKind::EffectDivergence,
+                format!("effects {} != oracle {}", out.effects, oracle.effects),
+            );
+        }
+        if let Some(residue) = out.gc_residue {
+            fail(ViolationKind::GcResidue, residue);
+        }
+    }
+    report
+}

@@ -13,11 +13,20 @@
 //!
 //! All time is virtual ([`beldi_simclock::Clock`]); experiments compress
 //! minutes into milliseconds without changing any ordering.
+//!
+//! The crate also hosts the [`explore`] module: a seed-reproducible
+//! crash-schedule model checker that sweeps every labelled crash point of
+//! a workload, recovers via the intent collector, and diffs the final
+//! state against a crash-free oracle (DESIGN.md §8).
 
+pub mod explore;
 mod histogram;
 mod runner;
 mod sweep;
 
+pub use explore::{
+    explore, mode_name, ExploreOptions, ExploreReport, PipelineApp, Violation, ViolationKind,
+};
 pub use histogram::{Histogram, Percentiles};
 pub use runner::{RateRunner, RunReport};
 pub use sweep::{sweep, SweepPoint};

@@ -1,0 +1,201 @@
+//! The crash-schedule explorer's own test suite: clean sweeps over a
+//! purpose-built pipeline app and a real DeathStarBench-derived app, the
+//! canary self-test (a planted exactly-once bug must be *caught*),
+//! seed-stability, and the GC-quiescence property.
+
+use beldi::{BeldiEnv, Mode, RandomCrashPolicy};
+use beldi_apps::{MediaApp, WorkflowApp};
+use beldi_workload::{explore, ExploreOptions, PipelineApp, ViolationKind};
+
+#[test]
+fn depth1_sweep_of_pipeline_is_clean() {
+    let opts = ExploreOptions {
+        requests: 3,
+        ..ExploreOptions::default()
+    };
+    let report = explore(&PipelineApp, Mode::Beldi, &opts);
+    assert!(
+        report.ok(),
+        "clean pipeline must pass every schedule:\n{:#?}",
+        report.violations
+    );
+    assert!(
+        report.crash_points > 30,
+        "expected a rich crash stream, got {}",
+        report.crash_points
+    );
+    assert_eq!(report.schedules, report.crash_points);
+    // Every depth-1 schedule fired exactly its one crash.
+    assert_eq!(report.crashes_injected, report.schedules as u64);
+    assert_eq!(report.oracle_effects, 3 * 3); // count + gate + worker per request
+}
+
+#[test]
+fn depth1_sweep_in_cross_table_mode_is_clean() {
+    let opts = ExploreOptions {
+        requests: 2,
+        ..ExploreOptions::default()
+    };
+    let report = explore(&PipelineApp, Mode::CrossTable, &opts);
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert!(report.crash_points > 20);
+}
+
+#[test]
+fn baseline_mode_runs_oracle_only() {
+    // Baseline mode makes no exactly-once claim — a crashed instance is
+    // simply lost — so the explorer verifies the crash-free oracle and
+    // schedules nothing.
+    let report = explore(&PipelineApp, Mode::Baseline, &ExploreOptions::default());
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert_eq!(report.schedules, 0);
+    assert_eq!(report.crashes_injected, 0);
+    assert!(report.oracle_effects > 0);
+}
+
+#[test]
+fn depth2_scripted_pairs_are_clean() {
+    let opts = ExploreOptions {
+        requests: 2,
+        stride: 11,
+        depth2_samples: 6,
+        ..ExploreOptions::default()
+    };
+    let report = explore(&PipelineApp, Mode::Beldi, &opts);
+    assert!(report.ok(), "{:#?}", report.violations);
+    // The depth-2 pairs each landed at least their first crash; most land
+    // both, so the total must exceed the depth-1 count.
+    let depth1 = report.schedules - 6;
+    assert!(
+        report.crashes_injected > depth1 as u64,
+        "depth-2 schedules should add second crashes: {} vs {depth1}",
+        report.crashes_injected
+    );
+}
+
+/// Satellite: the canary self-test. A deliberately planted exactly-once
+/// bug (read-log appends skip their first-writer-wins guard, so replays
+/// re-read fresh state) must be *detected* by the sweep — proof the
+/// checker has teeth.
+#[test]
+fn canary_bug_is_caught_by_the_sweep() {
+    let opts = ExploreOptions {
+        requests: 2,
+        canary: true,
+        ..ExploreOptions::default()
+    };
+    let report = explore(&PipelineApp, Mode::Beldi, &opts);
+    assert!(
+        !report.ok(),
+        "the sweep failed to detect the planted exactly-once bug"
+    );
+    assert!(
+        report.violations.iter().any(|v| matches!(
+            v.kind,
+            ViolationKind::StateDivergence | ViolationKind::EffectDivergence
+        )),
+        "expected state/effect divergence, got {:#?}",
+        report.violations
+    );
+    // And the identical sweep without the canary is clean — the detection
+    // is the bug, not the harness.
+    let clean = explore(
+        &PipelineApp,
+        Mode::Beldi,
+        &ExploreOptions {
+            requests: 2,
+            canary: false,
+            ..ExploreOptions::default()
+        },
+    );
+    assert!(clean.ok(), "{:#?}", clean.violations);
+}
+
+/// Satellite: identical seed ⇒ identical explorer verdict, twice over.
+#[test]
+fn explorer_verdict_is_seed_stable() {
+    let opts = ExploreOptions {
+        requests: 2,
+        stride: 3,
+        depth2_samples: 3,
+        seed: 0xBE1D1,
+        ..ExploreOptions::default()
+    };
+    let a = explore(&PipelineApp, Mode::Beldi, &opts);
+    let b = explore(&PipelineApp, Mode::Beldi, &opts);
+    assert_eq!(a, b, "same seed must reproduce the same report");
+    assert!(a.ok(), "{:#?}", a.violations);
+}
+
+/// Satellite: identical `RandomCrashPolicy` seed ⇒ identical crash
+/// schedule (the fired crash points match position for position).
+#[test]
+fn random_crash_policy_is_seed_stable() {
+    let run = || {
+        let env = BeldiEnv::for_tests();
+        PipelineApp.setup(&env);
+        env.platform().faults().start_trace();
+        env.platform()
+            .faults()
+            .set_random_policy(Some(RandomCrashPolicy {
+                prob: 0.05,
+                max_crashes: 10,
+                seed: 7,
+            }));
+        for i in 0..6 {
+            env.invoke("root", beldi::value::Value::Int(i)).unwrap();
+        }
+        let trace = env.platform().faults().take_trace();
+        let state = PipelineApp.canonical_state(&env);
+        let fired: Vec<(u64, String)> = trace
+            .iter()
+            .filter(|t| t.crashed)
+            .map(|t| (t.step, t.label.clone()))
+            .collect();
+        (fired, state, env.platform().faults().injected_count())
+    };
+    let (fired_a, state_a, n_a) = run();
+    let (fired_b, state_b, n_b) = run();
+    assert!(n_a > 0, "the policy should have injected something");
+    assert_eq!(n_a, n_b);
+    assert_eq!(fired_a, fired_b, "crash schedules must match exactly");
+    assert_eq!(state_a, state_b);
+}
+
+/// Satellite: GC quiescence. For every explored schedule, once the
+/// crashed-and-recovered workload drains and `T` elapses, repeated GC
+/// passes must empty the read/invoke logs and intent tables and compact
+/// every DAAL to head + tail.
+#[test]
+fn gc_quiesces_after_every_explored_schedule() {
+    let opts = ExploreOptions {
+        requests: 2,
+        stride: 2,
+        gc_check: true,
+        ..ExploreOptions::default()
+    };
+    let report = explore(&PipelineApp, Mode::Beldi, &opts);
+    assert!(report.ok(), "{:#?}", report.violations);
+
+    let xt = explore(&PipelineApp, Mode::CrossTable, &opts);
+    assert!(xt.ok(), "{:#?}", xt.violations);
+}
+
+/// A strided sweep over a real application (the movie review service)
+/// in Beldi mode — the integration-level smoke the CI job mirrors.
+#[test]
+fn media_app_strided_sweep_is_clean() {
+    let app = MediaApp::small();
+    let opts = ExploreOptions {
+        requests: 2,
+        stride: 9,
+        ..ExploreOptions::default()
+    };
+    let report = explore(&app, Mode::Beldi, &opts);
+    assert!(report.ok(), "{:#?}", report.violations);
+    assert!(
+        report.crash_points > 50,
+        "a media request should traverse many crash points, got {}",
+        report.crash_points
+    );
+}
