@@ -67,8 +67,33 @@ pub trait WorkflowApp: Send + Sync {
     /// Draws one frontend request from the app's mix.
     fn gen_request(&self, rng: &mut SmallRng) -> Value;
 
+    /// Draws one frontend request from the app's *production* mix (the
+    /// DeathStarBench-derived weights, honoring the app's mix knobs).
+    ///
+    /// The crash-schedule explorer uses [`WorkflowApp::gen_request`],
+    /// which over-weights writes so short sequences sensitize
+    /// exactly-once bugs; the closed-loop workload driver uses this
+    /// method, which preserves the paper's measured traffic shape.
+    /// Defaults to the explorer mix for apps without a separate one.
+    fn gen_load_request(&self, rng: &mut SmallRng) -> Value {
+        self.gen_request(rng)
+    }
+
     /// Canonical post-run application state (see trait docs).
     fn canonical_state(&self, env: &BeldiEnv) -> Value;
+
+    /// An *interleaving-invariant* projection of the final state for the
+    /// workload driver: with a fixed multiset of requests, this value is
+    /// identical no matter how concurrent workers interleaved (and so can
+    /// be digested and compared across runs for seed-stability checks).
+    ///
+    /// Defaults to [`WorkflowApp::canonical_state`], which is the right
+    /// answer whenever that projection is already order-free (travel's
+    /// per-key inventory); apps with append-order lists override it with
+    /// counts.
+    fn bench_fingerprint(&self, env: &BeldiEnv) -> Value {
+        self.canonical_state(env)
+    }
 
     /// Total externally visible effects recorded in state.
     fn effect_count(&self, env: &BeldiEnv) -> i64;
@@ -93,6 +118,92 @@ pub fn small_app(kind: &str, mode: beldi::Mode) -> Option<Box<dyn WorkflowApp>> 
             }
             Some(Box::new(app))
         }
+        _ => None,
+    }
+}
+
+/// Which request-mix preset a benchmark run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MixProfile {
+    /// The paper's DeathStarBench-derived (read-heavy) weights.
+    #[default]
+    Default,
+    /// Write-heavy weights stressing the exactly-once write paths.
+    WriteHeavy,
+}
+
+impl MixProfile {
+    /// Parses the driver's `--mix` flag spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "default" => Some(MixProfile::Default),
+            "write-heavy" | "write_heavy" => Some(MixProfile::WriteHeavy),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (inverse of [`MixProfile::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            MixProfile::Default => "default",
+            MixProfile::WriteHeavy => "write-heavy",
+        }
+    }
+}
+
+/// Builds the benchmark-sized instance of an app by name for the
+/// closed-loop workload driver (`beldi-workload::driver`).
+///
+/// Differences from [`small_app`]:
+///
+/// - **catalog sizes** target concurrent load: enough distinct keys that
+///   partitioning matters, small enough that seeding stays cheap;
+/// - **travel inventory is effectively unbounded** (no sell-outs), so
+///   every reservation decrements exactly one room and one seat — the
+///   invariant behind the driver's conservation checks and the reason
+///   its final state is deterministic for a fixed request multiset;
+/// - the `mix` preset is applied ([`MixProfile::WriteHeavy`] maps to each
+///   app's `*_MIX_WRITE_HEAVY` weights).
+///
+/// As in [`small_app`], travel drops its cross-SSF transaction in
+/// cross-table mode (unsupported there, §7.4).
+pub fn bench_app(kind: &str, mode: beldi::Mode, mix: MixProfile) -> Option<Box<dyn WorkflowApp>> {
+    let heavy = mix == MixProfile::WriteHeavy;
+    match kind {
+        "media" => Some(Box::new(MediaApp {
+            movies: 40,
+            users: 20,
+            mix: if heavy {
+                media::MEDIA_MIX_WRITE_HEAVY
+            } else {
+                media::MEDIA_MIX_DEFAULT
+            },
+        })),
+        "social" => Some(Box::new(SocialApp {
+            users: 40,
+            follows_per_user: 4,
+            mix: if heavy {
+                social::SOCIAL_MIX_WRITE_HEAVY
+            } else {
+                social::SOCIAL_MIX_DEFAULT
+            },
+        })),
+        "travel" => Some(Box::new(TravelApp {
+            hotels: 25,
+            flights: 25,
+            users: 20,
+            rooms_per_hotel: 1_000_000,
+            seats_per_flight: 1_000_000,
+            transactional: mode != beldi::Mode::CrossTable,
+            // Contention aborts are retried so the final inventory is a
+            // pure function of the request multiset (seed-stability).
+            retry_contention: true,
+            mix: if heavy {
+                travel::TRAVEL_MIX_WRITE_HEAVY
+            } else {
+                travel::TRAVEL_MIX_DEFAULT
+            },
+        })),
         _ => None,
     }
 }

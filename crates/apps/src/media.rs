@@ -53,13 +53,23 @@ pub struct MediaApp {
     pub movies: usize,
     /// Number of registered users.
     pub users: usize,
+    /// Request-mix weights: `[page, compose]` percentages (default: the
+    /// read-heavy DeathStarBench 90/10).
+    pub mix: [u32; 2],
 }
+
+/// The read-heavy DeathStarBench media mix.
+pub const MEDIA_MIX_DEFAULT: [u32; 2] = [90, 10];
+
+/// A compose-heavy mix for stress/bench runs.
+pub const MEDIA_MIX_WRITE_HEAVY: [u32; 2] = [40, 60];
 
 impl Default for MediaApp {
     fn default() -> Self {
         MediaApp {
             movies: 100,
             users: 100,
+            mix: MEDIA_MIX_DEFAULT,
         }
     }
 }
@@ -84,7 +94,18 @@ impl MediaApp {
         MediaApp {
             movies: 6,
             users: 4,
+            ..MediaApp::default()
         }
+    }
+
+    /// Sets the request-mix weights (builder style).
+    pub fn with_mix(mut self, mix: [u32; 2]) -> Self {
+        assert!(
+            mix.iter().sum::<u32>() > 0,
+            "mix weights must not all be zero"
+        );
+        self.mix = mix;
+        self
     }
 
     /// The workflow's entry SSF.
@@ -157,10 +178,11 @@ impl MediaApp {
         }
     }
 
-    /// Draws one frontend request: 90% page views, 10% review composes
-    /// (the read-heavy DeathStarBench media mix).
+    /// Draws one frontend request from [`MediaApp::mix`] (default: 90%
+    /// page views, 10% review composes — the read-heavy DeathStarBench
+    /// media mix).
     pub fn request(&self, rng: &mut SmallRng) -> Value {
-        match pick_mix(rng, &[90, 10]) {
+        match pick_mix(rng, &self.mix) {
             0 => vmap! {
                 "op" => "page",
                 "movie_id" => movie_key(rng.gen_range(0..self.movies)),
@@ -204,6 +226,52 @@ impl crate::WorkflowApp for MediaApp {
             }
         } else {
             self.request(rng)
+        }
+    }
+
+    /// The production mix (honoring [`MediaApp::mix`]) — what the
+    /// closed-loop driver issues.
+    fn gen_load_request(&self, rng: &mut SmallRng) -> Value {
+        self.request(rng)
+    }
+
+    /// Interleaving-invariant load fingerprint: stored-review row count
+    /// plus per-movie and per-user list *lengths*. Review lists are
+    /// windowed append-order lists, so their contents depend on how
+    /// concurrent composes interleave — but with a fixed request multiset
+    /// the *counts* do not, which is what lets the driver assert
+    /// seed-stability across concurrent runs.
+    fn bench_fingerprint(&self, env: &BeldiEnv) -> Value {
+        let list_len = |ssf: &str, table: &str, key: &str| -> i64 {
+            env.read_current(ssf, table, key)
+                .ok()
+                .and_then(|v| v.as_list().map(Vec::len))
+                .unwrap_or(0) as i64
+        };
+        let mut by_movie = beldi::value::Map::new();
+        for i in 0..self.movies {
+            let key = movie_key(i);
+            let n = list_len("media-movie-review", "bymovie", &key);
+            by_movie.insert(key, Value::Int(n));
+        }
+        let mut by_user = beldi::value::Map::new();
+        for u in 0..self.users {
+            let uid = format!("uid-{u}");
+            let n = list_len("media-user-review", "byuser", &uid);
+            by_user.insert(uid, Value::Int(n));
+        }
+        let review_rows = env
+            .db()
+            .distinct_hash_keys(&beldi::schema::data_table(
+                "media-review-storage",
+                "reviews",
+            ))
+            .map(|k| k.len())
+            .unwrap_or(0);
+        vmap! {
+            "review_rows" => review_rows as i64,
+            "by_movie_len" => Value::Map(by_movie),
+            "by_user_len" => Value::Map(by_user),
         }
     }
 
@@ -495,6 +563,7 @@ mod tests {
         let app = MediaApp {
             movies: 8,
             users: 4,
+            ..MediaApp::default()
         };
         app.install(&env);
         app.seed(&env);

@@ -54,13 +54,24 @@ pub struct SocialApp {
     pub users: usize,
     /// Follows per user (ring topology offsets — deterministic).
     pub follows_per_user: usize,
+    /// Request-mix weights: `[home-timeline, user-timeline, compose]`
+    /// percentages (default: the DeathStarBench 60/30/10).
+    pub mix: [u32; 3],
 }
+
+/// The DeathStarBench social mix.
+pub const SOCIAL_MIX_DEFAULT: [u32; 3] = [60, 30, 10];
+
+/// A compose-heavy mix for stress/bench runs (exercises the locked
+/// timeline fan-out).
+pub const SOCIAL_MIX_WRITE_HEAVY: [u32; 3] = [25, 15, 60];
 
 impl Default for SocialApp {
     fn default() -> Self {
         SocialApp {
             users: 100,
             follows_per_user: 8,
+            mix: SOCIAL_MIX_DEFAULT,
         }
     }
 }
@@ -75,7 +86,18 @@ impl SocialApp {
         SocialApp {
             users: 5,
             follows_per_user: 2,
+            ..SocialApp::default()
         }
+    }
+
+    /// Sets the request-mix weights (builder style).
+    pub fn with_mix(mut self, mix: [u32; 3]) -> Self {
+        assert!(
+            mix.iter().sum::<u32>() > 0,
+            "mix weights must not all be zero"
+        );
+        self.mix = mix;
+        self
     }
 
     /// The workflow's entry SSF.
@@ -124,11 +146,12 @@ impl SocialApp {
         }
     }
 
-    /// Draws one frontend request: 60% home-timeline reads, 30%
-    /// user-timeline reads, 10% composes (the DeathStarBench social mix).
+    /// Draws one frontend request from [`SocialApp::mix`] (default: 60%
+    /// home-timeline reads, 30% user-timeline reads, 10% composes — the
+    /// DeathStarBench social mix).
     pub fn request(&self, rng: &mut SmallRng) -> Value {
         let user = user_key(rng.gen_range(0..self.users));
-        match pick_mix(rng, &[60, 30, 10]) {
+        match pick_mix(rng, &self.mix) {
             0 => vmap! { "op" => "home-timeline", "user" => user },
             1 => vmap! { "op" => "user-timeline", "user" => user },
             _ => {
@@ -179,6 +202,46 @@ impl crate::WorkflowApp for SocialApp {
             }
         } else {
             self.request(rng)
+        }
+    }
+
+    /// The production mix (honoring [`SocialApp::mix`]) — what the
+    /// closed-loop driver issues.
+    fn gen_load_request(&self, rng: &mut SmallRng) -> Value {
+        self.request(rng)
+    }
+
+    /// Interleaving-invariant load fingerprint: stored post and url row
+    /// counts plus per-user timeline *lengths*. Timelines are windowed
+    /// append-order lists whose contents depend on compose interleaving,
+    /// but with a fixed request multiset the counts do not — the property
+    /// the driver's seed-stability check relies on.
+    fn bench_fingerprint(&self, env: &BeldiEnv) -> Value {
+        let row_count = |ssf: &str, table: &str| -> i64 {
+            env.db()
+                .distinct_hash_keys(&beldi::schema::data_table(ssf, table))
+                .map(|k| k.len())
+                .unwrap_or(0) as i64
+        };
+        let tl_len = |table: &str, user: &str| -> i64 {
+            env.read_current("social-timeline-storage", table, user)
+                .ok()
+                .and_then(|v| v.as_list().map(Vec::len))
+                .unwrap_or(0) as i64
+        };
+        let mut timelines = beldi::value::Map::new();
+        for u in 0..self.users {
+            let user = user_key(u);
+            let v = vmap! {
+                "usertl" => tl_len("usertl", &user),
+                "hometl" => tl_len("hometl", &user),
+            };
+            timelines.insert(user, v);
+        }
+        vmap! {
+            "post_rows" => row_count("social-post-storage", "posts"),
+            "url_rows" => row_count("social-url-shorten", "urls"),
+            "timeline_len" => Value::Map(timelines),
         }
     }
 
@@ -586,6 +649,7 @@ mod tests {
         let app = SocialApp {
             users: 10,
             follows_per_user: 3,
+            ..SocialApp::default()
         };
         app.install(&env);
         app.seed(&env);

@@ -55,7 +55,24 @@ pub struct TravelApp {
     /// measures a Beldi configuration "for fault-tolerance but without
     /// transactions", §7.4 — set this to false for that series).
     pub transactional: bool,
+    /// Retry reservations that abort from wait-die lock contention
+    /// (genuinely sold-out requests are never retried — the legs report
+    /// sold-out as data, not as an abort). Off by default; the workload
+    /// driver's bench configuration enables it so the final inventory is
+    /// a pure function of the request multiset, independent of how
+    /// concurrent workers interleaved.
+    pub retry_contention: bool,
+    /// Request-mix weights: `[search, recommend, login, reserve]`
+    /// percentages (default: the DeathStarBench-derived 60/30/5/5).
+    pub mix: [u32; 4],
 }
+
+/// The DeathStarBench-derived travel mix (§7.4).
+pub const TRAVEL_MIX_DEFAULT: [u32; 4] = [60, 30, 5, 5];
+
+/// A reservation-heavy mix for stress/bench runs: most requests take the
+/// cross-SSF transaction path.
+pub const TRAVEL_MIX_WRITE_HEAVY: [u32; 4] = [20, 15, 5, 60];
 
 impl Default for TravelApp {
     fn default() -> Self {
@@ -66,6 +83,8 @@ impl Default for TravelApp {
             rooms_per_hotel: 1_000,
             seats_per_flight: 1_000,
             transactional: true,
+            retry_contention: false,
+            mix: TRAVEL_MIX_DEFAULT,
         }
     }
 }
@@ -91,8 +110,18 @@ impl TravelApp {
             users: 3,
             rooms_per_hotel: 100,
             seats_per_flight: 100,
-            transactional: true,
+            ..TravelApp::default()
         }
+    }
+
+    /// Sets the request-mix weights (builder style).
+    pub fn with_mix(mut self, mix: [u32; 4]) -> Self {
+        assert!(
+            mix.iter().sum::<u32>() > 0,
+            "mix weights must not all be zero"
+        );
+        self.mix = mix;
+        self
     }
 
     /// The workflow's entry SSF.
@@ -110,7 +139,7 @@ impl TravelApp {
         install_search(env);
         install_reserve_leg(env, "travel-reserve-hotel", "rooms");
         install_reserve_leg(env, "travel-reserve-flight", "seats");
-        install_reserve(env, self.transactional);
+        install_reserve(env, self.transactional, self.retry_contention);
         install_frontend(env);
     }
 
@@ -184,12 +213,12 @@ impl TravelApp {
         }
     }
 
-    /// Draws one frontend request from the DeathStarBench-derived mix:
-    /// 60% hotel search, 30% recommendation, 5% login, 5% reservation
-    /// (reservations pick hotel and flight normally out of the catalog,
+    /// Draws one frontend request from [`TravelApp::mix`] (default: 60%
+    /// hotel search, 30% recommendation, 5% login, 5% reservation;
+    /// reservations pick hotel and flight normally out of the catalog,
     /// §7.4).
     pub fn request(&self, rng: &mut SmallRng) -> Value {
-        match pick_mix(rng, &[60, 30, 5, 5]) {
+        match pick_mix(rng, &self.mix) {
             0 => vmap! {
                 "op" => "search",
                 "lat" => rng.gen_range(0.0..10.0),
@@ -266,6 +295,12 @@ impl crate::WorkflowApp for TravelApp {
         } else {
             self.request(rng)
         }
+    }
+
+    /// The production mix (honoring [`TravelApp::mix`]) — what the
+    /// closed-loop driver issues.
+    fn gen_load_request(&self, rng: &mut SmallRng) -> Value {
+        self.request(rng)
     }
 
     /// All travel keys are deterministic (hotel-i / flight-i), so the
@@ -440,8 +475,14 @@ fn install_search(env: &BeldiEnv) {
 }
 
 /// The two reservation legs share one body parameterized by table name:
-/// check availability, abort the enclosing transaction when sold out,
-/// decrement otherwise.
+/// check availability, report sold-out, decrement otherwise.
+///
+/// Sold-out is reported as *data* (`{"sold_out": true}`) rather than a
+/// [`BeldiError::TxnAborted`], so the reserve coordinator can tell a
+/// genuine out-of-inventory answer (never retried) from a wait-die
+/// contention kill (retried when [`TravelApp::retry_contention`] is on).
+/// The coordinator aborts the enclosing transaction itself on sold-out,
+/// preserving the atomic rollback of the first leg.
 fn install_reserve_leg(env: &BeldiEnv, ssf: &'static str, table: &'static str) {
     env.register_ssf(
         ssf,
@@ -454,7 +495,7 @@ fn install_reserve_leg(env: &BeldiEnv, ssf: &'static str, table: &'static str) {
             let rec = ctx.read(table, &key)?;
             let available = rec.get_int("available").unwrap_or(0);
             if available <= 0 {
-                return Err(BeldiError::TxnAborted);
+                return Ok(vmap! { "key" => key, "sold_out" => true });
             }
             ctx.write(table, &key, vmap! { "available" => available - 1 })?;
             Ok(vmap! { "key" => key, "remaining" => available - 1 })
@@ -462,7 +503,17 @@ fn install_reserve_leg(env: &BeldiEnv, ssf: &'static str, table: &'static str) {
     );
 }
 
-fn install_reserve(env: &BeldiEnv, transactional: bool) {
+/// True when a reservation leg reported out-of-inventory.
+fn leg_sold_out(leg: &Value) -> bool {
+    leg.get_bool("sold_out") == Some(true)
+}
+
+/// Bound on contention-abort retries. Wait-die guarantees the oldest
+/// contender always proceeds, so every retry round makes global progress;
+/// the bound is defensive, not load-bearing.
+const RESERVE_MAX_ATTEMPTS: usize = 100;
+
+fn install_reserve(env: &BeldiEnv, transactional: bool, retry_contention: bool) {
     env.register_ssf(
         "travel-reserve",
         &[],
@@ -474,37 +525,77 @@ fn install_reserve(env: &BeldiEnv, transactional: bool) {
                 // transactions"): a sold-out second leg leaves the first
                 // leg decremented — exactly the inconsistency the
                 // transactional configuration prevents.
-                let h = ctx.sync_invoke("travel-reserve-hotel", vmap! { "key" => hotel });
-                let f = ctx.sync_invoke("travel-reserve-flight", vmap! { "key" => flight });
-                return Ok(match (h, f) {
-                    (Ok(h), Ok(f)) => vmap! {
-                        "status" => "reserved", "hotel" => h, "flight" => f,
+                let h = ctx.sync_invoke("travel-reserve-hotel", vmap! { "key" => &*hotel })?;
+                let f = ctx.sync_invoke("travel-reserve-flight", vmap! { "key" => &*flight })?;
+                return Ok(if leg_sold_out(&h) || leg_sold_out(&f) {
+                    vmap! { "status" => "unavailable" }
+                } else {
+                    vmap! { "status" => "reserved", "hotel" => h, "flight" => f }
+                });
+            }
+            let attempts = if retry_contention {
+                RESERVE_MAX_ATTEMPTS
+            } else {
+                1
+            };
+            for _ in 0..attempts {
+                ctx.begin_tx()?;
+                // Run both legs, stopping early on a sold-out report.
+                let legs =
+                    (|ctx: &mut beldi::SsfContext| -> beldi::BeldiResult<Option<(Value, Value)>> {
+                        let h =
+                            ctx.sync_invoke("travel-reserve-hotel", vmap! { "key" => &*hotel })?;
+                        if leg_sold_out(&h) {
+                            return Ok(None);
+                        }
+                        let f =
+                            ctx.sync_invoke("travel-reserve-flight", vmap! { "key" => &*flight })?;
+                        if leg_sold_out(&f) {
+                            return Ok(None);
+                        }
+                        Ok(Some((h, f)))
+                    })(ctx);
+                match legs {
+                    Ok(Some((h, f))) => match ctx.end_tx()? {
+                        TxnOutcome::Committed => {
+                            return Ok(vmap! {
+                                "status" => "reserved",
+                                "hotel" => h,
+                                "flight" => f,
+                            })
+                        }
+                        // A wait-die kill surfaced at commit; retry.
+                        TxnOutcome::Aborted => {}
                     },
-                    _ => vmap! { "status" => "unavailable" },
-                });
-            }
-            ctx.begin_tx()?;
-            let legs = ctx
-                .sync_invoke("travel-reserve-hotel", vmap! { "key" => hotel })
-                .and_then(|h| {
-                    let f = ctx.sync_invoke("travel-reserve-flight", vmap! { "key" => flight })?;
-                    Ok((h, f))
-                });
-            match legs {
-                Ok((h, f)) => match ctx.end_tx()? {
-                    TxnOutcome::Committed => Ok(vmap! {
-                        "status" => "reserved",
-                        "hotel" => h,
-                        "flight" => f,
-                    }),
-                    TxnOutcome::Aborted => Ok(vmap! { "status" => "unavailable" }),
-                },
-                Err(BeldiError::TxnAborted) => {
-                    ctx.abort_tx()?;
-                    Ok(vmap! { "status" => "unavailable" })
+                    Ok(None) => {
+                        // Genuinely sold out: roll back the first leg and
+                        // answer definitively (never retried).
+                        ctx.abort_tx()?;
+                        return Ok(vmap! { "status" => "unavailable" });
+                    }
+                    // Wait-die contention kill mid-flight; retry.
+                    Err(BeldiError::TxnAborted) => {
+                        ctx.abort_tx()?;
+                    }
+                    Err(e) => return Err(e),
                 }
-                Err(e) => Err(e),
             }
+            if retry_contention {
+                // Exhaustion must be loud, not a fake "unavailable": the
+                // bench determinism contract (final inventory is a pure
+                // function of the request multiset) only holds when every
+                // contention kill is eventually retried to a definitive
+                // answer, and each retry re-enters wait-die as a *younger*
+                // transaction, so starvation — while never observed at
+                // bench concurrency — is not provably impossible. Surface
+                // it as an error so the driver counts it and the gate
+                // fails visibly instead of digests silently diverging.
+                return Err(BeldiError::Protocol(format!(
+                    "reservation of {hotel}/{flight} still contended after \
+                     {RESERVE_MAX_ATTEMPTS} wait-die retries"
+                )));
+            }
+            Ok(vmap! { "status" => "unavailable" })
         }),
     );
 }
@@ -535,7 +626,7 @@ mod tests {
             users: 5,
             rooms_per_hotel: 3,
             seats_per_flight: 3,
-            transactional: true,
+            ..TravelApp::default()
         }
     }
 

@@ -21,6 +21,7 @@ fn bench_txn(c: &mut Criterion) {
             rooms_per_hotel: i64::MAX / 2,
             seats_per_flight: i64::MAX / 2,
             transactional,
+            ..TravelApp::default()
         };
         app.install(&env);
         app.seed(&env);

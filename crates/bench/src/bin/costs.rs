@@ -19,8 +19,12 @@
 //!
 //! ```text
 //! cargo run -p beldi-bench --release --bin costs \
-//!     [-- --rows 20 --iters 100 --partitions 8]
+//!     [-- --rows 20 --iters 100 --partitions 8 --tail-cache]
 //! ```
+//!
+//! By default the DAAL tail-row cache is disabled so the per-op numbers
+//! reproduce the paper's read protocol (§7.3 counts one extra scan per
+//! read); `--tail-cache` measures the optimized read path instead.
 
 use beldi::value::Value;
 use beldi::Mode;

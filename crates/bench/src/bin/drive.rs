@@ -1,0 +1,151 @@
+//! Closed-loop concurrent workload driver: the macro benchmark behind
+//! `BENCH_results.json` and the CI perf gate (see `DESIGN.md` §9).
+//!
+//! ```text
+//! cargo run -p beldi-bench --release --bin drive -- \
+//!     [--app media|social|travel|all] [--mode beldi|cross-table|baseline|both|all] \
+//!     [--workers 1,2,4,8] [--duration-ops 5000] [--seed 42] \
+//!     [--partitions 8] [--clock-rate 120] [--mix default|write-heavy] \
+//!     [--no-tail-cache] [--json BENCH_results.json] [--smoke]
+//! ```
+//!
+//! `--smoke` is the CI preset: all three apps × {beldi, cross-table},
+//! workers {1, 4}, 120 requests per run, a low clock rate for stability.
+//! `--no-tail-cache` disables the DAAL tail-row cache for A/B measurement
+//! of the hot-path fix. Exit status: 0 when every run completed without
+//! request errors, 1 otherwise.
+
+use beldi::Mode;
+use beldi_apps::{bench_app, MixProfile};
+use beldi_bench::arg_flag as flag;
+use beldi_workload::driver::{drive, BenchReport, DriveOptions};
+
+fn main() {
+    let smoke = flag("--smoke");
+
+    let app_arg = beldi_bench::arg_value("--app").unwrap_or_else(|| "all".into());
+    let mode_arg = beldi_bench::arg_value("--mode").unwrap_or_else(|| "both".into());
+    let workers_arg = beldi_bench::arg_value("--workers").unwrap_or_else(|| {
+        if smoke {
+            "1,4".into()
+        } else {
+            "1,2,4,8".into()
+        }
+    });
+    let mix = match MixProfile::parse(
+        &beldi_bench::arg_value("--mix").unwrap_or_else(|| "default".into()),
+    ) {
+        Some(m) => m,
+        None => {
+            eprintln!("unknown --mix (use default | write-heavy)");
+            std::process::exit(2);
+        }
+    };
+
+    let opts_template = DriveOptions {
+        total_ops: beldi_bench::arg_usize("--duration-ops", if smoke { 120 } else { 5_000 }) as u64,
+        seed: beldi_bench::arg_usize("--seed", 42) as u64,
+        partitions: beldi_bench::arg_partitions(),
+        clock_rate: beldi_bench::arg_f64("--clock-rate", if smoke { 40.0 } else { 120.0 }),
+        model_latency: true,
+        tail_cache: !flag("--no-tail-cache"),
+        ..DriveOptions::default()
+    };
+
+    let apps: Vec<&str> = match app_arg.as_str() {
+        "all" => vec!["media", "social", "travel"],
+        one => vec![one],
+    };
+    let modes: Vec<Mode> = match mode_arg.as_str() {
+        // The two fault-tolerant designs — the comparison that matters.
+        "both" => vec![Mode::Beldi, Mode::CrossTable],
+        "all" => vec![Mode::Beldi, Mode::CrossTable, Mode::Baseline],
+        "beldi" => vec![Mode::Beldi],
+        "cross-table" | "cross" => vec![Mode::CrossTable],
+        "baseline" => vec![Mode::Baseline],
+        other => {
+            eprintln!("unknown --mode {other}");
+            std::process::exit(2);
+        }
+    };
+    let workers: Vec<usize> = workers_arg
+        .split(',')
+        .filter_map(|w| w.trim().parse().ok())
+        .filter(|&w| w > 0)
+        .collect();
+    if workers.is_empty() {
+        eprintln!("--workers needs a comma-separated list of positive counts");
+        std::process::exit(2);
+    }
+
+    let mut report = BenchReport {
+        seed: opts_template.seed,
+        total_ops: opts_template.total_ops,
+        mix: mix.name().to_owned(),
+        clock_rate: opts_template.clock_rate,
+        tail_cache: opts_template.tail_cache,
+        runs: Vec::new(),
+    };
+    let mut rows = Vec::new();
+    for kind in &apps {
+        for &mode in &modes {
+            for &w in &workers {
+                let Some(app) = bench_app(kind, mode, mix) else {
+                    eprintln!("unknown --app {kind}");
+                    std::process::exit(2);
+                };
+                let opts = DriveOptions {
+                    workers: w,
+                    ..opts_template.clone()
+                };
+                let run = drive(app.as_ref(), mode, &opts);
+                rows.push(vec![
+                    run.app.clone(),
+                    run.mode.clone(),
+                    w.to_string(),
+                    run.ops.to_string(),
+                    run.errors.to_string(),
+                    format!("{:.1}", run.throughput_rps),
+                    format!("{:.2}", run.latency.p50_us as f64 / 1e3),
+                    format!("{:.2}", run.latency.p99_us as f64 / 1e3),
+                    format!("{:.1}", run.db.total_ops() as f64 / run.ops.max(1) as f64),
+                    run.db.lock_waits.to_string(),
+                    run.wall_ms.to_string(),
+                ]);
+                report.runs.push(run);
+            }
+        }
+    }
+
+    beldi_bench::print_table(
+        "Closed-loop drive (virtual-time throughput and latency)",
+        &[
+            "app",
+            "mode",
+            "workers",
+            "ops",
+            "errors",
+            "rps",
+            "p50_ms",
+            "p99_ms",
+            "db_ops/req",
+            "lock_waits",
+            "wall_ms",
+        ],
+        &rows,
+    );
+
+    if let Some(path) = beldi_bench::arg_value("--json") {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("writing {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\nwrote {path} ({} runs)", report.runs.len());
+    }
+
+    let errors: u64 = report.runs.iter().map(|r| r.errors).sum();
+    if errors > 0 {
+        eprintln!("{errors} request error(s) across runs");
+        std::process::exit(1);
+    }
+}

@@ -10,8 +10,12 @@
 //!
 //! ```text
 //! cargo run -p beldi-bench --release --bin fig13 \
-//!     [-- --rows 20 --iters 300 --partitions 8]
+//!     [-- --rows 20 --iters 300 --partitions 8 --tail-cache]
 //! ```
+//!
+//! By default the DAAL tail-row cache is disabled so read latency pays
+//! the paper's traversal scan over all `--rows` rows; `--tail-cache`
+//! measures the optimized read path instead.
 
 use beldi::value::Value;
 use beldi::Mode;

@@ -49,6 +49,15 @@ pub struct BeldiConfig {
     /// in partition-major order, as DynamoDB's physical-partition scans
     /// do).
     pub partitions: usize,
+    /// Cache the DAAL tail row id per `(table, key)` so reads can skip
+    /// the traversal scan (Beldi mode only; see `daal::TailCache`).
+    ///
+    /// A read of a cached key costs one point get instead of a projected
+    /// scan plus a get — the workload driver's measured hot path. The
+    /// cache is validated at use (a hit must still be the tail: row
+    /// present and `NextRow` absent), so it is never authoritative and
+    /// can be disabled for A/B measurement without changing semantics.
+    pub daal_tail_cache: bool,
     /// **Test-only sabotage switch** (the crash explorer's canary): when
     /// set, read-log appends skip their first-writer-wins guard, so a
     /// re-executed instance re-reads *fresh* state instead of replaying
@@ -72,6 +81,7 @@ impl BeldiConfig {
             collector_period: Duration::from_secs(60),
             collector_batch_limit: None,
             partitions: beldi_simdb::DEFAULT_PARTITIONS,
+            daal_tail_cache: true,
             #[cfg(feature = "canary")]
             canary_skip_read_guard: false,
         }
@@ -139,6 +149,14 @@ impl BeldiConfig {
     pub fn with_partitions(mut self, n: usize) -> Self {
         assert!(n >= 1, "partition count must be at least 1");
         self.partitions = n;
+        self
+    }
+
+    /// Enables or disables the DAAL tail-row cache (builder style; on by
+    /// default). Disabling it restores the always-scan read path — the
+    /// A/B knob behind the driver's `--no-tail-cache` flag.
+    pub fn with_tail_cache(mut self, on: bool) -> Self {
+        self.daal_tail_cache = on;
         self
     }
 

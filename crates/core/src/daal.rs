@@ -26,8 +26,11 @@
 //! [`crate::SsfContext`] so they can be unit-tested against a bare
 //! database.
 
+use std::collections::HashMap;
+
 use beldi_simdb::{Database, DbError, PrimaryKey, Projection, ScanRequest};
 use beldi_value::{Cond, Path, Update, Value};
+use parking_lot::Mutex;
 
 use crate::error::{BeldiError, BeldiResult};
 use crate::schema::{
@@ -180,6 +183,129 @@ pub(crate) fn read_tail_row(db: &Database, table: &str, key: &str) -> BeldiResul
     };
     let pk = PrimaryKey::hash_sort(key, tail);
     Ok(db.get(table, &pk, None)?)
+}
+
+/// Number of independently locked [`TailCache`] shards.
+const TAIL_CACHE_SHARDS: usize = 16;
+
+/// A shared cache of the last known tail row id per `(table, key)` — the
+/// hot-path optimization behind [`crate::BeldiConfig::daal_tail_cache`].
+///
+/// Every Beldi read traverses the key's DAAL (a projected scan) just to
+/// locate the tail before point-reading it. Under steady load the tail
+/// moves only when a row fills up (every `N` writes), so the scan almost
+/// always rediscovers the row it found last time. The cache remembers
+/// that row id; a read validates a hit with the point read it had to issue
+/// anyway:
+///
+/// - the row is **present** and has **no `NextRow`** ⇒ it is the current
+///   tail (see the safety argument below) and its `Value` is returned —
+///   the traversal scan is skipped entirely;
+/// - otherwise the entry is dropped and the read falls back to the full
+///   traversal, which refreshes the entry.
+///
+/// # Why a validated hit is sound
+///
+/// Chain rows move through a one-way lifecycle: created unlinked → linked
+/// as tail → `NextRow` set (now interior, immutable) → possibly
+/// disconnected by the GC (interior rows only) → deleted. A row that was
+/// *ever* the reachable tail and still has no `NextRow` is still the
+/// reachable tail: appends only set `NextRow` on the old tail, the GC
+/// unlinks only interior rows (which have `NextRow`) and never deletes
+/// the head or a reachable row, so no step can make a tail unreachable
+/// without first giving it a successor. Entries only enter the cache from
+/// a completed traversal (reachable tails by construction), hence a
+/// validated hit reads exactly the row a fresh traversal would have
+/// found. Shadow tables are *not* cached: finished shadow chains are
+/// deleted wholesale, tail included, and their reads happen on the cold
+/// transaction-recovery path anyway.
+///
+/// The cache is deliberately never authoritative — dropping any entry at
+/// any time is correct — so sizing and invalidation need no precision.
+pub(crate) struct TailCache {
+    shards: Vec<Mutex<HashMap<(String, String), String>>>,
+}
+
+impl TailCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TailCache {
+            shards: (0..TAIL_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// FNV-1a shard routing over table and key.
+    fn shard(&self, table: &str, key: &str) -> &Mutex<HashMap<(String, String), String>> {
+        use std::hash::Hasher;
+        let mut h = beldi_value::Fnv1a::new();
+        h.write(table.as_bytes());
+        h.write(key.as_bytes());
+        &self.shards[(h.finish() as usize) % TAIL_CACHE_SHARDS]
+    }
+
+    fn get(&self, table: &str, key: &str) -> Option<String> {
+        self.shard(table, key)
+            .lock()
+            .get(&(table.to_owned(), key.to_owned()))
+            .cloned()
+    }
+
+    fn put(&self, table: &str, key: &str, row_id: &str) {
+        self.shard(table, key)
+            .lock()
+            .insert((table.to_owned(), key.to_owned()), row_id.to_owned());
+    }
+
+    fn invalidate(&self, table: &str, key: &str) {
+        self.shard(table, key)
+            .lock()
+            .remove(&(table.to_owned(), key.to_owned()));
+    }
+}
+
+/// [`read_tail_row`] with an optional [`TailCache`]: one point get on a
+/// validated hit, scan + get (and a refreshed entry) otherwise.
+pub(crate) fn read_tail_row_cached(
+    db: &Database,
+    cache: Option<&TailCache>,
+    table: &str,
+    key: &str,
+) -> BeldiResult<Option<Value>> {
+    if let Some(cache) = cache {
+        if let Some(row_id) = cache.get(table, key) {
+            let pk = PrimaryKey::hash_sort(key, row_id.as_str());
+            match db.get(table, &pk, None)? {
+                Some(row) if row.get_str(A_NEXT_ROW).is_none() => return Ok(Some(row)),
+                // The cached row filled up (has a successor) or was
+                // GC-deleted: stale entry, take the slow path.
+                _ => cache.invalidate(table, key),
+            }
+        }
+    }
+    let skel = traverse(db, table, key, None)?;
+    let Some(tail) = skel.tail_row_id() else {
+        return Ok(None);
+    };
+    if let Some(cache) = cache {
+        cache.put(table, key, tail);
+    }
+    let pk = PrimaryKey::hash_sort(key, tail);
+    Ok(db.get(table, &pk, None)?)
+}
+
+/// The current value of `key` via [`read_tail_row_cached`]; absent keys
+/// and value-less tails read as `Null`.
+pub(crate) fn read_value_cached(
+    db: &Database,
+    cache: Option<&TailCache>,
+    table: &str,
+    key: &str,
+) -> BeldiResult<Value> {
+    Ok(read_tail_row_cached(db, cache, table, key)?
+        .and_then(|row| row.get_attr(A_VALUE).cloned())
+        .unwrap_or(Value::Null))
 }
 
 /// The current value of `key`, i.e. the `Value` column of its tail row.
@@ -746,6 +872,101 @@ mod tests {
         assert_eq!(f.value("k"), Value::Int(10));
         f.write("k", "a#0", 11);
         assert_eq!(f.value("k"), Value::Int(11));
+    }
+
+    #[test]
+    fn cached_read_tracks_value_across_chain_growth() {
+        let f = Fixture::new();
+        let cache = TailCache::new();
+        // 10 writes with capacity 3 span 4 rows; after every write the
+        // cached read must agree with the scan-based read.
+        for step in 0..10 {
+            f.write("k", &format!("i#{step}"), step);
+            let cached = read_value_cached(&f.db, Some(&cache), "t", "k").unwrap();
+            assert_eq!(cached, f.value("k"), "after step {step}");
+        }
+        // A second cached read is a pure hit and still agrees.
+        let q_before = f.db.metrics().queries;
+        let hit = read_value_cached(&f.db, Some(&cache), "t", "k").unwrap();
+        assert_eq!(hit, Value::Int(9));
+        assert_eq!(f.db.metrics().queries, q_before, "hit must not scan");
+    }
+
+    #[test]
+    fn cached_read_of_absent_key_is_null_and_uncached() {
+        let f = Fixture::new();
+        let cache = TailCache::new();
+        assert_eq!(
+            read_value_cached(&f.db, Some(&cache), "t", "nope").unwrap(),
+            Value::Null
+        );
+        assert!(cache.get("t", "nope").is_none(), "no negative caching");
+    }
+
+    #[test]
+    fn stale_cache_entry_falls_back_to_traversal() {
+        let f = Fixture::new();
+        let cache = TailCache::new();
+        f.write("k", "a#0", 1);
+        read_value_cached(&f.db, Some(&cache), "t", "k").unwrap();
+        let cached_row = cache.get("t", "k").unwrap();
+        // Fill the row so the chain extends past the cached tail.
+        for step in 1..5 {
+            f.write("k", &format!("a#{step}"), step);
+        }
+        assert!(f.chain_len("k") > 1);
+        let v = read_value_cached(&f.db, Some(&cache), "t", "k").unwrap();
+        assert_eq!(v, Value::Int(4));
+        assert_ne!(cache.get("t", "k").unwrap(), cached_row, "entry refreshed");
+        // A deleted cached row (GC) also falls back cleanly.
+        cache.put("t", "k", "R-gone");
+        assert_eq!(
+            read_value_cached(&f.db, Some(&cache), "t", "k").unwrap(),
+            Value::Int(4)
+        );
+    }
+
+    #[test]
+    fn concurrent_cached_readers_see_writer_progress() {
+        use std::sync::Arc;
+        let f = Arc::new(Fixture::new());
+        let cache = Arc::new(TailCache::new());
+        f.write("hot", "w#init", 0);
+        let writer = {
+            let f = Arc::clone(&f);
+            std::thread::spawn(move || {
+                for s in 1..=60 {
+                    f.write("hot", &format!("w#{s}"), s);
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let f = Arc::clone(&f);
+            let cache = Arc::clone(&cache);
+            readers.push(std::thread::spawn(move || {
+                let mut last = -1i64;
+                for _ in 0..200 {
+                    let v = read_value_cached(&f.db, Some(&cache), "t", "hot")
+                        .unwrap()
+                        .as_int()
+                        .expect("value is always an int");
+                    // Values only move forward (writes are ordered by one
+                    // writer); a cached read must never resurrect an old
+                    // tail.
+                    assert!(v >= last, "read went backwards: {v} < {last}");
+                    last = v;
+                }
+            }));
+        }
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(
+            read_value_cached(&f.db, Some(&cache), "t", "hot").unwrap(),
+            Value::Int(60)
+        );
     }
 
     #[test]

@@ -55,6 +55,9 @@ pub(crate) struct EnvCore {
     pub platform: Arc<Platform>,
     pub config: BeldiConfig,
     pub registry: RwLock<HashMap<String, SsfEntry>>,
+    /// Tail-row cache for DAAL reads (`Some` only in Beldi mode with
+    /// [`BeldiConfig::daal_tail_cache`] on).
+    pub tail_cache: Option<daal::TailCache>,
     timers: Mutex<Vec<beldi_simfaas::TimerHandle>>,
 }
 
@@ -124,12 +127,15 @@ impl EnvBuilder {
             self.config.partitions,
         );
         let platform = Platform::new(clock, self.platform, self.seed.wrapping_add(1));
+        let tail_cache = (self.config.mode == Mode::Beldi && self.config.daal_tail_cache)
+            .then(daal::TailCache::new);
         BeldiEnv {
             core: Arc::new(EnvCore {
                 db,
                 platform,
                 config: self.config,
                 registry: RwLock::new(HashMap::new()),
+                tail_cache,
                 timers: Mutex::new(Vec::new()),
             }),
         }

@@ -56,9 +56,16 @@ impl SsfContext {
     }
 
     /// The mode-appropriate raw (unlogged) read of a data table.
+    ///
+    /// Beldi-mode reads go through the environment's tail-row cache when
+    /// enabled, turning the common case from a traversal scan plus a point
+    /// get into a single validated point get (the driver's measured hot
+    /// path; see `daal::TailCache`).
     pub(crate) fn raw_read_value(&self, physical: &str, key: &str) -> BeldiResult<Value> {
         match self.mode() {
-            Mode::Beldi => daal::read_value(self.db(), physical, key),
+            Mode::Beldi => {
+                daal::read_value_cached(self.db(), self.core.tail_cache.as_ref(), physical, key)
+            }
             Mode::CrossTable => modes::cross_table_read(self.db(), physical, key),
             Mode::Baseline => modes::baseline_read(self.db(), physical, key),
         }
@@ -392,6 +399,31 @@ mod tests {
             .cond_write("state", "k", Value::Int(99), Cond::ge(A_VALUE, 100i64))
             .unwrap());
         assert_eq!(replay.read("state", "k").unwrap(), Value::Int(11));
+    }
+
+    #[test]
+    fn tail_cache_skips_traversal_scans_without_changing_reads() {
+        let reads_and_queries = |tail_cache: bool| -> (Vec<Value>, u64) {
+            let cfg = BeldiConfig::beldi().with_tail_cache(tail_cache);
+            let env = BeldiEnv::for_tests_with(cfg);
+            env.register_ssf("f", &["state"], Arc::new(|_, _| Ok(Value::Null)));
+            let mut ctx = env.test_context("f", "inst-1");
+            ctx.write("state", "k", Value::Int(7)).unwrap();
+            let before = env.db_metrics();
+            let mut vals = Vec::new();
+            for _ in 0..5 {
+                // Distinct instances so each read hits storage instead of
+                // replaying its own read log.
+                let mut reader = env.test_context("f", &format!("r-{}", vals.len()));
+                vals.push(reader.read("state", "k").unwrap());
+            }
+            (vals, env.db_metrics().delta(&before).queries)
+        };
+        let (cached_vals, cached_queries) = reads_and_queries(true);
+        let (plain_vals, plain_queries) = reads_and_queries(false);
+        assert_eq!(cached_vals, plain_vals, "cache must not change values");
+        assert_eq!(plain_queries, 5, "uncached: one traversal scan per read");
+        assert_eq!(cached_queries, 1, "cached: only the first read scans");
     }
 
     #[test]

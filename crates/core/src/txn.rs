@@ -234,7 +234,10 @@ impl SsfContext {
     ///
     /// Inside an existing transaction (inherited or local), `begin_tx` is
     /// absorbed into the top-level transaction (§6.2 — Beldi has no nested
-    /// transaction semantics).
+    /// transaction semantics). After a transaction this instance *owned*
+    /// has ended (committed or aborted), `begin_tx` starts a fresh one —
+    /// sequential transactions per instance, which is what lets
+    /// application code retry a wait-die abort.
     ///
     /// In baseline mode this is a no-op; in cross-table mode transactions
     /// are unsupported (the paper only compares that mode on
@@ -250,8 +253,14 @@ impl SsfContext {
             Mode::Beldi => {}
         }
         if let Some(t) = &mut self.txn {
-            t.nested += 1;
-            return Ok(());
+            if t.owned && t.ended {
+                // The previous owned transaction is fully decided (locks
+                // released, callees signalled); a new one may start.
+                self.txn = None;
+            } else {
+                t.nested += 1;
+                return Ok(());
+            }
         }
         // The id and creation time are nondeterministic, so they are
         // logged: a re-executed instance resumes the *same* transaction

@@ -52,6 +52,42 @@ fn single_ssf_txn_commits_atomically() {
 }
 
 #[test]
+fn sequential_transactions_in_one_instance() {
+    // An instance may run several top-level transactions back to back
+    // (what lets application code retry a wait-die abort): each begin_tx
+    // after a decided transaction starts a fresh one with its own id,
+    // locks, and shadow writes.
+    let env = BeldiEnv::for_tests();
+    env.register_ssf(
+        "sequencer",
+        &["t"],
+        Arc::new(|ctx, _| {
+            ctx.begin_tx()?;
+            ctx.write("t", "k", Value::Int(1))?;
+            assert_eq!(ctx.end_tx()?, TxnOutcome::Committed);
+
+            // Second transaction: aborted — its write must vanish.
+            ctx.begin_tx()?;
+            ctx.write("t", "k", Value::Int(99))?;
+            assert_eq!(ctx.abort_tx()?, TxnOutcome::Aborted);
+
+            // Third transaction: commits over the first one's value.
+            ctx.begin_tx()?;
+            let cur = ctx.read("t", "k")?.as_int().unwrap_or(-1);
+            ctx.write("t", "k", Value::Int(cur + 1))?;
+            assert_eq!(ctx.end_tx()?, TxnOutcome::Committed);
+            Ok(Value::Null)
+        }),
+    );
+    env.seed("sequencer", "t", "k", Value::Int(0)).unwrap();
+    env.invoke("sequencer", Value::Null).unwrap();
+    assert_eq!(
+        env.read_current("sequencer", "t", "k").unwrap(),
+        Value::Int(2)
+    );
+}
+
+#[test]
 fn abort_discards_all_writes_and_releases_locks() {
     let env = BeldiEnv::for_tests();
     env.register_ssf(

@@ -170,6 +170,13 @@ impl Database {
         self.metrics.snapshot()
     }
 
+    /// Zeroes the metrics counters, returning the values swapped out —
+    /// how harnesses open a clean measurement window after setup/seeding
+    /// (see [`crate::DbMetrics::reset`] for the consistency contract).
+    pub fn reset_metrics(&self) -> MetricsSnapshot {
+        self.metrics.reset()
+    }
+
     /// Creates a table.
     ///
     /// # Errors

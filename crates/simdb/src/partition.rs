@@ -17,9 +17,8 @@
 //! std hasher.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::hash::{Hash, Hasher};
 
-use beldi_value::{SizeOf, Value};
+use beldi_value::{Fnv1a, SizeOf, Value};
 
 use crate::error::{DbError, DbResult};
 use crate::key::{PrimaryKey, TableSchema};
@@ -31,30 +30,13 @@ use crate::key::{PrimaryKey, TableSchema};
 /// serializing on storage before they saturate the simulated platform.
 pub const DEFAULT_PARTITIONS: usize = 8;
 
-/// FNV-1a, fixed offset basis: a deterministic `Hasher` for routing.
-struct Fnv1a(u64);
-
-impl Hasher for Fnv1a {
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for b in bytes {
-            self.0 ^= u64::from(*b);
-            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-}
-
-/// Routes a hash-key value to a partition index in `0..partitions`.
+/// Routes a hash-key value to a partition index in `0..partitions`
+/// (FNV-1a over the value's content hash — see `beldi_value::Fnv1a`).
 pub(crate) fn route(hash_key: &Value, partitions: usize) -> usize {
     if partitions <= 1 {
         return 0;
     }
-    let mut h = Fnv1a(0xcbf2_9ce4_8422_2325);
-    hash_key.hash(&mut h);
-    (h.finish() % partitions as u64) as usize
+    (Fnv1a::digest(hash_key) % partitions as u64) as usize
 }
 
 /// The mutable state of one partition (rows + index shards), always

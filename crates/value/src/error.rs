@@ -23,6 +23,8 @@ pub enum ValueError {
     BadPath(String),
     /// Arithmetic in an update expression overflowed.
     Overflow,
+    /// A text document (JSON) failed to parse.
+    Parse(String),
 }
 
 impl fmt::Display for ValueError {
@@ -35,6 +37,7 @@ impl fmt::Display for ValueError {
             }
             ValueError::BadPath(p) => write!(f, "malformed path `{p}`"),
             ValueError::Overflow => write!(f, "integer overflow in update expression"),
+            ValueError::Parse(msg) => write!(f, "parse error: {msg}"),
         }
     }
 }

@@ -1,0 +1,475 @@
+//! JSON encoding and decoding for [`Value`].
+//!
+//! The workspace runs fully offline (no `serde_json`), but the benchmark
+//! subsystem needs machine-readable reports (`BENCH_results.json`) and a
+//! CI gate that reads them back. [`Value`] is already a JSON-shaped data
+//! model, so this module provides the two missing halves:
+//!
+//! - [`to_json`] — deterministic text: map keys come out in [`Map`]'s
+//!   (sorted) order and floats that carry no fraction are written with a
+//!   trailing `.0` so integers and floats survive a round trip;
+//! - [`from_json`] — a strict recursive-descent parser covering the full
+//!   JSON grammar (nested containers, string escapes including `\uXXXX`
+//!   with surrogate pairs, scientific notation).
+//!
+//! Lossiness: [`Value::Bytes`] has no JSON representation and is written
+//! as a hex string (it does not occur in benchmark reports); non-finite
+//! floats are written as `null`, as `JSON.stringify` does.
+
+use std::fmt::Write as _;
+
+use crate::error::{ValueError, ValueResult};
+use crate::value::{Map, Value};
+
+/// Serializes a value as compact JSON with deterministic key order.
+pub fn to_json(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(&mut out, v, None);
+    out
+}
+
+/// Serializes a value as indented JSON (two spaces per level).
+pub fn to_json_pretty(v: &Value) -> String {
+    let mut out = String::new();
+    write_json(&mut out, v, Some(0));
+    out.push('\n');
+    out
+}
+
+fn write_json(out: &mut String, v: &Value, indent: Option<usize>) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(x) => write_float(out, *x),
+        Value::Str(s) => write_string(out, s),
+        Value::Bytes(b) => {
+            // No JSON encoding exists for raw bytes; a hex string keeps
+            // the report readable (and the value greppable).
+            out.push('"');
+            for byte in b {
+                let _ = write!(out, "{byte:02x}");
+            }
+            out.push('"');
+        }
+        Value::List(items) => {
+            write_seq(out, items.iter(), items.len(), indent, '[', ']', write_json)
+        }
+        Value::Map(m) => write_seq(out, m.iter(), m.len(), indent, '{', '}', |o, (k, v), i| {
+            write_string(o, k);
+            o.push(':');
+            if i.is_some() {
+                o.push(' ');
+            }
+            write_json(o, v, i);
+        }),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    len: usize,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|d| d + 1);
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(d) = inner {
+            out.push('\n');
+            out.push_str(&"  ".repeat(d));
+        }
+        write_item(out, item, inner);
+    }
+    if let Some(d) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(d));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, x: f64) {
+    if !x.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    if x == x.trunc() {
+        // Keep the float-ness through a round trip: `{:.1}` prints the
+        // full decimal expansion plus `.0` (exact for any whole f64, at
+        // any magnitude), so the parser reads it back as a float.
+        let _ = write!(out, "{x:.1}");
+    } else {
+        let _ = write!(out, "{x}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document into a [`Value`].
+///
+/// # Errors
+///
+/// [`ValueError::Parse`] on any syntax error, with a byte offset.
+pub fn from_json(text: &str) -> ValueResult<Value> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> ValueError {
+        ValueError::Parse(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> ValueResult<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> ValueResult<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> ValueResult<Value> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.list(),
+            Some(b'{') => self.map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn list(&mut self) -> ValueResult<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::List(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::List(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn map(&mut self) -> ValueResult<Value> {
+        self.expect(b'{')?;
+        let mut m = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(m));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            m.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(m));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> ValueResult<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'b' => s.push('\u{0008}'),
+                        b'f' => s.push('\u{000C}'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => s.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                b if b < 0x20 => return Err(self.err("raw control character in string")),
+                _ => {
+                    // Re-borrow the full UTF-8 char starting at b.
+                    let start = self.pos - 1;
+                    let rest = &self.bytes[start..];
+                    let text = std::str::from_utf8(rest)
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().expect("non-empty");
+                    s.push(c);
+                    self.pos = start + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> ValueResult<u32> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> ValueResult<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vmap;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(1.5),
+            Value::Float(-0.25),
+            Value::Str("hello".into()),
+            Value::Str("esc \" \\ \n \t ü 🎉".into()),
+        ] {
+            let text = to_json(&v);
+            assert_eq!(from_json(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn whole_floats_stay_floats() {
+        for x in [3.0, 1e15, 9e18, 1e300, -2f64.powi(60)] {
+            let v = Value::Float(x);
+            let text = to_json(&v);
+            assert_eq!(from_json(&text).unwrap(), v, "{text}");
+        }
+        assert_eq!(to_json(&Value::Float(3.0)), "3.0");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vmap! {
+            "list" => Value::List(vec![Value::Int(1), Value::Null, Value::Str("x".into())]),
+            "nested" => vmap! { "a" => 1i64, "b" => Value::List(vec![]) },
+            "empty" => Value::Map(Map::new()),
+        };
+        let compact = to_json(&v);
+        let pretty = to_json_pretty(&v);
+        assert_eq!(from_json(&compact).unwrap(), v);
+        assert_eq!(from_json(&pretty).unwrap(), v);
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn map_keys_are_sorted_deterministically() {
+        let v = vmap! { "b" => 2i64, "a" => 1i64, "c" => 3i64 };
+        assert_eq!(to_json(&v), r#"{"a":1,"b":2,"c":3}"#);
+    }
+
+    #[test]
+    fn standard_json_parses() {
+        let v = from_json(r#" { "x": [1, 2.5, true, null, "s"], "y": {"z": -3e2} } "#).unwrap();
+        assert_eq!(v.get_list("x").unwrap().len(), 5);
+        assert_eq!(
+            v.get_attr("y").unwrap().get_attr("z"),
+            Some(&Value::Float(-300.0))
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(
+            from_json(r#""\u00fc\ud83c\udf89""#).unwrap(),
+            Value::Str("ü🎉".into())
+        );
+    }
+
+    #[test]
+    fn syntax_errors_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+            "[01x]",
+            "\"\\q\"",
+        ] {
+            assert!(from_json(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn bytes_serialize_as_hex() {
+        let v = Value::Bytes(vec![0xde, 0xad]);
+        assert_eq!(to_json(&v), "\"dead\"");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        assert_eq!(to_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(to_json(&Value::Float(f64::INFINITY)), "null");
+    }
+}

@@ -18,6 +18,8 @@
 
 mod cond;
 mod error;
+pub mod fnv;
+pub mod json;
 mod path;
 mod size;
 mod update;
@@ -25,6 +27,7 @@ mod value;
 
 pub use cond::Cond;
 pub use error::{ValueError, ValueResult};
+pub use fnv::Fnv1a;
 pub use path::{Path, PathSegment};
 pub use size::SizeOf;
 pub use update::{Update, UpdateAction};

@@ -1,0 +1,556 @@
+//! The closed-loop concurrent workload driver (`BENCH_results.json`).
+//!
+//! Where [`crate::RateRunner`] reproduces wrk2's *open-loop* arrivals for
+//! the paper's latency-vs-throughput figures, this module measures the
+//! system the way a capacity benchmark does: `N` client workers share one
+//! [`BeldiEnv`] (and therefore one sharded database) and each issues the
+//! next request the moment the previous one completes. Throughput is
+//! whatever the system sustains; latency is pure service time.
+//!
+//! Design points:
+//!
+//! - **Virtual time.** The environment runs on a scaled clock with the
+//!   DynamoDB-shaped latency model, so reported latencies/throughput are
+//!   dominated by *modelled* storage round trips, not host speed —
+//!   numbers are comparable across machines, which is what lets CI gate
+//!   on them (`tools/bench_gate.rs`).
+//! - **Determinism.** The request stream is split up front: worker `w`
+//!   gets a fixed share of `total_ops` and its own seeded RNG
+//!   ([`worker_rng`]), so the *multiset* of issued requests is a pure
+//!   function of `(seed, workers, total_ops)` regardless of scheduling.
+//!   Combined with the apps' interleaving-invariant
+//!   [`WorkflowApp::bench_fingerprint`] projections, the whole
+//!   [`BenchRun`] — op counts, per-kind database deltas, final-state
+//!   digest — reproduces exactly for a fixed seed and worker count.
+//! - **Metrics windows.** The database counters are
+//!   [`reset`](beldi_simdb::Database::reset_metrics) after setup/seeding,
+//!   so [`BenchRun::db`] is exactly the measured run's operation delta
+//!   (the consistent-snapshot contract is `DbMetrics::snapshot`'s).
+//!
+//! Reports serialize to JSON via `beldi_value::json` (see `DESIGN.md` §9
+//! for the schema) and read back for the CI regression gate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use beldi::value::{vmap, Value};
+use beldi::{BeldiConfig, BeldiEnv, Mode};
+use beldi_apps::WorkflowApp;
+use beldi_simdb::{LatencyModel, MetricsSnapshot};
+use beldi_simfaas::{PlatformConfig, SaturationPolicy};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::explore::mode_name;
+use crate::histogram::Histogram;
+
+/// Report schema version (bumped on incompatible JSON changes).
+pub const BENCH_SCHEMA: i64 = 1;
+
+/// Tuning knobs for one [`drive`] call.
+#[derive(Debug, Clone)]
+pub struct DriveOptions {
+    /// Concurrent client workers sharing the environment.
+    pub workers: usize,
+    /// Total requests across all workers (split deterministically).
+    pub total_ops: u64,
+    /// Seed for the substrate RNGs and every worker's request stream.
+    pub seed: u64,
+    /// Database partitions (the sharding knob under test).
+    pub partitions: usize,
+    /// Virtual-clock rate (× real time). Modest rates keep host CPU cost
+    /// a small fraction of the modelled latencies; the smoke preset uses
+    /// a low rate for CI stability.
+    pub clock_rate: f64,
+    /// Apply the DynamoDB-shaped latency model (off = zero-latency
+    /// storage, for functional tests).
+    pub model_latency: bool,
+    /// Enable the DAAL tail-row cache (the measured hot-path fix; off
+    /// restores the always-scan read path for A/B comparison).
+    pub tail_cache: bool,
+}
+
+impl Default for DriveOptions {
+    fn default() -> Self {
+        DriveOptions {
+            workers: 4,
+            total_ops: 1_000,
+            seed: 42,
+            partitions: beldi_simdb::DEFAULT_PARTITIONS,
+            clock_rate: 120.0,
+            model_latency: true,
+            tail_cache: true,
+        }
+    }
+}
+
+/// Latency percentile summary in microseconds (virtual time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Mean.
+    pub mean_us: u64,
+    /// Maximum.
+    pub max_us: u64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &Histogram) -> Self {
+        let us = |d: Duration| d.as_micros() as u64;
+        LatencySummary {
+            p50_us: us(h.quantile(0.50)),
+            p90_us: us(h.quantile(0.90)),
+            p95_us: us(h.quantile(0.95)),
+            p99_us: us(h.quantile(0.99)),
+            mean_us: us(h.mean()),
+            max_us: us(h.max()),
+        }
+    }
+
+    fn to_value(self) -> Value {
+        vmap! {
+            "p50_us" => self.p50_us as i64,
+            "p90_us" => self.p90_us as i64,
+            "p95_us" => self.p95_us as i64,
+            "p99_us" => self.p99_us as i64,
+            "mean_us" => self.mean_us as i64,
+            "max_us" => self.max_us as i64,
+        }
+    }
+
+    fn from_value(v: &Value) -> Self {
+        let get = |k: &str| v.get_int(k).unwrap_or(0) as u64;
+        LatencySummary {
+            p50_us: get("p50_us"),
+            p90_us: get("p90_us"),
+            p95_us: get("p95_us"),
+            p99_us: get("p99_us"),
+            mean_us: get("mean_us"),
+            max_us: get("max_us"),
+        }
+    }
+}
+
+/// The result of one `app × mode × workers` drive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRun {
+    /// App driven ("media" / "social" / "travel").
+    pub app: String,
+    /// Table/logging mode (CLI spelling, e.g. "beldi").
+    pub mode: String,
+    /// Concurrent client workers.
+    pub workers: usize,
+    /// Database partitions.
+    pub partitions: usize,
+    /// Requests issued (all of them complete — closed loop).
+    pub ops: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Virtual time the run took, in microseconds.
+    pub elapsed_virtual_us: u64,
+    /// Wall-clock milliseconds (informational; machine-dependent and
+    /// excluded from all comparisons).
+    pub wall_ms: u64,
+    /// Completions per virtual second.
+    pub throughput_rps: f64,
+    /// Per-request service latency (virtual).
+    pub latency: LatencySummary,
+    /// Database operation delta over the measured window.
+    pub db: MetricsSnapshot,
+    /// FNV-1a digest (hex) of the app's interleaving-invariant final
+    /// state fingerprint — equal across runs with the same seed and
+    /// worker count.
+    pub state_digest: String,
+    /// The app's effect count after the run.
+    pub effects: i64,
+}
+
+impl BenchRun {
+    /// The identity CI matches baseline and current runs on.
+    pub fn key(&self) -> String {
+        format!("{}/{}/w{}", self.app, self.mode, self.workers)
+    }
+
+    /// Serializes the run for the JSON report.
+    pub fn to_value(&self) -> Value {
+        vmap! {
+            "app" => self.app.as_str(),
+            "mode" => self.mode.as_str(),
+            "workers" => self.workers as i64,
+            "partitions" => self.partitions as i64,
+            "ops" => self.ops as i64,
+            "errors" => self.errors as i64,
+            "elapsed_virtual_us" => self.elapsed_virtual_us as i64,
+            "wall_ms" => self.wall_ms as i64,
+            "throughput_rps" => self.throughput_rps,
+            "latency" => self.latency.to_value(),
+            "db" => metrics_to_value(&self.db),
+            "state_digest" => self.state_digest.as_str(),
+            "effects" => self.effects,
+        }
+    }
+
+    /// Decodes a run from report JSON (tolerant of missing fields, which
+    /// decode as zero/empty — the gate validates what it needs).
+    pub fn from_value(v: &Value) -> Self {
+        BenchRun {
+            app: v.get_str("app").unwrap_or_default().to_owned(),
+            mode: v.get_str("mode").unwrap_or_default().to_owned(),
+            workers: v.get_int("workers").unwrap_or(0) as usize,
+            partitions: v.get_int("partitions").unwrap_or(0) as usize,
+            ops: v.get_int("ops").unwrap_or(0) as u64,
+            errors: v.get_int("errors").unwrap_or(0) as u64,
+            elapsed_virtual_us: v.get_int("elapsed_virtual_us").unwrap_or(0) as u64,
+            wall_ms: v.get_int("wall_ms").unwrap_or(0) as u64,
+            throughput_rps: v
+                .get_attr("throughput_rps")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0),
+            latency: v
+                .get_attr("latency")
+                .map(LatencySummary::from_value)
+                .unwrap_or_default(),
+            db: v.get_attr("db").map(metrics_from_value).unwrap_or_default(),
+            state_digest: v.get_str("state_digest").unwrap_or_default().to_owned(),
+            effects: v.get_int("effects").unwrap_or(0),
+        }
+    }
+}
+
+/// A full driver session: configuration plus one [`BenchRun`] per
+/// `app × mode × workers` point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The seed all runs used.
+    pub seed: u64,
+    /// Requests per run.
+    pub total_ops: u64,
+    /// The mix preset name ("default" / "write-heavy").
+    pub mix: String,
+    /// Virtual-clock rate used.
+    pub clock_rate: f64,
+    /// Whether the tail cache was enabled.
+    pub tail_cache: bool,
+    /// The measured runs.
+    pub runs: Vec<BenchRun>,
+}
+
+impl BenchReport {
+    /// Serializes the report (the `BENCH_results.json` document).
+    pub fn to_value(&self) -> Value {
+        vmap! {
+            "schema" => BENCH_SCHEMA,
+            "seed" => self.seed as i64,
+            "total_ops" => self.total_ops as i64,
+            "mix" => self.mix.as_str(),
+            "clock_rate" => self.clock_rate,
+            "tail_cache" => self.tail_cache,
+            "runs" => Value::List(self.runs.iter().map(BenchRun::to_value).collect()),
+        }
+    }
+
+    /// Pretty JSON text of the report.
+    pub fn to_json(&self) -> String {
+        beldi::value::json::to_json_pretty(&self.to_value())
+    }
+
+    /// Decodes a report document.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the problem when the document is not a schema-1
+    /// report.
+    pub fn from_value(v: &Value) -> Result<Self, String> {
+        match v.get_int("schema") {
+            Some(BENCH_SCHEMA) => {}
+            Some(other) => return Err(format!("unsupported bench schema {other}")),
+            None => return Err("not a bench report (no `schema` field)".into()),
+        }
+        let runs = v
+            .get_list("runs")
+            .ok_or("bench report has no `runs` list")?
+            .iter()
+            .map(BenchRun::from_value)
+            .collect();
+        Ok(BenchReport {
+            seed: v.get_int("seed").unwrap_or(0) as u64,
+            total_ops: v.get_int("total_ops").unwrap_or(0) as u64,
+            mix: v.get_str("mix").unwrap_or("default").to_owned(),
+            clock_rate: v
+                .get_attr("clock_rate")
+                .and_then(Value::as_float)
+                .unwrap_or(0.0),
+            tail_cache: v.get_bool("tail_cache").unwrap_or(true),
+            runs,
+        })
+    }
+
+    /// Parses report JSON text.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the problem (JSON syntax or report shape).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = beldi::value::json::from_json(text).map_err(|e| e.to_string())?;
+        BenchReport::from_value(&v)
+    }
+}
+
+/// The seeded RNG of worker `w` — part of the public determinism
+/// contract: tests regenerate a worker's exact request stream with this.
+pub fn worker_rng(seed: u64, worker: usize) -> SmallRng {
+    SmallRng::seed_from_u64(seed ^ (worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Worker `w`'s deterministic share of `total` requests (first
+/// `total % workers` workers take one extra).
+pub fn ops_for_worker(total: u64, workers: usize, w: usize) -> u64 {
+    let base = total / workers as u64;
+    let extra = u64::from((w as u64) < total % workers as u64);
+    base + extra
+}
+
+/// Platform shaped like the paper's AWS setup but with an effectively
+/// unbounded invocation timeout: at high clock rates a realistic virtual
+/// timeout is milliseconds of real time, and host scheduling jitter
+/// would abort requests spuriously.
+fn driver_platform() -> PlatformConfig {
+    PlatformConfig {
+        concurrency_limit: 1000,
+        invoke_timeout: Duration::from_secs(24 * 3600),
+        cold_start: Duration::from_millis(150),
+        warm_start: Duration::from_millis(3),
+        invoke_overhead: Duration::from_millis(10),
+        warm_pool_per_fn: 2_000,
+        saturation: SaturationPolicy::Queue,
+    }
+}
+
+/// Runs one closed-loop drive of `app` in `mode`. See the module docs.
+pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun {
+    assert!(opts.workers > 0, "need at least one worker");
+    let cfg = BeldiConfig::for_mode(mode)
+        .with_partitions(opts.partitions)
+        .with_tail_cache(opts.tail_cache);
+    let mut builder = BeldiEnv::builder(cfg)
+        .seed(opts.seed)
+        .clock_rate(opts.clock_rate)
+        .platform(driver_platform());
+    if opts.model_latency {
+        builder = builder.latency(LatencyModel::dynamo());
+    }
+    let env = builder.build();
+    app.setup(&env);
+    // Open the measurement window: everything from here is the run.
+    env.db().reset_metrics();
+
+    let clock = env.clock().clone();
+    let wall_start = std::time::Instant::now();
+    let start = clock.now();
+    let errors = AtomicU64::new(0);
+    let hist = Mutex::new(Histogram::new());
+    let entry = app.entry_point();
+    std::thread::scope(|s| {
+        for w in 0..opts.workers {
+            let env = &env;
+            let clock = &clock;
+            let errors = &errors;
+            let hist = &hist;
+            s.spawn(move || {
+                let mut rng = worker_rng(opts.seed, w);
+                let mut local = Histogram::new();
+                for _ in 0..ops_for_worker(opts.total_ops, opts.workers, w) {
+                    let request = app.gen_load_request(&mut rng);
+                    let t0 = clock.now();
+                    if env.invoke(entry, request).is_err() {
+                        errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    local.record(clock.now().since(t0));
+                }
+                hist.lock().merge(&local);
+            });
+        }
+    });
+    let elapsed = clock.now().since(start);
+    let db = env.db_metrics();
+    let hist = hist.into_inner();
+    let fingerprint = app.bench_fingerprint(&env);
+
+    BenchRun {
+        app: app.kind().to_owned(),
+        mode: mode_name(mode).to_owned(),
+        workers: opts.workers,
+        partitions: opts.partitions,
+        ops: opts.total_ops,
+        errors: errors.into_inner(),
+        elapsed_virtual_us: elapsed.as_micros() as u64,
+        wall_ms: wall_start.elapsed().as_millis() as u64,
+        throughput_rps: opts.total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: LatencySummary::from_histogram(&hist),
+        db,
+        state_digest: format!("{:016x}", value_digest(&fingerprint)),
+        effects: app.effect_count(&env),
+    }
+}
+
+/// FNV-1a digest of a [`Value`], stable across platforms and runs
+/// (unlike `DefaultHasher`, whose keys are process-random).
+pub fn value_digest(v: &Value) -> u64 {
+    beldi::value::Fnv1a::digest(v)
+}
+
+/// Serializes a [`MetricsSnapshot`] for the report.
+fn metrics_to_value(m: &MetricsSnapshot) -> Value {
+    vmap! {
+        "gets" => m.gets as i64,
+        "writes" => m.writes as i64,
+        "queries" => m.queries as i64,
+        "scans" => m.scans as i64,
+        "transact_writes" => m.transact_writes as i64,
+        "deletes" => m.deletes as i64,
+        "cond_failures" => m.cond_failures as i64,
+        "bytes_read" => m.bytes_read as i64,
+        "bytes_written" => m.bytes_written as i64,
+        "rows_scanned" => m.rows_scanned as i64,
+        "lock_waits" => m.lock_waits as i64,
+        "partition_ops" => Value::List(
+            m.partition_ops.iter().map(|&n| Value::Int(n as i64)).collect()
+        ),
+    }
+}
+
+/// Decodes a [`MetricsSnapshot`] from the report.
+fn metrics_from_value(v: &Value) -> MetricsSnapshot {
+    let get = |k: &str| v.get_int(k).unwrap_or(0) as u64;
+    MetricsSnapshot {
+        gets: get("gets"),
+        writes: get("writes"),
+        queries: get("queries"),
+        scans: get("scans"),
+        transact_writes: get("transact_writes"),
+        deletes: get("deletes"),
+        cond_failures: get("cond_failures"),
+        bytes_read: get("bytes_read"),
+        bytes_written: get("bytes_written"),
+        rows_scanned: get("rows_scanned"),
+        lock_waits: get("lock_waits"),
+        partition_ops: v
+            .get_list("partition_ops")
+            .map(|l| {
+                l.iter()
+                    .filter_map(Value::as_int)
+                    .map(|i| i as u64)
+                    .collect()
+            })
+            .unwrap_or_default(),
+    }
+}
+
+/// A tiny helper used by report consumers: `Map` of run key → run, for
+/// joining baseline and current reports.
+pub fn runs_by_key(report: &BenchReport) -> std::collections::BTreeMap<String, &BenchRun> {
+    report.runs.iter().map(|r| (r.key(), r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_split_covers_total_exactly() {
+        for (total, workers) in [(10u64, 3usize), (7, 8), (0, 2), (100, 1), (5, 5)] {
+            let sum: u64 = (0..workers)
+                .map(|w| ops_for_worker(total, workers, w))
+                .sum();
+            assert_eq!(sum, total, "total={total} workers={workers}");
+            // Shares differ by at most one.
+            let shares: Vec<u64> = (0..workers)
+                .map(|w| ops_for_worker(total, workers, w))
+                .collect();
+            let (min, max) = (shares.iter().min().unwrap(), shares.iter().max().unwrap());
+            assert!(max - min <= 1);
+        }
+    }
+
+    #[test]
+    fn worker_rngs_are_deterministic_and_distinct() {
+        use rand::Rng;
+        let draw = |seed, w| -> Vec<u32> {
+            let mut rng = worker_rng(seed, w);
+            (0..8).map(|_| rng.gen()).collect()
+        };
+        assert_eq!(draw(1, 0), draw(1, 0));
+        assert_ne!(draw(1, 0), draw(1, 1));
+        assert_ne!(draw(1, 0), draw(2, 0));
+    }
+
+    #[test]
+    fn value_digest_is_stable_and_discriminating() {
+        let a = vmap! { "x" => 1i64, "y" => "s" };
+        let b = vmap! { "x" => 2i64, "y" => "s" };
+        assert_eq!(value_digest(&a), value_digest(&a));
+        assert_ne!(value_digest(&a), value_digest(&b));
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let run = BenchRun {
+            app: "media".into(),
+            mode: "beldi".into(),
+            workers: 4,
+            partitions: 8,
+            ops: 100,
+            errors: 0,
+            elapsed_virtual_us: 1_234_567,
+            wall_ms: 89,
+            throughput_rps: 81.0,
+            latency: LatencySummary {
+                p50_us: 10,
+                p90_us: 20,
+                p95_us: 25,
+                p99_us: 30,
+                mean_us: 12,
+                max_us: 40,
+            },
+            db: MetricsSnapshot {
+                gets: 5,
+                writes: 4,
+                partition_ops: vec![1, 2, 3],
+                ..MetricsSnapshot::default()
+            },
+            state_digest: "00000000deadbeef".into(),
+            effects: 7,
+        };
+        let report = BenchReport {
+            seed: 42,
+            total_ops: 100,
+            mix: "default".into(),
+            clock_rate: 40.0,
+            tail_cache: true,
+            runs: vec![run],
+        };
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.runs[0].key(), "media/beldi/w4");
+    }
+
+    #[test]
+    fn malformed_reports_are_rejected_with_reasons() {
+        assert!(BenchReport::from_json("{}").unwrap_err().contains("schema"));
+        assert!(BenchReport::from_json("[1,2]")
+            .unwrap_err()
+            .contains("schema"));
+        assert!(BenchReport::from_json("{\"schema\":1}")
+            .unwrap_err()
+            .contains("runs"));
+        assert!(BenchReport::from_json("not json").is_err());
+    }
+}

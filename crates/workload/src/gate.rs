@@ -1,0 +1,212 @@
+//! The performance-regression gate over driver reports.
+//!
+//! CI runs `drive --smoke`, uploads `BENCH_results.json`, and feeds it —
+//! together with the checked-in `BENCH_baseline.json` — through this
+//! comparator (`tools/bench_gate.rs` is the thin CLI). The gate fails
+//! when any `app × mode × workers` point regresses in throughput by more
+//! than the allowed fraction, when a baseline point is missing from the
+//! results, or when a result run is itself unsound (zero ops, request
+//! errors).
+//!
+//! Throughput is *virtual-time* throughput: it is dominated by the
+//! modelled storage/invocation latencies and the number of operations
+//! each design issues, not by the CI machine's speed (DESIGN.md §9), so
+//! a generous margin (default 25%) absorbs host-noise leakage while
+//! still catching real regressions — an accidental extra round trip per
+//! read costs well over 25%.
+
+use crate::driver::{runs_by_key, BenchReport};
+
+/// One baseline-vs-current comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// The run identity (`app/mode/wN`).
+    pub key: String,
+    /// Baseline throughput (requests per virtual second).
+    pub baseline_rps: f64,
+    /// Current throughput.
+    pub current_rps: f64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether this row passes the gate.
+    pub ok: bool,
+}
+
+/// The gate's verdict across all runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Per-run comparisons (baseline order).
+    pub rows: Vec<GateRow>,
+    /// Human-readable failures; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// True when every check passed.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compares `current` against `baseline`, allowing throughput to drop by
+/// at most `max_regress` (a fraction, e.g. `0.25`).
+///
+/// Extra runs in `current` (new apps/worker counts) are reported but
+/// never fail the gate; missing runs do. Zero-throughput or erroring
+/// current runs fail regardless of ratio — they indicate a broken
+/// driver, not a slow one.
+pub fn gate(baseline: &BenchReport, current: &BenchReport, max_regress: f64) -> GateReport {
+    let mut report = GateReport::default();
+    let current_by_key = runs_by_key(current);
+    let floor = 1.0 - max_regress;
+
+    for base in &baseline.runs {
+        let key = base.key();
+        // A broken baseline must never gate vacuously: a run that
+        // recorded no throughput or request errors was a broken drive,
+        // and comparing against it would let any regression through.
+        if base.throughput_rps <= 0.0 || base.errors > 0 {
+            report.failures.push(format!(
+                "{key}: baseline run is unsound ({} rps, {} error(s)) — regenerate BENCH_baseline.json",
+                base.throughput_rps, base.errors
+            ));
+            continue;
+        }
+        let Some(cur) = current_by_key.get(&key) else {
+            report.failures.push(format!(
+                "{key}: present in baseline but missing from results"
+            ));
+            continue;
+        };
+        if cur.ops == 0 {
+            report.failures.push(format!("{key}: zero ops in results"));
+            continue;
+        }
+        if cur.errors > 0 {
+            report
+                .failures
+                .push(format!("{key}: {} request error(s) in results", cur.errors));
+        }
+        let ratio = cur.throughput_rps / base.throughput_rps;
+        let ok = ratio >= floor;
+        if !ok {
+            report.failures.push(format!(
+                "{key}: throughput regressed {:.1}% (baseline {:.1} rps, current {:.1} rps, floor {:.0}%)",
+                (1.0 - ratio) * 100.0,
+                base.throughput_rps,
+                cur.throughput_rps,
+                floor * 100.0
+            ));
+        }
+        report.rows.push(GateRow {
+            key,
+            baseline_rps: base.throughput_rps,
+            current_rps: cur.throughput_rps,
+            ratio,
+            ok,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{BenchRun, LatencySummary};
+    use beldi_simdb::MetricsSnapshot;
+
+    fn run(app: &str, workers: usize, rps: f64, errors: u64) -> BenchRun {
+        BenchRun {
+            app: app.into(),
+            mode: "beldi".into(),
+            workers,
+            partitions: 8,
+            ops: 100,
+            errors,
+            elapsed_virtual_us: 1,
+            wall_ms: 1,
+            throughput_rps: rps,
+            latency: LatencySummary::default(),
+            db: MetricsSnapshot::default(),
+            state_digest: String::new(),
+            effects: 0,
+        }
+    }
+
+    fn report(runs: Vec<BenchRun>) -> BenchReport {
+        BenchReport {
+            seed: 42,
+            total_ops: 100,
+            mix: "default".into(),
+            clock_rate: 40.0,
+            tail_cache: true,
+            runs,
+        }
+    }
+
+    #[test]
+    fn equal_reports_pass() {
+        let base = report(vec![run("media", 1, 100.0, 0), run("media", 4, 300.0, 0)]);
+        let g = gate(&base, &base, 0.25);
+        assert!(g.ok(), "{:?}", g.failures);
+        assert_eq!(g.rows.len(), 2);
+        assert!(g.rows.iter().all(|r| (r.ratio - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn small_regression_passes_big_regression_fails() {
+        let base = report(vec![run("media", 1, 100.0, 0)]);
+        let slightly_slow = report(vec![run("media", 1, 80.0, 0)]);
+        assert!(gate(&base, &slightly_slow, 0.25).ok());
+        let much_slower = report(vec![run("media", 1, 70.0, 0)]);
+        let g = gate(&base, &much_slower, 0.25);
+        assert!(!g.ok());
+        assert!(g.failures[0].contains("regressed"), "{:?}", g.failures);
+    }
+
+    #[test]
+    fn improvements_always_pass() {
+        let base = report(vec![run("media", 1, 100.0, 0)]);
+        let faster = report(vec![run("media", 1, 250.0, 0)]);
+        assert!(gate(&base, &faster, 0.25).ok());
+    }
+
+    #[test]
+    fn missing_and_erroring_runs_fail() {
+        let base = report(vec![run("media", 1, 100.0, 0), run("travel", 1, 50.0, 0)]);
+        let missing = report(vec![run("media", 1, 100.0, 0)]);
+        let g = gate(&base, &missing, 0.25);
+        assert!(!g.ok());
+        assert!(g.failures[0].contains("missing"));
+
+        let erroring = report(vec![run("media", 1, 100.0, 3), run("travel", 1, 50.0, 0)]);
+        let g = gate(&base, &erroring, 0.25);
+        assert!(!g.ok());
+        assert!(g.failures[0].contains("error"));
+    }
+
+    #[test]
+    fn unsound_baseline_runs_fail_instead_of_gating_vacuously() {
+        let zero_rps = report(vec![run("media", 1, 0.0, 0)]);
+        let current = report(vec![run("media", 1, 0.0, 0)]);
+        let g = gate(&zero_rps, &current, 0.25);
+        assert!(!g.ok());
+        assert!(g.failures[0].contains("baseline run is unsound"));
+
+        let erroring_base = report(vec![run("media", 1, 100.0, 2)]);
+        let g = gate(
+            &erroring_base,
+            &report(vec![run("media", 1, 100.0, 0)]),
+            0.25,
+        );
+        assert!(!g.ok());
+        assert!(g.failures[0].contains("baseline run is unsound"));
+    }
+
+    #[test]
+    fn extra_current_runs_are_ignored() {
+        let base = report(vec![run("media", 1, 100.0, 0)]);
+        let extra = report(vec![run("media", 1, 100.0, 0), run("social", 8, 10.0, 0)]);
+        assert!(gate(&base, &extra, 0.25).ok());
+    }
+}

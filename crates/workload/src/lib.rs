@@ -19,14 +19,23 @@
 //! a workload, recovers via the intent collector, and diffs the final
 //! state against a crash-free oracle (DESIGN.md §8).
 
+//! The [`driver`] module adds the closed-loop counterpart: `N` client
+//! workers saturate one shared environment and emit a machine-readable
+//! [`BenchReport`] (`BENCH_results.json`), which the [`gate`] module
+//! compares against a checked-in baseline in CI (DESIGN.md §9).
+
+pub mod driver;
 pub mod explore;
+pub mod gate;
 mod histogram;
 mod runner;
 mod sweep;
 
+pub use driver::{drive, BenchReport, BenchRun, DriveOptions};
 pub use explore::{
     explore, mode_name, ExploreOptions, ExploreReport, PipelineApp, Violation, ViolationKind,
 };
+pub use gate::{gate, GateReport, GateRow};
 pub use histogram::{Histogram, Percentiles};
 pub use runner::{RateRunner, RunReport};
 pub use sweep::{sweep, SweepPoint};

@@ -1,0 +1,230 @@
+//! Integration tests for the closed-loop workload driver: seed
+//! stability under concurrency, and conservation laws checked against
+//! independently recomputed request streams.
+
+use beldi::value::{Map, Value};
+use beldi::Mode;
+use beldi_apps::{bench_app, MixProfile, WorkflowApp};
+use beldi_workload::driver::{
+    drive, ops_for_worker, value_digest, worker_rng, BenchRun, DriveOptions,
+};
+
+/// Fast functional options: zero storage latency, high clock rate.
+fn test_opts(workers: usize, total_ops: u64, seed: u64) -> DriveOptions {
+    DriveOptions {
+        workers,
+        total_ops,
+        seed,
+        partitions: 8,
+        clock_rate: 2_000.0,
+        model_latency: false,
+        tail_cache: true,
+    }
+}
+
+/// Regenerates the exact multiset of requests a drive issues — the same
+/// split and RNGs the workers use.
+fn regenerate_requests(app: &dyn WorkflowApp, opts: &DriveOptions) -> Vec<Value> {
+    let mut all = Vec::with_capacity(opts.total_ops as usize);
+    for w in 0..opts.workers {
+        let mut rng = worker_rng(opts.seed, w);
+        for _ in 0..ops_for_worker(opts.total_ops, opts.workers, w) {
+            all.push(app.gen_load_request(&mut rng));
+        }
+    }
+    all
+}
+
+fn drive_app(kind: &str, mode: Mode, mix: MixProfile, opts: &DriveOptions) -> BenchRun {
+    let app = bench_app(kind, mode, mix).expect("known app");
+    drive(app.as_ref(), mode, opts)
+}
+
+#[test]
+fn same_seed_and_workers_reproduce_op_counts_and_state() {
+    let opts = test_opts(4, 60, 7);
+    for (kind, mode) in [
+        ("travel", Mode::Beldi),
+        ("media", Mode::Beldi),
+        ("social", Mode::CrossTable),
+    ] {
+        let a = drive_app(kind, mode, MixProfile::Default, &opts);
+        let b = drive_app(kind, mode, MixProfile::Default, &opts);
+        assert_eq!(a.ops, b.ops, "{kind}");
+        assert_eq!(a.errors, 0, "{kind}: {a:?}");
+        assert_eq!(b.errors, 0, "{kind}");
+        assert_eq!(a.state_digest, b.state_digest, "{kind} state diverged");
+        assert_eq!(a.effects, b.effects, "{kind} effects diverged");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_state_digest() {
+    let a = drive_app(
+        "social",
+        Mode::Beldi,
+        MixProfile::WriteHeavy,
+        &test_opts(2, 40, 1),
+    );
+    let b = drive_app(
+        "social",
+        Mode::Beldi,
+        MixProfile::WriteHeavy,
+        &test_opts(2, 40, 2),
+    );
+    assert_ne!(a.state_digest, b.state_digest);
+}
+
+#[test]
+fn travel_inventory_is_conserved_under_8_workers() {
+    let opts = test_opts(8, 160, 42);
+    let mix = MixProfile::WriteHeavy;
+    let app = bench_app("travel", Mode::Beldi, mix).expect("travel");
+    let run = drive(app.as_ref(), Mode::Beldi, &opts);
+    assert_eq!(run.errors, 0, "{run:?}");
+
+    // Independently recompute the reservation demand per hotel/flight
+    // from the deterministic request streams. Inventory is effectively
+    // unbounded in the bench config, so every reservation must consume
+    // exactly one room and one seat — no more (duplicated legs), no
+    // fewer (lost legs), regardless of how 8 workers interleaved.
+    let mut rooms: Map = Map::new();
+    let mut seats: Map = Map::new();
+    for i in 0..25 {
+        rooms.insert(format!("hotel-{i}"), Value::Int(1_000_000));
+        seats.insert(format!("flight-{i}"), Value::Int(1_000_000));
+    }
+    let mut reservations = 0i64;
+    for req in regenerate_requests(app.as_ref(), &opts) {
+        if req.get_str("op") == Some("reserve") {
+            reservations += 1;
+            for (map, field) in [(&mut rooms, "hotel"), (&mut seats, "flight")] {
+                let key = req.get_str(field).unwrap().to_owned();
+                let Some(Value::Int(n)) = map.get_mut(&key) else {
+                    panic!("unknown {field} {key}");
+                };
+                *n -= 1;
+            }
+        }
+    }
+    assert!(reservations > 40, "write-heavy mix should reserve a lot");
+    assert_eq!(
+        run.effects,
+        2 * reservations,
+        "each reservation consumes exactly one room and one seat"
+    );
+    // The full per-key inventory must match the recomputation: the
+    // travel fingerprint is its canonical state, one sorted map of
+    // hotel/flight → remaining.
+    let mut expected = rooms;
+    expected.append(&mut seats);
+    assert_eq!(
+        run.state_digest,
+        format!("{:016x}", value_digest(&Value::Map(expected))),
+        "final inventory diverged from the request streams"
+    );
+}
+
+#[test]
+fn social_counters_are_conserved_under_8_workers() {
+    let opts = test_opts(8, 120, 11);
+    let mix = MixProfile::WriteHeavy;
+    let app = bench_app("social", Mode::Beldi, mix).expect("social");
+    let run = drive(app.as_ref(), Mode::Beldi, &opts);
+    assert_eq!(run.errors, 0, "{run:?}");
+
+    // Recompute the fan-out from the request streams. Every compose
+    // stores exactly one post row, one shortened-url row, and one
+    // user-timeline entry, and appends one home-timeline entry per
+    // fan-out target: the author's followers plus the mentioned user
+    // (deduplicated against the followers). Bench config: 40 users in a
+    // ring, 4 followers each; windows are far from full at this scale.
+    let users = 40i64;
+    let follows = 4i64;
+    let mut composes = 0i64;
+    let mut hometl_entries = 0i64;
+    for req in regenerate_requests(app.as_ref(), &opts) {
+        if req.get_str("op") == Some("compose") {
+            composes += 1;
+            let author: i64 = req
+                .get_str("user")
+                .and_then(|u| u.strip_prefix("user-"))
+                .unwrap()
+                .parse()
+                .unwrap();
+            let mention: i64 = req
+                .get_str("text")
+                .and_then(|t| t.split_whitespace().find_map(|w| w.strip_prefix('@')))
+                .and_then(|m| m.strip_prefix("user-"))
+                .unwrap()
+                .parse()
+                .unwrap();
+            // followers(author) = author-1 .. author-4 (mod users).
+            let is_follower = (1..=follows).any(|d| (author + users - d) % users == mention);
+            hometl_entries += follows + i64::from(!is_follower);
+        }
+    }
+    assert!(composes > 30, "write-heavy mix should compose a lot");
+    let expected_effects = composes       // post rows
+        + composes                        // url rows
+        + composes                        // user-timeline entries
+        + hometl_entries; // home-timeline fan-out
+    assert_eq!(
+        run.effects, expected_effects,
+        "fan-out effects diverged from the request streams"
+    );
+}
+
+#[test]
+fn cross_table_and_beldi_agree_on_travel_state() {
+    // The final application state is a function of the request multiset,
+    // not of the logging design: both fault-tolerant modes must land on
+    // the same inventory. (Travel runs without the cross-SSF transaction
+    // in cross-table mode, but with unbounded inventory both legs always
+    // succeed, so the final state still matches.)
+    let opts = test_opts(4, 80, 3);
+    let a = drive_app("travel", Mode::Beldi, MixProfile::Default, &opts);
+    let b = drive_app("travel", Mode::CrossTable, MixProfile::Default, &opts);
+    assert_eq!(a.errors, 0);
+    assert_eq!(b.errors, 0);
+    assert_eq!(a.state_digest, b.state_digest);
+    assert_eq!(a.effects, b.effects);
+}
+
+#[test]
+fn tail_cache_does_not_change_results_only_cost() {
+    let cached = test_opts(4, 60, 5);
+    let uncached = DriveOptions {
+        tail_cache: false,
+        ..cached.clone()
+    };
+    let a = drive_app("travel", Mode::Beldi, MixProfile::Default, &cached);
+    let b = drive_app("travel", Mode::Beldi, MixProfile::Default, &uncached);
+    assert_eq!(a.state_digest, b.state_digest, "cache changed semantics");
+    assert_eq!(a.effects, b.effects);
+    assert!(
+        a.db.queries < b.db.queries,
+        "cache should eliminate traversal scans ({} vs {})",
+        a.db.queries,
+        b.db.queries
+    );
+}
+
+#[test]
+fn run_report_fields_are_sound() {
+    let run = drive_app(
+        "media",
+        Mode::Beldi,
+        MixProfile::Default,
+        &test_opts(2, 30, 9),
+    );
+    assert_eq!(run.ops, 30);
+    assert_eq!(run.errors, 0);
+    assert!(run.elapsed_virtual_us > 0);
+    assert!(run.throughput_rps > 0.0);
+    assert!(run.db.total_ops() > 0);
+    assert_eq!(run.db.partition_ops.len(), 8);
+    assert!(run.latency.p50_us <= run.latency.p99_us);
+    assert!(run.latency.p99_us <= run.latency.max_us);
+    assert_eq!(run.key(), "media/beldi/w2");
+}

@@ -25,6 +25,7 @@ fn main() {
     let app = SocialApp {
         users: 12,
         follows_per_user: 4,
+        ..SocialApp::default()
     };
     app.install(&env);
     app.seed(&env);

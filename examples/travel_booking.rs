@@ -24,6 +24,7 @@ fn app() -> TravelApp {
         rooms_per_hotel: 2,
         seats_per_flight: 2,
         transactional: true,
+        ..TravelApp::default()
     }
 }
 

@@ -28,14 +28,17 @@ fn all_apps_serve_their_mix_in_all_modes() {
             rooms_per_hotel: 50,
             seats_per_flight: 50,
             transactional: mode != Mode::CrossTable,
+            ..TravelApp::default()
         };
         let media = MediaApp {
             movies: 6,
             users: 4,
+            ..MediaApp::default()
         };
         let social = SocialApp {
             users: 6,
             follows_per_user: 2,
+            ..SocialApp::default()
         };
         travel.install(&env);
         media.install(&env);
@@ -74,6 +77,7 @@ fn travel_inventory_consistent_under_crash_storm() {
         rooms_per_hotel: 5,
         seats_per_flight: 5,
         transactional: true,
+        ..TravelApp::default()
     };
     app.install(&env);
     app.seed(&env);
@@ -132,6 +136,7 @@ fn baseline_duplicates_reservations_on_retry() {
         rooms_per_hotel: 10,
         seats_per_flight: 10,
         transactional: true, // begin/end are no-ops in baseline mode.
+        ..TravelApp::default()
     };
     app.install(&env);
     app.seed(&env);
@@ -154,6 +159,7 @@ fn load_driver_runs_media_app_under_timers() {
     let app = MediaApp {
         movies: 10,
         users: 6,
+        ..MediaApp::default()
     };
     app.install(&env);
     app.seed(&env);
@@ -183,6 +189,7 @@ fn storage_stays_bounded_under_gc() {
     let app = SocialApp {
         users: 5,
         follows_per_user: 2,
+        ..SocialApp::default()
     };
     app.install(&env);
     app.seed(&env);
@@ -237,6 +244,7 @@ fn sovereignty_holds_across_apps() {
     let media = MediaApp {
         movies: 2,
         users: 2,
+        ..MediaApp::default()
     };
     media.install(&env);
     media.seed(&env);

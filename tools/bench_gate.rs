@@ -1,0 +1,76 @@
+//! CI perf-regression gate: compares a fresh `BENCH_results.json` from
+//! `drive --smoke` against the checked-in `BENCH_baseline.json`.
+//!
+//! ```text
+//! cargo run -p beldi-bench --release --bin bench_gate -- \
+//!     --baseline BENCH_baseline.json --results BENCH_results.json \
+//!     [--max-regress 0.25]
+//! ```
+//!
+//! Exit status: 0 when every `app × mode × workers` point holds its
+//! throughput within the allowed regression (and the results file is a
+//! sound report); 1 with a per-run explanation otherwise. The comparison
+//! semantics live in `beldi_workload::gate` (unit-tested); this binary is
+//! the thin CLI.
+
+use beldi_workload::driver::BenchReport;
+use beldi_workload::gate::gate;
+
+fn load(flag: &str) -> BenchReport {
+    let Some(path) = beldi_bench::arg_value(flag) else {
+        eprintln!("missing required {flag} <path>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reading {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match BenchReport::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("parsing {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let baseline = load("--baseline");
+    let results = load("--results");
+    let max_regress = beldi_bench::arg_f64("--max-regress", 0.25);
+
+    let report = gate(&baseline, &results, max_regress);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.key.clone(),
+                format!("{:.1}", r.baseline_rps),
+                format!("{:.1}", r.current_rps),
+                format!("{:.2}", r.ratio),
+                if r.ok { "ok" } else { "FAIL" }.to_owned(),
+            ]
+        })
+        .collect();
+    beldi_bench::print_table(
+        &format!(
+            "Perf gate (throughput floor: {:.0}% of baseline)",
+            (1.0 - max_regress) * 100.0
+        ),
+        &["run", "baseline_rps", "current_rps", "ratio", "verdict"],
+        &rows,
+    );
+
+    if !report.ok() {
+        println!("\n# Failures");
+        for f in &report.failures {
+            println!("{f}");
+        }
+        std::process::exit(1);
+    }
+    println!("\ngate passed: {} run(s) within budget", report.rows.len());
+}
