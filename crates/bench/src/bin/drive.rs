@@ -6,14 +6,23 @@
 //!     [--app media|social|travel|all] [--mode beldi|cross-table|baseline|both|all] \
 //!     [--workers 1,2,4,8] [--duration-ops 5000] [--seed 42] \
 //!     [--partitions 8] [--clock-rate 120] [--mix default|write-heavy] \
-//!     [--no-tail-cache] [--json BENCH_results.json] [--smoke]
+//!     [--no-tail-cache] [--tail-cache-capacity N] \
+//!     [--gc] [--gc-period-ms 500] [--gc-tmax-ms 2000] \
+//!     [--json BENCH_results.json] [--smoke]
 //! ```
 //!
 //! `--smoke` is the CI preset: all three apps × {beldi, cross-table},
 //! workers {1, 4}, 120 requests per run, a low clock rate for stability.
 //! `--no-tail-cache` disables the DAAL tail-row cache for A/B measurement
-//! of the hot-path fix. Exit status: 0 when every run completed without
-//! request errors, 1 otherwise.
+//! of the hot-path fix. `--gc` turns on *online garbage collection*:
+//! per-SSF collector functions run on virtual-time timers concurrently
+//! with the client workers, and every run records a storage-growth
+//! series (sampled per-table row counts, DAAL depths, cumulative GC
+//! reports) which `bench_gate --gc-results` checks for a steady-state
+//! plateau. Exit status: 0 when every run completed without request
+//! errors, 1 otherwise.
+
+use std::time::Duration;
 
 use beldi::Mode;
 use beldi_apps::{bench_app, MixProfile};
@@ -49,6 +58,11 @@ fn main() {
         clock_rate: beldi_bench::arg_f64("--clock-rate", if smoke { 40.0 } else { 120.0 }),
         model_latency: true,
         tail_cache: !flag("--no-tail-cache"),
+        tail_cache_capacity: beldi_bench::arg_value("--tail-cache-capacity")
+            .and_then(|v| v.parse().ok()),
+        gc: flag("--gc"),
+        gc_period: Duration::from_millis(beldi_bench::arg_usize("--gc-period-ms", 500) as u64),
+        gc_t_max: Duration::from_millis(beldi_bench::arg_usize("--gc-tmax-ms", 2_000) as u64),
         ..DriveOptions::default()
     };
 
@@ -134,6 +148,44 @@ fn main() {
         ],
         &rows,
     );
+
+    if opts_template.gc {
+        let gc_rows: Vec<Vec<String>> = report
+            .runs
+            .iter()
+            .map(|run| {
+                let samples = &run.storage.samples;
+                let mid = &samples[samples.len() / 2];
+                let last = samples.last().expect("every run takes a final sample");
+                vec![
+                    run.key(),
+                    mid.meta_rows.to_string(),
+                    last.meta_rows.to_string(),
+                    last.data_rows.to_string(),
+                    run.storage.max_chain_len.to_string(),
+                    last.gc_passes.to_string(),
+                    last.gc_recycled.to_string(),
+                    last.gc_deleted_log_entries.to_string(),
+                    last.gc_deleted_rows.to_string(),
+                ]
+            })
+            .collect();
+        beldi_bench::print_table(
+            "Online GC steady state (metadata rows mid-run vs end; cumulative GC work)",
+            &[
+                "run",
+                "meta@mid",
+                "meta@end",
+                "data@end",
+                "max_chain",
+                "gc_passes",
+                "recycled",
+                "log_dels",
+                "row_dels",
+            ],
+            &gc_rows,
+        );
+    }
 
     if let Some(path) = beldi_bench::arg_value("--json") {
         if let Err(e) = std::fs::write(&path, report.to_json()) {

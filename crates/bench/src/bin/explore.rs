@@ -7,8 +7,13 @@
 //! cargo run -p beldi-bench --release --bin explore -- \
 //!     [--app media|social|travel|all] [--mode beldi|cross-table|baseline|all] \
 //!     [--requests 4] [--seed 42] [--stride 1] [--depth2-samples 0] \
-//!     [--max-schedules N] [--gc-check] [--smoke] [--canary]
+//!     [--max-schedules N] [--gc-check] [--gc-interleave] [--smoke] [--canary]
 //! ```
+//!
+//! `--gc-interleave` runs one garbage-collector pass per SSF after every
+//! frontend request (the online-GC regime): the collectors' own crash
+//! points join the sweep, so schedules also kill GC passes between the
+//! paper's six steps while SSF traffic is live.
 //!
 //! `--smoke` is the CI configuration: fewer requests and a strided sweep
 //! so all apps finish in seconds. `--canary` plants a deliberate
@@ -45,6 +50,7 @@ fn main() {
         max_depth1: beldi_bench::arg_value("--max-schedules").and_then(|v| v.parse().ok()),
         depth2_samples: beldi_bench::arg_usize("--depth2-samples", if smoke { 2 } else { 0 }),
         gc_check: flag("--gc-check"),
+        gc_interleave: flag("--gc-interleave"),
         canary,
     };
 

@@ -17,6 +17,12 @@ pub enum Mode {
     Baseline,
 }
 
+/// Default total capacity of the DAAL tail cache (entries across all
+/// shards). An entry is a `(table, key) → row id` triple of short
+/// strings, so the default bounds the cache to a few megabytes while
+/// comfortably holding benchmark-scale working sets.
+pub const DEFAULT_TAIL_CACHE_CAPACITY: usize = 65_536;
+
 /// Tuning knobs for a [`crate::BeldiEnv`]. Durations are virtual time.
 #[derive(Debug, Clone)]
 pub struct BeldiConfig {
@@ -58,6 +64,14 @@ pub struct BeldiConfig {
     /// present and `NextRow` absent), so it is never authoritative and
     /// can be disabled for A/B measurement without changing semantics.
     pub daal_tail_cache: bool,
+    /// Total entry capacity of the DAAL tail cache (split evenly across
+    /// its shards). Production key cardinality is unbounded; without a
+    /// bound the cache's `(table, key) → row id` map grows host memory
+    /// forever. Exceeding the bound evicts an arbitrary resident entry —
+    /// the cache is never authoritative, so any eviction policy is
+    /// correct; this one is O(1) and keeps the hot working set resident
+    /// as long as it fits.
+    pub daal_tail_cache_capacity: usize,
     /// **Test-only sabotage switch** (the crash explorer's canary): when
     /// set, read-log appends skip their first-writer-wins guard, so a
     /// re-executed instance re-reads *fresh* state instead of replaying
@@ -82,6 +96,7 @@ impl BeldiConfig {
             collector_batch_limit: None,
             partitions: beldi_simdb::DEFAULT_PARTITIONS,
             daal_tail_cache: true,
+            daal_tail_cache_capacity: DEFAULT_TAIL_CACHE_CAPACITY,
             #[cfg(feature = "canary")]
             canary_skip_read_guard: false,
         }
@@ -157,6 +172,14 @@ impl BeldiConfig {
     /// A/B knob behind the driver's `--no-tail-cache` flag.
     pub fn with_tail_cache(mut self, on: bool) -> Self {
         self.daal_tail_cache = on;
+        self
+    }
+
+    /// Sets the total DAAL tail-cache entry capacity (builder style; see
+    /// [`BeldiConfig::daal_tail_cache_capacity`]).
+    pub fn with_tail_cache_capacity(mut self, n: usize) -> Self {
+        assert!(n >= 1, "tail-cache capacity must be at least 1");
+        self.daal_tail_cache_capacity = n;
         self
     }
 

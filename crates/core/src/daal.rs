@@ -27,6 +27,7 @@
 //! database.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use beldi_simdb::{Database, DbError, PrimaryKey, Projection, ScanRequest};
 use beldi_value::{Cond, Path, Update, Value};
@@ -222,17 +223,36 @@ const TAIL_CACHE_SHARDS: usize = 16;
 ///
 /// The cache is deliberately never authoritative — dropping any entry at
 /// any time is correct — so sizing and invalidation need no precision.
+/// That same property makes the **capacity bound** trivial to enforce:
+/// each shard holds at most `capacity_per_shard` entries, and an insert
+/// into a full shard evicts one arbitrary resident entry first (O(1);
+/// an evicted key simply pays one traversal on its next read). Without
+/// the bound, production key cardinality — millions of users — would
+/// grow the map monotonically for the life of the process.
 pub(crate) struct TailCache {
     shards: Vec<Mutex<HashMap<(String, String), String>>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl TailCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
+    #[cfg_attr(not(test), allow(dead_code))] // Production sizes via config.
     pub fn new() -> Self {
+        TailCache::with_capacity(crate::config::DEFAULT_TAIL_CACHE_CAPACITY)
+    }
+
+    /// Creates an empty cache holding at most `capacity` entries in
+    /// total (split evenly across shards, at least one per shard).
+    pub fn with_capacity(capacity: usize) -> Self {
         TailCache {
             shards: (0..TAIL_CACHE_SHARDS)
                 .map(|_| Mutex::new(HashMap::new()))
                 .collect(),
+            capacity_per_shard: (capacity / TAIL_CACHE_SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -253,15 +273,38 @@ impl TailCache {
     }
 
     fn put(&self, table: &str, key: &str, row_id: &str) {
-        self.shard(table, key)
-            .lock()
-            .insert((table.to_owned(), key.to_owned()), row_id.to_owned());
+        let mut shard = self.shard(table, key).lock();
+        let entry_key = (table.to_owned(), key.to_owned());
+        if shard.len() >= self.capacity_per_shard && !shard.contains_key(&entry_key) {
+            // Evict an arbitrary resident. Any choice is sound (the cache
+            // is validated at use); arbitrary is O(1) and needs no
+            // recency bookkeeping on the hit path.
+            if let Some(victim) = shard.keys().next().cloned() {
+                shard.remove(&victim);
+            }
+        }
+        shard.insert(entry_key, row_id.to_owned());
     }
 
     fn invalidate(&self, table: &str, key: &str) {
         self.shard(table, key)
             .lock()
             .remove(&(table.to_owned(), key.to_owned()));
+    }
+
+    /// Resident entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// `(validated hits, misses)` since creation. A hit is a cached row
+    /// id whose point read confirmed it is still the tail; everything
+    /// else — absent entry or failed validation — is a miss.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -277,12 +320,16 @@ pub(crate) fn read_tail_row_cached(
         if let Some(row_id) = cache.get(table, key) {
             let pk = PrimaryKey::hash_sort(key, row_id.as_str());
             match db.get(table, &pk, None)? {
-                Some(row) if row.get_str(A_NEXT_ROW).is_none() => return Ok(Some(row)),
+                Some(row) if row.get_str(A_NEXT_ROW).is_none() => {
+                    cache.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(row));
+                }
                 // The cached row filled up (has a successor) or was
                 // GC-deleted: stale entry, take the slow path.
                 _ => cache.invalidate(table, key),
             }
         }
+        cache.misses.fetch_add(1, Ordering::Relaxed);
     }
     let skel = traverse(db, table, key, None)?;
     let Some(tail) = skel.tail_row_id() else {
@@ -468,6 +515,9 @@ fn write_at(
     user_cond: Option<&Cond>,
 ) -> BeldiResult<Option<WriteOutcome>> {
     let mut row_id = row_id.to_owned();
+    // The row whose `NextRow` pointer we last chased, for pointer repair
+    // (see below).
+    let mut chased_from: Option<String> = None;
     for _ in 0..MAX_CHASE {
         let pk = PrimaryKey::hash_sort(key, row_id.as_str());
         // Rows other than HEAD must already exist: a conditional update
@@ -518,7 +568,26 @@ fn write_at(
         // incoming transitions, Fig. 7b).
         let Some(row) = p.db.get(table, &pk, None)? else {
             // Stale view: the candidate row is gone (GC) or was never
-            // created (we are past the end). Re-scan from scratch.
+            // created (we are past the end). If we *chased a pointer*
+            // here, the chain itself is damaged: rows are created before
+            // they are linked, so a point-read pointer whose target is
+            // absent means the GC deleted the target (possible only when
+            // the `T` synchrony assumption was violated — e.g. a
+            // collector outliving stragglers under extreme time
+            // compression). Left alone, the dangling pointer livelocks
+            // every future write to this key (the tail can never be
+            // reached); deleted row ids are never recreated, so
+            // CAS-clearing the pointer is a safe repair that restores
+            // liveness. Then re-scan from scratch either way.
+            if let Some(prev) = &chased_from {
+                let prev_pk = PrimaryKey::hash_sort(key, prev.as_str());
+                let cond = Cond::eq(A_NEXT_ROW, row_id.as_str());
+                let update = Update::new().remove(A_NEXT_ROW);
+                match p.db.update(table, &prev_pk, &cond, &update) {
+                    Ok(()) | Err(DbError::ConditionFailed) => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
             return Ok(None);
         };
         if let Ok(Some(flag)) = row.get_path(&Path::attr(A_WRITES).then_attr(log_key)) {
@@ -529,6 +598,7 @@ fn write_at(
         match row.get_str(A_NEXT_ROW) {
             // Case C: the row filled up and points onward; chase the tail.
             Some(next) => {
+                chased_from = Some(row_id);
                 row_id = next.to_owned();
             }
             // Case D: full tail. Append a fresh row and advance to it.
@@ -540,7 +610,9 @@ fn write_at(
                     .map(|s| s >= p.capacity as i64)
                     .unwrap_or(false);
                 if full {
-                    row_id = append_row(p, table, key, &row)?;
+                    let appended = append_row(p, table, key, &row)?;
+                    chased_from = Some(row_id);
+                    row_id = appended;
                 }
             }
         }
@@ -924,6 +996,81 @@ mod tests {
             read_value_cached(&f.db, Some(&cache), "t", "k").unwrap(),
             Value::Int(4)
         );
+    }
+
+    #[test]
+    fn tail_cache_capacity_is_bounded_with_arbitrary_eviction() {
+        let f = Fixture::new();
+        // 16 shards × 2 entries per shard.
+        let cache = TailCache::with_capacity(32);
+        for i in 0..500 {
+            let key = format!("k{i}");
+            f.write(&key, "a#0", i);
+            read_value_cached(&f.db, Some(&cache), "t", &key).unwrap();
+        }
+        assert!(
+            cache.len() <= 32,
+            "cache exceeded its bound: {} entries",
+            cache.len()
+        );
+        // Evicted keys still read correctly (traversal fallback + refresh).
+        for i in 0..500 {
+            let key = format!("k{i}");
+            assert_eq!(
+                read_value_cached(&f.db, Some(&cache), "t", &key).unwrap(),
+                Value::Int(i),
+            );
+        }
+        assert!(cache.len() <= 32);
+    }
+
+    #[test]
+    fn bounded_cache_preserves_hit_rate_when_working_set_fits() {
+        // The A/B the capacity satellite demands: for a working set that
+        // fits (the smoke-scale case), the bounded cache behaves
+        // *identically* to an effectively unbounded one — same hits, same
+        // misses, same issued scans.
+        let run = |capacity: usize| {
+            let f = Fixture::new();
+            let cache = TailCache::with_capacity(capacity);
+            for i in 0..40 {
+                f.write(&format!("k{i}"), "a#0", i);
+            }
+            for round in 0..5 {
+                for i in 0..40 {
+                    let v = read_value_cached(&f.db, Some(&cache), "t", &format!("k{i}")).unwrap();
+                    assert_eq!(v, Value::Int(i), "round {round}");
+                }
+            }
+            let (hits, misses) = cache.stats();
+            (hits, misses, f.db.metrics().queries)
+        };
+        let bounded = run(1_024);
+        let unbounded = run(1 << 20);
+        assert_eq!(bounded, unbounded, "(hits, misses, scans) must match");
+        let (hits, misses, _) = bounded;
+        assert!(
+            hits >= 4 * misses,
+            "a fitting working set should be hit-dominated: {hits} hits / {misses} misses"
+        );
+    }
+
+    #[test]
+    fn tight_cache_keeps_semantics_while_losing_hits() {
+        // Under severe pressure (capacity << working set) reads stay
+        // correct; only the hit rate degrades.
+        let f = Fixture::new();
+        let cache = TailCache::with_capacity(1); // 1 entry per shard.
+        for i in 0..60 {
+            f.write(&format!("k{i}"), "a#0", i);
+        }
+        for i in 0..60 {
+            assert_eq!(
+                read_value_cached(&f.db, Some(&cache), "t", &format!("k{i}")).unwrap(),
+                Value::Int(i),
+            );
+        }
+        assert!(cache.len() <= TAIL_CACHE_SHARDS);
     }
 
     #[test]

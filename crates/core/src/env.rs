@@ -47,6 +47,34 @@ pub(crate) struct SsfEntry {
     pub tables: Vec<String>,
     /// The application body.
     pub body: SsfBody,
+    /// Reentrancy guard for this SSF's garbage collector: timer ticks
+    /// fire on schedule whether or not the previous pass finished, and
+    /// without the guard a slow pass lets invocations pile up without
+    /// bound (hundreds of concurrent collectors scanning the same
+    /// tables). One pass per SSF at a time; a tick that finds the
+    /// collector busy simply yields to it — GC is at-least-once, so
+    /// skipped ticks cost nothing.
+    pub gc_busy: Arc<std::sync::atomic::AtomicBool>,
+}
+
+/// Cumulative garbage-collection statistics for one environment.
+///
+/// Every completed GC pass — timer-triggered or driven synchronously via
+/// [`BeldiEnv::run_gc_once`] — folds its [`GcReport`] in here, so
+/// harnesses observing an *online* collector (background timers racing
+/// live traffic) can sample progress without intercepting individual
+/// passes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcTotals {
+    /// Completed GC passes.
+    pub passes: u64,
+    /// Passes that returned an error (the next timer tick retries; the
+    /// collector needs only at-least-once semantics).
+    pub errors: u64,
+    /// Passes killed mid-flight by injected crashes.
+    pub crashes: u64,
+    /// Summed per-pass counters.
+    pub report: GcReport,
 }
 
 /// Shared interior of a [`BeldiEnv`].
@@ -58,7 +86,32 @@ pub(crate) struct EnvCore {
     /// Tail-row cache for DAAL reads (`Some` only in Beldi mode with
     /// [`BeldiConfig::daal_tail_cache`] on).
     pub tail_cache: Option<daal::TailCache>,
+    /// Aggregated GC statistics (see [`GcTotals`]).
+    gc_totals: Mutex<GcTotals>,
     timers: Mutex<Vec<beldi_simfaas::TimerHandle>>,
+}
+
+impl EnvCore {
+    /// Folds one GC pass outcome into the environment totals.
+    fn record_gc(&self, result: &BeldiResult<GcReport>) {
+        let mut totals = self.gc_totals.lock();
+        match result {
+            Ok(report) => {
+                totals.passes += 1;
+                totals.report.absorb(report);
+            }
+            Err(_) => {
+                totals.passes += 1;
+                totals.errors += 1;
+            }
+        }
+    }
+
+    /// Counts a GC pass killed by an injected crash (the pass's partial
+    /// work is already durable; idempotence lets the next pass resume).
+    fn record_gc_crash(&self) {
+        self.gc_totals.lock().crashes += 1;
+    }
 }
 
 /// Builder for a [`BeldiEnv`] with non-default substrate parameters
@@ -128,7 +181,7 @@ impl EnvBuilder {
         );
         let platform = Platform::new(clock, self.platform, self.seed.wrapping_add(1));
         let tail_cache = (self.config.mode == Mode::Beldi && self.config.daal_tail_cache)
-            .then(daal::TailCache::new);
+            .then(|| daal::TailCache::with_capacity(self.config.daal_tail_cache_capacity));
         BeldiEnv {
             core: Arc::new(EnvCore {
                 db,
@@ -136,6 +189,7 @@ impl EnvBuilder {
                 config: self.config,
                 registry: RwLock::new(HashMap::new()),
                 tail_cache,
+                gc_totals: Mutex::new(GcTotals::default()),
                 timers: Mutex::new(Vec::new()),
             }),
         }
@@ -210,6 +264,7 @@ impl BeldiEnv {
                 SsfEntry {
                     tables: tables.iter().map(|s| (*s).to_owned()).collect(),
                     body,
+                    gc_busy: Arc::new(std::sync::atomic::AtomicBool::new(false)),
                 },
             );
         }
@@ -361,13 +416,35 @@ impl BeldiEnv {
 
     /// Runs one garbage-collector pass for `ssf` synchronously.
     pub fn run_gc_once(&self, ssf: &str) -> BeldiResult<GcReport> {
-        gc::run_gc(&self.core, ssf)
+        let result = gc::run_gc(&self.core, ssf);
+        self.core.record_gc(&result);
+        result
+    }
+
+    /// Cumulative GC statistics: every completed pass — timer-triggered
+    /// or synchronous — since the environment was built.
+    pub fn gc_totals(&self) -> GcTotals {
+        *self.core.gc_totals.lock()
     }
 
     /// Starts the timer-triggered intent and garbage collectors for every
     /// registered SSF (period: [`BeldiConfig::collector_period`], the
     /// paper's 1-minute timers). They stop when the environment drops.
     pub fn start_collectors(&self) {
+        self.start_timers(true, true);
+    }
+
+    /// Starts only the timer-triggered garbage collectors — the *online
+    /// GC* configuration the workload driver uses: per-SSF collector
+    /// functions fire every [`BeldiConfig::collector_period`] of virtual
+    /// time, concurrently with live SSF traffic, and fold their reports
+    /// into [`BeldiEnv::gc_totals`]. They stop on
+    /// [`BeldiEnv::stop_collectors`] or when the environment drops.
+    pub fn start_gc(&self) {
+        self.start_timers(false, true);
+    }
+
+    fn start_timers(&self, ic: bool, gc: bool) {
         if self.core.config.mode == Mode::Baseline {
             return;
         }
@@ -378,16 +455,20 @@ impl BeldiEnv {
         };
         let mut timers = self.core.timers.lock();
         for name in names {
-            timers.push(self.core.platform.schedule_timer(
-                format!("{name}.ic"),
-                period,
-                Value::Null,
-            ));
-            timers.push(self.core.platform.schedule_timer(
-                format!("{name}.gc"),
-                period,
-                Value::Null,
-            ));
+            if ic {
+                timers.push(self.core.platform.schedule_timer(
+                    format!("{name}.ic"),
+                    period,
+                    Value::Null,
+                ));
+            }
+            if gc {
+                timers.push(self.core.platform.schedule_timer(
+                    format!("{name}.gc"),
+                    period,
+                    Value::Null,
+                ));
+            }
         }
     }
 
@@ -547,6 +628,16 @@ impl BeldiEnv {
         self.core.db.metrics()
     }
 
+    /// DAAL tail-cache counters `(validated hits, misses)` and resident
+    /// entries, or `None` when the cache is disabled (non-Beldi modes or
+    /// [`BeldiConfig::daal_tail_cache`] off).
+    pub fn tail_cache_stats(&self) -> Option<(u64, u64, usize)> {
+        self.core.tail_cache.as_ref().map(|c| {
+            let (hits, misses) = c.stats();
+            (hits, misses, c.len())
+        })
+    }
+
     /// A snapshot of platform metrics.
     pub fn platform_metrics(&self) -> PlatformSnapshot {
         self.core.platform.metrics()
@@ -558,6 +649,13 @@ impl BeldiEnv {
     pub fn test_context(&self, ssf: &str, instance: &str) -> SsfContext {
         SsfContext::new(self.core.clone(), ssf, instance, None, false, None)
     }
+
+    /// The shared interior (crate-internal test helper: lets unit tests
+    /// drive `gc::run_gc_with` with custom hooks).
+    #[cfg(test)]
+    pub(crate) fn test_core(&self) -> &Arc<EnvCore> {
+        &self.core
+    }
 }
 
 impl Drop for BeldiEnv {
@@ -567,6 +665,13 @@ impl Drop for BeldiEnv {
 }
 
 /// Platform handler for an IC or GC timer function.
+///
+/// GC passes run under the fault injector — the pass registers the
+/// platform request id as its instance and fires the fixed `gc.*` crash
+/// points — so the crash-schedule explorer can kill collectors between
+/// any two GC steps exactly like it kills SSF instances. A killed pass
+/// re-panics (the platform reports it crashed); the next invocation
+/// resumes the idempotent work.
 fn collector_handler(
     core: &Arc<EnvCore>,
     ssf: &str,
@@ -574,16 +679,48 @@ fn collector_handler(
 ) -> beldi_simfaas::FunctionHandler {
     let weak: Weak<EnvCore> = Arc::downgrade(core);
     let ssf = ssf.to_owned();
-    Arc::new(move |_ictx, _payload| {
+    Arc::new(move |ictx, _payload| {
         let Some(core) = weak.upgrade() else {
             return Value::Null;
         };
         // Collector failures are non-fatal: the next timer tick retries.
-        let _ = if is_ic {
-            ic::run_ic(&core, &ssf).map(|_| ())
+        if is_ic {
+            let _ = ic::run_ic(&core, &ssf);
         } else {
-            gc::run_gc(&core, &ssf).map(|_| ())
-        };
+            // One pass per SSF at a time (see `SsfEntry::gc_busy`): a
+            // tick arriving while the previous pass still runs yields
+            // immediately instead of stacking another collector.
+            let busy = {
+                let registry = core.registry.read();
+                match registry.get(&ssf) {
+                    Some(entry) => entry.gc_busy.clone(),
+                    None => return Value::Null,
+                }
+            };
+            use std::sync::atomic::Ordering;
+            if busy.swap(true, Ordering::AcqRel) {
+                return Value::Null;
+            }
+            let faults = core.platform.faults();
+            faults.instance_started(&ictx.request_id);
+            let crash = |label: &str| faults.crash_point(&ictx.request_id, label);
+            let probe = |_: &str| {};
+            let hooks = gc::GcHooks {
+                crash: &crash,
+                probe: &probe,
+            };
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                gc::run_gc_with(&core, &ssf, &hooks)
+            }));
+            busy.store(false, Ordering::Release);
+            match result {
+                Ok(outcome) => core.record_gc(&outcome),
+                Err(panic) => {
+                    core.record_gc_crash();
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
         Value::Null
     })
 }

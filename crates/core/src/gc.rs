@@ -58,6 +58,55 @@ pub struct GcReport {
     pub disconnected_rows: usize,
     /// DAAL / shadow rows physically deleted.
     pub deleted_rows: usize,
+    /// Cyclic (corrupt) DAAL chains encountered and skipped. A chain whose
+    /// `NextRow` pointers loop can never arise from the append/unlink
+    /// protocol; a non-zero count means the store is damaged and the key
+    /// was left untouched rather than part-collected.
+    pub corrupt_chains: usize,
+}
+
+impl GcReport {
+    /// Accumulates another pass's counters into this report (the
+    /// aggregation behind [`crate::GcTotals`]).
+    pub fn absorb(&mut self, other: &GcReport) {
+        self.finish_stamped += other.finish_stamped;
+        self.recycled_intents += other.recycled_intents;
+        self.deleted_log_entries += other.deleted_log_entries;
+        self.disconnected_rows += other.disconnected_rows;
+        self.deleted_rows += other.deleted_rows;
+        self.corrupt_chains += other.corrupt_chains;
+    }
+}
+
+/// Observation hooks threaded through a GC pass.
+///
+/// `crash` is the fault-injection surface: it fires at a **fixed set of
+/// step-boundary labels** (`gc.enter`, `gc.post_classify`,
+/// `gc.post_log_prune`, `gc.post_daal`, `gc.exit` — exactly five per
+/// pass, independent of how much work the pass found), so the
+/// crash-schedule explorer's global stream stays deterministic while
+/// still killing collectors between any two of the paper's six steps.
+/// `probe` fires at fine-grained, work-dependent points (per unlink, per
+/// delete) and exists for tests that need to interleave mutations inside
+/// a pass; production passes a no-op.
+pub(crate) struct GcHooks<'a> {
+    /// Fault-injection crash points (fixed count per pass).
+    pub crash: &'a dyn Fn(&str),
+    /// Test-only interleaving probe (work-dependent points).
+    pub probe: &'a dyn Fn(&str),
+}
+
+/// The no-op hook used outside fault-injection contexts.
+fn noop(_: &str) {}
+
+impl GcHooks<'static> {
+    /// Hooks that observe nothing.
+    pub fn none() -> Self {
+        GcHooks {
+            crash: &noop,
+            probe: &noop,
+        }
+    }
 }
 
 /// Tracks which log owners are recyclable during one pass.
@@ -86,13 +135,23 @@ impl OwnerStatus<'_> {
     }
 }
 
-/// Runs one GC pass for `ssf`.
+/// Runs one GC pass for `ssf` with no observation hooks.
 pub(crate) fn run_gc(core: &Arc<EnvCore>, ssf: &str) -> BeldiResult<GcReport> {
+    run_gc_with(core, ssf, &GcHooks::none())
+}
+
+/// Runs one GC pass for `ssf`, firing `hooks` along the way.
+pub(crate) fn run_gc_with(
+    core: &Arc<EnvCore>,
+    ssf: &str,
+    hooks: &GcHooks<'_>,
+) -> BeldiResult<GcReport> {
     let db = &core.db;
     let now_ms = core.platform.clock().now().as_millis();
     let t_ms = core.config.t_max.as_millis() as u64;
     let intent_table = schema::intent_table(ssf);
     let mut report = GcReport::default();
+    (hooks.crash)("gc.enter");
 
     // Steps 1–2: stamp finish times; classify recyclable intents. A pass
     // may be bounded (Appendix A): collectors are SSFs with execution
@@ -119,6 +178,7 @@ pub(crate) fn run_gc(core: &Arc<EnvCore>, ssf: &str) -> BeldiResult<GcReport> {
             Some(_) => {}
         }
     }
+    (hooks.crash)("gc.post_classify");
 
     // Step 3: prune the recyclable intents' log entries.
     let mut log_tables = vec![schema::read_log_table(ssf), schema::invoke_log_table(ssf)];
@@ -130,6 +190,7 @@ pub(crate) fn run_gc(core: &Arc<EnvCore>, ssf: &str) -> BeldiResult<GcReport> {
             report.deleted_log_entries += delete_log_entries_of(db, table, owner)?;
         }
     }
+    (hooks.crash)("gc.post_log_prune");
 
     // Steps 4–5: DAAL maintenance (Beldi mode only; cross-table and
     // baseline data tables are single rows with no log to prune).
@@ -149,17 +210,37 @@ pub(crate) fn run_gc(core: &Arc<EnvCore>, ssf: &str) -> BeldiResult<GcReport> {
         };
         for logical in &logical_tables {
             let data = schema::data_table(ssf, logical);
-            collect_daal_table(db, &data, &mut status, now_ms, t_ms, false, &mut report)?;
+            collect_daal_table(
+                db,
+                &data,
+                &mut status,
+                now_ms,
+                t_ms,
+                false,
+                &mut report,
+                hooks,
+            )?;
             let shadow = schema::shadow_table(ssf, logical);
-            collect_daal_table(db, &shadow, &mut status, now_ms, t_ms, true, &mut report)?;
+            collect_daal_table(
+                db,
+                &shadow,
+                &mut status,
+                now_ms,
+                t_ms,
+                true,
+                &mut report,
+                hooks,
+            )?;
         }
     }
+    (hooks.crash)("gc.post_daal");
 
     // Step 6: remove the recycled intents themselves.
     for id in &recyclable {
         intent::delete(db, &intent_table, id)?;
         report.recycled_intents += 1;
     }
+    (hooks.crash)("gc.exit");
     Ok(report)
 }
 
@@ -181,6 +262,7 @@ fn delete_log_entries_of(db: &Database, table: &str, owner: &str) -> BeldiResult
 
 /// Collects one DAAL (or shadow) table: disconnect fully recyclable
 /// non-tail rows, then delete rows that have dangled for more than `T`.
+#[allow(clippy::too_many_arguments)] // Internal helper mirroring Fig. 10's loop.
 fn collect_daal_table(
     db: &Database,
     table: &str,
@@ -189,12 +271,58 @@ fn collect_daal_table(
     t_ms: u64,
     is_shadow: bool,
     report: &mut GcReport,
+    hooks: &GcHooks<'_>,
 ) -> BeldiResult<()> {
     for key in db.distinct_hash_keys(table)? {
         let Some(key_str) = key.as_str().map(str::to_owned) else {
             continue;
         };
-        collect_daal_key(db, table, &key_str, status, now_ms, t_ms, is_shadow, report)?;
+        collect_daal_key(
+            db, table, &key_str, status, now_ms, t_ms, is_shadow, report, hooks,
+        )?;
+    }
+    Ok(())
+}
+
+/// The chain of rows reachable from `HEAD`, reconstructed from a scan
+/// result, plus the reachable row-id set. `None` when the pointers form a
+/// cycle — corruption no well-formed append/unlink history can produce.
+fn reconstruct_chain(rows: &[Value]) -> Option<(Vec<&Value>, HashSet<&str>)> {
+    let mut by_id: HashMap<&str, &Value> = HashMap::new();
+    for row in rows {
+        if let Some(id) = row.get_str(A_ROW_ID) {
+            by_id.insert(id, row);
+        }
+    }
+    let mut chain: Vec<&Value> = Vec::new();
+    let mut cursor = by_id.get(ROW_HEAD).copied();
+    while let Some(row) = cursor {
+        chain.push(row);
+        cursor = row.get_str(A_NEXT_ROW).and_then(|n| by_id.get(n)).copied();
+        if chain.len() > rows.len() {
+            return None; // Cycle: the walk outran the scan result.
+        }
+    }
+    let reachable: HashSet<&str> = chain.iter().filter_map(|r| r.get_str(A_ROW_ID)).collect();
+    Some((chain, reachable))
+}
+
+/// Records a cyclic (corrupt) chain: counter bump, hard error in debug
+/// builds, `Ok` in release so the pass skips the key. A cycle is
+/// corruption, never a transient race — the key is left untouched
+/// either way, since part-collecting a damaged chain could destroy
+/// evidence or live data.
+fn report_corrupt_chain(
+    report: &mut GcReport,
+    table: &str,
+    key: &str,
+    context: &str,
+) -> BeldiResult<()> {
+    report.corrupt_chains += 1;
+    if cfg!(debug_assertions) {
+        return Err(crate::error::BeldiError::Protocol(format!(
+            "GC {context} found a cyclic DAAL chain at {table}/{key}"
+        )));
     }
     Ok(())
 }
@@ -209,26 +337,13 @@ fn collect_daal_key(
     t_ms: u64,
     is_shadow: bool,
     report: &mut GcReport,
+    hooks: &GcHooks<'_>,
 ) -> BeldiResult<()> {
     // Full (unprojected) rows: the GC inspects every log entry.
     let rows = db.query(table, &Value::from(key), &ScanRequest::all())?;
-    let mut by_id: HashMap<String, &Value> = HashMap::new();
-    for row in &rows {
-        if let Some(id) = row.get_str(A_ROW_ID) {
-            by_id.insert(id.to_owned(), row);
-        }
-    }
-    // Reconstruct the reachable chain.
-    let mut chain: Vec<&Value> = Vec::new();
-    let mut cursor = by_id.get(ROW_HEAD).copied();
-    while let Some(row) = cursor {
-        chain.push(row);
-        cursor = row.get_str(A_NEXT_ROW).and_then(|n| by_id.get(n)).copied();
-        if chain.len() > rows.len() {
-            break; // Defensive against cycles.
-        }
-    }
-    let reachable: HashSet<&str> = chain.iter().filter_map(|r| r.get_str(A_ROW_ID)).collect();
+    let Some((chain, reachable)) = reconstruct_chain(&rows) else {
+        return report_corrupt_chain(report, table, key, "pass scan");
+    };
 
     // Shadow chains: once *every* row (tail included) is recyclable the
     // whole chain — head and tail too, per §6.2 — is stamped and later
@@ -273,6 +388,7 @@ fn collect_daal_key(
             };
             // Unlink: prev.NextRow = row.NextRow, guarded so a concurrent
             // GC's earlier unlink is not clobbered.
+            (hooks.probe)("gc.step4.pre_unlink");
             let prev_pk = PrimaryKey::hash_sort(key, prev_id);
             let cond = Cond::eq(A_NEXT_ROW, row_id);
             let update = Update::new().set(A_NEXT_ROW, next);
@@ -303,19 +419,41 @@ fn collect_daal_key(
         }
     }
 
-    // Step 5: delete rows that dangled for more than `T`. Interior rows
-    // must additionally be unreachable (a fresh scan confirms); shadow
-    // chains are deleted wholesale once stamped.
-    for row in &rows {
-        let Some(row_id) = row.get_str(A_ROW_ID) else {
-            continue;
+    // Step 5: delete rows that dangled for more than `T`; shadow chains
+    // are deleted wholesale once stamped. Interior rows must additionally
+    // be unreachable *at deletion time*: the pass-start snapshot is stale
+    // by now — a concurrent collector working from its own pre-disconnect
+    // view can re-link a dangling row while unlinking that row's
+    // neighbour (its guarded `prev.NextRow` update still succeeds), so a
+    // row this pass saw as unreachable may be back on the chain. The
+    // dangle wait makes a *fresh* scan decisive: any view from before the
+    // disconnect is now older than `T`, so its holder has died and no
+    // further re-link of this row can occur.
+    let candidates: Vec<&str> = rows
+        .iter()
+        .filter(|row| daal::dangling_expired(row, now_ms, t_ms))
+        .filter_map(|row| row.get_str(A_ROW_ID))
+        .collect();
+    if candidates.is_empty() {
+        return Ok(());
+    }
+    let fresh_reachable: Option<HashSet<String>> = if is_shadow {
+        None // Shadow chains are stamped whole; reachability is moot.
+    } else {
+        (hooks.probe)("gc.step5.pre_rescan");
+        let fresh_rows = db.query(table, &Value::from(key), &ScanRequest::all())?;
+        let Some((_, fresh)) = reconstruct_chain(&fresh_rows) else {
+            return report_corrupt_chain(report, table, key, "step-5 re-scan");
         };
-        if !daal::dangling_expired(row, now_ms, t_ms) {
-            continue;
+        Some(fresh.iter().map(|s| (*s).to_owned()).collect())
+    };
+    for row_id in candidates {
+        if let Some(fresh) = &fresh_reachable {
+            if fresh.contains(row_id) {
+                continue; // Re-linked since the pass snapshot: still live.
+            }
         }
-        if !is_shadow && reachable.contains(row_id) {
-            continue;
-        }
+        (hooks.probe)("gc.step5.pre_delete");
         let pk = PrimaryKey::hash_sort(key, row_id);
         match db.delete(table, &pk, &Cond::True) {
             Ok(()) => report.deleted_rows += 1,
@@ -359,5 +497,185 @@ fn stamp_dangle(
     match db.update(table, &pk, &cond, &update) {
         Ok(()) | Err(DbError::ConditionFailed) => Ok(()),
         Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BeldiConfig;
+    use crate::env::BeldiEnv;
+    use crate::schema::A_VALUE;
+    use beldi_value::vmap;
+    use std::time::Duration;
+
+    /// A Beldi env with one registered SSF (`f`, table `t`) and a tiny `T`.
+    fn env() -> BeldiEnv {
+        let env =
+            BeldiEnv::for_tests_with(BeldiConfig::beldi().with_t_max(Duration::from_millis(50)));
+        env.register_ssf("f", &["t"], std::sync::Arc::new(|_, _| Ok(Value::Null)));
+        env
+    }
+
+    /// Plants a raw DAAL row in `f`'s data table.
+    fn plant_row(
+        env: &BeldiEnv,
+        row_id: &str,
+        value: i64,
+        next: Option<&str>,
+        dangle: Option<i64>,
+    ) {
+        let mut row = vmap! {
+            A_KEY => "k", A_ROW_ID => row_id, A_VALUE => value,
+            crate::schema::A_LOG_SIZE => 0i64, A_CREATED => 0i64
+        };
+        let attrs = row.as_map_mut().unwrap();
+        if let Some(n) = next {
+            attrs.insert(A_NEXT_ROW.to_owned(), Value::from(n));
+        }
+        if let Some(d) = dangle {
+            attrs.insert(A_DANGLE.to_owned(), Value::Int(d));
+        }
+        env.db().put("f.data.t", row).unwrap();
+    }
+
+    /// Regression for the step-5 snapshot-staleness bug: two collectors
+    /// racing over adjacent interior rows can *re-link* a dangling row
+    /// (pass P2 unlinks `B` via `A.NextRow = C` and stamps it; pass P1,
+    /// still on its older view, unlinks `A` via `HEAD.NextRow = B` —
+    /// putting the dangling `B` back on the chain). A later pass whose
+    /// pass-start snapshot predates the re-link would then see `B` as
+    /// unreachable with an expired dangle and delete it, severing the
+    /// chain and losing the tail value. The fix re-reads the chain
+    /// immediately before interior-row deletes; this test injects the
+    /// re-link at exactly that point (the pre-rescan probe) and asserts
+    /// the fresh scan vetoes the deletion.
+    #[test]
+    fn step5_rescans_before_deleting_interior_rows() {
+        let e = env();
+        let db = e.db().clone();
+        // State as the racing passes left it: HEAD -> C, with B dangling
+        // (expired) but about to be re-linked as HEAD -> B -> C.
+        plant_row(&e, ROW_HEAD, 1, Some("C"), None);
+        plant_row(&e, "B", 2, Some("C"), Some(1));
+        plant_row(&e, "C", 3, None, None);
+        e.clock().sleep(Duration::from_millis(120)); // Dangle waits expire.
+
+        let relink = move |label: &str| {
+            if label == "gc.step5.pre_rescan" {
+                // The stale-view collector's guarded unlink of A lands
+                // now: HEAD.NextRow = B. B is reachable again.
+                db.update(
+                    "f.data.t",
+                    &PrimaryKey::hash_sort("k", ROW_HEAD),
+                    &Cond::True,
+                    &Update::new().set(A_NEXT_ROW, "B"),
+                )
+                .unwrap();
+            }
+        };
+        let hooks = GcHooks {
+            crash: &|_| {},
+            probe: &relink,
+        };
+        run_gc_with(e.test_core(), "f", &hooks).unwrap();
+
+        // B survived: the fresh scan saw it reachable. The chain is whole
+        // and the tail value intact.
+        let rows = e
+            .db()
+            .query("f.data.t", &Value::from("k"), &ScanRequest::all())
+            .unwrap();
+        assert!(
+            rows.iter().any(|r| r.get_str(A_ROW_ID) == Some("B")),
+            "re-linked row must not be deleted"
+        );
+        assert_eq!(
+            daal::read_value(e.db(), "f.data.t", "k").unwrap(),
+            Value::Int(3),
+            "tail value lost — the chain was severed"
+        );
+        // Without the mutation the same pass deletes the expired orphan.
+        let e2 = env();
+        plant_row(&e2, ROW_HEAD, 1, Some("C"), None);
+        plant_row(&e2, "B", 2, Some("C"), Some(1));
+        plant_row(&e2, "C", 3, None, None);
+        e2.clock().sleep(Duration::from_millis(120));
+        let report = run_gc_with(e2.test_core(), "f", &GcHooks::none()).unwrap();
+        assert_eq!(report.deleted_rows, 1, "expired unreachable row reclaimed");
+    }
+
+    /// The cycle guard: a fabricated cyclic chain must surface loudly —
+    /// an error in debug builds (this test), a `corrupt_chains` count in
+    /// release — and never be part-collected.
+    #[test]
+    fn cyclic_chain_is_reported_not_collected() {
+        let e = env();
+        plant_row(&e, ROW_HEAD, 1, Some("R1"), None);
+        plant_row(&e, "R1", 2, Some("R1"), None); // Self-loop.
+        let result = run_gc_with(e.test_core(), "f", &GcHooks::none());
+        // Tests compile with debug assertions: corruption is a hard error.
+        let err = result.expect_err("debug builds fail loudly on corruption");
+        assert!(err.to_string().contains("cycl"), "{err}");
+        // The env-level totals record the failed pass.
+        assert_eq!(e.gc_totals().errors, 0, "run_gc_with bypasses totals");
+        let env_err = e.run_gc_once("f").expect_err("same corruption via env");
+        assert!(env_err.to_string().contains("cycl"));
+        assert_eq!(e.gc_totals().passes, 1);
+        assert_eq!(e.gc_totals().errors, 1);
+        // Both rows still present: nothing was part-collected.
+        let rows = e
+            .db()
+            .query("f.data.t", &Value::from("k"), &ScanRequest::all())
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    /// `reconstruct_chain` itself: well-formed chains walk head→tail;
+    /// cyclic pointer graphs return `None` (the release-mode counter
+    /// path) instead of a truncated chain.
+    #[test]
+    fn reconstruct_chain_detects_cycles() {
+        let rows = vec![
+            vmap! { A_ROW_ID => ROW_HEAD, A_NEXT_ROW => "A" },
+            vmap! { A_ROW_ID => "A", A_NEXT_ROW => "B" },
+            vmap! { A_ROW_ID => "B" },
+            vmap! { A_ROW_ID => "orphan" },
+        ];
+        let (chain, reachable) = reconstruct_chain(&rows).expect("acyclic");
+        assert_eq!(chain.len(), 3);
+        assert!(reachable.contains("B") && !reachable.contains("orphan"));
+
+        let cyclic = vec![
+            vmap! { A_ROW_ID => ROW_HEAD, A_NEXT_ROW => "A" },
+            vmap! { A_ROW_ID => "A", A_NEXT_ROW => ROW_HEAD },
+        ];
+        assert!(reconstruct_chain(&cyclic).is_none());
+    }
+
+    /// GcReport aggregation used by the env totals.
+    #[test]
+    fn gc_report_absorb_sums_every_counter() {
+        let a = GcReport {
+            finish_stamped: 1,
+            recycled_intents: 2,
+            deleted_log_entries: 3,
+            disconnected_rows: 4,
+            deleted_rows: 5,
+            corrupt_chains: 6,
+        };
+        let mut total = a;
+        total.absorb(&a);
+        assert_eq!(
+            total,
+            GcReport {
+                finish_stamped: 2,
+                recycled_intents: 4,
+                deleted_log_entries: 6,
+                disconnected_rows: 8,
+                deleted_rows: 10,
+                corrupt_chains: 12,
+            }
+        );
     }
 }

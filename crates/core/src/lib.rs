@@ -72,9 +72,9 @@ pub mod stepfn;
 mod txn;
 mod wrapper;
 
-pub use config::{BeldiConfig, Mode};
+pub use config::{BeldiConfig, Mode, DEFAULT_TAIL_CACHE_CAPACITY};
 pub use context::SsfContext;
-pub use env::{BeldiEnv, DrainReport, EnvBuilder, SsfBody};
+pub use env::{BeldiEnv, DrainReport, EnvBuilder, GcTotals, SsfBody};
 pub use error::{BeldiError, BeldiResult};
 pub use gc::GcReport;
 pub use ic::IcReport;

@@ -208,6 +208,122 @@ fn gc_with_locked_writers_loses_nothing() {
     assert_eq!(env.read_current("lctr", "t", "k").unwrap(), Value::Int(32));
 }
 
+/// A GC-test environment whose `T` honours the synchrony assumption in
+/// *real* terms: at clock rate 100, `T = 10 s` virtual is 100 ms real —
+/// far above any instance's real execution time, so no live straggler
+/// ever looks dead to the collector (unlike the 2000× default, where
+/// `T` compresses to microseconds and the paper's precondition breaks).
+fn online_gc_env(cfg: BeldiConfig) -> BeldiEnv {
+    BeldiEnv::builder(cfg.with_t_max(Duration::from_secs(10)))
+        .clock_rate(100.0)
+        .build()
+}
+
+#[test]
+fn two_racing_collectors_and_an_appender_lose_nothing() {
+    // Regression companion for the step-5 snapshot-staleness fix: two GC
+    // passes running *concurrently* (stale views of each other's unlinks)
+    // against a live appender must never sever a chain or lose the tail
+    // value. The locked counter makes loss deterministic to detect: every
+    // increment is serialized, so the final count is exact.
+    let env = Arc::new(online_gc_env(BeldiConfig::beldi().with_row_capacity(3)));
+    env.register_ssf(
+        "lctr",
+        &["t"],
+        Arc::new(|ctx, _| {
+            ctx.lock("t", "k")?;
+            let c = ctx.read("t", "k")?.as_int().unwrap_or(0);
+            ctx.write("t", "k", Value::Int(c + 1))?;
+            ctx.unlock("t", "k")?;
+            Ok(Value::Null)
+        }),
+    );
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut gc_threads = Vec::new();
+    for _ in 0..2 {
+        let env = Arc::clone(&env);
+        let stop = Arc::clone(&stop);
+        gc_threads.push(std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                env.run_gc_once("lctr").unwrap();
+                env.clock().sleep(Duration::from_millis(400));
+            }
+        }));
+    }
+    let mut writers = Vec::new();
+    for _ in 0..3 {
+        let env = Arc::clone(&env);
+        writers.push(std::thread::spawn(move || {
+            for _ in 0..12 {
+                env.invoke("lctr", Value::Null).unwrap();
+            }
+        }));
+    }
+    for h in writers {
+        h.join().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for h in gc_threads {
+        h.join().unwrap();
+    }
+    assert_eq!(env.read_current("lctr", "t", "k").unwrap(), Value::Int(36));
+    // The chain is still whole and no corruption was reported.
+    assert!(env.daal_chain_len("lctr", "t", "k").unwrap() >= 1);
+    let totals = env.gc_totals();
+    assert_eq!(totals.report.corrupt_chains, 0);
+    assert!(totals.passes >= 2, "both collectors ran: {totals:?}");
+}
+
+#[test]
+fn timer_triggered_online_gc_bounds_tables_under_live_traffic() {
+    // The online-GC tentpole at environment level: background GC timers
+    // (no synchronous run_gc_once calls) racing live invocations must
+    // keep intent/log tables bounded and fold their reports into
+    // `gc_totals`.
+    let env = online_gc_env(
+        BeldiConfig::beldi()
+            .with_row_capacity(3)
+            .with_collector_period(Duration::from_secs(1)),
+    );
+    env.register_ssf(
+        "ctr",
+        &["t"],
+        Arc::new(|ctx, _| {
+            let c = ctx.read("t", "k")?.as_int().unwrap_or(0);
+            ctx.write("t", "k", Value::Int(c + 1))?;
+            Ok(Value::Int(c + 1))
+        }),
+    );
+    env.start_gc();
+    for _ in 0..30 {
+        env.invoke("ctr", Value::Null).unwrap();
+    }
+    // Drain: let finish-stamping and the two `T` waits elapse while the
+    // timers keep firing (brief real sleeps let pass threads run).
+    for _ in 0..10 {
+        env.clock().sleep(Duration::from_secs(4));
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    env.stop_collectors();
+    let totals = env.gc_totals();
+    assert!(
+        totals.passes >= 3,
+        "timer collectors should have run repeatedly: {totals:?}"
+    );
+    assert!(
+        totals.report.recycled_intents >= 30,
+        "all intents recycled online: {totals:?}"
+    );
+    assert_eq!(totals.report.corrupt_chains, 0);
+    let intents = table_len(&env, "ctr.intent");
+    let rlog = table_len(&env, "ctr.rlog");
+    assert!(
+        intents <= 5 && rlog <= 5,
+        "tables unbounded under online GC: {intents} intents, {rlog} rlog rows"
+    );
+    assert_eq!(env.read_current("ctr", "t", "k").unwrap(), Value::Int(30));
+}
+
 #[test]
 fn shadow_chains_are_reclaimed_after_commit() {
     let env = BeldiEnv::for_tests_with(gc_config());

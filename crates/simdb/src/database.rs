@@ -556,6 +556,35 @@ impl Database {
         Ok(keys)
     }
 
+    /// The number of rows currently stored in a table.
+    ///
+    /// Out-of-band observability (storage-growth tracking for the
+    /// workload driver and GC experiments): it sums the partition map
+    /// sizes directly, bypassing the latency model and the operation
+    /// metrics, and is not atomic across partitions — a concurrent
+    /// writer may be counted in one partition and not yet in another.
+    pub fn row_count(&self, table: &str) -> DbResult<usize> {
+        let t = self.handle(table)?;
+        let mut rows = 0;
+        for p in 0..t.partition_count() {
+            let (data, _) = t.lock_partition(p);
+            rows += data.rows.len();
+        }
+        Ok(rows)
+    }
+
+    /// Per-table row counts for every table, sorted by name (see
+    /// [`Database::row_count`] for the consistency caveats).
+    pub fn table_row_counts(&self) -> Vec<(String, usize)> {
+        self.table_names()
+            .into_iter()
+            .map(|name| {
+                let rows = self.row_count(&name).unwrap_or(0);
+                (name, rows)
+            })
+            .collect()
+    }
+
     /// Takes a deterministic logical snapshot of every table
     /// ([`crate::DbSnapshot`]).
     ///

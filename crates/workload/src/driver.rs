@@ -30,11 +30,12 @@
 //! Reports serialize to JSON via `beldi_value::json` (see `DESIGN.md` §9
 //! for the schema) and read back for the CI regression gate.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use beldi::value::{vmap, Value};
-use beldi::{BeldiConfig, BeldiEnv, Mode};
+use beldi::value::{vmap, Map, Value};
+use beldi::{schema, BeldiConfig, BeldiEnv, Mode};
 use beldi_apps::WorkflowApp;
 use beldi_simdb::{LatencyModel, MetricsSnapshot};
 use beldi_simfaas::{PlatformConfig, SaturationPolicy};
@@ -69,6 +70,24 @@ pub struct DriveOptions {
     /// Enable the DAAL tail-row cache (the measured hot-path fix; off
     /// restores the always-scan read path for A/B comparison).
     pub tail_cache: bool,
+    /// Total DAAL tail-cache entry capacity (`None` = the library
+    /// default; small values A/B the eviction behaviour).
+    pub tail_cache_capacity: Option<usize>,
+    /// Run timer-triggered per-SSF garbage collectors *concurrently with
+    /// the client workers* (online GC, paper §5): background collector
+    /// functions fire every [`DriveOptions::gc_period`] of virtual time
+    /// while the workers drive load, and the run records a
+    /// storage-growth series ([`StorageSeries`]) proving the DAAL/log
+    /// tables reach a steady-state plateau instead of growing without
+    /// bound.
+    pub gc: bool,
+    /// Virtual-time period of the GC timers (and half the storage
+    /// sampling period).
+    pub gc_period: Duration,
+    /// `T` (max SSF lifetime) for GC-enabled runs — small relative to
+    /// the run's virtual duration, so recycling reaches steady state
+    /// within the measured window.
+    pub gc_t_max: Duration,
 }
 
 impl Default for DriveOptions {
@@ -81,6 +100,10 @@ impl Default for DriveOptions {
             clock_rate: 120.0,
             model_latency: true,
             tail_cache: true,
+            tail_cache_capacity: None,
+            gc: false,
+            gc_period: Duration::from_millis(500),
+            gc_t_max: Duration::from_secs(2),
         }
     }
 }
@@ -139,6 +162,114 @@ impl LatencySummary {
     }
 }
 
+/// One storage-growth observation, taken on virtual time during a run.
+///
+/// Sampling is observational (it reads partition map sizes without
+/// touching the latency model or metrics) and, like `wall_ms`, excluded
+/// from the determinism contract: sample *timing* depends on host
+/// scheduling even though the run's final state does not.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StorageSample {
+    /// Virtual microseconds since the measurement window opened.
+    pub t_us: u64,
+    /// Total rows across Beldi metadata tables (intent, read/invoke/
+    /// write logs, shadow tables) — the storage GC exists to bound.
+    pub meta_rows: u64,
+    /// Total rows across application data tables (DAAL rows in Beldi
+    /// mode; one row per key otherwise).
+    pub data_rows: u64,
+    /// Cumulative completed GC passes at sample time.
+    pub gc_passes: u64,
+    /// Cumulative intents recycled.
+    pub gc_recycled: u64,
+    /// Cumulative log entries deleted.
+    pub gc_deleted_log_entries: u64,
+    /// Cumulative DAAL/shadow rows deleted.
+    pub gc_deleted_rows: u64,
+    /// Cumulative corrupt (cyclic) chains encountered — any non-zero
+    /// value is a red flag.
+    pub gc_corrupt_chains: u64,
+    /// Per-table row counts, sorted by table name.
+    pub tables: BTreeMap<String, u64>,
+}
+
+impl StorageSample {
+    fn to_value(&self) -> Value {
+        let mut tables = Map::new();
+        for (name, rows) in &self.tables {
+            tables.insert(name.clone(), Value::Int(*rows as i64));
+        }
+        vmap! {
+            "t_us" => self.t_us as i64,
+            "meta_rows" => self.meta_rows as i64,
+            "data_rows" => self.data_rows as i64,
+            "gc_passes" => self.gc_passes as i64,
+            "gc_recycled" => self.gc_recycled as i64,
+            "gc_deleted_log_entries" => self.gc_deleted_log_entries as i64,
+            "gc_deleted_rows" => self.gc_deleted_rows as i64,
+            "gc_corrupt_chains" => self.gc_corrupt_chains as i64,
+            "tables" => Value::Map(tables),
+        }
+    }
+
+    fn from_value(v: &Value) -> Self {
+        let get = |k: &str| v.get_int(k).unwrap_or(0) as u64;
+        let tables = v
+            .get_attr("tables")
+            .and_then(Value::as_map)
+            .map(|m| {
+                m.iter()
+                    .filter_map(|(k, v)| v.as_int().map(|n| (k.clone(), n as u64)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        StorageSample {
+            t_us: get("t_us"),
+            meta_rows: get("meta_rows"),
+            data_rows: get("data_rows"),
+            gc_passes: get("gc_passes"),
+            gc_recycled: get("gc_recycled"),
+            gc_deleted_log_entries: get("gc_deleted_log_entries"),
+            gc_deleted_rows: get("gc_deleted_rows"),
+            gc_corrupt_chains: get("gc_corrupt_chains"),
+            tables,
+        }
+    }
+}
+
+/// The storage-growth record of one run: periodic [`StorageSample`]s
+/// plus end-of-run DAAL statistics. See `DESIGN.md` §10 for how the CI
+/// growth gate consumes this.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StorageSeries {
+    /// Samples in time order; the last one is taken after the workers
+    /// finish (the steady-state endpoint the growth gate checks).
+    pub samples: Vec<StorageSample>,
+    /// Longest DAAL chain (rows reachable from `HEAD`) across every
+    /// Beldi data-table key at the end of the run; zero in non-Beldi
+    /// modes.
+    pub max_chain_len: u64,
+}
+
+impl StorageSeries {
+    fn to_value(&self) -> Value {
+        vmap! {
+            "samples" => Value::List(self.samples.iter().map(StorageSample::to_value).collect()),
+            "max_chain_len" => self.max_chain_len as i64,
+        }
+    }
+
+    fn from_value(v: &Value) -> Self {
+        StorageSeries {
+            samples: v
+                .get_list("samples")
+                .map(|l| l.iter().map(StorageSample::from_value).collect())
+                .unwrap_or_default(),
+            max_chain_len: v.get_int("max_chain_len").unwrap_or(0) as u64,
+        }
+    }
+}
+
 /// The result of one `app × mode × workers` drive.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchRun {
@@ -171,6 +302,11 @@ pub struct BenchRun {
     pub state_digest: String,
     /// The app's effect count after the run.
     pub effects: i64,
+    /// Whether online GC ran concurrently with the workers.
+    pub gc: bool,
+    /// Storage-growth series (always recorded; sampled densely when GC
+    /// is on, final-only otherwise).
+    pub storage: StorageSeries,
 }
 
 impl BenchRun {
@@ -195,6 +331,8 @@ impl BenchRun {
             "db" => metrics_to_value(&self.db),
             "state_digest" => self.state_digest.as_str(),
             "effects" => self.effects,
+            "gc" => self.gc,
+            "storage" => self.storage.to_value(),
         }
     }
 
@@ -221,6 +359,11 @@ impl BenchRun {
             db: v.get_attr("db").map(metrics_from_value).unwrap_or_default(),
             state_digest: v.get_str("state_digest").unwrap_or_default().to_owned(),
             effects: v.get_int("effects").unwrap_or(0),
+            gc: v.get_bool("gc").unwrap_or(false),
+            storage: v
+                .get_attr("storage")
+                .map(StorageSeries::from_value)
+                .unwrap_or_default(),
         }
     }
 }
@@ -334,12 +477,72 @@ fn driver_platform() -> PlatformConfig {
     }
 }
 
+/// Takes one storage-growth observation (`elapsed_us` = virtual time
+/// since the measurement window opened).
+fn storage_sample(env: &BeldiEnv, elapsed_us: u64) -> StorageSample {
+    let totals = env.gc_totals();
+    let mut sample = StorageSample {
+        t_us: elapsed_us,
+        gc_passes: totals.passes,
+        gc_recycled: totals.report.recycled_intents as u64,
+        gc_deleted_log_entries: totals.report.deleted_log_entries as u64,
+        gc_deleted_rows: totals.report.deleted_rows as u64,
+        gc_corrupt_chains: totals.report.corrupt_chains as u64,
+        ..StorageSample::default()
+    };
+    for (name, rows) in env.db().table_row_counts() {
+        if schema::is_meta_table(&name) {
+            sample.meta_rows += rows as u64;
+        } else {
+            sample.data_rows += rows as u64;
+        }
+        sample.tables.insert(name, rows as u64);
+    }
+    sample
+}
+
+/// Longest DAAL chain across every registered data-table key (Beldi
+/// mode; other modes have single-row items and report zero).
+fn max_chain_len(env: &BeldiEnv, mode: Mode) -> u64 {
+    if mode != Mode::Beldi {
+        return 0;
+    }
+    let mut max = 0u64;
+    for ssf in env.ssf_names() {
+        for logical in env.ssf_tables(&ssf) {
+            let physical = schema::data_table(&ssf, &logical);
+            let Ok(keys) = env.db().distinct_hash_keys(&physical) else {
+                continue;
+            };
+            for key in keys {
+                let Some(key) = key.as_str() else { continue };
+                if let Ok(len) = env.daal_chain_len(&ssf, &logical, key) {
+                    max = max.max(len as u64);
+                }
+            }
+        }
+    }
+    max
+}
+
 /// Runs one closed-loop drive of `app` in `mode`. See the module docs.
 pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun {
     assert!(opts.workers > 0, "need at least one worker");
-    let cfg = BeldiConfig::for_mode(mode)
+    let mut cfg = BeldiConfig::for_mode(mode)
         .with_partitions(opts.partitions)
         .with_tail_cache(opts.tail_cache);
+    if let Some(capacity) = opts.tail_cache_capacity {
+        cfg = cfg.with_tail_cache_capacity(capacity);
+    }
+    // Baseline mode has no collectors to run (start_gc is a no-op there);
+    // treat the whole run as GC-free so its report never claims an online
+    // collector it cannot have.
+    let gc = opts.gc && mode != Mode::Baseline;
+    if gc {
+        cfg = cfg
+            .with_t_max(opts.gc_t_max)
+            .with_collector_period(opts.gc_period);
+    }
     let mut builder = BeldiEnv::builder(cfg)
         .seed(opts.seed)
         .clock_rate(opts.clock_rate)
@@ -351,20 +554,39 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
     app.setup(&env);
     // Open the measurement window: everything from here is the run.
     env.db().reset_metrics();
+    if gc {
+        // Online GC: per-SSF collector functions on virtual-time timers,
+        // racing the client workers below.
+        env.start_gc();
+    }
 
     let clock = env.clock().clone();
     let wall_start = std::time::Instant::now();
     let start = clock.now();
     let errors = AtomicU64::new(0);
     let hist = Mutex::new(Histogram::new());
+    let samples = Mutex::new(Vec::new());
+    let live_workers = AtomicU64::new(opts.workers as u64);
     let entry = app.entry_point();
+    /// Decrements the live-worker count when dropped — on clean exit *or*
+    /// unwind, so a panicking worker can never leave the sampler loop
+    /// waiting forever (the scope would join it before re-raising the
+    /// panic, turning a test failure into a hang).
+    struct WorkerExit<'a>(&'a AtomicU64);
+    impl Drop for WorkerExit<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
     std::thread::scope(|s| {
         for w in 0..opts.workers {
             let env = &env;
             let clock = &clock;
             let errors = &errors;
             let hist = &hist;
+            let live_workers = &live_workers;
             s.spawn(move || {
+                let _exit = WorkerExit(live_workers);
                 let mut rng = worker_rng(opts.seed, w);
                 let mut local = Histogram::new();
                 for _ in 0..ops_for_worker(opts.total_ops, opts.workers, w) {
@@ -378,11 +600,39 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
                 hist.lock().merge(&local);
             });
         }
+        if gc {
+            // Storage sampler: one observation every two GC periods while
+            // any worker is still issuing requests (the final post-run
+            // sample is taken outside the scope).
+            let env = &env;
+            let clock = &clock;
+            let samples = &samples;
+            let live_workers = &live_workers;
+            s.spawn(move || {
+                let period = opts.gc_period * 2;
+                while live_workers.load(Ordering::Relaxed) > 0 {
+                    clock.sleep(period);
+                    let elapsed = clock.now().since(start).as_micros() as u64;
+                    samples.lock().push(storage_sample(env, elapsed));
+                }
+            });
+        }
     });
     let elapsed = clock.now().since(start);
+    env.stop_collectors();
     let db = env.db_metrics();
     let hist = hist.into_inner();
     let fingerprint = app.bench_fingerprint(&env);
+    let mut storage = StorageSeries {
+        samples: samples.into_inner(),
+        max_chain_len: 0,
+    };
+    // The steady-state endpoint: one final sample after the last request
+    // (and collector stop), then the end-of-run DAAL depth statistic.
+    storage
+        .samples
+        .push(storage_sample(&env, elapsed.as_micros() as u64));
+    storage.max_chain_len = max_chain_len(&env, mode);
 
     BenchRun {
         app: app.kind().to_owned(),
@@ -398,6 +648,8 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
         db,
         state_digest: format!("{:016x}", value_digest(&fingerprint)),
         effects: app.effect_count(&env),
+        gc,
+        storage,
     }
 }
 
@@ -528,6 +780,21 @@ mod tests {
             },
             state_digest: "00000000deadbeef".into(),
             effects: 7,
+            gc: true,
+            storage: StorageSeries {
+                samples: vec![StorageSample {
+                    t_us: 500_000,
+                    meta_rows: 40,
+                    data_rows: 40,
+                    gc_passes: 3,
+                    gc_recycled: 12,
+                    gc_deleted_log_entries: 30,
+                    gc_deleted_rows: 9,
+                    gc_corrupt_chains: 0,
+                    tables: [("f.intent".to_owned(), 4u64)].into_iter().collect(),
+                }],
+                max_chain_len: 3,
+            },
         };
         let report = BenchReport {
             seed: 42,

@@ -59,6 +59,14 @@ pub struct ExploreOptions {
     pub depth2_samples: usize,
     /// Also assert GC quiescence after every schedule.
     pub gc_check: bool,
+    /// Interleave one GC pass per SSF (invoked as the platform function
+    /// `{ssf}.gc`, exactly as the timer trigger would) after every
+    /// frontend request. The collectors' fixed `gc.*` crash points join
+    /// the global crash stream, so the depth-1 sweep also kills GC
+    /// passes *between any two of the paper's six steps* while SSF
+    /// traffic is live — the online-GC regime — and verifies the final
+    /// state against the (equally GC-interleaved) crash-free oracle.
+    pub gc_interleave: bool,
     /// Enable the deliberate exactly-once bug
     /// ([`BeldiConfig::canary_skip_read_guard`]); the sweep is then
     /// expected to *report* violations.
@@ -74,6 +82,7 @@ impl Default for ExploreOptions {
             max_depth1: None,
             depth2_samples: 0,
             gc_check: false,
+            gc_interleave: false,
             canary: false,
         }
     }
@@ -322,12 +331,31 @@ fn run_schedule(
         let steps: Vec<usize> = schedule.iter().map(|&s| s as usize).collect();
         faults.set_global_plan(Some(CrashPlan::Script(steps)));
     }
+    // With gc_interleave, one collector pass per SSF follows every
+    // request — the same sequence in the oracle and in every schedule,
+    // so the collectors' crash points occupy identical global-stream
+    // positions run to run.
+    let gc_names: Vec<String> = if opts.gc_interleave && mode != Mode::Baseline {
+        env.ssf_names()
+    } else {
+        Vec::new()
+    };
     let mut rng = request_rng(opts.seed);
     let mut errors = Vec::new();
     for i in 0..opts.requests {
         let payload = app.gen_request(&mut rng);
         if let Err(e) = env.invoke(app.entry_point(), payload) {
             errors.push(format!("request {i}: {e}"));
+        }
+        for ssf in &gc_names {
+            // Collectors are at-least-once: an injected crash mid-pass is
+            // the schedule under test, not a failure — the next pass (or
+            // the end-of-run quiescence drive) resumes the idempotent
+            // work. Only non-crash errors would be bugs, and those
+            // surface through the gc_check residue scan.
+            let _ = env
+                .platform()
+                .invoke_sync(&format!("{ssf}.gc"), Value::Null);
         }
     }
     let unfinished = match env.drain_recovery(DRAIN_PASSES) {

@@ -15,7 +15,7 @@
 //! still catching real regressions — an accidental extra round trip per
 //! read costs well over 25%.
 
-use crate::driver::{runs_by_key, BenchReport};
+use crate::driver::{runs_by_key, BenchReport, BenchRun};
 
 /// One baseline-vs-current comparison row.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,10 +109,81 @@ pub fn gate(baseline: &BenchReport, current: &BenchReport, max_regress: f64) -> 
     report
 }
 
+/// Slack added to the plateau bound so tiny absolute counts (a handful
+/// of intents in flight at sample time) never trip the ratio check.
+const GROWTH_SLACK_ROWS: u64 = 64;
+
+/// Checks one GC-enabled run's storage series for *bounded* steady-state
+/// growth, appending human-readable failures.
+///
+/// The property gated: once online GC reaches steady state, Beldi's
+/// metadata tables (intents, logs, shadows, disconnected DAAL rows) stop
+/// growing — the row count at the end of the run must not materially
+/// exceed the count at the midpoint. Without GC both grow linearly with
+/// requests, so a broken (or never-firing) collector fails loudly. Also
+/// rejected: zero completed GC passes, too few samples to judge, and any
+/// corrupt-chain report.
+fn check_growth(run: &BenchRun, max_growth: f64, failures: &mut Vec<String>) {
+    let key = run.key();
+    let samples = &run.storage.samples;
+    if samples.len() < 4 {
+        failures.push(format!(
+            "{key}: only {} storage sample(s) — run too short to judge steady state",
+            samples.len()
+        ));
+        return;
+    }
+    let last = &samples[samples.len() - 1];
+    if last.gc_passes == 0 {
+        failures.push(format!("{key}: online GC never completed a pass"));
+    }
+    if last.gc_corrupt_chains > 0 {
+        failures.push(format!(
+            "{key}: GC reported {} corrupt DAAL chain(s)",
+            last.gc_corrupt_chains
+        ));
+    }
+    let mid = &samples[samples.len() / 2];
+    for (label, mid_rows, end_rows) in [
+        ("metadata", mid.meta_rows, last.meta_rows),
+        ("data", mid.data_rows, last.data_rows),
+    ] {
+        let bound = (mid_rows as f64 * (1.0 + max_growth)) as u64 + GROWTH_SLACK_ROWS;
+        if end_rows > bound {
+            failures.push(format!(
+                "{key}: {label} rows grew {mid_rows} → {end_rows} between the run midpoint \
+                 and the end (bound {bound}) — storage is not reaching a steady state"
+            ));
+        }
+    }
+}
+
+/// The storage-growth gate over a GC-enabled driver report: every
+/// GC-enabled run must show bounded steady-state metadata/data growth
+/// (see [`check_growth`]). `max_growth` is the allowed fractional
+/// increase between the run midpoint and the end (e.g. `0.25`).
+///
+/// Runs recorded with `gc: false` are skipped — Baseline mode has no
+/// collectors, so a `drive --gc --mode all` report legitimately mixes
+/// both — but a report with *no* GC-enabled run at all fails rather
+/// than passing vacuously (it means the gate was pointed at the wrong
+/// file or the drive was misconfigured).
+pub fn growth_gate(report: &BenchReport, max_growth: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    let gc_runs: Vec<&BenchRun> = report.runs.iter().filter(|r| r.gc).collect();
+    if gc_runs.is_empty() {
+        failures.push("growth gate: report contains no GC-enabled runs".to_owned());
+    }
+    for run in gc_runs {
+        check_growth(run, max_growth, &mut failures);
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{BenchRun, LatencySummary};
+    use crate::driver::{BenchRun, LatencySummary, StorageSample, StorageSeries};
     use beldi_simdb::MetricsSnapshot;
 
     fn run(app: &str, workers: usize, rps: f64, errors: u64) -> BenchRun {
@@ -130,6 +201,31 @@ mod tests {
             db: MetricsSnapshot::default(),
             state_digest: String::new(),
             effects: 0,
+            gc: false,
+            storage: StorageSeries::default(),
+        }
+    }
+
+    /// A GC-enabled run whose meta-row series is given explicitly.
+    fn gc_run(meta_series: &[u64], gc_passes: u64) -> BenchRun {
+        let samples = meta_series
+            .iter()
+            .enumerate()
+            .map(|(i, &meta_rows)| StorageSample {
+                t_us: (i as u64 + 1) * 1_000_000,
+                meta_rows,
+                data_rows: 100,
+                gc_passes,
+                ..StorageSample::default()
+            })
+            .collect();
+        BenchRun {
+            gc: true,
+            storage: StorageSeries {
+                samples,
+                max_chain_len: 2,
+            },
+            ..run("media", 4, 10.0, 0)
         }
     }
 
@@ -208,5 +304,70 @@ mod tests {
         let base = report(vec![run("media", 1, 100.0, 0)]);
         let extra = report(vec![run("media", 1, 100.0, 0), run("social", 8, 10.0, 0)]);
         assert!(gate(&base, &extra, 0.25).ok());
+    }
+
+    #[test]
+    fn growth_gate_accepts_a_plateau() {
+        // Metadata grows during warm-up, then plateaus: bounded.
+        let r = gc_run(&[400, 700, 820, 800, 790, 810], 30);
+        let failures = growth_gate(&report(vec![r]), 0.25);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn growth_gate_rejects_linear_growth() {
+        // Metadata keeps climbing past the midpoint: GC is not keeping up.
+        let r = gc_run(&[500, 1000, 1500, 2000, 2500, 3000], 30);
+        let failures = growth_gate(&report(vec![r]), 0.25);
+        assert!(
+            failures.iter().any(|f| f.contains("not reaching")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn growth_gate_rejects_degenerate_runs() {
+        // GC never fired.
+        let r = gc_run(&[100, 100, 100, 100], 0);
+        let failures = growth_gate(&report(vec![r]), 0.25);
+        assert!(
+            failures.iter().any(|f| f.contains("never completed")),
+            "{failures:?}"
+        );
+
+        // No GC-enabled run in the whole report: never pass vacuously.
+        let failures = growth_gate(&report(vec![run("media", 1, 10.0, 0)]), 0.25);
+        assert!(
+            failures.iter().any(|f| f.contains("no GC-enabled runs")),
+            "{failures:?}"
+        );
+        // But a GC-free (e.g. baseline-mode) run riding along with a
+        // sound GC run is simply skipped.
+        let mixed = report(vec![
+            gc_run(&[400, 700, 800, 790], 10),
+            run("media", 1, 10.0, 0),
+        ]);
+        assert!(growth_gate(&mixed, 0.25).is_empty());
+
+        // Too few samples to judge.
+        let r = gc_run(&[100, 100], 5);
+        let failures = growth_gate(&report(vec![r]), 0.25);
+        assert!(
+            failures.iter().any(|f| f.contains("too short")),
+            "{failures:?}"
+        );
+
+        // Corruption is always fatal.
+        let mut r = gc_run(&[100, 100, 100, 100], 5);
+        r.storage.samples.last_mut().unwrap().gc_corrupt_chains = 1;
+        let failures = growth_gate(&report(vec![r]), 0.25);
+        assert!(
+            failures.iter().any(|f| f.contains("corrupt")),
+            "{failures:?}"
+        );
+
+        // An empty report never passes vacuously.
+        let failures = growth_gate(&report(vec![]), 0.25);
+        assert!(!failures.is_empty());
     }
 }

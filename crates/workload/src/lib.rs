@@ -31,11 +31,11 @@ mod histogram;
 mod runner;
 mod sweep;
 
-pub use driver::{drive, BenchReport, BenchRun, DriveOptions};
+pub use driver::{drive, BenchReport, BenchRun, DriveOptions, StorageSample, StorageSeries};
 pub use explore::{
     explore, mode_name, ExploreOptions, ExploreReport, PipelineApp, Violation, ViolationKind,
 };
-pub use gate::{gate, GateReport, GateRow};
+pub use gate::{gate, growth_gate, GateReport, GateRow};
 pub use histogram::{Histogram, Percentiles};
 pub use runner::{RateRunner, RunReport};
 pub use sweep::{sweep, SweepPoint};

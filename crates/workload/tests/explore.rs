@@ -181,6 +181,58 @@ fn gc_quiesces_after_every_explored_schedule() {
     assert!(xt.ok(), "{:#?}", xt.violations);
 }
 
+/// Tentpole property: interleaving GC passes with live SSF traffic —
+/// including schedules that kill the *collector itself* between any two
+/// of the paper's six GC steps — never diverges from the crash-free
+/// oracle. The collectors' fixed `gc.*` crash points join the global
+/// stream, so the depth-1 sweep covers crashes inside GC passes exactly
+/// like crashes inside SSF instances.
+#[test]
+fn gc_interleaved_sweep_is_clean_and_covers_gc_crash_points() {
+    let plain = ExploreOptions {
+        requests: 2,
+        ..ExploreOptions::default()
+    };
+    let interleaved = ExploreOptions {
+        gc_interleave: true,
+        ..plain.clone()
+    };
+    let base = explore(&PipelineApp, Mode::Beldi, &plain);
+    let report = explore(&PipelineApp, Mode::Beldi, &interleaved);
+    assert!(
+        report.ok(),
+        "GC-interleaved sweep must pass every schedule:\n{:#?}",
+        report.violations
+    );
+    // The collectors contribute their five fixed crash points per pass:
+    // 2 SSFs × 2 requests × 5 labels on top of the plain stream.
+    assert_eq!(
+        report.crash_points,
+        base.crash_points + 2 * 2 * 5,
+        "GC passes must add exactly their fixed step-boundary points"
+    );
+    // Every schedule — including those that killed a GC pass — fired.
+    assert_eq!(report.crashes_injected, report.schedules as u64);
+    // And the interleaved sweep is reproducible.
+    let again = explore(&PipelineApp, Mode::Beldi, &interleaved);
+    assert_eq!(report, again, "interleaved exploration must be seed-stable");
+}
+
+/// GC interleaving composes with the quiescence check in cross-table
+/// mode too (write logs pruned under traffic, then fully drained).
+#[test]
+fn gc_interleaved_cross_table_sweep_with_quiescence_is_clean() {
+    let opts = ExploreOptions {
+        requests: 2,
+        stride: 3,
+        gc_interleave: true,
+        gc_check: true,
+        ..ExploreOptions::default()
+    };
+    let report = explore(&PipelineApp, Mode::CrossTable, &opts);
+    assert!(report.ok(), "{:#?}", report.violations);
+}
+
 /// A strided sweep over a real application (the movie review service)
 /// in Beldi mode — the integration-level smoke the CI job mirrors.
 #[test]

@@ -1,0 +1,88 @@
+//! The GC-under-load conservation law, in its own test binary.
+//!
+//! This test's correctness argument depends on *real-time* margins (the
+//! synchrony assumption: `T` real = t_max / clock_rate must dwarf an
+//! instance's real execution time). Running it inside the shared
+//! `driver.rs` binary let the harness's intra-binary parallelism
+//! oversubscribe the host — wall-clock stalls balloon virtual time and
+//! spuriously violate the assumption — so it lives alone here; cargo
+//! runs test binaries sequentially.
+
+use beldi::Mode;
+use beldi_apps::{bench_app, MixProfile};
+use beldi_workload::driver::{drive, BenchReport, BenchRun, DriveOptions};
+
+fn drive_app(kind: &str, mode: Mode, mix: MixProfile, opts: &DriveOptions) -> BenchRun {
+    let app = bench_app(kind, mode, mix).expect("known app");
+    drive(app.as_ref(), mode, opts)
+}
+
+#[test]
+fn online_gc_conserves_state_and_bounds_storage() {
+    // The GC-under-load conservation law: a drive with online GC racing
+    // the workers must land on the *identical* app-state fingerprint as
+    // the GC-free run, while the metadata tables (intents, logs) stop
+    // growing instead of scaling with request count.
+    //
+    // Clock rate and `T` are chosen so the synchrony assumption holds in
+    // real terms (`T` = 4 s virtual = 40 ms real at rate 100 — far above
+    // an instance's real execution time) while still being a small
+    // fraction of the run's ~25 s virtual duration, so recycling reaches
+    // steady state inside the measured window. Latency modelling stays
+    // on so request durations (and hence the plateau shape) are virtual-
+    // time-dominated rather than host-speed-dominated.
+    let opts = DriveOptions {
+        workers: 4,
+        total_ops: 200,
+        seed: 13,
+        partitions: 8,
+        clock_rate: 100.0,
+        model_latency: true,
+        gc: true,
+        gc_t_max: std::time::Duration::from_secs(4),
+        gc_period: std::time::Duration::from_secs(1),
+        ..DriveOptions::default()
+    };
+    let nogc = DriveOptions {
+        gc: false,
+        ..opts.clone()
+    };
+    for (kind, mode) in [("travel", Mode::Beldi), ("media", Mode::Beldi)] {
+        let with_gc = drive_app(kind, mode, MixProfile::Default, &opts);
+        let without = drive_app(kind, mode, MixProfile::Default, &nogc);
+        assert_eq!(with_gc.errors, 0, "{kind}: {with_gc:?}");
+        assert_eq!(without.errors, 0, "{kind}");
+        // Conservation: online GC must not change a single app-visible bit.
+        assert_eq!(
+            with_gc.state_digest, without.state_digest,
+            "{kind}: online GC changed the final application state"
+        );
+        assert_eq!(with_gc.effects, without.effects, "{kind}");
+
+        // Bounded storage: the collectors actually ran and recycled, and
+        // the end-of-run metadata footprint is far below the GC-free
+        // run's (which retains every intent/log row of all 200 requests).
+        let last = with_gc.storage.samples.last().unwrap();
+        assert!(last.gc_passes > 0, "{kind}: no GC pass completed");
+        assert!(last.gc_recycled > 0, "{kind}: nothing was recycled");
+        assert_eq!(last.gc_corrupt_chains, 0, "{kind}");
+        let nogc_meta = without.storage.samples.last().unwrap().meta_rows;
+        assert!(
+            last.meta_rows * 2 < nogc_meta,
+            "{kind}: GC left {} metadata rows vs {} without GC — not bounded",
+            last.meta_rows,
+            nogc_meta
+        );
+        // And the growth gate accepts the run.
+        let report = BenchReport {
+            seed: opts.seed,
+            total_ops: opts.total_ops,
+            mix: "default".into(),
+            clock_rate: opts.clock_rate,
+            tail_cache: true,
+            runs: vec![with_gc],
+        };
+        let failures = beldi_workload::growth_gate(&report, 0.25);
+        assert!(failures.is_empty(), "{kind}: {failures:?}");
+    }
+}

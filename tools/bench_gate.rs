@@ -1,20 +1,25 @@
-//! CI perf-regression gate: compares a fresh `BENCH_results.json` from
-//! `drive --smoke` against the checked-in `BENCH_baseline.json`.
+//! CI perf-regression and storage-growth gates over driver reports.
 //!
 //! ```text
+//! # Throughput gate: fresh `drive --smoke` vs the checked-in baseline.
 //! cargo run -p beldi-bench --release --bin bench_gate -- \
 //!     --baseline BENCH_baseline.json --results BENCH_results.json \
 //!     [--max-regress 0.25]
+//!
+//! # Storage-growth gate: a `drive --smoke --gc` report must show
+//! # bounded steady-state DAAL/log growth under online GC.
+//! cargo run -p beldi-bench --release --bin bench_gate -- \
+//!     --gc-results BENCH_gc_results.json [--max-growth 0.25]
 //! ```
 //!
-//! Exit status: 0 when every `app × mode × workers` point holds its
-//! throughput within the allowed regression (and the results file is a
-//! sound report); 1 with a per-run explanation otherwise. The comparison
-//! semantics live in `beldi_workload::gate` (unit-tested); this binary is
-//! the thin CLI.
+//! The two modes compose: pass all three paths to run both gates in one
+//! invocation. Exit status: 0 when every requested check passes (and
+//! the report files are sound), 1 with per-run explanations otherwise.
+//! The comparison semantics live in `beldi_workload::gate`
+//! (unit-tested); this binary is the thin CLI.
 
 use beldi_workload::driver::BenchReport;
-use beldi_workload::gate::gate;
+use beldi_workload::gate::{gate, growth_gate};
 
 fn load(flag: &str) -> BenchReport {
     let Some(path) = beldi_bench::arg_value(flag) else {
@@ -38,39 +43,76 @@ fn load(flag: &str) -> BenchReport {
 }
 
 fn main() {
-    let baseline = load("--baseline");
-    let results = load("--results");
-    let max_regress = beldi_bench::arg_f64("--max-regress", 0.25);
+    let throughput_mode = beldi_bench::arg_value("--results").is_some()
+        || beldi_bench::arg_value("--baseline").is_some();
+    let growth_mode = beldi_bench::arg_value("--gc-results").is_some();
+    if !throughput_mode && !growth_mode {
+        eprintln!("nothing to gate: pass --baseline/--results and/or --gc-results");
+        std::process::exit(2);
+    }
+    let mut failed = false;
 
-    let report = gate(&baseline, &results, max_regress);
-    let rows: Vec<Vec<String>> = report
-        .rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.key.clone(),
-                format!("{:.1}", r.baseline_rps),
-                format!("{:.1}", r.current_rps),
-                format!("{:.2}", r.ratio),
-                if r.ok { "ok" } else { "FAIL" }.to_owned(),
-            ]
-        })
-        .collect();
-    beldi_bench::print_table(
-        &format!(
-            "Perf gate (throughput floor: {:.0}% of baseline)",
-            (1.0 - max_regress) * 100.0
-        ),
-        &["run", "baseline_rps", "current_rps", "ratio", "verdict"],
-        &rows,
-    );
+    if throughput_mode {
+        let baseline = load("--baseline");
+        let results = load("--results");
+        let max_regress = beldi_bench::arg_f64("--max-regress", 0.25);
 
-    if !report.ok() {
-        println!("\n# Failures");
-        for f in &report.failures {
-            println!("{f}");
+        let report = gate(&baseline, &results, max_regress);
+        let rows: Vec<Vec<String>> = report
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.key.clone(),
+                    format!("{:.1}", r.baseline_rps),
+                    format!("{:.1}", r.current_rps),
+                    format!("{:.2}", r.ratio),
+                    if r.ok { "ok" } else { "FAIL" }.to_owned(),
+                ]
+            })
+            .collect();
+        beldi_bench::print_table(
+            &format!(
+                "Perf gate (throughput floor: {:.0}% of baseline)",
+                (1.0 - max_regress) * 100.0
+            ),
+            &["run", "baseline_rps", "current_rps", "ratio", "verdict"],
+            &rows,
+        );
+
+        if report.ok() {
+            println!(
+                "\nperf gate passed: {} run(s) within budget",
+                report.rows.len()
+            );
+        } else {
+            println!("\n# Perf-gate failures");
+            for f in &report.failures {
+                println!("{f}");
+            }
+            failed = true;
         }
+    }
+
+    if growth_mode {
+        let gc_results = load("--gc-results");
+        let max_growth = beldi_bench::arg_f64("--max-growth", 0.25);
+        let failures = growth_gate(&gc_results, max_growth);
+        if failures.is_empty() {
+            println!(
+                "\ngrowth gate passed: {} run(s) hold a bounded storage plateau under online GC",
+                gc_results.runs.iter().filter(|r| r.gc).count()
+            );
+        } else {
+            println!("\n# Growth-gate failures");
+            for f in &failures {
+                println!("{f}");
+            }
+            failed = true;
+        }
+    }
+
+    if failed {
         std::process::exit(1);
     }
-    println!("\ngate passed: {} run(s) within budget", report.rows.len());
 }
