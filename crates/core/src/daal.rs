@@ -34,6 +34,7 @@ use beldi_value::{Cond, Path, Update, Value};
 use parking_lot::Mutex;
 
 use crate::error::{BeldiError, BeldiResult};
+use crate::labels;
 use crate::schema::{
     A_CREATED, A_DANGLE, A_KEY, A_LOCK, A_LOG_SIZE, A_NEXT_ROW, A_ROW_ID, A_VALUE, A_WRITES,
     ROW_HEAD,
@@ -442,7 +443,7 @@ pub(crate) fn try_write(
     payload: &WritePayload,
     user_cond: Option<&Cond>,
 ) -> BeldiResult<WriteOutcome> {
-    (p.crash)("daal.write.enter");
+    (p.crash)(labels::DAAL_WRITE_ENTER);
     // Bound the retry loop defensively; every iteration either makes
     // progress along the chain or observes a concurrent writer's progress,
     // so this bound is never hit in practice.
@@ -537,10 +538,10 @@ fn write_at(
             cond = cond.and(uc.clone());
         }
         let update = merge(&payload.apply, &log_actions(p, log_key, true));
-        (p.crash)("daal.write.pre_apply");
+        (p.crash)(labels::DAAL_WRITE_PRE_APPLY);
         match p.db.update(table, &pk, &cond, &update) {
             Ok(()) => {
-                (p.crash)("daal.write.post_apply");
+                (p.crash)(labels::DAAL_WRITE_POST_APPLY);
                 return Ok(Some(WriteOutcome::Applied));
             }
             Err(DbError::ConditionFailed) => {}
@@ -552,10 +553,10 @@ fn write_at(
         if user_cond.is_some() {
             let cond = case_b_cond(p, log_key).and(existence);
             let update = log_actions(p, log_key, false);
-            (p.crash)("daal.write.pre_log_false");
+            (p.crash)(labels::DAAL_WRITE_PRE_LOG_FALSE);
             match p.db.update(table, &pk, &cond, &update) {
                 Ok(()) => {
-                    (p.crash)("daal.write.post_log_false");
+                    (p.crash)(labels::DAAL_WRITE_POST_LOG_FALSE);
                     return Ok(Some(WriteOutcome::ConditionFalse));
                 }
                 Err(DbError::ConditionFailed) => {}
@@ -583,6 +584,9 @@ fn write_at(
                 let prev_pk = PrimaryKey::hash_sort(key, prev.as_str());
                 let cond = Cond::eq(A_NEXT_ROW, row_id.as_str());
                 let update = Update::new().remove(A_NEXT_ROW);
+                // beldi-lint: allow(crash-points/coverage, dangling-pointer CAS repair on a
+                // violated T assumption; idempotent remove bracketed by daal.write.enter and
+                // the re-scan that follows - no schedule explores past a synchrony violation)
                 match p.db.update(table, &prev_pk, &cond, &update) {
                     Ok(()) | Err(DbError::ConditionFailed) => {}
                     Err(e) => return Err(e.into()),
@@ -649,9 +653,9 @@ fn append_row(p: &DaalParams<'_>, table: &str, key: &str, prev: &Value) -> Beldi
         }
     }
     let new_pk = PrimaryKey::hash_sort(key, new_id.as_str());
-    (p.crash)("daal.append.pre_create");
+    (p.crash)(labels::DAAL_APPEND_PRE_CREATE);
     p.db.update(table, &new_pk, &Cond::not_exists(A_KEY), &update)?;
-    (p.crash)("daal.append.post_create");
+    (p.crash)(labels::DAAL_APPEND_POST_CREATE);
 
     // 2. Link it, only if no one else appended in the meantime.
     let prev_pk = PrimaryKey::hash_sort(key, prev_id.as_str());
@@ -661,7 +665,7 @@ fn append_row(p: &DaalParams<'_>, table: &str, key: &str, prev: &Value) -> Beldi
         &Cond::not_exists(A_NEXT_ROW).and(Cond::exists(A_KEY)),
         &Update::new().set(A_NEXT_ROW, new_id.as_str()),
     );
-    (p.crash)("daal.append.post_link");
+    (p.crash)(labels::DAAL_APPEND_POST_LINK);
     match link {
         Ok(()) => Ok(new_id),
         Err(DbError::ConditionFailed) => {
@@ -689,6 +693,8 @@ pub(crate) fn seed(
     now_ms: u64,
 ) -> BeldiResult<()> {
     let pk = PrimaryKey::hash_sort(key, ROW_HEAD);
+    // beldi-lint: allow(crash-points/coverage, seed bypasses logging by design -
+    // a data-loading convenience outside the exactly-once API and the explorer)
     db.update(
         table,
         &pk,

@@ -449,10 +449,10 @@ impl BeldiEnv {
             return;
         }
         let period = self.core.config.collector_period;
-        let names: Vec<String> = {
-            let registry = self.core.registry.read();
-            registry.keys().cloned().collect()
-        };
+        // Sorted, not registration/hash order: the timer creation order
+        // decides collector firing order at equal deadlines, which must be
+        // stable across runs for the crash-schedule explorer.
+        let names: Vec<String> = self.ssf_names();
         let mut timers = self.core.timers.lock();
         for name in names {
             if ic {

@@ -27,6 +27,7 @@ use beldi_value::{Cond, Map, Update, Value};
 use crate::context::SsfContext;
 use crate::env::EnvCore;
 use crate::error::{BeldiError, BeldiResult};
+use crate::labels;
 use crate::schema::{
     invoke_log_table, A_CALLEE_FN, A_CALLEE_ID, A_LOG_KEY, A_OWNER, A_REGISTERED, A_RESULT,
     A_TXN_ID,
@@ -285,9 +286,11 @@ impl SsfContext {
             }
         }
         let pk = PrimaryKey::hash(log_key.as_str());
-        self.crash("invoke.pre_entry");
+        self.crash(labels::INVOKE_PRE_ENTRY);
         match self
             .db()
+            // beldi-lint: allow(crash-points/coverage, invoke.pre_entry fires before this
+            // append; invoke.pre_call / invoke.pre_asyncreg fire after it in the callers)
             .update(&ilog, &pk, &Cond::not_exists(A_LOG_KEY), &update)
         {
             Ok(()) => Ok(InvokeEntry {
@@ -382,7 +385,7 @@ impl SsfContext {
         }
         let log_key = crate::ids::log_key(&self.instance, step);
         let envelope = make_envelope(&entry.callee_id).to_value();
-        self.crash("invoke.pre_call");
+        self.crash(labels::INVOKE_PRE_CALL);
         for attempt in 0..MAX_INVOKE_ATTEMPTS {
             match self.platform().invoke_sync(callee, envelope.clone()) {
                 Ok(v) => return Ok(Outcome::from_value(&v)),
@@ -448,7 +451,7 @@ impl SsfContext {
                 caller: self.ssf.clone(),
             }
             .to_value();
-            self.crash("invoke.pre_asyncreg");
+            self.crash(labels::INVOKE_PRE_ASYNCREG);
             let mut ok = false;
             for attempt in 0..MAX_INVOKE_ATTEMPTS {
                 match self.platform().invoke_sync(callee, reg.clone()) {
@@ -478,7 +481,7 @@ impl SsfContext {
             is_async: true,
         }
         .to_value();
-        self.crash("invoke.pre_async_call");
+        self.crash(labels::INVOKE_PRE_ASYNC_CALL);
         self.platform()
             .invoke_async(callee, call)
             .map_err(BeldiError::Invoke)?;
@@ -546,6 +549,8 @@ pub(crate) fn handle_callback(
         };
         match core
             .db
+            // beldi-lint: allow(crash-points/coverage, the callback result write is
+            // bracketed by wrapper.pre_callback and wrapper.pre_done in the callee)
             .update(&ilog, &pk, &Cond::exists(A_LOG_KEY), &update)
         {
             Ok(()) | Err(DbError::ConditionFailed) => {}

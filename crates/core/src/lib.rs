@@ -87,5 +87,6 @@ pub use txn::{TxnContext, TxnMode, TxnOutcome};
 pub use schema::{A_LOCK, A_VALUE};
 
 // Re-exports so applications depend on `beldi` alone.
+pub use beldi_simfaas::labels;
 pub use beldi_simfaas::{silence_crash_backtraces, CrashPlan, RandomCrashPolicy};
 pub use beldi_value as value;

@@ -12,6 +12,9 @@
 //! This module implements the cross-table and baseline primitives; the
 //! logged wrappers in `ops.rs` dispatch between them and the DAAL.
 
+// beldi-lint: allow-file(crash-points/coverage, cross-table and baseline writes
+// are bracketed by write.enter/write.exit in ops.rs::write_step; the baseline
+// mode deliberately runs outside the exactly-once protocol)
 use beldi_simdb::{Database, DbError, PrimaryKey, TransactOp};
 use beldi_value::{Cond, Update, Value};
 

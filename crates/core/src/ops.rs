@@ -25,6 +25,7 @@ use crate::config::Mode;
 use crate::context::SsfContext;
 use crate::daal::{self, WriteOutcome, WritePayload};
 use crate::error::{BeldiError, BeldiResult};
+use crate::labels;
 use crate::modes;
 use crate::schema::{A_LOCK, A_LOG_KEY, A_OWNER, A_VALUE};
 
@@ -47,7 +48,7 @@ impl SsfContext {
             return self.txn_read(table, key);
         }
         let physical = self.data_table(table)?;
-        self.crash("read.enter");
+        self.crash(labels::READ_ENTER);
         let val = self.raw_read_value(&physical, key)?;
         if self.mode() == Mode::Baseline {
             return Ok(val);
@@ -79,7 +80,7 @@ impl SsfContext {
     pub(crate) fn log_value(&mut self, val: Value) -> BeldiResult<Value> {
         let log_key = self.next_log_key();
         let rlog = self.read_log_table();
-        self.crash("read.pre_log");
+        self.crash(labels::READ_PRE_LOG);
         // Canary sabotage (`canary` feature only, see
         // `BeldiConfig::canary_skip_read_guard`): dropping the
         // first-writer-wins guard lets every re-execution overwrite the
@@ -97,7 +98,7 @@ impl SsfContext {
         let pk = PrimaryKey::hash(log_key.as_str());
         match self.db().update(&rlog, &pk, &entry_cond, &update) {
             Ok(()) => {
-                self.crash("read.post_log");
+                self.crash(labels::READ_POST_LOG);
                 Ok(val)
             }
             Err(DbError::ConditionFailed) => {
@@ -177,7 +178,7 @@ impl SsfContext {
         user_cond: Option<&Cond>,
     ) -> BeldiResult<WriteOutcome> {
         let log_key = self.next_log_key();
-        self.crash("write.enter");
+        self.crash(labels::WRITE_ENTER);
         let out = match self.mode() {
             Mode::Beldi => self.daal_params().with(|p| {
                 daal::try_write(
@@ -217,7 +218,7 @@ impl SsfContext {
                 }
             }
         };
-        self.crash("write.exit");
+        self.crash(labels::WRITE_EXIT);
         Ok(out)
     }
 

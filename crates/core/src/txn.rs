@@ -197,6 +197,7 @@ use crate::config::Mode;
 use crate::context::SsfContext;
 use crate::daal;
 use crate::invoke::Envelope;
+use crate::labels;
 use crate::schema::{
     shadow_key, A_CALLEE_FN, A_CLAIMANT, A_DONE, A_ID, A_KEY, A_LOCK, A_ORIG_KEY, A_ORIG_TABLE,
     A_TXN_ID, A_VALUE, A_WRITTEN, ROW_HEAD,
@@ -467,6 +468,8 @@ impl SsfContext {
             );
         match self
             .db()
+            // beldi-lint: allow(crash-points/coverage, idempotent not_exists create
+            // bracketed by write.enter/write.exit around the shadow write in ops.rs)
             .update(&shadow, &pk, &Cond::not_exists(A_KEY), &update)
         {
             Ok(()) | Err(DbError::ConditionFailed) => Ok(()),
@@ -511,7 +514,7 @@ impl SsfContext {
     pub(crate) fn finalize(&mut self, decision: TxnMode) -> BeldiResult<()> {
         debug_assert!(matches!(decision, TxnMode::Commit | TxnMode::Abort));
         let ctx = self.txn_ctx_cloned()?;
-        self.crash("txn.pre_finalize");
+        self.crash(labels::TXN_PRE_FINALIZE);
         if !self.claim_finalize_marker(&ctx.id)? {
             return Ok(());
         }
@@ -525,7 +528,7 @@ impl SsfContext {
                 let skey = shadow_key(&ctx.id, &e.key);
                 let val = daal::read_value(self.db(), &shadow, &skey)?;
                 let physical = self.data_table(&e.logical)?;
-                self.crash("txn.pre_flush_item");
+                self.crash(labels::TXN_PRE_FLUSH_ITEM);
                 self.write_step(&physical, &e.key, Update::new().set(A_VALUE, val), None)?;
             }
         }
@@ -534,7 +537,7 @@ impl SsfContext {
         let held = Cond::eq(Path::attr(A_LOCK).then_attr("Id"), ctx.id.as_str());
         for e in &entries {
             let physical = self.data_table(&e.logical)?;
-            self.crash("txn.pre_release_item");
+            self.crash(labels::TXN_PRE_RELEASE_ITEM);
             // ConditionFalse means a replayed release; both are fine.
             self.write_step(
                 &physical,
@@ -547,13 +550,13 @@ impl SsfContext {
         // 3. Signal the callees this SSF invoked inside the transaction.
         for callee in self.txn_callees(&ctx.id)? {
             let signal_ctx = ctx.with_mode(decision);
-            self.crash("txn.pre_signal");
+            self.crash(labels::TXN_PRE_SIGNAL);
             let _ = self.invoke_with_entry(&callee, |id| Envelope::TxnSignal {
                 id: id.to_owned(),
                 txn: signal_ctx.clone(),
             })?;
         }
-        self.crash("txn.post_finalize");
+        self.crash(labels::TXN_POST_FINALIZE);
         Ok(())
     }
 
@@ -578,6 +581,8 @@ impl SsfContext {
             );
         match self
             .db()
+            // beldi-lint: allow(crash-points/coverage, txn.pre_finalize fires before the
+            // marker claim and txn.post_finalize after it in finalize)
             .update(&table, &pk, &Cond::not_exists(A_ID), &update)
         {
             Ok(()) => Ok(true),

@@ -31,6 +31,7 @@ use crate::env::EnvCore;
 use crate::error::BeldiError;
 use crate::intent;
 use crate::invoke::{self, Envelope, Outcome};
+use crate::labels;
 use crate::txn::{TxnMode, TxnState};
 
 /// Builds the platform handler wrapping SSF `name`.
@@ -110,7 +111,7 @@ fn run_call(
 ) -> Value {
     let faults = core.platform.faults();
     faults.instance_started(instance);
-    faults.crash_point(instance, "wrapper.enter");
+    faults.crash_point(instance, labels::WRAPPER_ENTER);
 
     let db = &core.db;
     let intent_table = crate::schema::intent_table(ssf);
@@ -148,7 +149,7 @@ fn run_call(
             Err(e) => return Outcome::Error(e.to_string()).to_value(),
         }
     };
-    faults.crash_point(instance, "wrapper.post_intent");
+    faults.crash_point(instance, labels::WRAPPER_POST_INTENT);
 
     if record.done {
         // Completed by a previous execution: replay the recorded outcome.
@@ -247,7 +248,7 @@ fn finish(
 ) -> Value {
     let instance = ctx.instance_id().to_owned();
     let outcome_value = outcome.to_value();
-    ctx.crash("wrapper.pre_callback");
+    ctx.crash(labels::WRAPPER_PRE_CALLBACK);
     if let (Some(c), false) = (caller, is_async) {
         if !invoke::send_callback(core, c, &instance, Some(outcome_value.clone())) {
             // Without the callback the caller may never learn the result;
@@ -255,12 +256,12 @@ fn finish(
             panic!("beldi: result callback to `{c}` undeliverable");
         }
     }
-    ctx.crash("wrapper.pre_done");
+    ctx.crash(labels::WRAPPER_PRE_DONE);
     let intent_table = crate::schema::intent_table(ssf);
     if let Err(e) = intent::mark_done(&core.db, &intent_table, &instance, outcome_value.clone()) {
         panic!("beldi: marking intent done failed: {e}");
     }
-    ctx.crash("wrapper.post_done");
+    ctx.crash(labels::WRAPPER_POST_DONE);
     outcome_value
 }
 
@@ -296,7 +297,7 @@ fn run_async_reg(
     }
     core.platform
         .faults()
-        .crash_point(instance, "asyncreg.post_intent");
+        .crash_point(instance, labels::ASYNCREG_POST_INTENT);
     // Registration confirmation: sets `Registered` on the caller's
     // invoke-log entry. At-least-once.
     invoke::send_callback(core, caller, instance, None);

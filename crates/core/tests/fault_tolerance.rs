@@ -8,6 +8,7 @@
 //! a single crash-free execution: counters incremented exactly once,
 //! conditional writes decided exactly once, callees executed exactly once.
 
+use beldi::labels;
 use std::sync::Arc;
 
 use beldi::value::{vmap, Value};
@@ -105,20 +106,20 @@ fn root_crash_at_every_ordinal_is_exactly_once() {
 #[test]
 fn root_crash_at_named_labels_is_exactly_once() {
     let labels = [
-        "wrapper.enter",
-        "wrapper.post_intent",
-        "read.pre_log",
-        "read.post_log",
-        "write.enter",
-        "write.exit",
-        "daal.write.pre_apply",
-        "daal.write.post_apply",
-        "daal.write.pre_log_false",
-        "invoke.pre_entry",
-        "invoke.pre_call",
-        "wrapper.pre_callback",
-        "wrapper.pre_done",
-        "wrapper.post_done",
+        labels::WRAPPER_ENTER,
+        labels::WRAPPER_POST_INTENT,
+        labels::READ_PRE_LOG,
+        labels::READ_POST_LOG,
+        labels::WRITE_ENTER,
+        labels::WRITE_EXIT,
+        labels::DAAL_WRITE_PRE_APPLY,
+        labels::DAAL_WRITE_POST_APPLY,
+        labels::DAAL_WRITE_PRE_LOG_FALSE,
+        labels::INVOKE_PRE_ENTRY,
+        labels::INVOKE_PRE_CALL,
+        labels::WRAPPER_PRE_CALLBACK,
+        labels::WRAPPER_PRE_DONE,
+        labels::WRAPPER_POST_DONE,
     ];
     for label in labels {
         let env = pipeline_env(BeldiConfig::beldi());
@@ -209,7 +210,7 @@ fn intent_collector_completes_crashed_async_instance() {
     // re-check: crash its first write effect when it runs.
     env.platform().faults().plan(
         id.clone(),
-        CrashPlan::AtLabel("daal.write.pre_apply".into()),
+        CrashPlan::AtLabel(labels::DAAL_WRITE_PRE_APPLY.into()),
     );
     // Let the (crashing) first execution happen.
     std::thread::sleep(std::time::Duration::from_millis(30));
@@ -285,7 +286,7 @@ fn timer_collectors_recover_crashed_work() {
     let id = env.invoke_async("job", Value::Null).unwrap();
     env.platform()
         .faults()
-        .plan(id, CrashPlan::AtLabel("daal.write.pre_apply".into()));
+        .plan(id, CrashPlan::AtLabel(labels::DAAL_WRITE_PRE_APPLY.into()));
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
     loop {
         if env.read_current("job", "t", "done").unwrap() == Value::Int(1) {
@@ -389,7 +390,7 @@ fn drain_recovery_completes_crashed_async_work() {
     let id = env.invoke_async("sink", Value::Int(7)).unwrap();
     env.platform()
         .faults()
-        .plan(id, CrashPlan::AtLabel("daal.write.pre_apply".into()));
+        .plan(id, CrashPlan::AtLabel(labels::DAAL_WRITE_PRE_APPLY.into()));
     // Let the (crashing) first execution happen, then drain.
     std::thread::sleep(std::time::Duration::from_millis(30));
     let report = env.drain_recovery(40).unwrap();

@@ -5,6 +5,7 @@
 //! two-phase `finish + T` / `dangle + T` waits elapse in microseconds of
 //! real time while preserving every ordering.
 
+use beldi::labels;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -73,7 +74,7 @@ fn unfinished_intents_are_never_recycled() {
     let id = env.invoke_async("ctr", Value::Null).unwrap();
     env.platform().faults().plan(
         id.clone(),
-        beldi::CrashPlan::AtLabel("daal.write.pre_apply".into()),
+        beldi::CrashPlan::AtLabel(labels::DAAL_WRITE_PRE_APPLY.into()),
     );
     std::thread::sleep(Duration::from_millis(30));
 

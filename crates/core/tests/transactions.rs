@@ -2,6 +2,7 @@
 //! deadlock prevention, opacity, and crash recovery of the commit/abort
 //! protocol.
 
+use beldi::labels;
 use std::sync::Arc;
 
 use beldi::value::{vmap, Cond, Path, Value};
@@ -422,10 +423,10 @@ fn commit_protocol_survives_crashes() {
     // Crash the root at each commit-protocol point; the retried instance
     // must finish the commit exactly once.
     for label in [
-        "txn.pre_finalize",
-        "txn.pre_flush_item",
-        "txn.pre_release_item",
-        "txn.post_finalize",
+        labels::TXN_PRE_FINALIZE,
+        labels::TXN_PRE_FLUSH_ITEM,
+        labels::TXN_PRE_RELEASE_ITEM,
+        labels::TXN_POST_FINALIZE,
     ] {
         let env = BeldiEnv::for_tests();
         env.register_ssf(

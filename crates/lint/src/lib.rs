@@ -1,0 +1,170 @@
+//! `beldi-lint`: a protocol-invariant static analyzer for the Beldi
+//! workspace.
+//!
+//! Beldi's exactly-once guarantee rests on invariants the compiler cannot
+//! see: SSF bodies must be deterministic under replay, every state
+//! mutation must flow through the logged `SsfContext` API, the
+//! crash-schedule explorer only proves what the hand-placed
+//! `FaultInjector::crash_point` probes let it see, and the simulated
+//! database's deadlock freedom rests on an ascending lock order. This
+//! crate checks those invariants mechanically on every commit — four rule
+//! families over a hand-rolled, comment/string-aware lexer (no `syn`; the
+//! build environment is offline).
+//!
+//! See `DESIGN.md` §11 for the rule catalogue, waiver syntax
+//! (`// beldi-lint: allow(<rule>, <reason>)`), and the procedure for
+//! adding a new crash point.
+
+pub mod findings;
+pub mod lexer;
+pub mod registry;
+pub mod rules;
+pub mod source;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use findings::{Finding, Report};
+use registry::Registry;
+use source::SourceFile;
+
+/// Workspace-relative path of the label registry.
+pub const REGISTRY_PATH: &str = "crates/simfaas/src/labels.rs";
+
+/// Default baseline file name (workspace root).
+pub const BASELINE_FILE: &str = "lint.baseline.json";
+
+#[derive(Debug, Default, Clone)]
+pub struct Options {
+    /// Ignore the baseline (nightly strict mode).
+    pub strict: bool,
+    /// Baseline keys to suppress (already loaded by the caller).
+    pub baseline: BTreeSet<String>,
+}
+
+/// Directories never scanned: build output, the offline dependency shims
+/// (external API surface, not protocol code), and linter test fixtures
+/// (which *contain* planted violations).
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | "shims" | "fixtures" | ".git" | ".github")
+}
+
+/// Collects every `.rs` file under `root`, workspace-relative with `/`
+/// separators, sorted for deterministic output.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if path.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((rel, path));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs every rule over the workspace at `root` and dispositions the
+/// findings against waivers and the baseline.
+pub fn run(root: &Path, opts: &Options) -> std::io::Result<Report> {
+    let sources = collect_sources(root)?;
+    let mut files: Vec<SourceFile> = Vec::with_capacity(sources.len());
+    for (rel, path) in &sources {
+        let text = fs::read_to_string(path)?;
+        files.push(SourceFile::parse(rel, &text));
+    }
+    Ok(run_parsed(&files, opts))
+}
+
+/// Rule pass over already-parsed sources (tests use this on fixtures).
+pub fn run_parsed(files: &[SourceFile], opts: &Options) -> Report {
+    let mut raw: Vec<Finding> = Vec::new();
+
+    // The registry first: other rules consult it.
+    let reg = match files.iter().find(|f| f.path == REGISTRY_PATH) {
+        Some(sf) => Registry::parse(sf, &mut raw),
+        None => {
+            raw.push(Finding::new(
+                "crash-points/registry",
+                REGISTRY_PATH,
+                1,
+                "label registry file is missing from the workspace",
+                "",
+            ));
+            Registry::default()
+        }
+    };
+
+    for sf in files {
+        rules::determinism(sf, &mut raw);
+        rules::logged_ops(sf, &mut raw);
+        rules::crash_points(sf, &reg, &mut raw);
+        rules::lock_order(sf, &mut raw);
+        for bad in &sf.bad_waivers {
+            raw.push(Finding::new(
+                "waiver/malformed",
+                &sf.path,
+                bad.line,
+                bad.detail.clone(),
+                sf.line_text(bad.line),
+            ));
+        }
+    }
+
+    // Disposition: inline waiver beats baseline; `waiver/malformed` is
+    // itself unwaivable (a waiver you cannot parse must not self-excuse).
+    let mut report = Report {
+        files: files.len(),
+        ..Report::default()
+    };
+    for f in raw {
+        let sf = files.iter().find(|s| s.path == f.path);
+        let waiver = (f.rule != "waiver/malformed")
+            .then(|| sf.and_then(|s| s.waived(&f.rule, f.line)))
+            .flatten();
+        if let Some(w) = waiver {
+            report.waived.push((f, w.reason.clone()));
+        } else if !opts.strict && opts.baseline.contains(&f.baseline_key()) {
+            report.baselined.push(f);
+        } else {
+            report.active.push(f);
+        }
+    }
+
+    // Unused waivers are findings too: a stale waiver hides nothing but
+    // suggests the violation it excused was fixed — drop it.
+    for sf in files {
+        for w in &sf.waivers {
+            if !w.used.get() {
+                report.active.push(Finding::new(
+                    "waiver/unused",
+                    &sf.path,
+                    w.line,
+                    format!("waiver for `{}` matches no finding; remove it", w.rule),
+                    sf.line_text(w.line),
+                ));
+            }
+        }
+    }
+
+    report
+        .active
+        .sort_by(|a, b| (&a.path, a.line, &a.rule).cmp(&(&b.path, b.line, &b.rule)));
+    report
+}

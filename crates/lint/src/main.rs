@@ -1,0 +1,135 @@
+//! CLI for `beldi-lint`.
+//!
+//! ```text
+//! beldi-lint [--root <dir>] [--json <path>] [--baseline <path>]
+//!            [--strict] [--write-baseline]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unwaived findings, 2 usage or I/O error.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use beldi_lint::{findings::parse_baseline, run, Options, BASELINE_FILE};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut strict = false;
+    let mut write_baseline = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a path"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--baseline" => match args.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage("--baseline needs a path"),
+            },
+            "--strict" => strict = true,
+            "--write-baseline" => write_baseline = true,
+            "--help" | "-h" => {
+                println!(
+                    "beldi-lint: protocol-invariant static analysis for the Beldi workspace\n\
+                     \n\
+                     usage: beldi-lint [--root <dir>] [--json <path>] [--baseline <path>]\n\
+                     \x20                 [--strict] [--write-baseline]\n\
+                     \n\
+                     --root            workspace root to scan (default: .)\n\
+                     --json <path>     write machine-readable findings\n\
+                     --baseline <path> baseline file (default: <root>/{BASELINE_FILE})\n\
+                     --strict          ignore the baseline (nightly mode)\n\
+                     --write-baseline  write current findings as the new baseline and exit"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Make the workspace root findable when invoked via `cargo run -p`
+    // from a crate directory: walk up until the registry file appears.
+    let mut probe = root.clone();
+    for _ in 0..4 {
+        if probe.join(beldi_lint::REGISTRY_PATH).exists() {
+            root = probe;
+            break;
+        }
+        probe = probe.join("..");
+    }
+
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+    let baseline: BTreeSet<String> = if strict || write_baseline {
+        BTreeSet::new()
+    } else {
+        match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match parse_baseline(&text) {
+                Ok(keys) => keys,
+                Err(e) => {
+                    eprintln!("beldi-lint: {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => BTreeSet::new(), // no baseline file: nothing suppressed
+        }
+    };
+
+    let report = match run(&root, &Options { strict, baseline }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("beldi-lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, report.to_baseline()) {
+            eprintln!("beldi-lint: cannot write baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "beldi-lint: wrote {} finding key(s) to {}",
+            report.active.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("beldi-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    for f in &report.active {
+        println!("{}", f.human());
+    }
+    println!(
+        "beldi-lint: {} file(s), {} active finding(s), {} waived, {} baselined{}",
+        report.files,
+        report.active.len(),
+        report.waived.len(),
+        report.baselined.len(),
+        if strict { " (strict)" } else { "" },
+    );
+    if report.active.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("beldi-lint: {msg} (try --help)");
+    ExitCode::from(2)
+}

@@ -1,0 +1,206 @@
+//! The crash-point label registry, parsed from
+//! `crates/simfaas/src/labels.rs`.
+//!
+//! The registry file declares every label as `pub const NAME: &str =
+//! "value";` plus two arrays, `ALL` and `WORK_DEPENDENT`. This module
+//! recovers those from the token stream and validates the registry's own
+//! invariants (unique values, well-formed grammar, every constant listed
+//! in `ALL`). Rules then consult [`Registry::labels`] for the
+//! reference check and [`Registry::work_dependent`] for the conditional
+//! probe check.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::findings::Finding;
+use crate::source::SourceFile;
+
+#[derive(Debug, Default)]
+pub struct Registry {
+    /// Constant name → (label value, declaration line).
+    pub consts: BTreeMap<String, (String, u32)>,
+    /// Constant names listed in `ALL`.
+    pub all: BTreeSet<String>,
+    /// Label *values* listed in `WORK_DEPENDENT`.
+    pub work_dependent: BTreeSet<String>,
+}
+
+impl Registry {
+    /// All declared label values.
+    pub fn labels(&self) -> BTreeSet<&str> {
+        self.consts.values().map(|(v, _)| v.as_str()).collect()
+    }
+
+    /// Resolves a constant name (`WRAPPER_ENTER`) to its label value.
+    pub fn label_of_const(&self, name: &str) -> Option<&str> {
+        self.consts.get(name).map(|(v, _)| v.as_str())
+    }
+
+    /// Is `label` a syntactically valid crash-point label: dotted
+    /// `subsystem.step[.substep]` in lower_snake, or `op:before|after`?
+    pub fn well_formed(label: &str) -> bool {
+        let dotted = label.split('.').count() >= 2
+            && label.split('.').all(|seg| {
+                !seg.is_empty()
+                    && seg
+                        .chars()
+                        .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+            });
+        let effect = matches!(label.split_once(':'), Some((op, side))
+            if !op.is_empty()
+                && op.chars().all(|c| c.is_ascii_lowercase() || c == '_')
+                && matches!(side, "before" | "after"));
+        dotted || effect
+    }
+
+    /// Does `s` *look like* a label (and should therefore resolve in the
+    /// registry when passed to a crash plan or probe)?
+    pub fn label_shaped(s: &str) -> bool {
+        Self::well_formed(s)
+    }
+
+    /// Parses the registry source and reports registry-level violations.
+    pub fn parse(sf: &SourceFile, findings: &mut Vec<Finding>) -> Registry {
+        let mut reg = Registry::default();
+        let toks = &sf.toks;
+        let n = toks.len();
+        let mut i = 0;
+        while i < n {
+            if toks[i].is_ident("const") {
+                let Some(name) = toks.get(i + 1).and_then(|t| t.ident()) else {
+                    i += 1;
+                    continue;
+                };
+                // Find the initializer up to the `;`.
+                let mut j = i + 2;
+                let mut strs: Vec<(String, u32)> = Vec::new();
+                let mut consts_in_init: Vec<String> = Vec::new();
+                let mut saw_bracket = false;
+                while j < n && !toks[j].is_punct(';') {
+                    if let Some(s) = toks[j].str_lit() {
+                        strs.push((s.to_owned(), toks[j].line));
+                    }
+                    if toks[j].is_punct('[') {
+                        saw_bracket = true;
+                    }
+                    if saw_bracket {
+                        if let Some(id) = toks[j].ident() {
+                            consts_in_init.push(id.to_owned());
+                        }
+                    }
+                    j += 1;
+                }
+                match name {
+                    "ALL" => reg.all = consts_in_init.into_iter().collect(),
+                    "WORK_DEPENDENT" => {
+                        // Resolve the listed constant names to values.
+                        for c in consts_in_init {
+                            if let Some((v, _)) = reg.consts.get(&c) {
+                                reg.work_dependent.insert(v.clone());
+                            }
+                        }
+                    }
+                    _ => {
+                        if let Some((v, line)) = strs.into_iter().next() {
+                            reg.consts.insert(name.to_owned(), (v, line));
+                        }
+                    }
+                }
+                i = j;
+            }
+            i += 1;
+        }
+
+        // Registry invariants.
+        let mut by_value: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+        for (name, (v, _)) in &reg.consts {
+            by_value.entry(v).or_default().push(name);
+        }
+        for (v, names) in &by_value {
+            if names.len() > 1 {
+                let (_, line) = reg.consts[names[0]];
+                findings.push(Finding::new(
+                    "crash-points/registry",
+                    &sf.path,
+                    line,
+                    format!(
+                        "label \"{v}\" is declared by {} constants: {}",
+                        names.len(),
+                        names.join(", ")
+                    ),
+                    sf.line_text(line),
+                ));
+            }
+        }
+        for (name, (v, line)) in &reg.consts {
+            if !Self::well_formed(v) {
+                findings.push(Finding::new(
+                    "crash-points/registry",
+                    &sf.path,
+                    *line,
+                    format!(
+                        "label \"{v}\" ({name}) is malformed; expected \
+                         `subsystem.step[.substep]` or `op:before|after`"
+                    ),
+                    sf.line_text(*line),
+                ));
+            }
+            if !reg.all.contains(name) {
+                findings.push(Finding::new(
+                    "crash-points/registry",
+                    &sf.path,
+                    *line,
+                    format!("label constant {name} is not listed in ALL"),
+                    sf.line_text(*line),
+                ));
+            }
+        }
+        reg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> (Registry, Vec<Finding>) {
+        let sf = SourceFile::parse("labels.rs", src);
+        let mut f = Vec::new();
+        (Registry::parse(&sf, &mut f), f)
+    }
+
+    #[test]
+    fn parses_consts_and_arrays() {
+        let (reg, f) = parse(
+            "pub const A: &str = \"x.enter\";\npub const B: &str = \"y:after\";\n\
+             pub const ALL: &[&str] = &[A, B];\npub const WORK_DEPENDENT: &[&str] = &[B];\n",
+        );
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(reg.label_of_const("A"), Some("x.enter"));
+        assert!(reg.work_dependent.contains("y:after"));
+        assert_eq!(reg.labels().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_malformed_and_unlisted_flagged() {
+        let (_, f) = parse(
+            "pub const A: &str = \"x.enter\";\npub const B: &str = \"x.enter\";\n\
+             pub const C: &str = \"BadLabel\";\npub const ALL: &[&str] = &[A, B];\n",
+        );
+        let rules: Vec<_> = f.iter().map(|x| x.message.clone()).collect();
+        assert!(rules.iter().any(|m| m.contains("2 constants")), "{rules:?}");
+        assert!(rules.iter().any(|m| m.contains("malformed")), "{rules:?}");
+        assert!(
+            rules.iter().any(|m| m.contains("not listed in ALL")),
+            "{rules:?}"
+        );
+    }
+
+    #[test]
+    fn well_formedness_grammar() {
+        assert!(Registry::well_formed("gc.step4.pre_unlink"));
+        assert!(Registry::well_formed("write:after"));
+        assert!(!Registry::well_formed("single"));
+        assert!(!Registry::well_formed("Bad.Case"));
+        assert!(!Registry::well_formed("op:during"));
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: an application that stays inside the logged API.
+
+pub fn handler(ctx: &mut SsfContext, input: Value) -> Result<Value> {
+    let cur = ctx.read("state", "k")?;
+    ctx.write("state", "k", bump(cur))?;
+    ctx.invoke("other", input)
+}

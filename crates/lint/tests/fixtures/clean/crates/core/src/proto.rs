@@ -1,0 +1,30 @@
+//! Fixture: a well-behaved core mutation path.
+//!
+//! The canary test deletes the `OP_EXIT` probe line below and asserts
+//! the coverage rule fires — proving a silently-dropped crash point
+//! fails the build.
+
+use crate::labels;
+
+pub fn logged_write(ctx: &Ctx, key: &str, v: Value) -> Result<()> {
+    ctx.crash(labels::OP_ENTER);
+    ctx.db.update("table", key, v)?;
+    ctx.crash(labels::OP_EXIT); // canary: coverage probe after the mutation
+    Ok(())
+}
+
+pub fn sweep(ctx: &Ctx, items: &[Item]) -> Result<()> {
+    ctx.crash(labels::OP_ENTER);
+    for it in items {
+        ctx.crash(labels::OP_PER_ITEM);
+        ctx.db.delete("table", &it.key)?;
+    }
+    ctx.crash(labels::OP_EXIT);
+    Ok(())
+}
+
+pub fn replay_order(reg: &HashMap<String, u64>) -> Vec<String> {
+    let mut names: Vec<String> = reg.keys().cloned().collect();
+    names.sort();
+    names
+}

@@ -1,0 +1,30 @@
+//! Fixture: disciplined lock usage.
+
+impl Table {
+    pub(crate) fn lock_partition(&self, p: usize) -> Guard<'_> {
+        self.partitions[p].lock()
+    }
+}
+
+impl Database {
+    pub fn transact(&self, ops: &[Op]) -> Result<()> {
+        let mut lock_set: BTreeSet<(&str, usize)> = BTreeSet::new();
+        for op in ops {
+            lock_set.insert((op.table(), self.route(op)));
+        }
+        let mut guards = Vec::new();
+        for &(table, part) in &lock_set {
+            guards.push(self.tables[table].lock_partition(part));
+        }
+        apply(ops, &mut guards)
+    }
+
+    pub fn row_count(&self, t: &Table) -> usize {
+        let mut rows = 0;
+        for p in 0..t.partition_count() {
+            let data = t.lock_partition(p);
+            rows += data.len();
+        }
+        rows
+    }
+}

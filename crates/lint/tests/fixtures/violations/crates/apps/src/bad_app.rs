@@ -1,0 +1,7 @@
+//! Fixture: an application bypassing the logged API.
+
+// logged-ops/direct-db
+pub fn handler(ctx: &mut SsfContext, v: Value) -> Result<Value> {
+    ctx.env.db.update("state", "k", v)?;
+    Ok(Value::Null)
+}

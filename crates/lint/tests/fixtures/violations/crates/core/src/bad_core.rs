@@ -1,0 +1,40 @@
+//! Fixture: one planted violation per core-scoped rule.
+
+use crate::labels;
+
+// determinism/wall-clock
+pub fn stamp() -> u64 {
+    let t = SystemTime::now();
+    to_ms(t)
+}
+
+// determinism/ad-hoc-rng
+pub fn fresh_id() -> u64 {
+    thread_rng().gen()
+}
+
+// determinism/hashmap-iter (no sort, no BTree in sight)
+pub fn visit(reg: &HashMap<String, u64>) -> Vec<String> {
+    let mut out = Vec::new();
+    for k in reg.keys() {
+        out.push(k.clone());
+    }
+    out
+}
+
+// crash-points/coverage: mutation with no probes at all
+pub fn unprobed_write(ctx: &Ctx, key: &str, v: Value) -> Result<()> {
+    ctx.db.update("table", key, v)
+}
+
+// crash-points/label-literal: probe fires a raw string
+pub fn literal_probe(ctx: &Ctx) {
+    ctx.crash("op.enter");
+}
+
+// crash-points/conditional: OP_EXIT is not WORK_DEPENDENT
+pub fn conditional_probe(ctx: &Ctx, found: bool) {
+    if found {
+        ctx.crash(labels::OP_EXIT);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: a crash plan naming a label the registry never declared.
+
+#[test]
+fn explores_nothing() {
+    let plan = CrashPlan::AtLabel("op.no_such_step".into());
+    run(plan);
+}

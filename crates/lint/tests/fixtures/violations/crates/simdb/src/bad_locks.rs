@@ -1,0 +1,18 @@
+//! Fixture: lock-order violations.
+
+impl Database {
+    // lock-order/raw-lock: raw acquisition outside lock_partition
+    pub fn peek(&self, p: usize) -> usize {
+        let data = self.partitions[p].lock();
+        data.len()
+    }
+
+    // lock-order/nested: guards retained across an unsorted Vec loop
+    pub fn transact(&self, parts: &Vec<usize>) -> Result<()> {
+        let mut guards = Vec::new();
+        for &p in parts {
+            guards.push(self.table.lock_partition(p));
+        }
+        apply(&mut guards)
+    }
+}

@@ -403,8 +403,8 @@ mod tests {
     fn no_plan_no_crash() {
         let inj = FaultInjector::new();
         inj.instance_started("i1");
-        inj.crash_point("i1", "write:before");
-        inj.crash_point("i1", "write:after");
+        inj.crash_point("i1", crate::labels::WRITE_BEFORE);
+        inj.crash_point("i1", crate::labels::WRITE_AFTER);
         assert_eq!(inj.injected_count(), 0);
         assert_eq!(inj.global_step(), 2);
     }

@@ -26,6 +26,7 @@
 
 mod error;
 mod fault;
+pub mod labels;
 mod metrics;
 mod platform;
 mod semaphore;

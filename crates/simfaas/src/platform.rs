@@ -385,6 +385,7 @@ fn describe_panic(panic: Box<dyn std::any::Any + Send>) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::labels;
     use beldi_value::vmap;
     use std::sync::atomic::AtomicUsize;
 
@@ -441,7 +442,8 @@ mod tests {
             "flaky",
             Arc::new(move |ctx: &InvocationCtx, _| -> Value {
                 p2.faults().instance_started(&ctx.request_id);
-                p2.faults().crash_point(&ctx.request_id, "write:after");
+                p2.faults()
+                    .crash_point(&ctx.request_id, labels::WRITE_AFTER);
                 Value::from("survived")
             }),
         );
@@ -458,7 +460,7 @@ mod tests {
             seed: 3,
         }));
         let err = p.invoke_sync("flaky", Value::Null).unwrap_err();
-        assert!(matches!(err, InvokeError::Crashed(ref pt) if pt.contains("write:after")));
+        assert!(matches!(err, InvokeError::Crashed(ref pt) if pt.contains(labels::WRITE_AFTER)));
         // Cap reached: next call survives.
         assert!(p.invoke_sync("flaky", Value::Null).is_ok());
     }

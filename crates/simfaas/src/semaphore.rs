@@ -32,6 +32,8 @@ impl Semaphore {
                 }
             }
             Some(t) => {
+                // beldi-lint: allow(determinism/wall-clock, real-time shutdown deadline for a
+                // host-side condvar wait; never observed by replayed SSF code)
                 let deadline = std::time::Instant::now() + t;
                 while *permits == 0 {
                     if self.cv.wait_until(&mut permits, deadline).timed_out() {

@@ -561,6 +561,8 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
     }
 
     let clock = env.clock().clone();
+    // beldi-lint: allow(determinism/wall-clock, wall-clock runtime is operator
+    // reporting only and never enters the simulated timeline or logged state)
     let wall_start = std::time::Instant::now();
     let start = clock.now();
     let errors = AtomicU64::new(0);
