@@ -14,10 +14,20 @@
 //! - `txn/pN` — 2-op cross-table transactions on random key pairs: the
 //!   ordered multi-partition commit path (which replaced the global
 //!   transaction lock) under thread contention.
+//!
+//! A second group, `beldi_hotkey`, measures the same adversarial single
+//! key through the *full Beldi protocol* (exactly-once logged writes via
+//! SSF invocations) with the DAAL write combiner off (`plain/wN`) and on
+//! (`combined/wN`): a fixed budget of hot-key appends split across `N`
+//! workers. The gap between the two series at `N ≥ 4` is the group-commit
+//! win — the combiner folds concurrent tail appends into one conditional
+//! write. Both series always run (criterion takes no custom flags); the
+//! equivalent driver A/B is `drive --write-combine`.
 
 use std::sync::Arc;
 
-use beldi::value::{vmap, Cond, Update};
+use beldi::value::{vmap, Cond, Update, Value};
+use beldi::{BeldiConfig, BeldiEnv, Mode};
 use beldi_simdb::{Database, PrimaryKey, TableSchema, TransactOp};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -104,6 +114,75 @@ fn txn_batch(db: &Database, keys: &[PrimaryKey]) {
     });
 }
 
+/// Total hot-key appends per measured batch, fixed across worker counts
+/// so batch times compare directly.
+const HOT_TOTAL_OPS: usize = 64;
+
+/// A Beldi-mode environment with one registered hot-key writer SSF and a
+/// seeded DAAL HEAD. Built fresh inside every measured iteration so chain
+/// length — and therefore traversal cost — is identical for every
+/// measurement; the construction cost is common to both series and
+/// cancels out of the plain-vs-combined comparison.
+fn hot_env(write_combine: bool) -> BeldiEnv {
+    let cfg = BeldiConfig::for_mode(Mode::Beldi)
+        .with_row_capacity(100)
+        .with_partitions(8)
+        .with_write_combine(write_combine);
+    let env = BeldiEnv::builder(cfg)
+        .latency(beldi_simdb::LatencyModel::dynamo())
+        .platform(beldi_bench::microbench_platform())
+        .clock_rate(5_000.0)
+        .seed(42)
+        .build();
+    env.register_ssf(
+        "hot",
+        &["t"],
+        Arc::new(|ctx, input: Value| {
+            ctx.write("t", "hot", input)?;
+            Ok(Value::Null)
+        }),
+    );
+    env.invoke("hot", Value::Int(-1)).expect("seed write");
+    env
+}
+
+/// One measured batch: `workers` threads share [`HOT_TOTAL_OPS`] appends
+/// to the single hot key, each through a full exactly-once invocation.
+fn hot_batch(env: &BeldiEnv, workers: usize) {
+    std::thread::scope(|s| {
+        for w in 0..workers {
+            s.spawn(move || {
+                let ops = HOT_TOTAL_OPS / workers;
+                for i in 0..ops {
+                    env.invoke("hot", Value::Int((w * ops + i) as i64))
+                        .expect("hot write");
+                }
+            });
+        }
+    });
+}
+
+fn bench_beldi_hotkey(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beldi_hotkey");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for workers in [1usize, 2, 4, 8] {
+        for (series, combine) in [("plain", false), ("combined", true)] {
+            group.bench_with_input(
+                BenchmarkId::new(series, format!("w{workers}")),
+                &workers,
+                |b, &workers| {
+                    b.iter(|| {
+                        let env = hot_env(combine);
+                        hot_batch(&env, workers);
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_contention(c: &mut Criterion) {
     let mut group = c.benchmark_group("contention");
     group.sample_size(10);
@@ -140,5 +219,5 @@ fn bench_contention(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_contention);
+criterion_group!(benches, bench_contention, bench_beldi_hotkey);
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 //!     [--workers 1,2,4,8] [--duration-ops 5000] [--seed 42] \
 //!     [--partitions 8] [--clock-rate 120] [--mix default|write-heavy] \
 //!     [--no-tail-cache] [--tail-cache-capacity N] \
+//!     [--write-combine] [--snapshot-reads] \
 //!     [--gc] [--gc-period-ms 500] [--gc-tmax-ms 2000] \
 //!     [--json BENCH_results.json] [--smoke]
 //! ```
@@ -14,7 +15,11 @@
 //! `--smoke` is the CI preset: all three apps × {beldi, cross-table},
 //! workers {1, 4}, 120 requests per run, a low clock rate for stability.
 //! `--no-tail-cache` disables the DAAL tail-row cache for A/B measurement
-//! of the hot-path fix. `--gc` turns on *online garbage collection*:
+//! of the hot-path fix. `--write-combine` routes unconditional DAAL
+//! appends through the group-commit combiner and `--snapshot-reads`
+//! serves traversal reads from per-instance table snapshots (both Beldi
+//! mode only; off = the uncombined paper protocol, for A/B
+//! measurement). `--gc` turns on *online garbage collection*:
 //! per-SSF collector functions run on virtual-time timers concurrently
 //! with the client workers, and every run records a storage-growth
 //! series (sampled per-table row counts, DAAL depths, cumulative GC
@@ -60,6 +65,8 @@ fn main() {
         tail_cache: !flag("--no-tail-cache"),
         tail_cache_capacity: beldi_bench::arg_value("--tail-cache-capacity")
             .and_then(|v| v.parse().ok()),
+        write_combine: flag("--write-combine"),
+        snapshot_reads: flag("--snapshot-reads"),
         gc: flag("--gc"),
         gc_period: Duration::from_millis(beldi_bench::arg_usize("--gc-period-ms", 500) as u64),
         gc_t_max: Duration::from_millis(beldi_bench::arg_usize("--gc-tmax-ms", 2_000) as u64),

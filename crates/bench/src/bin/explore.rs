@@ -7,7 +7,8 @@
 //! cargo run -p beldi-bench --release --bin explore -- \
 //!     [--app media|social|travel|all] [--mode beldi|cross-table|baseline|all] \
 //!     [--requests 4] [--seed 42] [--stride 1] [--depth2-samples 0] \
-//!     [--max-schedules N] [--gc-check] [--gc-interleave] [--smoke] [--canary]
+//!     [--max-schedules N] [--gc-check] [--gc-interleave] [--smoke] \
+//!     [--write-combine] [--canary] [--canary-combine]
 //! ```
 //!
 //! `--gc-interleave` runs one garbage-collector pass per SSF after every
@@ -16,12 +17,17 @@
 //! paper's six steps while SSF traffic is live.
 //!
 //! `--smoke` is the CI configuration: fewer requests and a strided sweep
-//! so all apps finish in seconds. `--canary` plants a deliberate
+//! so all apps finish in seconds. `--write-combine` routes unconditional
+//! DAAL appends through the write combiner, adding the `daal.combine.*`
+//! crash points to the sweep. `--canary` plants a deliberate
 //! exactly-once bug and *expects* the sweep to report violations (exit 0
 //! when it does — the self-test). The canary runs on the synthetic
 //! `pipeline` workload, whose gate write recomputes from an earlier read
 //! — the dependency shape a read-replay bug needs to become visible
 //! (pass `--app` explicitly to canary a different workload).
+//! `--canary-combine` (implies `--write-combine`) plants the combiner's
+//! bug instead: the leader skips replay detection, so a crashed and
+//! re-executed combined append double-applies.
 //!
 //! Exit status: 0 when every sweep is clean (or, under `--canary`, when
 //! the bug was caught); 1 otherwise. Every violation line carries the
@@ -42,6 +48,8 @@ fn main() {
     let mode_arg = beldi_bench::arg_value("--mode").unwrap_or_else(|| "all".into());
     let smoke = flag("--smoke");
     let canary = flag("--canary");
+    let canary_combine = flag("--canary-combine");
+    let any_canary = canary || canary_combine;
 
     let opts = ExploreOptions {
         requests: beldi_bench::arg_usize("--requests", if smoke { 2 } else { 4 }),
@@ -52,10 +60,12 @@ fn main() {
         gc_check: flag("--gc-check"),
         gc_interleave: flag("--gc-interleave"),
         canary,
+        write_combine: flag("--write-combine") || canary_combine,
+        canary_combine,
     };
 
     let apps: Vec<&str> = match app_arg.as_str() {
-        "all" if canary => vec!["pipeline"],
+        "all" if any_canary => vec!["pipeline"],
         "all" => vec!["media", "social", "travel"],
         one => vec![one],
     };
@@ -131,7 +141,7 @@ fn main() {
         }
     }
 
-    if canary {
+    if any_canary {
         if all_violations.is_empty() {
             eprintln!("canary mode: the planted bug was NOT detected — the checker is broken");
             std::process::exit(1);

@@ -88,14 +88,20 @@ pub fn arg_flag(name: &str) -> bool {
 /// point get — and §7.3's "one extra scan per read" would vanish with
 /// the cache warm. Pass `--tail-cache` to measure the optimized path;
 /// the app-level harnesses and the workload driver keep the runtime
-/// default (cache on).
+/// default (cache on). The same opt-in logic covers the group-commit
+/// optimizations: `--write-combine` routes DAAL appends through the
+/// write combiner and `--snapshot-reads` serves reads from per-instance
+/// table snapshots; both default off, preserving the paper protocol.
 pub fn experiment_env(
     mode: Mode,
     row_capacity: usize,
     clock_rate: f64,
     partitions: usize,
 ) -> BeldiEnv {
-    let cfg = config_for(mode, row_capacity, partitions).with_tail_cache(arg_flag("--tail-cache"));
+    let cfg = config_for(mode, row_capacity, partitions)
+        .with_tail_cache(arg_flag("--tail-cache"))
+        .with_write_combine(arg_flag("--write-combine"))
+        .with_snapshot_reads(arg_flag("--snapshot-reads"));
     BeldiEnv::builder(cfg)
         .latency(beldi_simdb::LatencyModel::dynamo())
         .platform(microbench_platform())

@@ -1,0 +1,698 @@
+//! Write-combining group commit over the DAAL tail.
+//!
+//! The `contention` bench shows the hot-key regime the paper's workflows
+//! (payment counters, hot inventory rows) hit first: every log append is
+//! one conditional update against one tail row in one partition, so
+//! throughput on a single hot key is flat no matter how many workers or
+//! partitions exist. This module amortizes that per-write coordination
+//! cost the flat-combining way: concurrent loggers targeting the same
+//! `(table, key)` enqueue their intent, the first of them is elected
+//! *leader*, and the leader folds the whole queue into a **single**
+//! conditional write against the tail row — one scan plus one update for
+//! the entire batch instead of one of each per entry. Followers park on
+//! virtual-time-aware wakeups until the leader publishes their per-entry
+//! outcome.
+//!
+//! # Why combining cannot break exactly-once
+//!
+//! Combining is purely an optimization layered *above* the DAAL write
+//! protocol; the database conditions keep enforcing safety on their own:
+//!
+//! - the folded flush carries `not_exists(RecentWrites.lk)` for **every**
+//!   entry in the batch, plus the tail/log-room conditions of case B, so
+//!   a flush that raced a re-execution, a concurrent leader, or a chain
+//!   extension simply fails its condition and decides nothing;
+//! - before flushing, the leader replays case A for the whole batch at
+//!   once against the *full* chain (a crashed instance's re-executed step
+//!   may be logged in any row, not just the tail);
+//! - any entry the leader cannot decide — condition raced, tail full,
+//!   chain absent, leader crashed — falls back to the solo
+//!   [`daal::try_write`], which is always safe to retry: its own case-A
+//!   scan returns the logged outcome if the folded flush actually landed.
+//!
+//! Because every path is safe, *nothing* about the combiner needs to be
+//! reliable: groups may be evicted mid-flight, two leaders may run
+//! concurrently after an eviction, followers may time out spuriously —
+//! each of those costs at most some solo retries, never a duplicated or
+//! dropped entry. Leader crashes are modelled too: the explorer kills
+//! leaders at the `daal.combine.*` crash points, and drop guards publish
+//! fallback to every undecided follower on the way out.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use beldi_simclock::SharedClock;
+use beldi_simdb::{DbError, PrimaryKey, Projection, ScanRequest};
+use beldi_value::{Cond, Path, Update, Value};
+use parking_lot::Mutex;
+
+use crate::daal::{self, DaalParams, TailCache, WriteOutcome, WritePayload};
+use crate::error::BeldiResult;
+use crate::labels;
+use crate::schema::{A_CREATED, A_KEY, A_LOG_SIZE, A_NEXT_ROW, A_ROW_ID, A_WRITES};
+
+/// Number of independently locked combiner shards.
+const COMBINE_SHARDS: usize = 16;
+
+/// Bound on resident groups per shard. Evicting a group — even one with
+/// an active leader — is safe (see the module docs): enqueuers simply
+/// start a fresh group, and the DB conditions arbitrate between the two
+/// leaders. The bound only exists so production key cardinality cannot
+/// grow the map for the life of the process.
+const GROUPS_PER_SHARD: usize = 256;
+
+/// Follower wakeup granularity (virtual time).
+const FOLLOWER_NAP: Duration = Duration::from_micros(50);
+
+/// Follower patience before giving up on the leader and retrying solo.
+/// 10 000 naps ≈ 0.5 s of virtual time — far beyond any leader round,
+/// but finite so a crashed leader whose guards were bypassed (impossible
+/// today; defensive) cannot strand a follower forever.
+const MAX_FOLLOWER_NAPS: usize = 10_000;
+
+/// How one enqueued entry was decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotResult {
+    /// The leader decided the entry: flushed it, or replayed its logged
+    /// outcome (case A).
+    Done(WriteOutcome),
+    /// The leader could not decide the entry; the enqueuer must run the
+    /// solo protocol (always safe, see the module docs).
+    Fallback,
+}
+
+/// The per-entry mailbox a follower parks on.
+#[derive(Default)]
+struct Slot {
+    result: Mutex<Option<SlotResult>>,
+}
+
+impl Slot {
+    fn publish(&self, result: SlotResult) {
+        let mut guard = self.result.lock();
+        // First decision wins: a drop guard may race the (already
+        // completed) normal publish path during unwinding.
+        if guard.is_none() {
+            *guard = Some(result);
+        }
+    }
+
+    fn peek(&self) -> Option<SlotResult> {
+        *self.result.lock()
+    }
+}
+
+/// One enqueued intent: the entry's log key, its update fragment, and the
+/// mailbox its enqueuer watches. Entries carry owned data only — the
+/// leader runs them under *its* crash scope, with its own probes.
+struct PendingEntry {
+    log_key: String,
+    apply: Update,
+    slot: Arc<Slot>,
+}
+
+/// Queue state of one `(table, key)` group.
+#[derive(Default)]
+struct GroupState {
+    pending: Vec<PendingEntry>,
+    /// True while some logger is draining this group's queue.
+    leader_active: bool,
+}
+
+/// One hot key's combining point.
+#[derive(Default)]
+struct Group {
+    state: Mutex<GroupState>,
+}
+
+/// One shard of the combiner's group map, keyed by `(table, key)`.
+type GroupShard = Mutex<HashMap<(String, String), Arc<Group>>>;
+
+/// The per-environment combiner: a sharded map of `(table, key)` groups
+/// plus counters for the benchmark reports.
+pub(crate) struct Combiner {
+    shards: Vec<GroupShard>,
+    /// Folded flushes that landed.
+    batches: AtomicU64,
+    /// Entries decided by a folded flush or a batched replay check.
+    combined: AtomicU64,
+    /// Entries that fell back to the solo protocol.
+    fallbacks: AtomicU64,
+}
+
+impl Combiner {
+    pub fn new() -> Self {
+        Combiner {
+            shards: (0..COMBINE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            batches: AtomicU64::new(0),
+            combined: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// `(landed batches, combined entries, solo fallbacks)` since creation.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.batches.load(Ordering::Relaxed),
+            self.combined.load(Ordering::Relaxed),
+            self.fallbacks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// FNV-1a shard routing over table and key (mirrors the tail cache).
+    fn shard(&self, table: &str, key: &str) -> &Mutex<HashMap<(String, String), Arc<Group>>> {
+        use std::hash::Hasher;
+        let mut h = beldi_value::Fnv1a::new();
+        h.write(table.as_bytes());
+        h.write(key.as_bytes());
+        &self.shards[(h.finish() as usize) % COMBINE_SHARDS]
+    }
+
+    /// The group for `(table, key)`, created on first use. Inserting into
+    /// a full shard evicts an arbitrary resident group first (safe — see
+    /// [`GROUPS_PER_SHARD`]).
+    fn group(&self, table: &str, key: &str) -> Arc<Group> {
+        let mut shard = self.shard(table, key).lock();
+        let entry_key = (table.to_owned(), key.to_owned());
+        if let Some(group) = shard.get(&entry_key) {
+            return group.clone();
+        }
+        if shard.len() >= GROUPS_PER_SHARD {
+            if let Some(victim) = shard.keys().next().cloned() {
+                shard.remove(&victim);
+            }
+        }
+        let group = Arc::new(Group::default());
+        shard.insert(entry_key, group.clone());
+        group
+    }
+}
+
+/// Clears the leader flag and fails the un-drained queue when a leader
+/// leaves — normally or by unwinding through an injected crash. Entries
+/// failed here retry solo; enqueuers arriving afterwards elect themselves.
+struct LeaderGuard<'a> {
+    group: &'a Group,
+    armed: bool,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let mut state = self.group.state.lock();
+        state.leader_active = false;
+        for entry in state.pending.drain(..) {
+            entry.slot.publish(SlotResult::Fallback);
+        }
+    }
+}
+
+/// Publishes fallback to every still-undecided slot of the in-flight
+/// batch when the leader unwinds mid-round, so followers recover without
+/// waiting out their full patience. Idempotent against the normal publish
+/// path (first decision wins).
+struct BatchGuard {
+    slots: Vec<Arc<Slot>>,
+}
+
+impl Drop for BatchGuard {
+    fn drop(&mut self) {
+        for slot in &self.slots {
+            slot.publish(SlotResult::Fallback);
+        }
+    }
+}
+
+/// Executes one exactly-once DAAL write step through the combiner.
+///
+/// Semantically identical to [`daal::try_write`] with no user condition;
+/// only the coordination cost differs. `drop_replay` is the planted-bug
+/// canary: it makes the leader skip both replay guards (the batched
+/// case-A check and the per-entry flush conditions), which the
+/// crash-schedule explorer must catch as a state divergence.
+#[allow(clippy::too_many_arguments)] // Internal seam; mirrors try_write + combiner wiring.
+pub(crate) fn combined_write(
+    p: &DaalParams<'_>,
+    combiner: &Combiner,
+    cache: Option<&TailCache>,
+    clock: &SharedClock,
+    table: &str,
+    key: &str,
+    log_key: &str,
+    payload: &WritePayload,
+    drop_replay: bool,
+) -> BeldiResult<WriteOutcome> {
+    (p.crash)(labels::DAAL_COMBINE_ENTER);
+    let group = combiner.group(table, key);
+    let slot = Arc::new(Slot::default());
+    let elected = {
+        let mut state = group.state.lock();
+        state.pending.push(PendingEntry {
+            log_key: log_key.to_owned(),
+            apply: payload.apply.clone(),
+            slot: slot.clone(),
+        });
+        if state.leader_active {
+            false
+        } else {
+            state.leader_active = true;
+            true
+        }
+    };
+    if elected {
+        lead(p, combiner, cache, &group, table, key, drop_replay)?;
+    } else {
+        (p.crash)(labels::DAAL_COMBINE_FOLLOWER_WAIT);
+        for _ in 0..MAX_FOLLOWER_NAPS {
+            if slot.peek().is_some() {
+                break;
+            }
+            clock.sleep(FOLLOWER_NAP);
+        }
+    }
+    match slot.peek() {
+        Some(SlotResult::Done(outcome)) => Ok(outcome),
+        // Undecided (timed out) or explicit fallback: run the solo
+        // protocol. Always safe — if the folded flush landed after all,
+        // try_write's case-A scan replays the logged outcome.
+        Some(SlotResult::Fallback) | None => {
+            combiner.fallbacks.fetch_add(1, Ordering::Relaxed);
+            daal::try_write(p, table, key, log_key, payload, None)
+        }
+    }
+}
+
+/// The leader loop: drain the queue, fold each drained batch into one
+/// conditional flush, repeat until the queue is observed empty, then
+/// retire (clearing the leader flag under the same lock that proved the
+/// queue empty, so no enqueuer is left leaderless).
+fn lead(
+    p: &DaalParams<'_>,
+    combiner: &Combiner,
+    cache: Option<&TailCache>,
+    group: &Group,
+    table: &str,
+    key: &str,
+    drop_replay: bool,
+) -> BeldiResult<()> {
+    let mut guard = LeaderGuard { group, armed: true };
+    loop {
+        let batch = {
+            let mut state = group.state.lock();
+            if state.pending.is_empty() {
+                state.leader_active = false;
+                guard.armed = false;
+                return Ok(());
+            }
+            std::mem::take(&mut state.pending)
+        };
+        flush_batch(p, combiner, cache, table, key, batch, drop_replay)?;
+    }
+}
+
+/// Decides one drained batch: batched case-A replay over the full chain,
+/// then a single folded conditional flush at the tail, then one publish.
+fn flush_batch(
+    p: &DaalParams<'_>,
+    combiner: &Combiner,
+    cache: Option<&TailCache>,
+    table: &str,
+    key: &str,
+    batch: Vec<PendingEntry>,
+    drop_replay: bool,
+) -> BeldiResult<()> {
+    let guard = BatchGuard {
+        slots: batch.iter().map(|e| e.slot.clone()).collect(),
+    };
+    // One scan serves the whole batch, projected down to the chain
+    // skeleton plus exactly the batch's log-key paths: the replay check
+    // needs each entry's flag from *any* row (a re-executed step may be
+    // logged anywhere in the chain, not just the tail), and the tail row's
+    // id/link/size feed the flush condition — but never the full
+    // RecentWrites maps, whose bytes would cost more scan latency than
+    // the folded flush saves.
+    let mut proj = Projection::attrs([A_ROW_ID, A_NEXT_ROW, A_LOG_SIZE]);
+    for entry in &batch {
+        proj = proj.with_path(Path::attr(A_WRITES).then_attr(&entry.log_key));
+    }
+    let rows = p.db.query(
+        table,
+        &Value::from(key),
+        &ScanRequest::all().with_projection(proj),
+    )?;
+    let chain = daal::chain_from_rows(rows)?;
+
+    // Case A, batched: replay already-logged entries from any chain row.
+    let mut results: Vec<SlotResult> = vec![SlotResult::Fallback; batch.len()];
+    if !drop_replay {
+        for (i, entry) in batch.iter().enumerate() {
+            let logged = chain.iter().find_map(|row| {
+                row.get_path(&Path::attr(A_WRITES).then_attr(&entry.log_key))
+                    .ok()
+                    .flatten()
+            });
+            if let Some(flag) = logged {
+                results[i] = SlotResult::Done(WriteOutcome::from_flag(flag));
+            }
+        }
+    }
+    let fresh: Vec<usize> = (0..batch.len())
+        .filter(|&i| results[i] == SlotResult::Fallback)
+        .collect();
+
+    // Fold the fresh entries into one conditional write at the tail. An
+    // absent chain falls back (the solo protocol seeds HEAD), as do
+    // entries beyond the tail row's remaining log room (the solo protocol
+    // appends the next row; the following batch combines into it).
+    if let Some(tail) = chain.last() {
+        let room = (p.capacity as i64 - tail.get_int(A_LOG_SIZE).unwrap_or(0)).max(0) as usize;
+        let take = fresh.len().min(room);
+        if take > 0 {
+            let flushed = &fresh[..take];
+            let mut cond = Cond::exists(A_KEY).and(Cond::not_exists(A_NEXT_ROW)).and(
+                Cond::not_exists(A_LOG_SIZE).or(Cond::lt(
+                    A_LOG_SIZE,
+                    Value::Int((p.capacity - take + 1) as i64),
+                )),
+            );
+            let mut update = Update::new()
+                .inc(A_LOG_SIZE, take as i64)
+                .set_if_absent(A_CREATED, Value::Int(p.now_ms as i64));
+            for &i in flushed {
+                let entry = &batch[i];
+                if !drop_replay {
+                    cond = cond.and(Cond::not_exists(
+                        Path::attr(A_WRITES).then_attr(&entry.log_key),
+                    ));
+                }
+                // Apply fragments in enqueue order (last set wins), then
+                // mark the entry logged — the folded equivalent of one
+                // case-B update per entry.
+                update = daal::merge(&update, &entry.apply).set(
+                    Path::attr(A_WRITES).then_attr(&entry.log_key),
+                    Value::Bool(true),
+                );
+            }
+            let tail_id = tail.get_str(A_ROW_ID).unwrap_or(crate::schema::ROW_HEAD);
+            let pk = PrimaryKey::hash_sort(key, tail_id);
+            (p.crash)(labels::DAAL_COMBINE_PRE_FLUSH);
+            match p.db.update(table, &pk, &cond, &update) {
+                Ok(()) => {
+                    (p.crash)(labels::DAAL_COMBINE_POST_FLUSH);
+                    // The tail row gained entries but stayed the tail;
+                    // refresh the cache so hot-key readers keep hitting.
+                    if let Some(cache) = cache {
+                        cache.put(table, key, tail_id);
+                    }
+                    for &i in flushed {
+                        results[i] = SlotResult::Done(WriteOutcome::Applied);
+                    }
+                    combiner.batches.fetch_add(1, Ordering::Relaxed);
+                }
+                // Raced a concurrent leader, a re-execution, or a chain
+                // extension: decide nothing, let the entries retry solo.
+                Err(DbError::ConditionFailed) => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    (p.crash)(labels::DAAL_COMBINE_PRE_PUBLISH);
+    let mut decided = 0u64;
+    for (entry, &result) in batch.iter().zip(results.iter()) {
+        if matches!(result, SlotResult::Done(_)) {
+            decided += 1;
+        }
+        entry.slot.publish(result);
+    }
+    combiner.combined.fetch_add(decided, Ordering::Relaxed);
+    drop(guard); // Everything is decided; nothing left to fail over.
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daal::{read_value, read_value_cached, traverse};
+    use crate::schema::daal_schema;
+    use beldi_simclock::ScaledClock;
+    use beldi_simdb::Database;
+    use std::sync::atomic::AtomicU64;
+
+    fn no_crash(_: &str) {}
+
+    struct Fixture {
+        db: std::sync::Arc<Database>,
+        combiner: Combiner,
+        clock: SharedClock,
+        counter: AtomicU64,
+    }
+
+    impl Fixture {
+        fn new() -> Self {
+            let db = Database::for_tests();
+            db.create_table("t", daal_schema()).unwrap();
+            Fixture {
+                db,
+                combiner: Combiner::new(),
+                clock: ScaledClock::shared(100_000.0),
+                counter: AtomicU64::new(0),
+            }
+        }
+
+        fn write_with(
+            &self,
+            key: &str,
+            log_key: &str,
+            v: i64,
+            crash: &dyn Fn(&str),
+        ) -> WriteOutcome {
+            let ids = &self.counter;
+            let gen = move || format!("R{}", ids.fetch_add(1, Ordering::Relaxed));
+            let p = DaalParams {
+                db: &self.db,
+                capacity: 3,
+                now_ms: 0,
+                crash,
+                new_row_id: &gen,
+            };
+            combined_write(
+                &p,
+                &self.combiner,
+                None,
+                &self.clock,
+                "t",
+                key,
+                log_key,
+                &WritePayload::set_value(Value::Int(v)),
+                false,
+            )
+            .unwrap()
+        }
+
+        fn write(&self, key: &str, log_key: &str, v: i64) -> WriteOutcome {
+            self.write_with(key, log_key, v, &no_crash)
+        }
+
+        fn value(&self, key: &str) -> Value {
+            read_value(&self.db, "t", key).unwrap()
+        }
+
+        fn logged_entries(&self, key: &str) -> usize {
+            self.db
+                .query("t", &Value::from(key), &ScanRequest::all())
+                .unwrap()
+                .iter()
+                .filter_map(|r| r.get_attr(A_WRITES))
+                .filter_map(|w| w.as_map())
+                .map(|m| m.len())
+                .sum()
+        }
+    }
+
+    #[test]
+    fn solo_combined_writes_match_the_plain_protocol() {
+        let f = Fixture::new();
+        // Fresh key: empty chain falls back to solo, which seeds HEAD.
+        assert_eq!(f.write("k", "i#0", 7), WriteOutcome::Applied);
+        assert_eq!(f.value("k"), Value::Int(7));
+        // Subsequent writes flush through the combiner (batch of one).
+        for step in 1..10 {
+            assert_eq!(
+                f.write("k", &format!("i#{step}"), step),
+                WriteOutcome::Applied
+            );
+        }
+        assert_eq!(f.value("k"), Value::Int(9));
+        // Capacity 3 → 10 writes span 4 rows, exactly like try_write.
+        assert_eq!(traverse(&f.db, "t", "k", None).unwrap().chain.len(), 4);
+        assert_eq!(f.logged_entries("k"), 10);
+    }
+
+    #[test]
+    fn combined_replay_returns_logged_outcome_across_chain_growth() {
+        let f = Fixture::new();
+        f.write("k", "early#0", 42);
+        for step in 0..7 {
+            f.write("k", &format!("later#{step}"), step);
+        }
+        // The early write's record lives in a non-tail row now; the
+        // batched case-A check must find it there and not re-apply.
+        assert_eq!(f.write("k", "early#0", 0), WriteOutcome::Applied);
+        assert_eq!(f.value("k"), Value::Int(6));
+        assert_eq!(f.logged_entries("k"), 8);
+    }
+
+    #[test]
+    fn hot_key_stress_conserves_exactly_once_entries() {
+        use std::sync::Arc;
+        let f = Arc::new(Fixture::new());
+        f.write("hot", "seed#0", -1);
+        let mut handles = Vec::new();
+        for w in 0..8 {
+            let f = Arc::clone(&f);
+            handles.push(std::thread::spawn(move || {
+                for s in 0..20 {
+                    f.write("hot", &format!("w{w}#{s}"), (w * 100 + s) as i64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 1 seed + 160 combined writes, each logged exactly once across
+        // the chain — the same conservation law the solo protocol obeys.
+        assert_eq!(f.logged_entries("hot"), 161);
+        assert!(matches!(f.value("hot"), Value::Int(_)));
+        let (batches, combined, fallbacks) = f.combiner.stats();
+        // Every entry was decided somewhere: folded or solo.
+        assert_eq!(combined + fallbacks, 161);
+        let _ = batches;
+    }
+
+    #[test]
+    fn combined_flush_advances_the_tail_cache_at_eviction_boundaries() {
+        let f = Fixture::new();
+        let cache = TailCache::with_capacity(1); // 1 entry/shard: max churn.
+        let ids = &f.counter;
+        let gen = move || format!("R{}", ids.fetch_add(1, Ordering::Relaxed));
+        let p = DaalParams {
+            db: &f.db,
+            capacity: 3,
+            now_ms: 0,
+            crash: &no_crash,
+            new_row_id: &gen,
+        };
+        // Drive writes through the combiner with the cache attached; at
+        // every step — including the capacity boundaries where the chain
+        // extends and the cached tail goes stale — the validated cached
+        // read must agree with a fresh traversal.
+        for step in 0..12 {
+            combined_write(
+                &p,
+                &f.combiner,
+                Some(&cache),
+                &f.clock,
+                "t",
+                "k",
+                &format!("i#{step}"),
+                &WritePayload::set_value(Value::Int(step)),
+                false,
+            )
+            .unwrap();
+            let cached = read_value_cached(&f.db, Some(&cache), "t", "k").unwrap();
+            assert_eq!(cached, f.value("k"), "after step {step}");
+        }
+        assert_eq!(f.value("k"), Value::Int(11));
+        assert_eq!(traverse(&f.db, "t", "k", None).unwrap().chain.len(), 4);
+    }
+
+    #[test]
+    fn crashed_leader_releases_the_group_and_stays_exactly_once() {
+        let f = Fixture::new();
+        f.write("k", "i#0", 1);
+        // Crash the leader at the flush's crash points, one at a time;
+        // the LeaderGuard must clear the flag so the retry can lead, and
+        // the retry must apply the entry exactly once.
+        for (attempt, label) in [
+            labels::DAAL_COMBINE_PRE_FLUSH,
+            labels::DAAL_COMBINE_POST_FLUSH,
+            labels::DAAL_COMBINE_PRE_PUBLISH,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let lk = format!("crash#{attempt}");
+            let boom = |l: &str| {
+                if l == *label {
+                    panic!("injected: {l}");
+                }
+            };
+            let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                f.write_with("k", &lk, 100 + attempt as i64, &boom);
+            }));
+            assert!(hit.is_err(), "crash at {label} should unwind");
+            // Retry of the same step succeeds and is not double-applied.
+            assert_eq!(
+                f.write("k", &lk, 100 + attempt as i64),
+                WriteOutcome::Applied
+            );
+        }
+        assert_eq!(f.logged_entries("k"), 4);
+        assert_eq!(f.value("k"), Value::Int(102));
+    }
+
+    #[test]
+    fn full_tail_falls_back_and_next_batch_combines_into_the_new_row() {
+        let f = Fixture::new();
+        for step in 0..3 {
+            f.write("k", &format!("i#{step}"), step);
+        }
+        // Tail is full: the next combined write has zero room, falls back
+        // to solo (which appends row 2), and later writes combine again.
+        assert_eq!(f.write("k", "i#3", 3), WriteOutcome::Applied);
+        assert_eq!(f.write("k", "i#4", 4), WriteOutcome::Applied);
+        assert_eq!(f.value("k"), Value::Int(4));
+        assert_eq!(f.logged_entries("k"), 5);
+    }
+
+    #[test]
+    fn canary_drop_replay_double_applies() {
+        // The planted bug the explorer sweep must catch: with the replay
+        // guards dropped, re-executing a logged step re-applies it.
+        let f = Fixture::new();
+        f.write("k", "i#0", 1);
+        f.write("k", "i#1", 2);
+        let ids = &f.counter;
+        let gen = move || format!("R{}", ids.fetch_add(1, Ordering::Relaxed));
+        let p = DaalParams {
+            db: &f.db,
+            capacity: 3,
+            now_ms: 0,
+            crash: &no_crash,
+            new_row_id: &gen,
+        };
+        let out = combined_write(
+            &p,
+            &f.combiner,
+            None,
+            &f.clock,
+            "t",
+            "k",
+            "i#1", // Already logged.
+            &WritePayload::set_value(Value::Int(999)),
+            true, // drop_replay
+        )
+        .unwrap();
+        assert_eq!(out, WriteOutcome::Applied);
+        // The write landed a second time: value diverges from the
+        // correct protocol's (which would have replayed Int(2)'s step).
+        assert_eq!(f.value("k"), Value::Int(999));
+    }
+}

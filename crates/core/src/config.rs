@@ -72,6 +72,32 @@ pub struct BeldiConfig {
     /// correct; this one is O(1) and keeps the hot working set resident
     /// as long as it fits.
     pub daal_tail_cache_capacity: usize,
+    /// Combine concurrent DAAL log appends to one `(table, key)` into a
+    /// single conditional write against the tail row (Beldi mode only;
+    /// see `combine::Combiner`).
+    ///
+    /// Under hot-key contention every logger otherwise pays its own
+    /// traversal scan plus conditional update against the same tail row;
+    /// with combining, one elected leader folds the whole queue into one
+    /// scan and one multi-entry update and publishes per-entry results.
+    /// Per-entry log keys, replay detection, and exactly-once semantics
+    /// are preserved; any batch the fold cannot prove safe falls back to
+    /// the per-entry paper protocol. Off by default — the A/B knob behind
+    /// the driver's `--write-combine` flag.
+    pub daal_write_combine: bool,
+    /// Serve DAAL value reads from a per-instance consistent table
+    /// snapshot instead of re-scanning the live chain per read (Beldi
+    /// mode only, non-transactional reads only).
+    ///
+    /// The first read an instance makes against a table materializes a
+    /// snapshot of that table (`Database::snapshot_table`, paid as one
+    /// scan); subsequent reads of the same table are served from the
+    /// snapshot — snapshot isolation rather than per-read linearizable
+    /// reads. Read logging (first-writer-wins replay) is unchanged, and
+    /// a write through the same instance invalidates its table snapshot,
+    /// so read-your-own-writes still holds. Off by default — the A/B
+    /// knob behind the driver's `--snapshot-reads` flag.
+    pub snapshot_reads: bool,
     /// **Test-only sabotage switch** (the crash explorer's canary): when
     /// set, read-log appends skip their first-writer-wins guard, so a
     /// re-executed instance re-reads *fresh* state instead of replaying
@@ -82,6 +108,16 @@ pub struct BeldiConfig {
     /// plain `beldi` builds cannot reach the sabotage.
     #[cfg(feature = "canary")]
     pub canary_skip_read_guard: bool,
+    /// **Test-only sabotage switch** for the write combiner: when set,
+    /// the combine leader drops the per-entry replay guard — it neither
+    /// checks the chain for already-logged entries nor carries the
+    /// per-entry `not_exists(Writes.{log_key})` condition in its folded
+    /// flush — so a crashed-and-re-executed combined append re-applies
+    /// its effect. The explorer self-test enables this and asserts the
+    /// sweep detects the divergence. Only compiled with the `canary`
+    /// cargo feature.
+    #[cfg(feature = "canary")]
+    pub canary_combine_drop_replay: bool,
 }
 
 impl BeldiConfig {
@@ -97,8 +133,12 @@ impl BeldiConfig {
             partitions: beldi_simdb::DEFAULT_PARTITIONS,
             daal_tail_cache: true,
             daal_tail_cache_capacity: DEFAULT_TAIL_CACHE_CAPACITY,
+            daal_write_combine: false,
+            snapshot_reads: false,
             #[cfg(feature = "canary")]
             canary_skip_read_guard: false,
+            #[cfg(feature = "canary")]
+            canary_combine_drop_replay: false,
         }
     }
 
@@ -183,11 +223,33 @@ impl BeldiConfig {
         self
     }
 
+    /// Enables or disables DAAL write combining (builder style; off by
+    /// default — see [`BeldiConfig::daal_write_combine`]).
+    pub fn with_write_combine(mut self, on: bool) -> Self {
+        self.daal_write_combine = on;
+        self
+    }
+
+    /// Enables or disables snapshot-isolation reads (builder style; off
+    /// by default — see [`BeldiConfig::snapshot_reads`]).
+    pub fn with_snapshot_reads(mut self, on: bool) -> Self {
+        self.snapshot_reads = on;
+        self
+    }
+
     /// Sets the canary sabotage switch (builder style; see
     /// [`BeldiConfig::canary_skip_read_guard`]). Test-only.
     #[cfg(feature = "canary")]
     pub fn with_canary_skip_read_guard(mut self, on: bool) -> Self {
         self.canary_skip_read_guard = on;
+        self
+    }
+
+    /// Sets the combiner canary sabotage switch (builder style; see
+    /// [`BeldiConfig::canary_combine_drop_replay`]). Test-only.
+    #[cfg(feature = "canary")]
+    pub fn with_canary_combine_drop_replay(mut self, on: bool) -> Self {
+        self.canary_combine_drop_replay = on;
         self
     }
 
@@ -197,6 +259,19 @@ impl BeldiConfig {
         #[cfg(feature = "canary")]
         {
             self.canary_skip_read_guard
+        }
+        #[cfg(not(feature = "canary"))]
+        {
+            false
+        }
+    }
+
+    /// True when the combiner canary sabotage is active. Always false
+    /// without the `canary` cargo feature.
+    pub(crate) fn canary_combine_active(&self) -> bool {
+        #[cfg(feature = "canary")]
+        {
+            self.canary_combine_drop_replay
         }
         #[cfg(not(feature = "canary"))]
         {
@@ -243,6 +318,20 @@ mod tests {
             BeldiConfig::beldi().partitions,
             beldi_simdb::DEFAULT_PARTITIONS
         );
+    }
+
+    #[test]
+    fn combine_and_snapshot_flags_default_off() {
+        for mode in [Mode::Beldi, Mode::CrossTable, Mode::Baseline] {
+            let c = BeldiConfig::for_mode(mode);
+            assert!(!c.daal_write_combine, "combining must be opt-in");
+            assert!(!c.snapshot_reads, "snapshot reads must be opt-in");
+        }
+        let c = BeldiConfig::beldi()
+            .with_write_combine(true)
+            .with_snapshot_reads(true);
+        assert!(c.daal_write_combine);
+        assert!(c.snapshot_reads);
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct SsfContext {
     pub(crate) caller: Option<String>,
     pub(crate) is_async: bool,
     pub(crate) txn: Option<TxnState>,
+    /// Lazily materialized per-table snapshots for snapshot-isolation
+    /// reads ([`crate::BeldiConfig::snapshot_reads`]), keyed by physical
+    /// table name. Empty unless the flag is on; a write through this
+    /// context drops the written table's entry (read-your-own-writes).
+    pub(crate) snapshots: std::collections::HashMap<String, beldi_simdb::TableSnapshot>,
 }
 
 impl SsfContext {
@@ -54,6 +59,7 @@ impl SsfContext {
             caller,
             is_async,
             txn,
+            snapshots: std::collections::HashMap::new(),
         }
     }
 

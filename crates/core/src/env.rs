@@ -86,6 +86,9 @@ pub(crate) struct EnvCore {
     /// Tail-row cache for DAAL reads (`Some` only in Beldi mode with
     /// [`BeldiConfig::daal_tail_cache`] on).
     pub tail_cache: Option<daal::TailCache>,
+    /// Write combiner for DAAL appends (`Some` only in Beldi mode with
+    /// [`BeldiConfig::daal_write_combine`] on).
+    pub combiner: Option<crate::combine::Combiner>,
     /// Aggregated GC statistics (see [`GcTotals`]).
     gc_totals: Mutex<GcTotals>,
     timers: Mutex<Vec<beldi_simfaas::TimerHandle>>,
@@ -182,6 +185,8 @@ impl EnvBuilder {
         let platform = Platform::new(clock, self.platform, self.seed.wrapping_add(1));
         let tail_cache = (self.config.mode == Mode::Beldi && self.config.daal_tail_cache)
             .then(|| daal::TailCache::with_capacity(self.config.daal_tail_cache_capacity));
+        let combiner = (self.config.mode == Mode::Beldi && self.config.daal_write_combine)
+            .then(crate::combine::Combiner::new);
         BeldiEnv {
             core: Arc::new(EnvCore {
                 db,
@@ -189,6 +194,7 @@ impl EnvBuilder {
                 config: self.config,
                 registry: RwLock::new(HashMap::new()),
                 tail_cache,
+                combiner,
                 gc_totals: Mutex::new(GcTotals::default()),
                 timers: Mutex::new(Vec::new()),
             }),
@@ -636,6 +642,13 @@ impl BeldiEnv {
             let (hits, misses) = c.stats();
             (hits, misses, c.len())
         })
+    }
+
+    /// Write-combiner counters `(landed batches, combined entries, solo
+    /// fallbacks)`, or `None` when combining is disabled (non-Beldi modes
+    /// or [`BeldiConfig::daal_write_combine`] off).
+    pub fn combine_stats(&self) -> Option<(u64, u64, u64)> {
+        self.core.combiner.as_ref().map(|c| c.stats())
     }
 
     /// A snapshot of platform metrics.

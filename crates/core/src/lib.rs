@@ -55,6 +55,7 @@
 //! - [`Mode::Baseline`] — raw database and invocation calls with no
 //!   guarantees (the paper's baseline).
 
+mod combine;
 mod config;
 mod context;
 mod daal;

@@ -109,6 +109,82 @@ pub fn gate(baseline: &BenchReport, current: &BenchReport, max_regress: f64) -> 
     report
 }
 
+/// One baseline-vs-current p99 latency comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyGateRow {
+    /// The run identity (`app/mode/wN`).
+    pub key: String,
+    /// Baseline p99 service latency (virtual microseconds).
+    pub baseline_p99_us: u64,
+    /// Current p99.
+    pub current_p99_us: u64,
+    /// `current / baseline`.
+    pub ratio: f64,
+    /// Whether this row passes the gate.
+    pub ok: bool,
+}
+
+/// Absolute slack on the p99 ceiling: tail percentiles of smoke-scale
+/// runs sit on a handful of samples, so a sub-millisecond wobble must
+/// never trip the fractional bound.
+const P99_SLACK_US: u64 = 500;
+
+/// The tail-latency gate: every baseline run's p99 may grow by at most
+/// `max_regress` (a fraction, e.g. `0.5`), plus a small absolute slack
+/// ([`P99_SLACK_US`]) for smoke-scale tails.
+///
+/// Mirrors [`gate`]'s matching rules: extra current runs are ignored,
+/// missing runs fail, and a baseline run with no latency data (zero p99
+/// — a drive without the latency model) is unsound rather than a free
+/// pass. Returns human-readable failures plus the comparison rows;
+/// empty failures = pass.
+pub fn latency_gate(
+    baseline: &BenchReport,
+    current: &BenchReport,
+    max_regress: f64,
+) -> (Vec<LatencyGateRow>, Vec<String>) {
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    let current_by_key = runs_by_key(current);
+
+    for base in &baseline.runs {
+        let key = base.key();
+        if base.latency.p99_us == 0 {
+            failures.push(format!(
+                "{key}: baseline run has no latency data (p99 = 0) — \
+                 regenerate BENCH_baseline.json with the latency model on"
+            ));
+            continue;
+        }
+        let Some(cur) = current_by_key.get(&key) else {
+            failures.push(format!(
+                "{key}: present in baseline but missing from results"
+            ));
+            continue;
+        };
+        let ceiling = (base.latency.p99_us as f64 * (1.0 + max_regress)) as u64 + P99_SLACK_US;
+        let ratio = cur.latency.p99_us as f64 / base.latency.p99_us as f64;
+        let ok = cur.latency.p99_us <= ceiling;
+        if !ok {
+            failures.push(format!(
+                "{key}: p99 regressed {:.1}% (baseline {} µs, current {} µs, ceiling {} µs)",
+                (ratio - 1.0) * 100.0,
+                base.latency.p99_us,
+                cur.latency.p99_us,
+                ceiling
+            ));
+        }
+        rows.push(LatencyGateRow {
+            key,
+            baseline_p99_us: base.latency.p99_us,
+            current_p99_us: cur.latency.p99_us,
+            ratio,
+            ok,
+        });
+    }
+    (rows, failures)
+}
+
 /// Slack added to the plateau bound so tiny absolute counts (a handful
 /// of intents in flight at sample time) never trip the ratio check.
 const GROWTH_SLACK_ROWS: u64 = 64;
@@ -304,6 +380,92 @@ mod tests {
         let base = report(vec![run("media", 1, 100.0, 0)]);
         let extra = report(vec![run("media", 1, 100.0, 0), run("social", 8, 10.0, 0)]);
         assert!(gate(&base, &extra, 0.25).ok());
+    }
+
+    /// A run with the given p99 (µs) on top of the sound-run defaults.
+    fn run_p99(app: &str, workers: usize, p99_us: u64) -> BenchRun {
+        BenchRun {
+            latency: LatencySummary {
+                p99_us,
+                ..LatencySummary::default()
+            },
+            ..run(app, workers, 100.0, 0)
+        }
+    }
+
+    #[test]
+    fn latency_gate_passes_equal_and_improved_tails() {
+        let base = report(vec![
+            run_p99("media", 1, 40_000),
+            run_p99("media", 4, 90_000),
+        ]);
+        let (rows, failures) = latency_gate(&base, &base, 0.5);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.ok));
+
+        let faster = report(vec![
+            run_p99("media", 1, 10_000),
+            run_p99("media", 4, 20_000),
+        ]);
+        let (_, failures) = latency_gate(&base, &faster, 0.5);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn latency_gate_fails_a_large_p99_regression() {
+        let base = report(vec![run_p99("media", 1, 40_000)]);
+        // 50% growth + slack is in budget at 0.5; double is not.
+        let slower = report(vec![run_p99("media", 1, 59_000)]);
+        let (_, failures) = latency_gate(&base, &slower, 0.5);
+        assert!(failures.is_empty(), "{failures:?}");
+        let much_slower = report(vec![run_p99("media", 1, 80_000)]);
+        let (rows, failures) = latency_gate(&base, &much_slower, 0.5);
+        assert!(!failures.is_empty());
+        assert!(failures[0].contains("p99 regressed"), "{failures:?}");
+        assert!(!rows[0].ok);
+    }
+
+    #[test]
+    fn latency_gate_slack_forgives_tiny_absolute_tails() {
+        // 3× the baseline ratio-wise, but within the absolute slack —
+        // sub-millisecond smoke tails must not gate.
+        let base = report(vec![run_p99("media", 1, 200)]);
+        let wobbled = report(vec![run_p99("media", 1, 600)]);
+        let (_, failures) = latency_gate(&base, &wobbled, 0.5);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn latency_gate_rejects_unsound_baselines_and_missing_runs() {
+        // p99 = 0 in the baseline: a latency-model-free drive, unsound.
+        let no_latency = report(vec![run("media", 1, 100.0, 0)]);
+        let (_, failures) = latency_gate(&no_latency, &no_latency, 0.5);
+        assert!(
+            failures.iter().any(|f| f.contains("no latency data")),
+            "{failures:?}"
+        );
+
+        let base = report(vec![
+            run_p99("media", 1, 40_000),
+            run_p99("travel", 1, 40_000),
+        ]);
+        let missing = report(vec![run_p99("media", 1, 40_000)]);
+        let (_, failures) = latency_gate(&base, &missing, 0.5);
+        assert!(
+            failures.iter().any(|f| f.contains("missing")),
+            "{failures:?}"
+        );
+
+        // Extra current runs are ignored, as in the throughput gate.
+        let extra = report(vec![
+            run_p99("media", 1, 40_000),
+            run_p99("social", 8, 1_000),
+        ]);
+        let (rows, failures) =
+            latency_gate(&report(vec![run_p99("media", 1, 40_000)]), &extra, 0.5);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(rows.len(), 1);
     }
 
     #[test]

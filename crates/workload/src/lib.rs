@@ -35,7 +35,7 @@ pub use driver::{drive, BenchReport, BenchRun, DriveOptions, StorageSample, Stor
 pub use explore::{
     explore, mode_name, ExploreOptions, ExploreReport, PipelineApp, Violation, ViolationKind,
 };
-pub use gate::{gate, growth_gate, GateReport, GateRow};
+pub use gate::{gate, growth_gate, latency_gate, GateReport, GateRow, LatencyGateRow};
 pub use histogram::{Histogram, Percentiles};
 pub use runner::{RateRunner, RunReport};
 pub use sweep::{sweep, SweepPoint};

@@ -2,9 +2,11 @@
 //!
 //! ```text
 //! # Throughput gate: fresh `drive --smoke` vs the checked-in baseline.
+//! # `--max-p99-regression` adds the optional tail-latency gate: each
+//! # run's p99 may grow by at most that fraction over the baseline.
 //! cargo run -p beldi-bench --release --bin bench_gate -- \
 //!     --baseline BENCH_baseline.json --results BENCH_results.json \
-//!     [--max-regress 0.25]
+//!     [--max-regress 0.25] [--max-p99-regression 0.5]
 //!
 //! # Storage-growth gate: a `drive --smoke --gc` report must show
 //! # bounded steady-state DAAL/log growth under online GC.
@@ -19,7 +21,7 @@
 //! (unit-tested); this binary is the thin CLI.
 
 use beldi_workload::driver::BenchReport;
-use beldi_workload::gate::{gate, growth_gate};
+use beldi_workload::gate::{gate, growth_gate, latency_gate};
 
 fn load(flag: &str) -> BenchReport {
     let Some(path) = beldi_bench::arg_value(flag) else {
@@ -91,6 +93,52 @@ fn main() {
                 println!("{f}");
             }
             failed = true;
+        }
+
+        if let Some(max_p99) = beldi_bench::arg_value("--max-p99-regression") {
+            let max_p99: f64 = match max_p99.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    eprintln!("--max-p99-regression needs a fraction (e.g. 0.5)");
+                    std::process::exit(2);
+                }
+            };
+            let (rows, failures) = latency_gate(&baseline, &results, max_p99);
+            let table: Vec<Vec<String>> = rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.key.clone(),
+                        r.baseline_p99_us.to_string(),
+                        r.current_p99_us.to_string(),
+                        format!("{:.2}", r.ratio),
+                        if r.ok { "ok" } else { "FAIL" }.to_owned(),
+                    ]
+                })
+                .collect();
+            beldi_bench::print_table(
+                &format!(
+                    "Latency gate (p99 ceiling: {:.0}% over baseline)",
+                    max_p99 * 100.0
+                ),
+                &[
+                    "run",
+                    "baseline_p99_us",
+                    "current_p99_us",
+                    "ratio",
+                    "verdict",
+                ],
+                &table,
+            );
+            if failures.is_empty() {
+                println!("\nlatency gate passed: {} run(s) within budget", rows.len());
+            } else {
+                println!("\n# Latency-gate failures");
+                for f in &failures {
+                    println!("{f}");
+                }
+                failed = true;
+            }
         }
     }
 
