@@ -9,6 +9,8 @@
 //!     [--no-tail-cache] [--tail-cache-capacity N] \
 //!     [--write-combine] [--snapshot-reads] \
 //!     [--gc] [--gc-period-ms 500] [--gc-tmax-ms 2000] \
+//!     [--chaos] [--chaos-ssf-prob 0.0005] [--chaos-collector-prob 0.004] \
+//!     [--chaos-max-crashes 10000] [--chaos-ic-restart-ms 100] [--chaos-tmax-ms 60000] \
 //!     [--json BENCH_results.json] [--smoke]
 //! ```
 //!
@@ -24,15 +26,23 @@
 //! with the client workers, and every run records a storage-growth
 //! series (sampled per-table row counts, DAAL depths, cumulative GC
 //! reports) which `bench_gate --gc-results` checks for a steady-state
-//! plateau. Exit status: 0 when every run completed without request
-//! errors, 1 otherwise.
+//! plateau. `--chaos` unleashes a seeded crash storm on top of live
+//! traffic *and* the online collectors: SSF instances and IC/GC passes
+//! are killed mid-flight at registry-labelled crash points while the
+//! intent collector relaunches the casualties; each chaos run records a
+//! `recovery` section (crash counts by site, intent-creation→Done
+//! recovery-latency percentiles on virtual time, and a conservation
+//! check against a crash-free oracle run of the same request stream)
+//! which `bench_gate --chaos-results` turns into CI gates. Exit
+//! status: 0 when every run completed without request errors, 1
+//! otherwise.
 
 use std::time::Duration;
 
 use beldi::Mode;
 use beldi_apps::{bench_app, MixProfile};
 use beldi_bench::arg_flag as flag;
-use beldi_workload::driver::{drive, BenchReport, DriveOptions};
+use beldi_workload::driver::{drive, BenchReport, ChaosOptions, DriveOptions};
 
 fn main() {
     let smoke = flag("--smoke");
@@ -70,6 +80,17 @@ fn main() {
         gc: flag("--gc"),
         gc_period: Duration::from_millis(beldi_bench::arg_usize("--gc-period-ms", 500) as u64),
         gc_t_max: Duration::from_millis(beldi_bench::arg_usize("--gc-tmax-ms", 2_000) as u64),
+        chaos: flag("--chaos").then(|| ChaosOptions {
+            ssf_kill_prob: beldi_bench::arg_f64("--chaos-ssf-prob", 5e-4),
+            collector_kill_prob: beldi_bench::arg_f64("--chaos-collector-prob", 4e-3),
+            max_crashes: beldi_bench::arg_usize("--chaos-max-crashes", 10_000) as u64,
+            ic_restart_delay: Duration::from_millis(beldi_bench::arg_usize(
+                "--chaos-ic-restart-ms",
+                100,
+            ) as u64),
+            t_max: Duration::from_millis(beldi_bench::arg_usize("--chaos-tmax-ms", 60_000) as u64),
+            ..ChaosOptions::default()
+        }),
         ..DriveOptions::default()
     };
 
@@ -191,6 +212,42 @@ fn main() {
                 "row_dels",
             ],
             &gc_rows,
+        );
+    }
+
+    if opts_template.chaos.is_some() {
+        let chaos_rows: Vec<Vec<String>> = report
+            .runs
+            .iter()
+            .filter_map(|run| {
+                let rec = run.recovery.as_ref()?;
+                Some(vec![
+                    run.key(),
+                    rec.injected_crashes.to_string(),
+                    rec.restarts.to_string(),
+                    format!("{}/{}", rec.ic_crashes, rec.gc_crashes),
+                    rec.recovered_intents.to_string(),
+                    rec.recovery_p50_ms.to_string(),
+                    rec.recovery_p99_ms.to_string(),
+                    rec.duplicate_effects.to_string(),
+                    if rec.digest_match { "ok" } else { "MISMATCH" }.to_owned(),
+                ])
+            })
+            .collect();
+        beldi_bench::print_table(
+            "Crash storm recovery (virtual-time latency; conservation vs crash-free oracle)",
+            &[
+                "run",
+                "crashes",
+                "restarts",
+                "ic/gc_kills",
+                "recovered",
+                "rec_p50_ms",
+                "rec_p99_ms",
+                "dup_fx",
+                "digest",
+            ],
+            &chaos_rows,
         );
     }
 

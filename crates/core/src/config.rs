@@ -37,6 +37,20 @@ pub struct BeldiConfig {
     /// `T` after an intent finishes before recycling its logs, and another
     /// `T` after disconnecting a DAAL row before deleting it.
     pub t_max: Duration,
+    /// Enforce the platform's execution-timeout contract: kill any
+    /// instance still running `t_max` after its launch (checked at every
+    /// crash probe, delivered as a `platform.t_max` crash).
+    ///
+    /// Beldi's GC safety argument (§5) *assumes* this bound — "wait `T`
+    /// after finish" only excludes in-flight duplicates because the
+    /// platform would have timed them out. The simulator historically
+    /// let instances run forever, which is fine while nothing relaunches
+    /// concurrently, but under a crash storm a long-lived duplicate can
+    /// outlive its intent's recycling and re-execute effects. Off by
+    /// default (plain runs have no concurrent duplicates and some tests
+    /// drive tiny `t_max` values purely to exercise the GC); the chaos
+    /// driver turns it on.
+    pub enforce_t_max: bool,
     /// Minimum age of an unfinished intent before the intent collector
     /// re-launches it (the IC's first optimization, §3.3).
     pub ic_restart_delay: Duration,
@@ -127,6 +141,7 @@ impl BeldiConfig {
             mode: Mode::Beldi,
             daal_row_capacity: 100,
             t_max: Duration::from_secs(60),
+            enforce_t_max: false,
             ic_restart_delay: Duration::from_secs(30),
             collector_period: Duration::from_secs(60),
             collector_batch_limit: None,
@@ -178,6 +193,13 @@ impl BeldiConfig {
     /// Sets `T` (builder style).
     pub fn with_t_max(mut self, t: Duration) -> Self {
         self.t_max = t;
+        self
+    }
+
+    /// Turns wrapper-side enforcement of the `t_max` execution timeout
+    /// on or off (builder style).
+    pub fn with_enforce_t_max(mut self, on: bool) -> Self {
+        self.enforce_t_max = on;
         self
     }
 

@@ -39,6 +39,11 @@ pub struct SsfContext {
     /// table name. Empty unless the flag is on; a write through this
     /// context drops the written table's entry (read-your-own-writes).
     pub(crate) snapshots: std::collections::HashMap<String, beldi_simdb::TableSnapshot>,
+    /// Virtual deadline of this *launch*'s execution lease
+    /// ([`crate::BeldiConfig::enforce_t_max`]); `None` when enforcement
+    /// is off. Checked at every crash probe — the platform-timeout
+    /// contract the GC's `finish + T_max` recycling rule relies on.
+    deadline_ms: Option<u64>,
 }
 
 impl SsfContext {
@@ -51,6 +56,9 @@ impl SsfContext {
         is_async: bool,
         txn: Option<TxnState>,
     ) -> Self {
+        let deadline_ms = core.config.enforce_t_max.then(|| {
+            core.platform.clock().now().as_millis() + core.config.t_max.as_millis() as u64
+        });
         SsfContext {
             core,
             ssf: ssf.into(),
@@ -60,6 +68,7 @@ impl SsfContext {
             is_async,
             txn,
             snapshots: std::collections::HashMap::new(),
+            deadline_ms,
         }
     }
 
@@ -145,7 +154,21 @@ impl SsfContext {
 
     /// A labelled crash point: the fault injector may kill the instance
     /// here (modelled as a panic the platform catches).
+    ///
+    /// Probes double as the execution-lease checkpoints: every external
+    /// effect in the protocol is bracketed by probes, so checking the
+    /// `t_max` deadline here guarantees an expired instance dies before
+    /// its next effect — the platform-timeout bound that makes GC
+    /// recycling (`finish + T_max`) safe against in-flight duplicates.
     pub(crate) fn crash(&self, label: &str) {
+        if let Some(deadline) = self.deadline_ms {
+            if self.raw_now_ms() > deadline {
+                self.core
+                    .platform
+                    .faults()
+                    .timeout_kill(&self.instance, beldi_simfaas::labels::PLATFORM_T_MAX);
+            }
+        }
         self.core
             .platform
             .faults()

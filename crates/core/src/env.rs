@@ -11,7 +11,8 @@
 //! (linked DAALs in Beldi mode), their shadow tables, and — as platform
 //! functions — the SSF's intent collector and garbage collector.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::Duration;
 
@@ -54,7 +55,15 @@ pub(crate) struct SsfEntry {
     /// tables). One pass per SSF at a time; a tick that finds the
     /// collector busy simply yields to it — GC is at-least-once, so
     /// skipped ticks cost nothing.
-    pub gc_busy: Arc<std::sync::atomic::AtomicBool>,
+    pub gc_busy: Arc<AtomicBool>,
+    /// The intent collector's twin of `gc_busy`.
+    pub ic_busy: Arc<AtomicBool>,
+    /// Executed GC passes (timer ticks that won the busy guard), used to
+    /// mint the deterministic per-pass instance id `{ssf}.gc#p{N}` the
+    /// chaos storm's kill decisions key on.
+    pub gc_pass: Arc<AtomicU64>,
+    /// The intent collector's twin of `gc_pass` (`{ssf}.ic#p{N}`).
+    pub ic_pass: Arc<AtomicU64>,
 }
 
 /// Cumulative garbage-collection statistics for one environment.
@@ -77,6 +86,32 @@ pub struct GcTotals {
     pub report: GcReport,
 }
 
+/// Cumulative intent-collector statistics — [`GcTotals`]'s twin for the
+/// at-least-once half of the protocol, fed by timer-triggered IC passes
+/// and [`BeldiEnv::run_ic_once`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IcTotals {
+    /// Completed IC passes.
+    pub passes: u64,
+    /// Passes that returned an error (the next timer tick retries).
+    pub errors: u64,
+    /// Passes killed mid-flight by injected crashes.
+    pub crashes: u64,
+    /// Summed per-pass counters (successful passes only; the
+    /// authoritative corrupt-intent total — which survives failed
+    /// passes — is [`BeldiEnv::ic_corrupt_total`]).
+    pub report: IcReport,
+}
+
+/// Recovery-latency bookkeeping for crashed instances (chaos mode).
+#[derive(Default)]
+struct RecoveryState {
+    /// Instances already measured (one sample per instance).
+    recorded: HashSet<String>,
+    /// Intent-creation → Done latencies, virtual ms.
+    samples_ms: Vec<u64>,
+}
+
 /// Shared interior of a [`BeldiEnv`].
 pub(crate) struct EnvCore {
     pub db: Arc<Database>,
@@ -91,6 +126,16 @@ pub(crate) struct EnvCore {
     pub combiner: Option<crate::combine::Combiner>,
     /// Aggregated GC statistics (see [`GcTotals`]).
     gc_totals: Mutex<GcTotals>,
+    /// Aggregated IC statistics (see [`IcTotals`]).
+    ic_totals: Mutex<IcTotals>,
+    /// Corrupt intents quarantined by the IC, counted independently of
+    /// pass outcomes (debug builds fail the pass after quarantining, so
+    /// the per-pass report never reaches `ic_totals` there).
+    ic_corrupt: AtomicU64,
+    /// Per-SSF rotating scan cursors for batch-limited IC passes.
+    ic_cursors: Mutex<HashMap<String, usize>>,
+    /// Recovery-latency samples for crashed instances.
+    recovery: Mutex<RecoveryState>,
     timers: Mutex<Vec<beldi_simfaas::TimerHandle>>,
 }
 
@@ -114,6 +159,60 @@ impl EnvCore {
     /// work is already durable; idempotence lets the next pass resume).
     fn record_gc_crash(&self) {
         self.gc_totals.lock().crashes += 1;
+    }
+
+    /// Folds one IC pass outcome into the environment totals.
+    fn record_ic(&self, result: &BeldiResult<IcReport>) {
+        let mut totals = self.ic_totals.lock();
+        match result {
+            Ok(report) => {
+                totals.passes += 1;
+                totals.report.absorb(report);
+            }
+            Err(_) => {
+                totals.passes += 1;
+                totals.errors += 1;
+            }
+        }
+    }
+
+    /// Counts an IC pass killed by an injected crash (restart claims are
+    /// CAS-guarded, so the next pass resumes safely).
+    fn record_ic_crash(&self) {
+        self.ic_totals.lock().crashes += 1;
+    }
+
+    /// Counts one corrupt intent quarantined by the IC.
+    pub(crate) fn record_ic_corrupt(&self) {
+        self.ic_corrupt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The start offset for a batch-limited IC scan over `len` unfinished
+    /// intents: a per-SSF cursor advanced by `limit` each pass, so
+    /// successive bounded passes rotate through the whole index instead
+    /// of truncating the same prefix (which starves the tail).
+    pub(crate) fn ic_scan_offset(&self, ssf: &str, limit: usize, len: usize) -> usize {
+        let mut cursors = self.ic_cursors.lock();
+        let cursor = cursors.entry(ssf.to_owned()).or_insert(0);
+        let start = *cursor % len.max(1);
+        *cursor = cursor.wrapping_add(limit);
+        start
+    }
+
+    /// Records the recovery latency of a completed instance, once, iff
+    /// the fault injector killed it at least once: intent creation →
+    /// Done, on virtual time. Called from the wrapper's completion and
+    /// replay paths (a post-done crash reaches only the latter).
+    pub(crate) fn record_recovery(&self, instance: &str, created_ms: u64) {
+        if self.platform.faults().instance_crashes(instance) == 0 {
+            return;
+        }
+        let mut state = self.recovery.lock();
+        if !state.recorded.insert(instance.to_owned()) {
+            return;
+        }
+        let now_ms = self.platform.clock().now().as_millis();
+        state.samples_ms.push(now_ms.saturating_sub(created_ms));
     }
 }
 
@@ -196,6 +295,10 @@ impl EnvBuilder {
                 tail_cache,
                 combiner,
                 gc_totals: Mutex::new(GcTotals::default()),
+                ic_totals: Mutex::new(IcTotals::default()),
+                ic_corrupt: AtomicU64::new(0),
+                ic_cursors: Mutex::new(HashMap::new()),
+                recovery: Mutex::new(RecoveryState::default()),
                 timers: Mutex::new(Vec::new()),
             }),
         }
@@ -270,7 +373,10 @@ impl BeldiEnv {
                 SsfEntry {
                     tables: tables.iter().map(|s| (*s).to_owned()).collect(),
                     body,
-                    gc_busy: Arc::new(std::sync::atomic::AtomicBool::new(false)),
+                    gc_busy: Arc::new(AtomicBool::new(false)),
+                    ic_busy: Arc::new(AtomicBool::new(false)),
+                    gc_pass: Arc::new(AtomicU64::new(0)),
+                    ic_pass: Arc::new(AtomicU64::new(0)),
                 },
             );
         }
@@ -341,6 +447,22 @@ impl BeldiEnv {
     /// [`BeldiEnv::invoke`] with a caller-chosen instance id (useful for
     /// tests that re-drive a specific intent).
     pub fn invoke_as(&self, name: &str, instance: &str, input: Value) -> BeldiResult<Value> {
+        self.invoke_attempts(name, instance, input, MAX_ROOT_ATTEMPTS)
+    }
+
+    /// [`BeldiEnv::invoke_as`] with an explicit retry budget.
+    ///
+    /// `max_attempts = 1` disables the root's built-in re-launch — the
+    /// configuration the chaos canary tests use to prove the conservation
+    /// gates actually detect lost executions. Attempt budgets don't apply
+    /// to baseline mode (which never retries).
+    pub fn invoke_attempts(
+        &self,
+        name: &str,
+        instance: &str,
+        input: Value,
+        max_attempts: usize,
+    ) -> BeldiResult<Value> {
         let envelope = Envelope::Call {
             id: Some(instance.to_owned()),
             input,
@@ -357,8 +479,26 @@ impl BeldiEnv {
                 .map_err(BeldiError::Invoke)?;
             return Outcome::from_value(&v).into_result();
         }
+        // Client retry contract under lease enforcement: retries of one
+        // request are issued only within `T_max` of the first attempt.
+        // The GC recycles a done intent no earlier than `finish + 2·T_max`
+        // (and `finish` can't precede registration), so no retry inside
+        // this window can find its intent recycled and silently
+        // re-register it — the full-workflow re-execution path that shows
+        // up as duplicate effects when a storm outlasts the recycle
+        // horizon. Past the window the request fails back to the caller
+        // instead of risking a second execution.
+        let retry_deadline_ms =
+            self.core.config.enforce_t_max.then(|| {
+                self.clock().now().as_millis() + self.core.config.t_max.as_millis() as u64
+            });
         let mut last_err = None;
-        for _ in 0..MAX_ROOT_ATTEMPTS {
+        for _ in 0..max_attempts.max(1) {
+            if let (Some(deadline), Some(_)) = (retry_deadline_ms, &last_err) {
+                if self.clock().now().as_millis() > deadline {
+                    break;
+                }
+            }
             match self.core.platform.invoke_sync(name, envelope.clone()) {
                 Ok(v) => return Outcome::from_value(&v).into_result(),
                 Err(e) => {
@@ -368,6 +508,7 @@ impl BeldiEnv {
                     let table = schema::intent_table(name);
                     if let Some(rec) = intent::load(&self.core.db, &table, instance)? {
                         if rec.done {
+                            self.core.record_recovery(instance, rec.created_ms);
                             let ret = rec.ret.unwrap_or(Value::Null);
                             return Outcome::from_value(&ret).into_result();
                         }
@@ -417,7 +558,9 @@ impl BeldiEnv {
 
     /// Runs one intent-collector pass for `ssf` synchronously.
     pub fn run_ic_once(&self, ssf: &str) -> BeldiResult<IcReport> {
-        ic::run_ic(&self.core, ssf)
+        let result = ic::run_ic(&self.core, ssf);
+        self.core.record_ic(&result);
+        result
     }
 
     /// Runs one garbage-collector pass for `ssf` synchronously.
@@ -431,6 +574,27 @@ impl BeldiEnv {
     /// or synchronous — since the environment was built.
     pub fn gc_totals(&self) -> GcTotals {
         *self.core.gc_totals.lock()
+    }
+
+    /// Cumulative IC statistics: every completed pass — timer-triggered
+    /// or synchronous — since the environment was built.
+    pub fn ic_totals(&self) -> IcTotals {
+        *self.core.ic_totals.lock()
+    }
+
+    /// Corrupt intents quarantined by the IC since the environment was
+    /// built (counted even when the quarantining pass then failed, which
+    /// debug builds force). Mirrors `GcReport::corrupt_chains`: a healthy
+    /// system reports zero.
+    pub fn ic_corrupt_total(&self) -> u64 {
+        self.core.ic_corrupt.load(Ordering::Relaxed)
+    }
+
+    /// Recovery-latency samples (virtual ms): for every instance the
+    /// fault injector killed at least once and that reached `Done`, the
+    /// intent-creation → Done latency, recorded once per instance.
+    pub fn recovery_samples_ms(&self) -> Vec<u64> {
+        self.core.recovery.lock().samples_ms.clone()
     }
 
     /// Starts the timer-triggered intent and garbage collectors for every
@@ -679,12 +843,16 @@ impl Drop for BeldiEnv {
 
 /// Platform handler for an IC or GC timer function.
 ///
-/// GC passes run under the fault injector — the pass registers the
-/// platform request id as its instance and fires the fixed `gc.*` crash
-/// points — so the crash-schedule explorer can kill collectors between
-/// any two GC steps exactly like it kills SSF instances. A killed pass
-/// re-panics (the platform reports it crashed); the next invocation
-/// resumes the idempotent work.
+/// Both collectors run under the fault injector — a pass registers a
+/// deterministic per-pass instance id (`{ssf}.ic#p{N}` / `{ssf}.gc#p{N}`,
+/// counting passes that won the busy guard) and fires the fixed `ic.*` /
+/// `gc.*` crash points — so the crash-schedule explorer and the chaos
+/// storm can kill collectors between any two steps exactly like they kill
+/// SSF instances. A killed pass re-panics (the platform reports it
+/// crashed); the next invocation resumes the idempotent work. One pass
+/// per SSF and collector at a time (see `SsfEntry::gc_busy`/`ic_busy`):
+/// a tick arriving while the previous pass still runs yields immediately
+/// instead of stacking another collector.
 fn collector_handler(
     core: &Arc<EnvCore>,
     ssf: &str,
@@ -692,31 +860,41 @@ fn collector_handler(
 ) -> beldi_simfaas::FunctionHandler {
     let weak: Weak<EnvCore> = Arc::downgrade(core);
     let ssf = ssf.to_owned();
-    Arc::new(move |ictx, _payload| {
+    Arc::new(move |_ictx, _payload| {
         let Some(core) = weak.upgrade() else {
             return Value::Null;
         };
+        let (busy, pass_ctr) = {
+            let registry = core.registry.read();
+            match registry.get(&ssf) {
+                Some(entry) if is_ic => (entry.ic_busy.clone(), entry.ic_pass.clone()),
+                Some(entry) => (entry.gc_busy.clone(), entry.gc_pass.clone()),
+                None => return Value::Null,
+            }
+        };
+        if busy.swap(true, Ordering::AcqRel) {
+            return Value::Null;
+        }
+        let pass = pass_ctr.fetch_add(1, Ordering::Relaxed);
+        let kind = if is_ic { "ic" } else { "gc" };
+        let instance = format!("{ssf}.{kind}#p{pass}");
+        let faults = core.platform.faults();
+        faults.instance_started(&instance);
+        let crash = |label: &str| faults.crash_point(&instance, label);
         // Collector failures are non-fatal: the next timer tick retries.
         if is_ic {
-            let _ = ic::run_ic(&core, &ssf);
-        } else {
-            // One pass per SSF at a time (see `SsfEntry::gc_busy`): a
-            // tick arriving while the previous pass still runs yields
-            // immediately instead of stacking another collector.
-            let busy = {
-                let registry = core.registry.read();
-                match registry.get(&ssf) {
-                    Some(entry) => entry.gc_busy.clone(),
-                    None => return Value::Null,
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ic::run_ic_with(&core, &ssf, &crash)
+            }));
+            busy.store(false, Ordering::Release);
+            match result {
+                Ok(outcome) => core.record_ic(&outcome),
+                Err(panic) => {
+                    core.record_ic_crash();
+                    std::panic::resume_unwind(panic);
                 }
-            };
-            use std::sync::atomic::Ordering;
-            if busy.swap(true, Ordering::AcqRel) {
-                return Value::Null;
             }
-            let faults = core.platform.faults();
-            faults.instance_started(&ictx.request_id);
-            let crash = |label: &str| faults.crash_point(&ictx.request_id, label);
+        } else {
             let probe = |_: &str| {};
             let hooks = gc::GcHooks {
                 crash: &crash,

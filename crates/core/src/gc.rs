@@ -149,7 +149,22 @@ pub(crate) fn run_gc_with(
 ) -> BeldiResult<GcReport> {
     let db = &core.db;
     let now_ms = core.platform.clock().now().as_millis();
+    // Recycle horizon. Under cooperative `T_max` enforcement the lease is
+    // checked at crash probes, so a zombie is killed at its first probe
+    // *past* the deadline — one last logged write can land just after
+    // `launch + T_max`, i.e. just after `finish + T_max`, which is exactly
+    // where a single-`T_max` horizon would already have pruned the log
+    // entry that makes the straggler's re-apply a no-op. Doubling the
+    // horizon puts pruning strictly after the last possible zombie write
+    // (and after the last client retry, which stops `T_max` past the first
+    // attempt — see `BeldiEnv::invoke_attempts`), closing the
+    // duplicate-effect window a long crash storm surfaced.
     let t_ms = core.config.t_max.as_millis() as u64;
+    let t_ms = if core.config.enforce_t_max {
+        t_ms.saturating_mul(2)
+    } else {
+        t_ms
+    };
     let intent_table = schema::intent_table(ssf);
     let mut report = GcReport::default();
     (hooks.crash)(labels::GC_ENTER);

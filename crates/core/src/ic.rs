@@ -9,36 +9,74 @@
 //! two optimizations: a secondary index on the `Done` flag, and a minimum
 //! re-launch delay enforced with a compare-and-swap on the last-launch
 //! timestamp (so concurrent IC instances do not double-restart).
+//!
+//! Like the GC, a pass fires fixed step-boundary crash points
+//! (`ic.enter` / `ic.post_scan` / `ic.exit`) plus a work-dependent probe
+//! before each re-launch, so the chaos driver and the explorer can kill
+//! collector passes mid-flight exactly like SSF instances.
 
 use std::sync::Arc;
 
 use beldi_value::Value;
 
 use crate::env::EnvCore;
-use crate::error::BeldiResult;
+use crate::error::{BeldiError, BeldiResult};
 use crate::intent::{self, IntentRecord};
+use crate::labels;
 use crate::schema::{intent_table, A_DONE};
 
 /// Summary of one intent-collector pass.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IcReport {
-    /// Unfinished intents found.
+    /// Unfinished intents found (excluding corrupt rows).
     pub unfinished: usize,
     /// Instances re-launched this pass.
     pub restarted: usize,
     /// Intents skipped because they were launched too recently.
     pub too_recent: usize,
+    /// Corrupt intents found (no stored call envelope) and quarantined.
+    /// A healthy system never increments this.
+    pub corrupt: usize,
 }
 
-/// Runs one IC pass for `ssf`.
+impl IcReport {
+    /// Folds another pass's counters into this one.
+    pub fn absorb(&mut self, other: &IcReport) {
+        self.unfinished += other.unfinished;
+        self.restarted += other.restarted;
+        self.too_recent += other.too_recent;
+        self.corrupt += other.corrupt;
+    }
+}
+
+/// Runs one IC pass for `ssf` without fault injection (synchronous
+/// harness passes and recovery drains).
 pub(crate) fn run_ic(core: &Arc<EnvCore>, ssf: &str) -> BeldiResult<IcReport> {
+    run_ic_with(core, ssf, &|_| {})
+}
+
+/// Runs one IC pass for `ssf`, firing `crash` at each `ic.*` point.
+pub(crate) fn run_ic_with(
+    core: &Arc<EnvCore>,
+    ssf: &str,
+    crash: &dyn Fn(&str),
+) -> BeldiResult<IcReport> {
+    crash(labels::IC_ENTER);
     let table = intent_table(ssf);
     let mut rows = core.db.index_query(&table, A_DONE, &Value::Bool(false))?;
     // Appendix A: collectors are SSFs with execution timeouts, so a pass
-    // may be bounded; the remainder is picked up by later passes.
+    // may be bounded. The batch window *rotates* through the index via a
+    // persisted per-SSF cursor: truncating the same prefix every pass
+    // would starve the tail whenever the first `limit` intents stay
+    // ineligible (too recent, or perpetually crashing re-executions).
     if let Some(limit) = core.config.collector_batch_limit {
-        rows.truncate(limit);
+        if rows.len() > limit {
+            let start = core.ic_scan_offset(ssf, limit, rows.len());
+            rows.rotate_left(start);
+            rows.truncate(limit);
+        }
     }
+    crash(labels::IC_POST_SCAN);
     let now_ms = core.platform.clock().now().as_millis();
     let delay_ms = core.config.ic_restart_delay.as_millis() as u64;
 
@@ -47,25 +85,51 @@ pub(crate) fn run_ic(core: &Arc<EnvCore>, ssf: &str) -> BeldiResult<IcReport> {
         let Some(rec) = IntentRecord::from_row(&row) else {
             continue;
         };
+        if rec.args.is_null() {
+            // No call envelope to re-fire: the row is corrupt (normal
+            // intents always store one at registration). Quarantine it
+            // so the Done=false index stops returning it — otherwise it
+            // is rescanned every pass and quiescence is never reached.
+            report_corrupt_intent(core, &table, &rec.id, &mut report)?;
+            continue;
+        }
         report.unfinished += 1;
         if now_ms.saturating_sub(rec.last_launch_ms) < delay_ms {
             report.too_recent += 1;
-            continue;
-        }
-        if rec.args.is_null() {
-            // Nothing to re-fire (defensive; normal intents always store
-            // their call envelope).
             continue;
         }
         // Claim the restart; losers saw a concurrent IC win the CAS.
         if !intent::claim_launch(&core.db, &table, &rec.id, rec.last_launch_ms, now_ms)? {
             continue;
         }
+        crash(labels::IC_PRE_RESTART);
         // Re-fire the original envelope. Failures here are fine: the next
         // pass tries again.
         if core.platform.invoke_async(ssf, rec.args.clone()).is_ok() {
             report.restarted += 1;
         }
     }
+    crash(labels::IC_EXIT);
     Ok(report)
+}
+
+/// Counts and quarantines a corrupt (envelope-less) intent: marked done
+/// with a null outcome so it leaves the unfinished index and the GC can
+/// recycle it. Debug builds fail the pass loudly — a corrupt intent is a
+/// protocol bug, not an operational condition.
+fn report_corrupt_intent(
+    core: &Arc<EnvCore>,
+    table: &str,
+    id: &str,
+    report: &mut IcReport,
+) -> BeldiResult<()> {
+    report.corrupt += 1;
+    core.record_ic_corrupt();
+    intent::mark_done(&core.db, table, id, Value::Null)?;
+    if cfg!(debug_assertions) {
+        return Err(BeldiError::Protocol(format!(
+            "intent {id} in {table} has no stored call envelope (quarantined)"
+        )));
+    }
+    Ok(())
 }

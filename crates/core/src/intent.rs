@@ -32,8 +32,8 @@ pub(crate) struct IntentRecord {
     pub ret: Option<Value>,
     /// Calling SSF name, if any.
     pub caller: Option<String>,
-    /// Creation timestamp (virtual ms).
-    #[cfg_attr(not(test), allow(dead_code))] // Asserted by unit tests.
+    /// Creation timestamp (virtual ms); the start of the recovery-latency
+    /// window for crashed instances.
     pub created_ms: u64,
     /// Last (re-)launch timestamp (virtual ms), advanced by the IC.
     pub last_launch_ms: u64,

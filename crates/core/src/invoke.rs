@@ -274,7 +274,12 @@ impl SsfContext {
     fn invoke_entry(&mut self, callee_fn: &str) -> BeldiResult<InvokeEntry> {
         let log_key = self.next_log_key();
         let ilog = self.invoke_log_table();
-        let fresh_id = self.fresh_uuid();
+        // The callee id is opaque and first-writer-wins logged, so deriving
+        // it from the (replay-stable) log key instead of drawing a platform
+        // UUID makes the whole execution tree's instance ids a pure function
+        // of the root id — which is what lets the chaos storm policy produce
+        // bit-identical crash schedules across runs of the same seed.
+        let fresh_id = format!("{log_key}.c");
         let mut update = Update::new()
             .set(A_LOG_KEY, log_key.as_str())
             .set(A_OWNER, self.instance_id())

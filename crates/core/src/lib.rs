@@ -75,7 +75,7 @@ mod wrapper;
 
 pub use config::{BeldiConfig, Mode, DEFAULT_TAIL_CACHE_CAPACITY};
 pub use context::SsfContext;
-pub use env::{BeldiEnv, DrainReport, EnvBuilder, GcTotals, SsfBody};
+pub use env::{BeldiEnv, DrainReport, EnvBuilder, GcTotals, IcTotals, SsfBody};
 pub use error::{BeldiError, BeldiResult};
 pub use gc::GcReport;
 pub use ic::IcReport;

@@ -157,6 +157,7 @@ fn run_call(
         // completion died between callback and response delivery; the
         // *recorded* caller is authoritative (the envelope of a duplicate
         // dispatch might be stale).
+        core.record_recovery(instance, record.created_ms);
         let outcome = record.ret.clone().unwrap_or(Value::Null);
         if let Some(c) = &record.caller {
             if !record.is_async {
@@ -184,7 +185,12 @@ fn run_call(
         txn_state,
     );
     let outcome = run_body(&mut ctx, &body, input);
-    finish(core, ssf, &mut ctx, caller.as_deref(), is_async, outcome)
+    let ret = finish(core, ssf, &mut ctx, caller.as_deref(), is_async, outcome);
+    // The intent is durably done: if this instance was ever killed by the
+    // injector, its recovery completes here (crashes *after* this point
+    // land in the replay path above instead).
+    core.record_recovery(instance, record.created_ms);
+    ret
 }
 
 /// Runs the body and normalizes its result, including cleanup of a
@@ -259,6 +265,17 @@ fn finish(
     ctx.crash(labels::WRAPPER_PRE_DONE);
     let intent_table = crate::schema::intent_table(ssf);
     if let Err(e) = intent::mark_done(&core.db, &intent_table, &instance, outcome_value.clone()) {
+        if let crate::error::BeldiError::Db(beldi_simdb::DbError::ConditionFailed) = e {
+            // The intent row is gone: every instance registers before its
+            // first effect, so absence means the GC already recycled this
+            // intent — a duplicate finished it long ago and `finish +
+            // T_max` elapsed. We are a zombie past our execution lease;
+            // die like a timed-out instance instead of aborting the
+            // process (the winner's outcome was already delivered).
+            core.platform
+                .faults()
+                .timeout_kill(&instance, labels::PLATFORM_T_MAX);
+        }
         panic!("beldi: marking intent done failed: {e}");
     }
     ctx.crash(labels::WRAPPER_POST_DONE);

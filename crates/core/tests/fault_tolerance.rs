@@ -409,6 +409,73 @@ fn drain_recovery_completes_crashed_async_work() {
     );
 }
 
+/// GC's `finish + T_max` recycling rule (§5) is only safe if the platform
+/// kills any execution `T_max` after its launch — otherwise a long-lived
+/// duplicate can outlive the recycling of its own intent row and re-apply
+/// effects. The simulator enforces that lease at crash probes when
+/// `enforce_t_max` is on: an expired instance dies at its next probe,
+/// *before* its next effect. With a zero-length lease every launch
+/// expires immediately, so the invocation exhausts its attempts without
+/// ever writing state.
+#[test]
+fn expired_execution_lease_kills_instances_before_their_next_effect() {
+    beldi::silence_crash_backtraces();
+    let cfg = BeldiConfig::beldi()
+        .with_t_max(std::time::Duration::ZERO)
+        .with_enforce_t_max(true);
+    let env = pipeline_env(cfg);
+    env.invoke("root", Value::Int(0)).unwrap_err();
+    assert!(
+        env.platform().faults().timeout_count() > 0,
+        "expired leases must be delivered as timeout kills"
+    );
+    // The lease fires before the first effect of every attempt: nothing
+    // was ever written.
+    assert_eq!(
+        env.read_current("root", "rt", "count").unwrap(),
+        Value::Null
+    );
+}
+
+/// The flip side: a lease that comfortably exceeds execution time is
+/// never binding, and enforcement alone changes nothing.
+#[test]
+fn generous_execution_lease_is_never_binding() {
+    let cfg = BeldiConfig::beldi()
+        .with_t_max(std::time::Duration::from_secs(3_600))
+        .with_enforce_t_max(true);
+    let env = pipeline_env(cfg);
+    env.invoke("root", Value::Int(0)).unwrap();
+    assert_pipeline_state(&env, 1);
+    assert_eq!(env.platform().faults().timeout_count(), 0);
+}
+
+/// Storm-surfaced fix: root retries stop `T_max` after the first attempt
+/// instead of burning the whole attempt budget. Every extra attempt is a
+/// fresh wrapper registration — past GC's recycle horizon that would
+/// silently re-execute a completed workflow as duplicate effects — so the
+/// client contract is: retry only inside the lease window, then fail the
+/// request back to the caller.
+#[test]
+fn root_retries_stop_at_the_lease_window() {
+    beldi::silence_crash_backtraces();
+    let cfg = BeldiConfig::beldi()
+        .with_t_max(std::time::Duration::from_millis(10))
+        .with_enforce_t_max(true);
+    let env = pipeline_env(cfg);
+    // Every attempt dies on the (near-zero-slack) lease. A 1000-attempt
+    // budget without the window would record ~1000 timeout kills; the
+    // window admits only the few that fit inside `T_max` of virtual time.
+    env.invoke_attempts("root", "stale-root", Value::Int(0), 1_000)
+        .unwrap_err();
+    let kills = env.platform().faults().timeout_count();
+    assert!(kills >= 1, "the lease never fired");
+    assert!(
+        kills <= 20,
+        "retries ran past the lease window ({kills} attempts)"
+    );
+}
+
 /// Mode sanity: the fault machinery itself only exists outside baseline.
 #[test]
 fn modes_report_expected_guarantees() {

@@ -386,6 +386,36 @@ fn gc_report_counts_are_coherent() {
     assert_eq!(r2.recycled_intents, 1);
 }
 
+/// Storm-surfaced fix: with the execution lease enforced, a cooperatively
+/// killed zombie can land one last logged write just past `finish + T`,
+/// and client retries run until `first attempt + T` — so the recycle
+/// horizon doubles to `finish + 2T`. One `T` past finish nothing may be
+/// pruned; past `2T` collection proceeds as usual.
+#[test]
+fn lease_enforcement_doubles_the_recycle_horizon() {
+    let t = Duration::from_secs(60);
+    let env = counter_env(gc_config().with_t_max(t).with_enforce_t_max(true));
+    env.invoke("ctr", Value::Null).unwrap();
+    env.run_gc_once("ctr").unwrap(); // pass 1 stamps the finish time
+
+    // 1.2·T past finish: inside the straggler window — nothing recycles.
+    env.clock().sleep(t + t / 5);
+    let mid = env.run_gc_once("ctr").unwrap();
+    assert_eq!(mid.recycled_intents, 0, "recycled inside the zombie window");
+    assert_eq!(table_len(&env, "ctr.intent"), 1);
+    assert!(
+        table_len(&env, "ctr.rlog") >= 1,
+        "logs pruned inside the zombie window"
+    );
+
+    // Past 2·T the horizon closes and collection proceeds as usual.
+    env.clock().sleep(t + t / 5);
+    let late = env.run_gc_once("ctr").unwrap();
+    assert_eq!(late.recycled_intents, 1);
+    assert_eq!(table_len(&env, "ctr.intent"), 0);
+    assert_eq!(table_len(&env, "ctr.rlog"), 0);
+}
+
 #[test]
 fn collector_batch_limit_pages_work_across_passes() {
     // Appendix A: a bounded pass recycles at most `limit` intents; the

@@ -21,7 +21,7 @@
 //! [`TraceEntry`] per point) so a crash-free run enumerates exactly the
 //! schedules worth exploring.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -103,6 +103,81 @@ pub struct RandomCrashPolicy {
     pub seed: u64,
 }
 
+/// A deterministic, rate-configurable crash storm — the chaos driver's
+/// policy for killing live traffic and collector passes at once.
+///
+/// Unlike [`RandomCrashPolicy`], whose single shared RNG stream makes
+/// every decision depend on the global interleaving of crash points, the
+/// storm decides each kill by hashing `(seed, instance id, execution
+/// generation, label, per-execution label occurrence)` — all quantities
+/// local to one execution. With deterministic instance ids and
+/// deterministic bodies, the realized crash schedule is a pure function
+/// of the workload, not of thread timing, which is what lets the chaos
+/// driver assert bit-identical schedules across same-seed runs.
+///
+/// Two restrictions keep that invariant honest:
+///
+/// - labels listed in [`crate::labels::WORK_DEPENDENT`] are never killed
+///   (their occurrence counts vary with the interleaving);
+/// - the execution *generation* (how many times the instance started)
+///   feeds the hash, so a killed execution's restart draws fresh
+///   decisions instead of dying at the same point forever.
+#[derive(Debug, Clone)]
+pub struct StormPolicy {
+    /// Kill probability at each eligible SSF crash point.
+    pub ssf_prob: f64,
+    /// Kill probability at each eligible collector (`ic.*` / `gc.*`)
+    /// crash point.
+    pub collector_prob: f64,
+    /// Hard cap on total injected crashes (shared with every other
+    /// policy; guarantees workloads finish).
+    pub max_crashes: u64,
+    /// Hash seed.
+    pub seed: u64,
+}
+
+impl StormPolicy {
+    /// The storm's kill probability for `label`, or `None` when the
+    /// label is ineligible (work-dependent).
+    fn prob_for(&self, label: &str) -> Option<f64> {
+        if crate::labels::WORK_DEPENDENT.contains(&label) {
+            return None;
+        }
+        Some(if label.starts_with("ic.") || label.starts_with("gc.") {
+            self.collector_prob
+        } else {
+            self.ssf_prob
+        })
+    }
+
+    /// The interleaving-invariant kill decision (see type docs).
+    fn kills(&self, instance: &str, generation: u64, label: &str, label_count: usize) -> bool {
+        let Some(prob) = self.prob_for(label) else {
+            return false;
+        };
+        if prob <= 0.0 {
+            return false;
+        }
+        // FNV-1a over the decision key; the top 53 bits map uniformly
+        // onto [0, 1).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ self.seed;
+        for chunk in [
+            instance.as_bytes(),
+            b"\x00",
+            &generation.to_le_bytes(),
+            label.as_bytes(),
+            b"\x00",
+            &(label_count as u64).to_le_bytes(),
+        ] {
+            for &b in chunk {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < prob
+    }
+}
+
 /// One recorded crash-point visit (trace mode).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
@@ -126,6 +201,12 @@ struct InstanceState {
     lifetime: usize,
     /// Occurrences per label (reset on re-execution).
     label_counts: HashMap<String, usize>,
+    /// Which execution of this instance is running (0-based; bumped by
+    /// [`FaultInjector::instance_started`], never reset). Feeds the
+    /// [`StormPolicy`] hash so restarts draw fresh decisions.
+    generation: u64,
+    /// Injected crashes at this instance across its lifetime.
+    crashes: u64,
 }
 
 /// A plan plus its progress (for [`CrashPlan::Script`]).
@@ -187,6 +268,8 @@ struct GlobalState {
     plan: Option<PlanState>,
     /// Recorded entries while trace mode is on.
     trace: Option<Vec<TraceEntry>>,
+    /// Injected crashes per label ("crash counts by site").
+    crash_sites: BTreeMap<String, u64>,
 }
 
 /// Decides, at every crash point, whether the current instance dies.
@@ -195,7 +278,10 @@ pub struct FaultInjector {
     states: Mutex<HashMap<String, InstanceState>>,
     global: Mutex<GlobalState>,
     random: Mutex<Option<(RandomCrashPolicy, SmallRng)>>,
+    storm: Mutex<Option<StormPolicy>>,
     injected: AtomicU64,
+    restarts: AtomicU64,
+    timeouts: AtomicU64,
 }
 
 impl FaultInjector {
@@ -206,8 +292,42 @@ impl FaultInjector {
             states: Mutex::new(HashMap::new()),
             global: Mutex::new(GlobalState::default()),
             random: Mutex::new(None),
+            storm: Mutex::new(None),
             injected: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
         }
+    }
+
+    /// Kills the calling instance because its execution lease expired
+    /// (the platform's `T_max` contract — the bound Beldi's GC safety
+    /// argument leans on in §5).
+    ///
+    /// Bookkeeping mirrors an injected crash — the instance's crash count
+    /// and the per-site tally both advance, so recovery tracking treats
+    /// the victim like any other casualty — but the `injected` counter is
+    /// untouched: a timeout is the platform enforcing its contract, not
+    /// the fault policy firing.
+    pub fn timeout_kill(&self, instance_id: &str, label: &str) -> ! {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+        if let Some(st) = self.states.lock().get_mut(instance_id) {
+            st.crashes += 1;
+        }
+        *self
+            .global
+            .lock()
+            .crash_sites
+            .entry(label.to_owned())
+            .or_insert(0) += 1;
+        std::panic::panic_any(CrashSignal {
+            point: format!("{label}@{instance_id}"),
+        });
+    }
+
+    /// Number of lease-expiry kills delivered via
+    /// [`FaultInjector::timeout_kill`].
+    pub fn timeout_count(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
     }
 
     /// Scripts a crash plan for a specific instance id.
@@ -239,9 +359,35 @@ impl FaultInjector {
         });
     }
 
+    /// Installs (or clears) the deterministic crash storm.
+    pub fn set_storm_policy(&self, policy: Option<StormPolicy>) {
+        *self.storm.lock() = policy;
+    }
+
     /// Number of crashes injected so far.
     pub fn injected_count(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of instance *restarts* observed: [`FaultInjector::instance_started`]
+    /// calls for an instance id already seen before.
+    pub fn restart_count(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Injected crashes at one instance across its lifetime (zero for
+    /// instances never seen or never killed).
+    pub fn instance_crashes(&self, instance_id: &str) -> u64 {
+        self.states
+            .lock()
+            .get(instance_id)
+            .map(|s| s.crashes)
+            .unwrap_or(0)
+    }
+
+    /// Injected crashes per crash-point label, sorted by label.
+    pub fn crash_sites(&self) -> BTreeMap<String, u64> {
+        self.global.lock().crash_sites.clone()
     }
 
     /// The number of crash points passed so far across every instance
@@ -271,13 +417,21 @@ impl FaultInjector {
     /// preserved across restarts.
     pub fn instance_started(&self, instance_id: &str) {
         let mut states = self.states.lock();
-        let lifetime = states.get(instance_id).map(|s| s.lifetime).unwrap_or(0);
+        let (lifetime, generation, crashes) = match states.get(instance_id) {
+            Some(s) => {
+                self.restarts.fetch_add(1, Ordering::Relaxed);
+                (s.lifetime, s.generation + 1, s.crashes)
+            }
+            None => (0, 0, 0),
+        };
         states.insert(
             instance_id.to_owned(),
             InstanceState {
                 ordinal: 0,
                 lifetime,
                 label_counts: HashMap::new(),
+                generation,
+                crashes,
             },
         );
     }
@@ -290,7 +444,7 @@ impl FaultInjector {
     /// (per-instance plan, global plan, or random policy) to die here. The
     /// platform catches it.
     pub fn crash_point(&self, instance_id: &str, label: &str) {
-        let (ordinal, lifetime, label_count) = {
+        let (ordinal, lifetime, label_count, generation) = {
             let mut states = self.states.lock();
             let st = states
                 .entry(instance_id.to_owned())
@@ -298,6 +452,8 @@ impl FaultInjector {
                     ordinal: 0,
                     lifetime: 0,
                     label_counts: HashMap::new(),
+                    generation: 0,
+                    crashes: 0,
                 });
             let ordinal = st.ordinal;
             st.ordinal += 1;
@@ -306,7 +462,7 @@ impl FaultInjector {
             let c = st.label_counts.entry(label.to_owned()).or_insert(0);
             let label_count = *c;
             *c += 1;
-            (ordinal, lifetime, label_count)
+            (ordinal, lifetime, label_count, st.generation)
         };
 
         let mut should_crash = {
@@ -358,6 +514,20 @@ impl FaultInjector {
                     _ => false,
                 };
             }
+            if !should_crash {
+                // The storm's hash decision is interleaving-invariant;
+                // only the cap check reads shared state (and storms are
+                // configured with caps they never reach).
+                should_crash = match self.storm.lock().as_ref() {
+                    Some(storm) if self.injected.load(Ordering::Relaxed) < storm.max_crashes => {
+                        storm.kills(instance_id, generation, label, label_count)
+                    }
+                    _ => false,
+                };
+            }
+            if should_crash {
+                *g.crash_sites.entry(label.to_owned()).or_insert(0) += 1;
+            }
             if let Some(trace) = g.trace.as_mut() {
                 trace.push(TraceEntry {
                     step,
@@ -371,6 +541,9 @@ impl FaultInjector {
 
         if should_crash {
             self.injected.fetch_add(1, Ordering::Relaxed);
+            if let Some(st) = self.states.lock().get_mut(instance_id) {
+                st.crashes += 1;
+            }
             std::panic::panic_any(CrashSignal {
                 point: format!("{label}#{label_count}@{ordinal}/g{step}"),
             });
@@ -630,6 +803,97 @@ mod tests {
         // Trace mode is off after take_trace.
         inj.crash_point("i2", "d");
         assert!(inj.take_trace().is_empty());
+    }
+
+    #[test]
+    fn storm_decisions_are_pure_and_scoped() {
+        let storm = StormPolicy {
+            ssf_prob: 0.5,
+            collector_prob: 0.0,
+            max_crashes: 1_000,
+            seed: 7,
+        };
+        // Pure function of the decision key: same inputs, same answer.
+        for count in 0..8 {
+            assert_eq!(
+                storm.kills("i1", 0, crate::labels::WRAPPER_ENTER, count),
+                storm.kills("i1", 0, crate::labels::WRAPPER_ENTER, count),
+            );
+        }
+        // The generation feeds the hash, so a restart is not doomed to
+        // die at the same point forever: across many generations the
+        // decision must flip at least once.
+        let flips = (0..64)
+            .filter(|&g| {
+                storm.kills("i1", g, crate::labels::WRAPPER_ENTER, 0)
+                    != storm.kills("i1", g + 1, crate::labels::WRAPPER_ENTER, 0)
+            })
+            .count();
+        assert!(flips > 0, "generation must vary the decision");
+        // Work-dependent labels are never killed, even at prob 1.
+        let eager = StormPolicy {
+            ssf_prob: 1.0,
+            collector_prob: 1.0,
+            max_crashes: 1_000,
+            seed: 7,
+        };
+        for label in crate::labels::WORK_DEPENDENT {
+            assert!(!eager.kills("i1", 0, label, 0), "{label} must be exempt");
+        }
+        // Collector labels draw from collector_prob, SSF labels from
+        // ssf_prob.
+        let collectors_only = StormPolicy {
+            ssf_prob: 0.0,
+            collector_prob: 1.0,
+            max_crashes: 1_000,
+            seed: 7,
+        };
+        assert!(collectors_only.kills("f.ic#p0", 0, crate::labels::IC_ENTER, 0));
+        assert!(collectors_only.kills("f.gc#p0", 0, crate::labels::GC_ENTER, 0));
+        assert!(!collectors_only.kills("i1", 0, crate::labels::WRAPPER_ENTER, 0));
+    }
+
+    #[test]
+    fn storm_respects_cap_and_counts_sites() {
+        let inj = FaultInjector::new();
+        inj.set_storm_policy(Some(StormPolicy {
+            ssf_prob: 1.0,
+            collector_prob: 1.0,
+            max_crashes: 2,
+            seed: 3,
+        }));
+        let mut crashes = 0;
+        for i in 0..10 {
+            let id = format!("i{i}");
+            inj.instance_started(&id);
+            if catches_crash(std::panic::AssertUnwindSafe(|| {
+                inj.crash_point(&id, crate::labels::WRAPPER_ENTER);
+            }))
+            .is_some()
+            {
+                crashes += 1;
+            }
+        }
+        assert_eq!(crashes, 2);
+        assert_eq!(inj.injected_count(), 2);
+        assert_eq!(
+            inj.crash_sites().get(crate::labels::WRAPPER_ENTER),
+            Some(&2)
+        );
+        // Both victims record a lifetime crash count of one.
+        assert_eq!(inj.instance_crashes("i0"), 1);
+        assert_eq!(inj.instance_crashes("i9"), 0);
+    }
+
+    #[test]
+    fn restart_count_tracks_repeat_starts() {
+        let inj = FaultInjector::new();
+        inj.instance_started("a");
+        inj.instance_started("b");
+        assert_eq!(inj.restart_count(), 0);
+        inj.instance_started("a");
+        inj.instance_started("a");
+        assert_eq!(inj.restart_count(), 2);
     }
 
     #[test]

@@ -134,6 +134,21 @@ pub const TXN_PRE_SIGNAL: &str = "txn.pre_signal";
 /// After the finalize protocol completed.
 pub const TXN_POST_FINALIZE: &str = "txn.post_finalize";
 
+// ---- Intent collection (§3.3) ----
+//
+// Like GC below, the three step-boundary labels fire exactly once per
+// pass, independent of the work found; the restart probe is the
+// work-dependent observation point (once per re-launched intent).
+
+/// IC pass entry, before the `Done = false` index scan.
+pub const IC_ENTER: &str = "ic.enter";
+/// After the index scan selected this pass's batch.
+pub const IC_POST_SCAN: &str = "ic.post_scan";
+/// Before one unfinished intent is re-launched. Work-dependent probe.
+pub const IC_PRE_RESTART: &str = "ic.pre_restart";
+/// IC pass exit.
+pub const IC_EXIT: &str = "ic.exit";
+
 // ---- Garbage collection (§5, Fig. 10) ----
 //
 // The five step-boundary labels fire exactly once per pass, independent
@@ -157,6 +172,15 @@ pub const GC_STEP4_PRE_UNLINK: &str = "gc.step4.pre_unlink";
 pub const GC_STEP5_PRE_RESCAN: &str = "gc.step5.pre_rescan";
 /// Before one expired-row delete (step 5). Work-dependent probe.
 pub const GC_STEP5_PRE_DELETE: &str = "gc.step5.pre_delete";
+
+// ---- Platform contract enforcement ----
+
+/// The platform killed an instance whose execution lease (`T_max`)
+/// expired. Not a probe label — the wrapper checks the lease at every
+/// probe and delivers the kill via `FaultInjector::timeout_kill`, which
+/// tallies it here in the per-site crash counts. Listed as
+/// work-dependent since its firing is inherently timing-driven.
+pub const PLATFORM_T_MAX: &str = "platform.t_max";
 
 // ---- Platform-level effect labels ----
 
@@ -204,6 +228,10 @@ pub const ALL: &[&str] = &[
     TXN_PRE_RELEASE_ITEM,
     TXN_PRE_SIGNAL,
     TXN_POST_FINALIZE,
+    IC_ENTER,
+    IC_POST_SCAN,
+    IC_PRE_RESTART,
+    IC_EXIT,
     GC_ENTER,
     GC_POST_CLASSIFY,
     GC_POST_LOG_PRUNE,
@@ -212,6 +240,7 @@ pub const ALL: &[&str] = &[
     GC_STEP4_PRE_UNLINK,
     GC_STEP5_PRE_RESCAN,
     GC_STEP5_PRE_DELETE,
+    PLATFORM_T_MAX,
     WRITE_BEFORE,
     WRITE_AFTER,
 ];
@@ -235,9 +264,11 @@ pub const WORK_DEPENDENT: &[&str] = &[
     TXN_PRE_FLUSH_ITEM,
     TXN_PRE_RELEASE_ITEM,
     TXN_PRE_SIGNAL,
+    IC_PRE_RESTART,
     GC_STEP4_PRE_UNLINK,
     GC_STEP5_PRE_RESCAN,
     GC_STEP5_PRE_DELETE,
+    PLATFORM_T_MAX,
 ];
 
 #[cfg(test)]

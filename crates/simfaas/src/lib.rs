@@ -33,7 +33,8 @@ mod semaphore;
 
 pub use error::{InvokeError, InvokeResult};
 pub use fault::{
-    silence_crash_backtraces, CrashPlan, CrashSignal, FaultInjector, RandomCrashPolicy, TraceEntry,
+    silence_crash_backtraces, CrashPlan, CrashSignal, FaultInjector, RandomCrashPolicy,
+    StormPolicy, TraceEntry,
 };
 pub use metrics::{PlatformMetrics, PlatformSnapshot};
 pub use platform::{

@@ -307,14 +307,25 @@ impl Parser<'_> {
                 }
                 b if b < 0x20 => return Err(self.err("raw control character in string")),
                 _ => {
-                    // Re-borrow the full UTF-8 char starting at b.
+                    // Consume the longest run of plain bytes in one step
+                    // and validate just that slice as UTF-8. Stopping on
+                    // `"`, `\`, and control bytes is safe mid-character:
+                    // UTF-8 continuation bytes are always >= 0x80. (The
+                    // obvious per-character variant — `from_utf8` on the
+                    // whole remaining input each iteration — is O(n^2)
+                    // and took 40+ s on a 2 MB benchmark report.)
                     let start = self.pos - 1;
-                    let rest = &self.bytes[start..];
-                    let text = std::str::from_utf8(rest)
+                    let mut end = self.pos;
+                    while let Some(&nb) = self.bytes.get(end) {
+                        if nb == b'"' || nb == b'\\' || nb < 0x20 {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let text = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| self.err("invalid UTF-8 in string"))?;
-                    let c = text.chars().next().expect("non-empty");
-                    s.push(c);
-                    self.pos = start + c.len_utf8();
+                    s.push_str(text);
+                    self.pos = end;
                 }
             }
         }
@@ -459,6 +470,32 @@ mod tests {
         ] {
             assert!(from_json(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    /// Parsing must stay linear in input size: the chaos drive's nightly
+    /// reports reach tens of megabytes, and a quadratic string path once
+    /// turned `bench_gate` into a 30-minute CPU burn. A megabyte of
+    /// string-heavy JSON should parse in milliseconds; the bound is
+    /// generous enough to never flake, while a quadratic regression
+    /// (minutes) sails past it.
+    #[test]
+    fn large_string_heavy_documents_parse_fast() {
+        let mut doc = String::from("[");
+        for i in 0..20_000 {
+            if i > 0 {
+                doc.push(',');
+            }
+            let _ = write!(doc, "{{\"key-{i}\":\"{}\"}}", "payload-ü-".repeat(5));
+        }
+        doc.push(']');
+        let t0 = std::time::Instant::now();
+        let v = from_json(&doc).unwrap();
+        assert_eq!(v.as_list().unwrap().len(), 20_000);
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(10),
+            "parse took {:?} — string scanning has gone super-linear",
+            t0.elapsed()
+        );
     }
 
     #[test]

@@ -38,7 +38,7 @@ use beldi::value::{vmap, Map, Value};
 use beldi::{schema, BeldiConfig, BeldiEnv, Mode};
 use beldi_apps::WorkflowApp;
 use beldi_simdb::{LatencyModel, MetricsSnapshot};
-use beldi_simfaas::{PlatformConfig, SaturationPolicy};
+use beldi_simfaas::{PlatformConfig, SaturationPolicy, StormPolicy};
 use parking_lot::Mutex;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -95,6 +95,66 @@ pub struct DriveOptions {
     /// the run's virtual duration, so recycling reaches steady state
     /// within the measured window.
     pub gc_t_max: Duration,
+    /// Chaos-production mode (`None` = no fault injection): a seeded
+    /// crash storm kills SSF instances *and* IC/GC collector passes
+    /// mid-flight while the client workers push the normal request mix,
+    /// with both collectors running on timers. The run then verifies the
+    /// end state against a crash-free oracle drive of the same request
+    /// stream and records a [`RecoverySection`]. Ignored in baseline
+    /// mode, which has no recovery machinery to exercise.
+    pub chaos: Option<ChaosOptions>,
+}
+
+/// Crash-storm knobs for a chaos drive (see [`DriveOptions::chaos`]).
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Kill probability at each eligible SSF crash point.
+    pub ssf_kill_prob: f64,
+    /// Kill probability at each eligible collector (`ic.*`/`gc.*`)
+    /// crash point.
+    pub collector_kill_prob: f64,
+    /// Hard cap on injected crashes. Determinism tests set this far
+    /// above the expected crash count so the (interleaving-ordered) cap
+    /// check never shapes the schedule.
+    pub max_crashes: u64,
+    /// IC restart delay for the run — short, so recovery latencies are
+    /// dominated by detection + re-execution rather than the paper's
+    /// production 30 s back-off.
+    pub ic_restart_delay: Duration,
+    /// `T_max` for the run (virtual). Chaos runs enforce the platform's
+    /// execution-timeout contract in the wrapper
+    /// ([`beldi::BeldiConfig::enforce_t_max`]) — the bound Beldi's GC
+    /// safety argument requires once crashes make concurrent duplicate
+    /// executions routine — so this must comfortably exceed the slowest
+    /// instance's execution time or retry storms livelock on the lease.
+    /// It also bounds the client side: root retries stop `T_max` after
+    /// the first attempt, and GC recycles a done intent no earlier than
+    /// `finish + 2·T_max`, so no retry (nor any zombie's final in-flight
+    /// write) can land after its logs were pruned. At long-run scale
+    /// (heavy queueing, modelled latency) size this against the observed
+    /// request-latency tail, not the smoke defaults.
+    pub t_max: Duration,
+    /// Re-launch killed intents (root retries + IC timers + post-run
+    /// recovery drain). `false` is the sabotage configuration for the
+    /// canary tests: killed workflows stay dead, so the conservation
+    /// gates must fail.
+    pub relaunch: bool,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            ssf_kill_prob: 5e-4,
+            collector_kill_prob: 4e-3,
+            max_crashes: 10_000,
+            ic_restart_delay: Duration::from_millis(100),
+            // Comfortably above the smoke-scale latency tail (~30 s
+            // virtual): the lease should catch genuine zombies, not
+            // routinely kill slow-but-healthy instances.
+            t_max: Duration::from_secs(60),
+            relaunch: true,
+        }
+    }
 }
 
 impl Default for DriveOptions {
@@ -113,6 +173,7 @@ impl Default for DriveOptions {
             gc: false,
             gc_period: Duration::from_millis(500),
             gc_t_max: Duration::from_secs(2),
+            chaos: None,
         }
     }
 }
@@ -198,6 +259,14 @@ pub struct StorageSample {
     /// Cumulative corrupt (cyclic) chains encountered — any non-zero
     /// value is a red flag.
     pub gc_corrupt_chains: u64,
+    /// Cumulative completed intent-collector passes at sample time
+    /// (zero unless the run started the IC timers, i.e. chaos mode).
+    pub ic_passes: u64,
+    /// Cumulative instances re-launched by the IC.
+    pub ic_restarted: u64,
+    /// Cumulative corrupt (envelope-less) intents quarantined by the IC
+    /// — `gc_corrupt_chains`'s twin; any non-zero value is a red flag.
+    pub ic_corrupt: u64,
     /// Per-table row counts, sorted by table name.
     pub tables: BTreeMap<String, u64>,
 }
@@ -217,6 +286,9 @@ impl StorageSample {
             "gc_deleted_log_entries" => self.gc_deleted_log_entries as i64,
             "gc_deleted_rows" => self.gc_deleted_rows as i64,
             "gc_corrupt_chains" => self.gc_corrupt_chains as i64,
+            "ic_passes" => self.ic_passes as i64,
+            "ic_restarted" => self.ic_restarted as i64,
+            "ic_corrupt" => self.ic_corrupt as i64,
             "tables" => Value::Map(tables),
         }
     }
@@ -241,6 +313,9 @@ impl StorageSample {
             gc_deleted_log_entries: get("gc_deleted_log_entries"),
             gc_deleted_rows: get("gc_deleted_rows"),
             gc_corrupt_chains: get("gc_corrupt_chains"),
+            ic_passes: get("ic_passes"),
+            ic_restarted: get("ic_restarted"),
+            ic_corrupt: get("ic_corrupt"),
             tables,
         }
     }
@@ -275,6 +350,110 @@ impl StorageSeries {
                 .map(|l| l.iter().map(StorageSample::from_value).collect())
                 .unwrap_or_default(),
             max_chain_len: v.get_int("max_chain_len").unwrap_or(0) as u64,
+        }
+    }
+}
+
+/// The recovery record of one chaos drive: what the storm did, how fast
+/// killed workflows came back, and whether the end state matches a
+/// crash-free oracle run of the same request stream.
+///
+/// Recovery latency is defined on **virtual time**: for every instance
+/// the injector killed at least once and that reached `Done`, the
+/// intent-creation → Done interval, recorded once per instance. The
+/// percentiles below summarize those samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverySection {
+    /// Total crashes the storm injected.
+    pub injected_crashes: u64,
+    /// Instance restarts observed by the injector (re-executions of an
+    /// already-seen instance id — root retries, IC re-launches, and
+    /// collector passes resuming after a kill).
+    pub restarts: u64,
+    /// Injected crashes per crash-point label, sorted by label.
+    pub crash_sites: BTreeMap<String, u64>,
+    /// Completed IC passes (timer-triggered plus the post-run drain).
+    pub ic_passes: u64,
+    /// Instances the IC re-launched.
+    pub ic_restarted: u64,
+    /// IC passes killed mid-flight by the storm.
+    pub ic_crashes: u64,
+    /// GC passes killed mid-flight by the storm.
+    pub gc_crashes: u64,
+    /// Corrupt (envelope-less) intents the IC quarantined — zero in a
+    /// healthy system.
+    pub ic_corrupt: u64,
+    /// Killed instances that reached `Done` (the recovery-latency
+    /// sample count).
+    pub recovered_intents: u64,
+    /// Median recovery latency, virtual ms.
+    pub recovery_p50_ms: u64,
+    /// 90th-percentile recovery latency, virtual ms.
+    pub recovery_p90_ms: u64,
+    /// 99th-percentile recovery latency, virtual ms.
+    pub recovery_p99_ms: u64,
+    /// Effects the chaos run produced beyond the oracle run (clamped at
+    /// zero from below; lost effects surface as a digest mismatch
+    /// instead). Exactly-once demands zero.
+    pub duplicate_effects: i64,
+    /// The oracle run's state digest.
+    pub oracle_digest: String,
+    /// Whether the chaos run's conservation digest equals the oracle's.
+    pub digest_match: bool,
+}
+
+impl RecoverySection {
+    fn to_value(&self) -> Value {
+        let mut sites = Map::new();
+        for (label, n) in &self.crash_sites {
+            sites.insert(label.clone(), Value::Int(*n as i64));
+        }
+        vmap! {
+            "injected_crashes" => self.injected_crashes as i64,
+            "restarts" => self.restarts as i64,
+            "crash_sites" => Value::Map(sites),
+            "ic_passes" => self.ic_passes as i64,
+            "ic_restarted" => self.ic_restarted as i64,
+            "ic_crashes" => self.ic_crashes as i64,
+            "gc_crashes" => self.gc_crashes as i64,
+            "ic_corrupt" => self.ic_corrupt as i64,
+            "recovered_intents" => self.recovered_intents as i64,
+            "recovery_p50_ms" => self.recovery_p50_ms as i64,
+            "recovery_p90_ms" => self.recovery_p90_ms as i64,
+            "recovery_p99_ms" => self.recovery_p99_ms as i64,
+            "duplicate_effects" => self.duplicate_effects,
+            "oracle_digest" => self.oracle_digest.as_str(),
+            "digest_match" => self.digest_match,
+        }
+    }
+
+    fn from_value(v: &Value) -> Self {
+        let get = |k: &str| v.get_int(k).unwrap_or(0) as u64;
+        let crash_sites = v
+            .get_attr("crash_sites")
+            .and_then(Value::as_map)
+            .map(|m| {
+                m.iter()
+                    .filter_map(|(k, v)| v.as_int().map(|n| (k.clone(), n as u64)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        RecoverySection {
+            injected_crashes: get("injected_crashes"),
+            restarts: get("restarts"),
+            crash_sites,
+            ic_passes: get("ic_passes"),
+            ic_restarted: get("ic_restarted"),
+            ic_crashes: get("ic_crashes"),
+            gc_crashes: get("gc_crashes"),
+            ic_corrupt: get("ic_corrupt"),
+            recovered_intents: get("recovered_intents"),
+            recovery_p50_ms: get("recovery_p50_ms"),
+            recovery_p90_ms: get("recovery_p90_ms"),
+            recovery_p99_ms: get("recovery_p99_ms"),
+            duplicate_effects: v.get_int("duplicate_effects").unwrap_or(0),
+            oracle_digest: v.get_str("oracle_digest").unwrap_or_default().to_owned(),
+            digest_match: v.get_bool("digest_match").unwrap_or(false),
         }
     }
 }
@@ -316,6 +495,8 @@ pub struct BenchRun {
     /// Storage-growth series (always recorded; sampled densely when GC
     /// is on, final-only otherwise).
     pub storage: StorageSeries,
+    /// Recovery record (`Some` only for chaos drives).
+    pub recovery: Option<RecoverySection>,
 }
 
 impl BenchRun {
@@ -326,7 +507,7 @@ impl BenchRun {
 
     /// Serializes the run for the JSON report.
     pub fn to_value(&self) -> Value {
-        vmap! {
+        let mut v = vmap! {
             "app" => self.app.as_str(),
             "mode" => self.mode.as_str(),
             "workers" => self.workers as i64,
@@ -342,7 +523,11 @@ impl BenchRun {
             "effects" => self.effects,
             "gc" => self.gc,
             "storage" => self.storage.to_value(),
+        };
+        if let (Some(recovery), Value::Map(m)) = (&self.recovery, &mut v) {
+            m.insert("recovery".into(), recovery.to_value());
         }
+        v
     }
 
     /// Decodes a run from report JSON (tolerant of missing fields, which
@@ -373,6 +558,7 @@ impl BenchRun {
                 .get_attr("storage")
                 .map(StorageSeries::from_value)
                 .unwrap_or_default(),
+            recovery: v.get_attr("recovery").map(RecoverySection::from_value),
         }
     }
 }
@@ -490,6 +676,7 @@ fn driver_platform() -> PlatformConfig {
 /// since the measurement window opened).
 fn storage_sample(env: &BeldiEnv, elapsed_us: u64) -> StorageSample {
     let totals = env.gc_totals();
+    let ic = env.ic_totals();
     let mut sample = StorageSample {
         t_us: elapsed_us,
         gc_passes: totals.passes,
@@ -497,6 +684,9 @@ fn storage_sample(env: &BeldiEnv, elapsed_us: u64) -> StorageSample {
         gc_deleted_log_entries: totals.report.deleted_log_entries as u64,
         gc_deleted_rows: totals.report.deleted_rows as u64,
         gc_corrupt_chains: totals.report.corrupt_chains as u64,
+        ic_passes: ic.passes,
+        ic_restarted: ic.report.restarted as u64,
+        ic_corrupt: env.ic_corrupt_total(),
         ..StorageSample::default()
     };
     for (name, rows) in env.db().table_row_counts() {
@@ -545,14 +735,31 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
     if let Some(capacity) = opts.tail_cache_capacity {
         cfg = cfg.with_tail_cache_capacity(capacity);
     }
-    // Baseline mode has no collectors to run (start_gc is a no-op there);
-    // treat the whole run as GC-free so its report never claims an online
-    // collector it cannot have.
-    let gc = opts.gc && mode != Mode::Baseline;
+    // Baseline mode has no collectors to run (start_gc is a no-op there)
+    // and no recovery machinery for a storm to exercise; treat the whole
+    // run as GC- and chaos-free so its report never claims collectors it
+    // cannot have.
+    let chaos = if mode == Mode::Baseline {
+        None
+    } else {
+        opts.chaos.as_ref()
+    };
+    let gc = (opts.gc || chaos.is_some()) && mode != Mode::Baseline;
     if gc {
         cfg = cfg
             .with_t_max(opts.gc_t_max)
             .with_collector_period(opts.gc_period);
+    }
+    if let Some(c) = chaos {
+        // The storm makes concurrent duplicate executions routine, so the
+        // platform-timeout bound the GC's recycling rule assumes must
+        // actually be enforced (`enforce_t_max`), with a `t_max` sized
+        // for chaos-inflated execution times rather than the GC-test
+        // default.
+        cfg = cfg
+            .with_ic_restart_delay(c.ic_restart_delay)
+            .with_t_max(c.t_max)
+            .with_enforce_t_max(true);
     }
     let mut builder = BeldiEnv::builder(cfg)
         .seed(opts.seed)
@@ -566,9 +773,26 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
     // Open the measurement window: everything from here is the run.
     env.db().reset_metrics();
     if gc {
-        // Online GC: per-SSF collector functions on virtual-time timers,
-        // racing the client workers below.
-        env.start_gc();
+        // Online collectors on virtual-time timers, racing the client
+        // workers below: GC alone for plain online-GC runs, IC + GC for
+        // chaos runs — except the canary configuration (`relaunch:
+        // false`), which keeps the IC off so killed workflows stay dead
+        // and the conservation gates have something to catch.
+        match chaos {
+            Some(c) if c.relaunch => env.start_collectors(),
+            _ => env.start_gc(),
+        }
+    }
+    if let Some(c) = chaos {
+        // The storm races everything above. Crash panics are simulated
+        // failures, not bugs — keep them out of the test output.
+        beldi_simfaas::silence_crash_backtraces();
+        env.platform().faults().set_storm_policy(Some(StormPolicy {
+            ssf_prob: c.ssf_kill_prob,
+            collector_prob: c.collector_kill_prob,
+            max_crashes: c.max_crashes,
+            seed: opts.seed,
+        }));
     }
 
     let clock = env.clock().clone();
@@ -598,14 +822,27 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
             let errors = &errors;
             let hist = &hist;
             let live_workers = &live_workers;
+            // Chaos runs pin every workflow root to a deterministic
+            // instance id: combined with log-key-derived callee ids this
+            // makes the whole execution tree's ids — and therefore the
+            // storm's kill schedule — a pure function of the seed. The
+            // retry budget re-drives a killed root with the *same* id
+            // (exactly-once), or is 1 in the canary configuration.
+            let root_attempts = chaos.map(|c| if c.relaunch { 50 } else { 1 });
             s.spawn(move || {
                 let _exit = WorkerExit(live_workers);
                 let mut rng = worker_rng(opts.seed, w);
                 let mut local = Histogram::new();
-                for _ in 0..ops_for_worker(opts.total_ops, opts.workers, w) {
+                for i in 0..ops_for_worker(opts.total_ops, opts.workers, w) {
                     let request = app.gen_load_request(&mut rng);
                     let t0 = clock.now();
-                    if env.invoke(entry, request).is_err() {
+                    let result = match root_attempts {
+                        Some(n) => {
+                            env.invoke_attempts(entry, &format!("storm-w{w}-op{i}"), request, n)
+                        }
+                        None => env.invoke(entry, request),
+                    };
+                    if result.is_err() {
                         errors.fetch_add(1, Ordering::Relaxed);
                     }
                     local.record(clock.now().since(t0));
@@ -633,6 +870,17 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
     });
     let elapsed = clock.now().since(start);
     env.stop_collectors();
+    if let Some(c) = chaos {
+        // Storm over. Drain: re-drive every interrupted intent to
+        // completion on virtual time so the end state is quiescent and
+        // comparable to the oracle's — except in the canary
+        // configuration, where killed workflows deliberately stay dead.
+        env.platform().faults().set_storm_policy(None);
+        if c.relaunch {
+            env.drain_recovery(50)
+                .expect("recovery drain must not fail");
+        }
+    }
     let db = env.db_metrics();
     let hist = hist.into_inner();
     let fingerprint = app.bench_fingerprint(&env);
@@ -641,11 +889,54 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
         max_chain_len: 0,
     };
     // The steady-state endpoint: one final sample after the last request
-    // (and collector stop), then the end-of-run DAAL depth statistic.
+    // (and collector stop / recovery drain), then the end-of-run DAAL
+    // depth statistic.
     storage
         .samples
         .push(storage_sample(&env, elapsed.as_micros() as u64));
     storage.max_chain_len = max_chain_len(&env, mode);
+    let state_digest = format!("{:016x}", value_digest(&fingerprint));
+    let effects = app.effect_count(&env);
+
+    // Conservation check: re-drive the same request stream crash-free
+    // and compare final-state digests and effect counts. The apps'
+    // fingerprints are interleaving-invariant, so under exactly-once
+    // semantics the digests must be bit-identical no matter what the
+    // storm killed.
+    let recovery = chaos.map(|_| {
+        let faults = env.platform().faults();
+        let mut recovery_samples = env.recovery_samples_ms();
+        recovery_samples.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            match recovery_samples.len() {
+                0 => 0,
+                n => recovery_samples[(((n - 1) as f64) * q).round() as usize],
+            }
+        };
+        let ic = env.ic_totals();
+        let oracle_opts = DriveOptions {
+            chaos: None,
+            ..opts.clone()
+        };
+        let oracle = drive(app, mode, &oracle_opts);
+        RecoverySection {
+            injected_crashes: faults.injected_count(),
+            restarts: faults.restart_count(),
+            crash_sites: faults.crash_sites(),
+            ic_passes: ic.passes,
+            ic_restarted: ic.report.restarted as u64,
+            ic_crashes: ic.crashes,
+            gc_crashes: env.gc_totals().crashes,
+            ic_corrupt: env.ic_corrupt_total(),
+            recovered_intents: recovery_samples.len() as u64,
+            recovery_p50_ms: pct(0.50),
+            recovery_p90_ms: pct(0.90),
+            recovery_p99_ms: pct(0.99),
+            duplicate_effects: (effects - oracle.effects).max(0),
+            oracle_digest: oracle.state_digest.clone(),
+            digest_match: state_digest == oracle.state_digest,
+        }
+    });
 
     BenchRun {
         app: app.kind().to_owned(),
@@ -659,10 +950,11 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
         throughput_rps: opts.total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
         latency: LatencySummary::from_histogram(&hist),
         db,
-        state_digest: format!("{:016x}", value_digest(&fingerprint)),
-        effects: app.effect_count(&env),
+        state_digest,
+        effects,
         gc,
         storage,
+        recovery,
     }
 }
 
@@ -804,10 +1096,35 @@ mod tests {
                     gc_deleted_log_entries: 30,
                     gc_deleted_rows: 9,
                     gc_corrupt_chains: 0,
+                    ic_passes: 5,
+                    ic_restarted: 2,
+                    ic_corrupt: 0,
                     tables: [("f.intent".to_owned(), 4u64)].into_iter().collect(),
                 }],
                 max_chain_len: 3,
             },
+            recovery: Some(RecoverySection {
+                injected_crashes: 17,
+                restarts: 21,
+                crash_sites: [
+                    ("wrapper.enter".to_owned(), 9u64),
+                    ("ic.exit".to_owned(), 2u64),
+                ]
+                .into_iter()
+                .collect(),
+                ic_passes: 5,
+                ic_restarted: 2,
+                ic_crashes: 2,
+                gc_crashes: 1,
+                ic_corrupt: 0,
+                recovered_intents: 14,
+                recovery_p50_ms: 120,
+                recovery_p90_ms: 450,
+                recovery_p99_ms: 900,
+                duplicate_effects: 0,
+                oracle_digest: "00000000deadbeef".into(),
+                digest_match: true,
+            }),
         };
         let report = BenchReport {
             seed: 42,

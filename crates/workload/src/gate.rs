@@ -256,10 +256,85 @@ pub fn growth_gate(report: &BenchReport, max_growth: f64) -> Vec<String> {
     failures
 }
 
+/// The chaos-recovery gate over a chaos driver report.
+///
+/// Every chaos run (one carrying a [`crate::driver::RecoverySection`])
+/// must have survived its crash storm with exactly-once semantics
+/// intact:
+///
+/// - the conservation digest equals the crash-free oracle's;
+/// - duplicate effects beyond the oracle are within
+///   `max_duplicate_effects` (CI pins this to zero);
+/// - the IC quarantined no corrupt intents;
+/// - recovery p99 (virtual ms) is within the `max_recovery_p99_ms` SLO.
+///
+/// Vacuous passes are rejected: a report with no chaos run at all fails,
+/// as does a chaos run whose storm never actually injected a crash or
+/// whose recovery series is empty despite injected crashes — both mean
+/// the gate is checking nothing.
+pub fn recovery_gate(
+    report: &BenchReport,
+    max_recovery_p99_ms: u64,
+    max_duplicate_effects: i64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let chaos_runs: Vec<&BenchRun> = report
+        .runs
+        .iter()
+        .filter(|r| r.recovery.is_some())
+        .collect();
+    if chaos_runs.is_empty() {
+        failures.push("recovery gate: report contains no chaos runs".to_owned());
+    }
+    for run in chaos_runs {
+        let key = run.key();
+        let rec = run.recovery.as_ref().expect("filtered on recovery");
+        if rec.injected_crashes == 0 {
+            failures.push(format!(
+                "{key}: the storm injected no crashes — the chaos gate is vacuous \
+                 (raise the kill rates or the op count)"
+            ));
+        } else if rec.recovered_intents == 0 {
+            failures.push(format!(
+                "{key}: {} crash(es) injected but no killed instance was observed \
+                 recovering — the recovery series is empty",
+                rec.injected_crashes
+            ));
+        }
+        if !rec.digest_match {
+            failures.push(format!(
+                "{key}: conservation digest mismatch (chaos {}, oracle {}) — \
+                 the storm lost or corrupted state",
+                run.state_digest, rec.oracle_digest
+            ));
+        }
+        if rec.duplicate_effects > max_duplicate_effects {
+            failures.push(format!(
+                "{key}: {} duplicate effect(s) beyond the crash-free oracle (max {}) — \
+                 exactly-once is violated",
+                rec.duplicate_effects, max_duplicate_effects
+            ));
+        }
+        if rec.ic_corrupt > 0 {
+            failures.push(format!(
+                "{key}: IC quarantined {} corrupt intent(s)",
+                rec.ic_corrupt
+            ));
+        }
+        if rec.recovery_p99_ms > max_recovery_p99_ms {
+            failures.push(format!(
+                "{key}: recovery p99 {} ms exceeds the SLO ceiling {} ms",
+                rec.recovery_p99_ms, max_recovery_p99_ms
+            ));
+        }
+    }
+    failures
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::driver::{BenchRun, LatencySummary, StorageSample, StorageSeries};
+    use crate::driver::{BenchRun, LatencySummary, RecoverySection, StorageSample, StorageSeries};
     use beldi_simdb::MetricsSnapshot;
 
     fn run(app: &str, workers: usize, rps: f64, errors: u64) -> BenchRun {
@@ -279,6 +354,33 @@ mod tests {
             effects: 0,
             gc: false,
             storage: StorageSeries::default(),
+            recovery: None,
+        }
+    }
+
+    /// A chaos run with a healthy recovery section on top of the
+    /// sound-run defaults; tests break individual fields.
+    fn chaos_run(app: &str) -> BenchRun {
+        BenchRun {
+            state_digest: "abcd".into(),
+            recovery: Some(RecoverySection {
+                injected_crashes: 20,
+                restarts: 25,
+                crash_sites: [("wrapper.enter".to_owned(), 20u64)].into_iter().collect(),
+                ic_passes: 6,
+                ic_restarted: 4,
+                ic_crashes: 1,
+                gc_crashes: 1,
+                ic_corrupt: 0,
+                recovered_intents: 15,
+                recovery_p50_ms: 100,
+                recovery_p90_ms: 300,
+                recovery_p99_ms: 800,
+                duplicate_effects: 0,
+                oracle_digest: "abcd".into(),
+                digest_match: true,
+            }),
+            ..run(app, 4, 10.0, 0)
         }
     }
 
@@ -531,5 +633,90 @@ mod tests {
         // An empty report never passes vacuously.
         let failures = growth_gate(&report(vec![]), 0.25);
         assert!(!failures.is_empty());
+    }
+
+    #[test]
+    fn recovery_gate_passes_healthy_chaos_run() {
+        let failures = recovery_gate(&report(vec![chaos_run("travel")]), 2_000, 0);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn recovery_gate_rejects_digest_mismatch() {
+        let mut r = chaos_run("travel");
+        r.recovery.as_mut().unwrap().digest_match = false;
+        r.recovery.as_mut().unwrap().oracle_digest = "ffff".into();
+        let failures = recovery_gate(&report(vec![r]), 2_000, 0);
+        assert!(
+            failures.iter().any(|f| f.contains("digest mismatch")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_gate_rejects_duplicate_effects() {
+        let mut r = chaos_run("travel");
+        r.recovery.as_mut().unwrap().duplicate_effects = 2;
+        let failures = recovery_gate(&report(vec![r]), 2_000, 0);
+        assert!(
+            failures.iter().any(|f| f.contains("duplicate effect")),
+            "{failures:?}"
+        );
+        // A looser ceiling admits the same run.
+        let mut r = chaos_run("travel");
+        r.recovery.as_mut().unwrap().duplicate_effects = 2;
+        assert!(recovery_gate(&report(vec![r]), 2_000, 2).is_empty());
+    }
+
+    #[test]
+    fn recovery_gate_rejects_slow_recovery() {
+        let mut r = chaos_run("travel");
+        r.recovery.as_mut().unwrap().recovery_p99_ms = 5_000;
+        let failures = recovery_gate(&report(vec![r]), 2_000, 0);
+        assert!(
+            failures.iter().any(|f| f.contains("SLO ceiling")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_gate_rejects_corrupt_intents() {
+        let mut r = chaos_run("travel");
+        r.recovery.as_mut().unwrap().ic_corrupt = 1;
+        let failures = recovery_gate(&report(vec![r]), 2_000, 0);
+        assert!(
+            failures.iter().any(|f| f.contains("corrupt intent")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_gate_rejects_vacuous_storms() {
+        // A storm that never fired proves nothing.
+        let mut r = chaos_run("travel");
+        r.recovery.as_mut().unwrap().injected_crashes = 0;
+        let failures = recovery_gate(&report(vec![r]), 2_000, 0);
+        assert!(
+            failures.iter().any(|f| f.contains("vacuous")),
+            "{failures:?}"
+        );
+
+        // Crashes without a single observed recovery are just as vacuous.
+        let mut r = chaos_run("travel");
+        r.recovery.as_mut().unwrap().recovered_intents = 0;
+        let failures = recovery_gate(&report(vec![r]), 2_000, 0);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("recovery series is empty")),
+            "{failures:?}"
+        );
+
+        // A report with no chaos run at all fails too.
+        let failures = recovery_gate(&report(vec![run("travel", 4, 10.0, 0)]), 2_000, 0);
+        assert!(
+            failures.iter().any(|f| f.contains("no chaos runs")),
+            "{failures:?}"
+        );
     }
 }

@@ -31,11 +31,16 @@ mod histogram;
 mod runner;
 mod sweep;
 
-pub use driver::{drive, BenchReport, BenchRun, DriveOptions, StorageSample, StorageSeries};
+pub use driver::{
+    drive, BenchReport, BenchRun, ChaosOptions, DriveOptions, RecoverySection, StorageSample,
+    StorageSeries,
+};
 pub use explore::{
     explore, mode_name, ExploreOptions, ExploreReport, PipelineApp, Violation, ViolationKind,
 };
-pub use gate::{gate, growth_gate, latency_gate, GateReport, GateRow, LatencyGateRow};
+pub use gate::{
+    gate, growth_gate, latency_gate, recovery_gate, GateReport, GateRow, LatencyGateRow,
+};
 pub use histogram::{Histogram, Percentiles};
 pub use runner::{RateRunner, RunReport};
 pub use sweep::{sweep, SweepPoint};

@@ -2,12 +2,17 @@
 //! stability under concurrency, and conservation laws checked against
 //! independently recomputed request streams.
 
+use std::collections::BTreeMap;
+use std::time::Duration;
+
 use beldi::value::{Map, Value};
 use beldi::Mode;
 use beldi_apps::{bench_app, MixProfile, WorkflowApp};
 use beldi_workload::driver::{
-    drive, ops_for_worker, value_digest, worker_rng, BenchRun, DriveOptions,
+    drive, ops_for_worker, value_digest, worker_rng, BenchReport, BenchRun, ChaosOptions,
+    DriveOptions,
 };
+use beldi_workload::recovery_gate;
 
 /// Fast functional options: zero storage latency, high clock rate.
 fn test_opts(workers: usize, total_ops: u64, seed: u64) -> DriveOptions {
@@ -294,6 +299,136 @@ fn bounded_tail_cache_preserves_smoke_scale_behaviour() {
     assert!(
         c.db.queries >= a.db.queries,
         "a tiny cache cannot out-hit the default"
+    );
+}
+
+/// Wraps a single run in a report shell so the recovery gate can judge it.
+fn report_of(run: BenchRun, opts: &DriveOptions) -> BenchReport {
+    BenchReport {
+        seed: opts.seed,
+        total_ops: opts.total_ops,
+        mix: "default".into(),
+        clock_rate: opts.clock_rate,
+        tail_cache: opts.tail_cache,
+        runs: vec![run],
+    }
+}
+
+/// A crash storm over live traffic with online IC + GC must end in the
+/// crash-free oracle's state: every killed workflow is finished exactly
+/// once by a root retry or an intent-collector re-launch, and nothing is
+/// executed twice.
+#[test]
+fn chaos_storm_with_relaunch_recovers_to_the_oracle_state() {
+    let opts = DriveOptions {
+        chaos: Some(ChaosOptions {
+            // The default lease is sized for the bench's 40× clock; at
+            // this test's 2000× clock a virtual second is 0.5 ms of real
+            // time and debug-build stalls inflate request latencies to
+            // thousands of virtual seconds — any tight lease (or its
+            // client retry window) would expire mid-recovery. Keep the
+            // contract enforced but never binding.
+            t_max: Duration::from_secs(1_000_000),
+            ..ChaosOptions::default()
+        }),
+        ..test_opts(8, 80, 7)
+    };
+    let run = drive_app("media", Mode::Beldi, MixProfile::Default, &opts);
+    assert_eq!(run.errors, 0, "{run:?}");
+    let rec = run.recovery.clone().expect("chaos runs record recovery");
+    assert!(rec.injected_crashes > 0, "the storm had no teeth: {rec:?}");
+    assert!(rec.digest_match, "conservation violated: {rec:?}");
+    assert_eq!(rec.duplicate_effects, 0, "{rec:?}");
+    assert_eq!(rec.ic_corrupt, 0, "{rec:?}");
+
+    let failures = recovery_gate(&report_of(run, &opts), u64::MAX, 0);
+    assert!(failures.is_empty(), "{failures:?}");
+}
+
+/// Drops collector-pass and platform-timeout labels, whose firing depends
+/// on timer scheduling rather than the seeded schedule.
+fn deterministic_sites(sites: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    sites
+        .iter()
+        .filter(|(k, _)| {
+            !k.starts_with("ic.") && !k.starts_with("gc.") && !k.starts_with("platform.")
+        })
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// The same `--chaos` seed must reproduce the same crash schedule. With
+/// re-launch off (one attempt per root, no IC timers) and collector kills
+/// disabled, every execution stream is a pure function of the seed — the
+/// storm's per-probe decisions ignore work-dependent labels precisely so
+/// that contention retries cannot perturb them — and two 8-worker runs
+/// are bit-identical: same kills, same sites, same digest.
+#[test]
+fn chaos_same_seed_runs_are_bit_identical_without_relaunch() {
+    let opts = DriveOptions {
+        chaos: Some(ChaosOptions {
+            // Hot enough that some single-attempt roots die for good
+            // (asserted below via `errors`), cool enough that no callee
+            // exhausts its retry budget at this seed.
+            ssf_kill_prob: 4e-3,
+            collector_kill_prob: 0.0,
+            relaunch: false,
+            // Keep both the lease and GC recycling out of the schedule.
+            // The lease must be unreachable even under pathological host
+            // load: real-time stalls scale into virtual time at 2000×,
+            // and a single load-induced lease kill perturbs the callee
+            // generation sequence — and with it the storm's (otherwise
+            // pure) kill schedule.
+            t_max: Duration::from_secs(1_000_000_000),
+            ..ChaosOptions::default()
+        }),
+        ..test_opts(8, 120, 13)
+    };
+    let a = drive_app("social", Mode::Beldi, MixProfile::Default, &opts);
+    let b = drive_app("social", Mode::Beldi, MixProfile::Default, &opts);
+    let (ra, rb) = (a.recovery.unwrap(), b.recovery.unwrap());
+    assert!(ra.injected_crashes > 0, "the storm had no teeth: {ra:?}");
+    assert_eq!(ra.injected_crashes, rb.injected_crashes);
+    assert_eq!(
+        deterministic_sites(&ra.crash_sites),
+        deterministic_sites(&rb.crash_sites),
+        "kill schedule diverged between identically-seeded runs"
+    );
+    assert_eq!(a.state_digest, b.state_digest, "post-storm state diverged");
+    assert_eq!(a.effects, b.effects);
+    assert_eq!(a.ops, b.ops);
+    assert_eq!(a.errors, b.errors);
+    assert!(a.errors > 0, "killed single-attempt roots must error");
+    assert_eq!(ra.oracle_digest, rb.oracle_digest);
+}
+
+/// Canary for the gate itself: with intent re-launch disabled, killed
+/// workflows stay dead, so the chaos digest cannot match the oracle and
+/// the recovery gate must fail. If this test ever breaks, the gate has
+/// gone blind.
+#[test]
+fn disabling_relaunch_fails_the_conservation_gate() {
+    let opts = DriveOptions {
+        chaos: Some(ChaosOptions {
+            // Total blackout: every execution dies at its first probe, so
+            // with one attempt per root and no collectors nothing ever
+            // commits — deterministically, whatever the interleaving.
+            ssf_kill_prob: 1.0,
+            relaunch: false,
+            ..ChaosOptions::default()
+        }),
+        ..test_opts(8, 80, 21)
+    };
+    let run = drive_app("social", Mode::Beldi, MixProfile::Default, &opts);
+    assert!(
+        !run.recovery.as_ref().unwrap().digest_match,
+        "dead workflows left no trace? {:?}",
+        run.recovery
+    );
+    let failures = recovery_gate(&report_of(run, &opts), u64::MAX, 0);
+    assert!(
+        failures.iter().any(|f| f.contains("digest mismatch")),
+        "{failures:?}"
     );
 }
 

@@ -12,16 +12,23 @@
 //! # bounded steady-state DAAL/log growth under online GC.
 //! cargo run -p beldi-bench --release --bin bench_gate -- \
 //!     --gc-results BENCH_gc_results.json [--max-growth 0.25]
+//!
+//! # Chaos-recovery gate: a `drive --chaos` report must show every
+//! # crash-storm casualty recovered — conservation digest equal to the
+//! # crash-free oracle's, no duplicate effects, recovery p99 within SLO.
+//! cargo run -p beldi-bench --release --bin bench_gate -- \
+//!     --chaos-results BENCH_chaos_results.json \
+//!     [--max-recovery-p99 2000] [--max-duplicate-effects 0]
 //! ```
 //!
-//! The two modes compose: pass all three paths to run both gates in one
-//! invocation. Exit status: 0 when every requested check passes (and
-//! the report files are sound), 1 with per-run explanations otherwise.
-//! The comparison semantics live in `beldi_workload::gate`
+//! The modes compose: pass several report paths to run the matching
+//! gates in one invocation. Exit status: 0 when every requested check
+//! passes (and the report files are sound), 1 with per-run explanations
+//! otherwise. The comparison semantics live in `beldi_workload::gate`
 //! (unit-tested); this binary is the thin CLI.
 
 use beldi_workload::driver::BenchReport;
-use beldi_workload::gate::{gate, growth_gate, latency_gate};
+use beldi_workload::gate::{gate, growth_gate, latency_gate, recovery_gate};
 
 fn load(flag: &str) -> BenchReport {
     let Some(path) = beldi_bench::arg_value(flag) else {
@@ -48,8 +55,9 @@ fn main() {
     let throughput_mode = beldi_bench::arg_value("--results").is_some()
         || beldi_bench::arg_value("--baseline").is_some();
     let growth_mode = beldi_bench::arg_value("--gc-results").is_some();
-    if !throughput_mode && !growth_mode {
-        eprintln!("nothing to gate: pass --baseline/--results and/or --gc-results");
+    let chaos_mode = beldi_bench::arg_value("--chaos-results").is_some();
+    if !throughput_mode && !growth_mode && !chaos_mode {
+        eprintln!("nothing to gate: pass --baseline/--results, --gc-results, or --chaos-results");
         std::process::exit(2);
     }
     let mut failed = false;
@@ -153,6 +161,30 @@ fn main() {
             );
         } else {
             println!("\n# Growth-gate failures");
+            for f in &failures {
+                println!("{f}");
+            }
+            failed = true;
+        }
+    }
+
+    if chaos_mode {
+        let chaos_results = load("--chaos-results");
+        let max_p99 = beldi_bench::arg_usize("--max-recovery-p99", 2_000) as u64;
+        let max_dup = beldi_bench::arg_usize("--max-duplicate-effects", 0) as i64;
+        let failures = recovery_gate(&chaos_results, max_p99, max_dup);
+        if failures.is_empty() {
+            println!(
+                "\nrecovery gate passed: {} chaos run(s) recovered every casualty \
+                 (digest == oracle, dup effects <= {max_dup}, p99 <= {max_p99} ms)",
+                chaos_results
+                    .runs
+                    .iter()
+                    .filter(|r| r.recovery.is_some())
+                    .count()
+            );
+        } else {
+            println!("\n# Recovery-gate failures");
             for f in &failures {
                 println!("{f}");
             }
