@@ -28,15 +28,29 @@
 
 use beldi::value::Value;
 use beldi::Mode;
+use beldi_bench::cli::Cli;
 use beldi_bench::{
-    arg_partitions, arg_usize, experiment_env, micro_payload_n, prepopulate_daal, print_table,
-    register_micro_ops, SYSTEMS, VALUE_16B,
+    experiment_env, micro_payload_n, prepopulate_daal, print_table, register_micro_ops, SYSTEMS,
+    VALUE_16B,
 };
 
 fn main() {
-    let rows = arg_usize("--rows", 20);
-    let iters = arg_usize("--iters", 100);
-    let partitions = arg_partitions();
+    let args = Cli::new("costs", "per-operation storage and network overhead (§7.3)")
+        .flag(
+            "--rows",
+            "N",
+            "20",
+            "pre-populated DAAL depth of the hot key",
+        )
+        .flag("--iters", "N", "100", "invocations per measured operation")
+        .partitions_flag()
+        .switch("--tail-cache", "measure the cached read path instead")
+        .switch("--write-combine", "group-commit unconditional DAAL appends")
+        .switch("--snapshot-reads", "serve traversal reads from snapshots")
+        .parse();
+    let rows = args.usize("--rows");
+    let iters = args.usize("--iters");
+    let partitions = args.usize("--partitions");
 
     let mut table = Vec::new();
     let mut storage = Vec::new();

@@ -1,18 +1,8 @@
 //! Closed-loop concurrent workload driver: the macro benchmark behind
 //! `BENCH_results.json` and the CI perf gate (see `DESIGN.md` §9).
 //!
-//! ```text
-//! cargo run -p beldi-bench --release --bin drive -- \
-//!     [--app media|social|travel|all] [--mode beldi|cross-table|baseline|both|all] \
-//!     [--workers 1,2,4,8] [--duration-ops 5000] [--seed 42] \
-//!     [--partitions 8] [--clock-rate 120] [--mix default|write-heavy] \
-//!     [--no-tail-cache] [--tail-cache-capacity N] \
-//!     [--write-combine] [--snapshot-reads] \
-//!     [--gc] [--gc-period-ms 500] [--gc-tmax-ms 2000] \
-//!     [--chaos] [--chaos-ssf-prob 0.0005] [--chaos-collector-prob 0.004] \
-//!     [--chaos-max-crashes 10000] [--chaos-ic-restart-ms 100] [--chaos-tmax-ms 60000] \
-//!     [--json BENCH_results.json] [--smoke]
-//! ```
+//! Run `drive --help` for the full flag table (it is generated from the
+//! same declarations the parser uses, so it cannot drift).
 //!
 //! `--smoke` is the CI preset: all three apps × {beldi, cross-table},
 //! workers {1, 4}, 120 requests per run, a low clock rate for stability.
@@ -33,72 +23,157 @@
 //! `recovery` section (crash counts by site, intent-creation→Done
 //! recovery-latency percentiles on virtual time, and a conservation
 //! check against a crash-free oracle run of the same request stream)
-//! which `bench_gate --chaos-results` turns into CI gates. Exit
-//! status: 0 when every run completed without request errors, 1
-//! otherwise.
+//! which `bench_gate --chaos-results` turns into CI gates.
+//! `--runtime async` swaps the thread-per-worker closed loop for the
+//! cooperative executor (one spawned task per request, `workers` only
+//! seeding the request streams); async runs are keyed `…@async` in the
+//! report and carry an `in_flight` live-task series. Exit status: 0
+//! when every run completed without request errors, 1 otherwise.
 
 use std::time::Duration;
 
 use beldi::Mode;
 use beldi_apps::{bench_app, MixProfile};
-use beldi_bench::arg_flag as flag;
-use beldi_workload::driver::{drive, BenchReport, ChaosOptions, DriveOptions};
+use beldi_bench::cli::Cli;
+use beldi_workload::driver::{drive_on, BenchReport, ChaosOptions, DriveOptions, RuntimeKind};
 
 fn main() {
-    let smoke = flag("--smoke");
+    let args = Cli::new("drive", "closed-loop concurrent workload driver")
+        .app_flag("all")
+        .mode_flag(
+            "both",
+            "system: beldi | cross-table | baseline | both | all",
+        )
+        .flag(
+            "--workers",
+            "LIST",
+            "1,2,4,8",
+            "comma-separated worker counts (1,4 under --smoke)",
+        )
+        .flag(
+            "--mix",
+            "PROFILE",
+            "default",
+            "request mix: default | write-heavy",
+        )
+        .flag(
+            "--runtime",
+            "ENGINE",
+            "thread",
+            "execution engine: thread | async | both",
+        )
+        .flag(
+            "--duration-ops",
+            "N",
+            "5000",
+            "requests per run (120 under --smoke)",
+        )
+        .seed_flag()
+        .partitions_flag()
+        .clock_rate_flag("120")
+        .switch("--smoke", "CI preset: tiny runs at a stable clock rate")
+        .switch("--no-tail-cache", "disable the DAAL tail-row cache (A/B)")
+        .flag(
+            "--tail-cache-capacity",
+            "N",
+            "",
+            "tail-cache rows per table",
+        )
+        .switch("--write-combine", "group-commit unconditional DAAL appends")
+        .switch("--snapshot-reads", "serve traversal reads from snapshots")
+        .switch("--gc", "run online collectors concurrently with traffic")
+        .flag("--gc-period-ms", "MS", "500", "collector pass period")
+        .flag("--gc-tmax-ms", "MS", "2000", "collector lease T_max")
+        .switch("--chaos", "seeded crash storm on top of live traffic")
+        .flag(
+            "--chaos-ssf-prob",
+            "P",
+            "0.0005",
+            "per-crash-point SSF kill probability",
+        )
+        .flag(
+            "--chaos-collector-prob",
+            "P",
+            "0.004",
+            "per-crash-point collector kill probability",
+        )
+        .flag("--chaos-max-crashes", "N", "10000", "storm crash budget")
+        .flag(
+            "--chaos-ic-restart-ms",
+            "MS",
+            "100",
+            "IC relaunch delay after a kill",
+        )
+        .flag("--chaos-tmax-ms", "MS", "60000", "storm lease T_max")
+        .flag("--json", "PATH", "", "write the report as JSON to PATH")
+        .parse();
+    let smoke = args.flag("--smoke");
 
-    let app_arg = beldi_bench::arg_value("--app").unwrap_or_else(|| "all".into());
-    let mode_arg = beldi_bench::arg_value("--mode").unwrap_or_else(|| "both".into());
-    let workers_arg = beldi_bench::arg_value("--workers").unwrap_or_else(|| {
-        if smoke {
-            "1,4".into()
-        } else {
-            "1,2,4,8".into()
-        }
-    });
-    let mix = match MixProfile::parse(
-        &beldi_bench::arg_value("--mix").unwrap_or_else(|| "default".into()),
-    ) {
-        Some(m) => m,
-        None => {
-            eprintln!("unknown --mix (use default | write-heavy)");
+    let workers_arg = if args.present("--workers") {
+        args.str("--workers")
+    } else if smoke {
+        "1,4".into()
+    } else {
+        "1,2,4,8".into()
+    };
+    let Some(mix) = MixProfile::parse(&args.str("--mix")) else {
+        eprintln!("unknown --mix (use default | write-heavy)");
+        std::process::exit(2);
+    };
+    let runtimes: Vec<RuntimeKind> = match args.str("--runtime").as_str() {
+        "thread" => vec![RuntimeKind::Thread],
+        "async" => vec![RuntimeKind::Async],
+        "both" => vec![RuntimeKind::Thread, RuntimeKind::Async],
+        other => {
+            eprintln!("unknown --runtime {other} (use thread | async | both)");
             std::process::exit(2);
         }
     };
 
     let opts_template = DriveOptions {
-        total_ops: beldi_bench::arg_usize("--duration-ops", if smoke { 120 } else { 5_000 }) as u64,
-        seed: beldi_bench::arg_usize("--seed", 42) as u64,
-        partitions: beldi_bench::arg_partitions(),
-        clock_rate: beldi_bench::arg_f64("--clock-rate", if smoke { 40.0 } else { 120.0 }),
+        total_ops: if args.present("--duration-ops") {
+            args.u64("--duration-ops")
+        } else if smoke {
+            120
+        } else {
+            5_000
+        },
+        seed: args.u64("--seed"),
+        partitions: args.usize("--partitions"),
+        clock_rate: if args.present("--clock-rate") {
+            args.f64("--clock-rate")
+        } else if smoke {
+            40.0
+        } else {
+            120.0
+        },
         model_latency: true,
-        tail_cache: !flag("--no-tail-cache"),
-        tail_cache_capacity: beldi_bench::arg_value("--tail-cache-capacity")
+        tail_cache: !args.flag("--no-tail-cache"),
+        tail_cache_capacity: args
+            .value("--tail-cache-capacity")
             .and_then(|v| v.parse().ok()),
-        write_combine: flag("--write-combine"),
-        snapshot_reads: flag("--snapshot-reads"),
-        gc: flag("--gc"),
-        gc_period: Duration::from_millis(beldi_bench::arg_usize("--gc-period-ms", 500) as u64),
-        gc_t_max: Duration::from_millis(beldi_bench::arg_usize("--gc-tmax-ms", 2_000) as u64),
-        chaos: flag("--chaos").then(|| ChaosOptions {
-            ssf_kill_prob: beldi_bench::arg_f64("--chaos-ssf-prob", 5e-4),
-            collector_kill_prob: beldi_bench::arg_f64("--chaos-collector-prob", 4e-3),
-            max_crashes: beldi_bench::arg_usize("--chaos-max-crashes", 10_000) as u64,
-            ic_restart_delay: Duration::from_millis(beldi_bench::arg_usize(
-                "--chaos-ic-restart-ms",
-                100,
-            ) as u64),
-            t_max: Duration::from_millis(beldi_bench::arg_usize("--chaos-tmax-ms", 60_000) as u64),
+        write_combine: args.flag("--write-combine"),
+        snapshot_reads: args.flag("--snapshot-reads"),
+        gc: args.flag("--gc"),
+        gc_period: Duration::from_millis(args.u64("--gc-period-ms")),
+        gc_t_max: Duration::from_millis(args.u64("--gc-tmax-ms")),
+        chaos: args.flag("--chaos").then(|| ChaosOptions {
+            ssf_kill_prob: args.f64("--chaos-ssf-prob"),
+            collector_kill_prob: args.f64("--chaos-collector-prob"),
+            max_crashes: args.u64("--chaos-max-crashes"),
+            ic_restart_delay: Duration::from_millis(args.u64("--chaos-ic-restart-ms")),
+            t_max: Duration::from_millis(args.u64("--chaos-tmax-ms")),
             ..ChaosOptions::default()
         }),
         ..DriveOptions::default()
     };
 
+    let app_arg = args.str("--app");
     let apps: Vec<&str> = match app_arg.as_str() {
         "all" => vec!["media", "social", "travel"],
         one => vec![one],
     };
-    let modes: Vec<Mode> = match mode_arg.as_str() {
+    let modes: Vec<Mode> = match args.str("--mode").as_str() {
         // The two fault-tolerant designs — the comparison that matters.
         "both" => vec![Mode::Beldi, Mode::CrossTable],
         "all" => vec![Mode::Beldi, Mode::CrossTable, Mode::Baseline],
@@ -132,29 +207,35 @@ fn main() {
     for kind in &apps {
         for &mode in &modes {
             for &w in &workers {
-                let Some(app) = bench_app(kind, mode, mix) else {
-                    eprintln!("unknown --app {kind}");
-                    std::process::exit(2);
-                };
-                let opts = DriveOptions {
-                    workers: w,
-                    ..opts_template.clone()
-                };
-                let run = drive(app.as_ref(), mode, &opts);
-                rows.push(vec![
-                    run.app.clone(),
-                    run.mode.clone(),
-                    w.to_string(),
-                    run.ops.to_string(),
-                    run.errors.to_string(),
-                    format!("{:.1}", run.throughput_rps),
-                    format!("{:.2}", run.latency.p50_us as f64 / 1e3),
-                    format!("{:.2}", run.latency.p99_us as f64 / 1e3),
-                    format!("{:.1}", run.db.total_ops() as f64 / run.ops.max(1) as f64),
-                    run.db.lock_waits.to_string(),
-                    run.wall_ms.to_string(),
-                ]);
-                report.runs.push(run);
+                for &rt in &runtimes {
+                    let Some(app) = bench_app(kind, mode, mix) else {
+                        eprintln!("unknown --app {kind}");
+                        std::process::exit(2);
+                    };
+                    let opts = DriveOptions {
+                        workers: w,
+                        ..opts_template.clone()
+                    };
+                    let run = drive_on(rt, app.as_ref(), mode, &opts);
+                    let mode_cell = match rt {
+                        RuntimeKind::Thread => run.mode.clone(),
+                        RuntimeKind::Async => format!("{}@async", run.mode),
+                    };
+                    rows.push(vec![
+                        run.app.clone(),
+                        mode_cell,
+                        w.to_string(),
+                        run.ops.to_string(),
+                        run.errors.to_string(),
+                        format!("{:.1}", run.throughput_rps),
+                        format!("{:.2}", run.latency.p50_us as f64 / 1e3),
+                        format!("{:.2}", run.latency.p99_us as f64 / 1e3),
+                        format!("{:.1}", run.db.total_ops() as f64 / run.ops.max(1) as f64),
+                        run.db.lock_waits.to_string(),
+                        run.wall_ms.to_string(),
+                    ]);
+                    report.runs.push(run);
+                }
             }
         }
     }
@@ -176,6 +257,26 @@ fn main() {
         ],
         &rows,
     );
+
+    let in_flight_rows: Vec<Vec<String>> = report
+        .runs
+        .iter()
+        .filter_map(|run| {
+            let series = run.in_flight.as_ref()?;
+            Some(vec![
+                run.key(),
+                series.high_water.to_string(),
+                series.samples.len().to_string(),
+            ])
+        })
+        .collect();
+    if !in_flight_rows.is_empty() {
+        beldi_bench::print_table(
+            "Async engine in-flight workflows (live executor tasks)",
+            &["run", "high_water", "samples"],
+            &in_flight_rows,
+        );
+    }
 
     if opts_template.gc {
         let gc_rows: Vec<Vec<String>> = report
@@ -251,7 +352,7 @@ fn main() {
         );
     }
 
-    if let Some(path) = beldi_bench::arg_value("--json") {
+    if let Some(path) = args.value("--json") {
         if let Err(e) = std::fs::write(&path, report.to_json()) {
             eprintln!("writing {path}: {e}");
             std::process::exit(1);

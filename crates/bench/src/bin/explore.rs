@@ -35,32 +35,87 @@
 
 use beldi::Mode;
 use beldi_apps::small_app;
+use beldi_bench::cli::Cli;
 use beldi_workload::{explore, mode_name, ExploreOptions};
-
-fn flag(name: &str) -> bool {
-    std::env::args().any(|a| a == name)
-}
 
 fn main() {
     beldi::silence_crash_backtraces();
 
-    let app_arg = beldi_bench::arg_value("--app").unwrap_or_else(|| "all".into());
-    let mode_arg = beldi_bench::arg_value("--mode").unwrap_or_else(|| "all".into());
-    let smoke = flag("--smoke");
-    let canary = flag("--canary");
-    let canary_combine = flag("--canary-combine");
+    let args = Cli::new("explore", "systematic crash-schedule exploration")
+        .app_flag("all")
+        .mode_flag("all", "system: beldi | cross-table | baseline | all")
+        .flag(
+            "--requests",
+            "N",
+            "4",
+            "frontend requests per sweep (2 under --smoke)",
+        )
+        .seed_flag()
+        .flag(
+            "--stride",
+            "N",
+            "1",
+            "sweep every Nth crash point (7 under --smoke)",
+        )
+        .flag("--max-schedules", "N", "", "cap on depth-1 schedules")
+        .flag(
+            "--depth2-samples",
+            "N",
+            "0",
+            "sampled two-crash schedules (2 under --smoke)",
+        )
+        .switch("--gc-check", "GC pass + leak check after each recovery")
+        .switch(
+            "--gc-interleave",
+            "interleave collector passes with requests",
+        )
+        .switch("--smoke", "CI preset: fewer requests, strided sweep")
+        .switch(
+            "--write-combine",
+            "add the combiner crash points to the sweep",
+        )
+        .switch("--canary", "plant the read-replay bug; expect detection")
+        .switch(
+            "--canary-combine",
+            "plant the combiner bug (implies --write-combine)",
+        )
+        .parse();
+
+    let app_arg = args.str("--app");
+    let mode_arg = args.str("--mode");
+    let smoke = args.flag("--smoke");
+    let canary = args.flag("--canary");
+    let canary_combine = args.flag("--canary-combine");
     let any_canary = canary || canary_combine;
 
     let opts = ExploreOptions {
-        requests: beldi_bench::arg_usize("--requests", if smoke { 2 } else { 4 }),
-        seed: beldi_bench::arg_usize("--seed", 42) as u64,
-        stride: beldi_bench::arg_usize("--stride", if smoke { 7 } else { 1 }),
-        max_depth1: beldi_bench::arg_value("--max-schedules").and_then(|v| v.parse().ok()),
-        depth2_samples: beldi_bench::arg_usize("--depth2-samples", if smoke { 2 } else { 0 }),
-        gc_check: flag("--gc-check"),
-        gc_interleave: flag("--gc-interleave"),
+        requests: if args.present("--requests") {
+            args.usize("--requests")
+        } else if smoke {
+            2
+        } else {
+            4
+        },
+        seed: args.u64("--seed"),
+        stride: if args.present("--stride") {
+            args.usize("--stride")
+        } else if smoke {
+            7
+        } else {
+            1
+        },
+        max_depth1: args.value("--max-schedules").and_then(|v| v.parse().ok()),
+        depth2_samples: if args.present("--depth2-samples") {
+            args.usize("--depth2-samples")
+        } else if smoke {
+            2
+        } else {
+            0
+        },
+        gc_check: args.flag("--gc-check"),
+        gc_interleave: args.flag("--gc-interleave"),
         canary,
-        write_combine: flag("--write-combine") || canary_combine,
+        write_combine: args.flag("--write-combine") || canary_combine,
         canary_combine,
     };
 

@@ -19,9 +19,10 @@
 
 use beldi::value::Value;
 use beldi::Mode;
+use beldi_bench::cli::Cli;
 use beldi_bench::{
-    arg_partitions, arg_usize, experiment_env, measure_op, measure_op_amortized, ms,
-    prepopulate_daal, print_table, register_micro_ops, SYSTEMS,
+    experiment_env, measure_op, measure_op_amortized, ms, prepopulate_daal, print_table,
+    register_micro_ops, SYSTEMS,
 };
 
 /// Micro-op row capacity (log entries per row). A real 400 KB DynamoDB
@@ -30,12 +31,26 @@ use beldi_bench::{
 const CAPACITY: usize = 100;
 
 fn main() {
-    let rows = arg_usize("--rows", 20);
-    let iters = arg_usize("--iters", 300);
-    // Modest clock rate: virtual sleeps dominate real scheduling noise
-    // (see `measure_op`'s docs).
-    let clock_rate = beldi_bench::arg_f64("--clock-rate", 15.0);
-    let partitions = arg_partitions();
+    let args = Cli::new("fig13", "per-operation latency of Beldi primitives (§7.3)")
+        .flag(
+            "--rows",
+            "N",
+            "20",
+            "pre-populated DAAL depth of the hot key",
+        )
+        .flag("--iters", "N", "300", "invocations per measured operation")
+        // Modest clock rate: virtual sleeps dominate real scheduling
+        // noise (see `measure_op`'s docs).
+        .clock_rate_flag("15")
+        .partitions_flag()
+        .switch("--tail-cache", "measure the cached read path instead")
+        .switch("--write-combine", "group-commit unconditional DAAL appends")
+        .switch("--snapshot-reads", "serve traversal reads from snapshots")
+        .parse();
+    let rows = args.usize("--rows");
+    let iters = args.usize("--iters");
+    let clock_rate = args.f64("--clock-rate");
+    let partitions = args.usize("--partitions");
 
     let mut table = Vec::new();
     for (system, mode) in SYSTEMS {

@@ -30,7 +30,8 @@ use std::time::Duration;
 
 use beldi::value::Value;
 use beldi::{BeldiConfig, BeldiEnv, Mode};
-use beldi_bench::{arg_f64, arg_partitions, arg_usize, ms, print_table};
+use beldi_bench::cli::Cli;
+use beldi_bench::{ms, print_table};
 use beldi_workload::RateRunner;
 
 struct GcConfig {
@@ -63,10 +64,24 @@ fn build_env(cfg: &GcConfig, clock_rate: f64, partitions: usize) -> BeldiEnv {
 }
 
 fn main() {
-    let minutes = arg_usize("--minutes", 15);
-    let rate = arg_f64("--rate", 2.0);
-    let clock_rate = arg_f64("--clock-rate", 20.0);
-    let partitions = arg_partitions();
+    let args = Cli::new(
+        "fig16",
+        "write latency over time under GC configurations (§7.5)",
+    )
+    .flag(
+        "--minutes",
+        "N",
+        "15",
+        "virtual minutes driven per configuration",
+    )
+    .flag("--rate", "RPS", "2", "constant offered request rate")
+    .clock_rate_flag("20")
+    .partitions_flag()
+    .parse();
+    let minutes = args.usize("--minutes");
+    let rate = args.f64("--rate");
+    let clock_rate = args.f64("--clock-rate");
+    let partitions = args.usize("--partitions");
 
     let configs = [
         GcConfig {

@@ -12,17 +12,35 @@ use std::time::Duration;
 
 use beldi::Mode;
 use beldi_apps::SocialApp;
-use beldi_bench::{
-    app_env, arg_f64, arg_partitions, arg_usize, print_table, sweep_app, sweep_rows, AppHandle,
-    SWEEP_HEADERS,
-};
+use beldi_bench::cli::Cli;
+use beldi_bench::{app_env, print_table, sweep_app, sweep_rows, AppHandle, SWEEP_HEADERS};
 
 fn main() {
-    let duration = Duration::from_millis(arg_usize("--duration-ms", 3_000) as u64);
-    let issuers = arg_usize("--issuers", 192);
-    let clock_rate = arg_f64("--clock-rate", 4.0);
-    let max_rate = arg_f64("--max-rate", 800.0);
-    let partitions = arg_partitions();
+    let args = Cli::new(
+        "fig26",
+        "social media site: latency vs throughput (App. C.1)",
+    )
+    .flag(
+        "--duration-ms",
+        "MS",
+        "3000",
+        "virtual time driven per rate point",
+    )
+    .flag("--issuers", "N", "192", "open-loop request issuer threads")
+    .clock_rate_flag("4")
+    .flag(
+        "--max-rate",
+        "RPS",
+        "800",
+        "highest offered rate in the sweep",
+    )
+    .partitions_flag()
+    .parse();
+    let duration = Duration::from_millis(args.u64("--duration-ms"));
+    let issuers = args.usize("--issuers");
+    let clock_rate = args.f64("--clock-rate");
+    let max_rate = args.f64("--max-rate");
+    let partitions = args.usize("--partitions");
     let rates: Vec<f64> = (1..=8).map(|i| max_rate * i as f64 / 8.0).collect();
 
     let setup = |env: &beldi::BeldiEnv| -> AppHandle {

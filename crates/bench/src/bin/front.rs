@@ -1,0 +1,111 @@
+//! The network front door: serve a benchmark app's SSFs over HTTP/1.1,
+//! or run the CI smoke gate (DESIGN.md §14).
+//!
+//! ```text
+//! # Serve until killed: POST /invoke/{ssf} with a JSON body.
+//! cargo run -p beldi-bench --release --bin front -- \
+//!     --app media --mode beldi --addr 127.0.0.1:8377
+//!
+//! # CI smoke gate: drive a seeded stream through real sockets, replay
+//! # it in-process, and fail unless the state digests match and the
+//! # door sustained a nonzero request rate.
+//! cargo run -p beldi-bench --release --bin front -- \
+//!     --smoke [--requests 64 --clients 4 --json BENCH_front_smoke.json]
+//! ```
+
+use std::sync::Arc;
+
+use beldi_bench::cli::Cli;
+use beldi_bench::front::{front_smoke, FrontDoor};
+
+fn main() {
+    let args = Cli::new("front", "HTTP front door over the cooperative executor")
+        .app_flag("media")
+        .mode_flag("beldi", "beldi|cross-table|baseline")
+        .flag(
+            "--addr",
+            "HOST:PORT",
+            "127.0.0.1:0",
+            "bind address (0 = ephemeral port)",
+        )
+        .seed_flag()
+        .partitions_flag()
+        .clock_rate_flag("500")
+        .switch("--smoke", "run the digest-equivalence smoke gate and exit")
+        .flag(
+            "--requests",
+            "N",
+            "64",
+            "smoke: requests driven through the door",
+        )
+        .flag(
+            "--clients",
+            "N",
+            "4",
+            "smoke: concurrent client connections",
+        )
+        .flag("--json", "PATH", "", "smoke: also write the report as JSON")
+        .parse();
+    let kind = args.str("--app");
+    let mode = match args.str("--mode").as_str() {
+        "beldi" => beldi::Mode::Beldi,
+        "cross-table" | "cross" => beldi::Mode::CrossTable,
+        "baseline" => beldi::Mode::Baseline,
+        other => {
+            eprintln!("unknown --mode {other}");
+            std::process::exit(2);
+        }
+    };
+    let seed = args.u64("--seed");
+    let partitions = args.usize("--partitions");
+    let clock_rate = args.f64("--clock-rate");
+
+    if args.flag("--smoke") {
+        let requests = args.usize("--requests");
+        let clients = args.usize("--clients");
+        let report = front_smoke(&kind, mode, requests, clients, clock_rate, partitions, seed)
+            .unwrap_or_else(|| {
+                eprintln!("unknown app {kind:?} (expected media, social, or travel)");
+                std::process::exit(2);
+            });
+        println!(
+            "front smoke: {} requests via {} client(s) in {} ms ({:.1} rps, {} errors)",
+            report.requests, report.clients, report.wall_ms, report.rps, report.errors
+        );
+        println!("  front digest:      {}", report.front_digest);
+        println!("  in-process digest: {}", report.inproc_digest);
+        if let Some(path) = args.value("--json") {
+            std::fs::write(&path, report.to_json()).expect("write smoke report");
+            println!("  report written to {path}");
+        }
+        if !report.digest_match() {
+            println!("\nFAIL: networked state diverged from the in-process run");
+            std::process::exit(1);
+        }
+        if report.errors > 0 || report.rps <= 0.0 {
+            println!("\nFAIL: the door dropped requests or served at zero rps");
+            std::process::exit(1);
+        }
+        println!("\nsmoke gate passed: exactly-once held across the network boundary");
+        return;
+    }
+
+    let app =
+        beldi_apps::bench_app(&kind, mode, beldi_apps::MixProfile::Default).unwrap_or_else(|| {
+            eprintln!("unknown app {kind:?} (expected media, social, or travel)");
+            std::process::exit(2);
+        });
+    let env = Arc::new(beldi_bench::bench_env(mode, clock_rate, partitions));
+    app.setup(&env);
+    let door =
+        FrontDoor::start(Arc::clone(&env), &args.str("--addr"), seed).expect("bind the front door");
+    println!("front door listening on http://{}", door.addr());
+    println!("  entry point: POST /invoke/{}", app.entry_point());
+    for ssf in env.ssf_names() {
+        println!("  ssf: {ssf}");
+    }
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,713 @@
+//! The network front door: an HTTP/1.1 gateway over the cooperative
+//! executor (DESIGN.md §14).
+//!
+//! A [`FrontDoor`] binds a [`std::net::TcpListener`], accepts
+//! keep-alive connections on plain threads, and routes every
+//! `POST /invoke/{ssf}` body onto one [`beldi_runtime::Executor`] as a
+//! root workflow task ([`beldi::BeldiEnv::invoke_task`]): connection
+//! threads only park on a channel while ten thousand in-flight
+//! workflows stay cheap executor tasks. The wire format is deliberately
+//! minimal — JSON bodies, `content-length` framing, no chunked
+//! encoding — because the client is the workspace's own harness, not a
+//! browser.
+//!
+//! | request                | response                                  |
+//! |------------------------|-------------------------------------------|
+//! | `GET /healthz`         | `200` `ok`                                |
+//! | `GET /ssfs`            | `200` JSON array of registered SSF names  |
+//! | `POST /invoke/{ssf}`   | `200` `{"ok": result}` / `500` `{"error"}`|
+//!
+//! A caller may pin the workflow instance id with an
+//! `x-beldi-instance` header; retrying a request under the same id
+//! replays the recorded result instead of re-executing (the root
+//! protocol's exactly-once contract). Without the header the door
+//! assigns `front-{n}`.
+//!
+//! The handler fires the `front.*` crash points around the executor
+//! handoff and catches its own [`CrashSignal`], dropping the connection
+//! the way a crashed gateway would — so chaos storms extend across the
+//! network boundary.
+//!
+//! [`front_smoke`] is the CI gate behind `front --smoke`: it drives a
+//! seeded request stream through real sockets, replays the identical
+//! stream in-process, and compares state digests (exactly-once across
+//! the network equals exactly-once in memory).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use beldi::value::{json, Value};
+use beldi::{BeldiEnv, Mode};
+use beldi_apps::bench_app;
+use beldi_runtime::{Executor, Handle, Semaphore};
+use beldi_simfaas::{labels, CrashSignal};
+
+/// Root-invocation retry budget for workflows dispatched by the door
+/// (same figure the async driver uses).
+const ROOT_ATTEMPTS: usize = 50;
+
+struct DoorState {
+    env: Arc<BeldiEnv>,
+    handle: Handle,
+    seq: AtomicU64,
+    served: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A running HTTP front door (see the module docs).
+pub struct FrontDoor {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    state: Arc<DoorState>,
+    keepalive: Option<beldi_runtime::sync::Permit>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    executor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FrontDoor {
+    /// Binds `bind` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts serving `env`'s registered SSFs on a fresh executor
+    /// seeded with `seed`.
+    pub fn start(env: Arc<BeldiEnv>, bind: &str, seed: u64) -> io::Result<FrontDoor> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+
+        let rt = Executor::new(env.clock().clone(), seed);
+        let handle = rt.handle();
+        // `Executor::run` returns when the task set drains; the door
+        // holds this permit and parks one task on the semaphore so the
+        // executor outlives idle periods between requests. Dropping the
+        // permit at shutdown lets that task (and `run`) finish.
+        let gate = Semaphore::new(1);
+        let keepalive = gate.try_acquire().expect("fresh semaphore has a permit");
+        {
+            let gate = gate.clone();
+            rt.spawn(async move {
+                let _permit = gate.acquire().await;
+            });
+        }
+        let executor = std::thread::spawn(move || rt.run());
+
+        let state = Arc::new(DoorState {
+            env,
+            handle,
+            seq: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    let state = Arc::clone(&state);
+                    std::thread::spawn(move || {
+                        let _ = serve_connection(stream, &state);
+                    });
+                }
+            })
+        };
+
+        Ok(FrontDoor {
+            addr,
+            stop,
+            state,
+            keepalive: Some(keepalive),
+            acceptor: Some(acceptor),
+            executor: Some(executor),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests answered so far (any status).
+    pub fn requests_served(&self) -> u64 {
+        self.state.served.load(Ordering::SeqCst)
+    }
+
+    /// Requests answered with a non-2xx status so far.
+    pub fn request_errors(&self) -> u64 {
+        self.state.errors.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, releases the executor keepalive, and joins both
+    /// service threads. In-flight connections are abandoned.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's `incoming()` with a throwaway connect.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.acceptor.take() {
+            let _ = t.join();
+        }
+        drop(self.keepalive.take());
+        if let Some(t) = self.executor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FrontDoor {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+// ---- Wire handling ---------------------------------------------------------
+
+struct Request {
+    method: String,
+    path: String,
+    instance: Option<String>,
+    body: Vec<u8>,
+    close: bool,
+}
+
+/// Reads one framed request; `None` on clean EOF before a request line.
+fn read_request(reader: &mut BufReader<TcpStream>) -> io::Result<Option<Request>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad request line",
+        ));
+    };
+    let (method, path) = (method.to_owned(), path.to_owned());
+
+    let mut content_length = 0usize;
+    let mut instance = None;
+    let mut close = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof in headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        } else if name.eq_ignore_ascii_case("x-beldi-instance") {
+            instance = Some(value.to_owned());
+        } else if name.eq_ignore_ascii_case("connection") {
+            close = value.eq_ignore_ascii_case("close");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request {
+        method,
+        path,
+        instance,
+        body,
+        close,
+    }))
+}
+
+struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, reason: &'static str, body: String) -> Response {
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(
+            w,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        )?;
+        w.write_all(self.body.as_bytes())?;
+        w.flush()
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &DoorState) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    while let Some(req) = read_request(&mut reader)? {
+        // A scripted front-door crash (`front.*` label) unwinds here;
+        // drop the connection abruptly, as a crashed gateway would.
+        let response = match std::panic::catch_unwind(AssertUnwindSafe(|| route(&req, state))) {
+            Ok(r) => r,
+            Err(payload) => {
+                if payload.downcast_ref::<CrashSignal>().is_some() {
+                    return Ok(());
+                }
+                std::panic::resume_unwind(payload);
+            }
+        };
+        state.served.fetch_add(1, Ordering::SeqCst);
+        if response.status >= 300 {
+            state.errors.fetch_add(1, Ordering::SeqCst);
+        }
+        response.write_to(&mut writer)?;
+        if req.close {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn route(req: &Request, state: &DoorState) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain",
+            body: "ok\n".into(),
+        },
+        ("GET", "/ssfs") => {
+            let names: Vec<String> = state
+                .env
+                .ssf_names()
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect();
+            Response::json(200, "OK", format!("[{}]", names.join(",")))
+        }
+        ("POST", path) => match path.strip_prefix("/invoke/") {
+            Some(ssf) if !ssf.is_empty() => invoke(req, ssf, state),
+            _ => Response::json(404, "Not Found", "{\"error\":\"no such route\"}".into()),
+        },
+        _ => Response::json(404, "Not Found", "{\"error\":\"no such route\"}".into()),
+    }
+}
+
+fn invoke(req: &Request, ssf: &str, state: &DoorState) -> Response {
+    if !state.env.ssf_names().iter().any(|n| n == ssf) {
+        return Response::json(
+            404,
+            "Not Found",
+            format!("{{\"error\":\"unknown ssf {ssf}\"}}"),
+        );
+    }
+    let payload = match std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|t| json::from_json(t).ok())
+    {
+        Some(v) => v,
+        None => {
+            return Response::json(
+                400,
+                "Bad Request",
+                "{\"error\":\"body is not JSON\"}".into(),
+            )
+        }
+    };
+    let instance = req
+        .instance
+        .clone()
+        .unwrap_or_else(|| format!("front-{}", state.seq.fetch_add(1, Ordering::SeqCst)));
+
+    let faults = state.env.platform().faults();
+    faults.crash_point(&instance, labels::FRONT_ENTER);
+
+    // Hand the workflow to the executor; this thread parks on the
+    // channel while the task runs the root-invocation protocol.
+    let fut = state
+        .env
+        .invoke_task(ssf, &instance, payload, ROOT_ATTEMPTS);
+    let (tx, rx) = mpsc::channel();
+    state.handle.spawn(async move {
+        let _ = tx.send(fut.await);
+    });
+    faults.crash_point(&instance, labels::FRONT_POST_SPAWN);
+    let result = rx.recv();
+    faults.crash_point(&instance, labels::FRONT_PRE_REPLY);
+
+    match result {
+        Ok(Ok(value)) => Response::json(200, "OK", format!("{{\"ok\":{}}}", json::to_json(&value))),
+        Ok(Err(e)) => Response::json(
+            500,
+            "Internal Server Error",
+            format!(
+                "{{\"error\":{}}}",
+                json::to_json(&Value::from(e.to_string()))
+            ),
+        ),
+        Err(_) => Response::json(
+            500,
+            "Internal Server Error",
+            "{\"error\":\"executor shut down\"}".into(),
+        ),
+    }
+}
+
+// ---- HTTP client (harness side) --------------------------------------------
+
+/// A minimal keep-alive HTTP client for the smoke harness and tests.
+pub struct FrontClient {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl FrontClient {
+    /// A client for the door at `addr`; connects lazily.
+    pub fn new(addr: SocketAddr) -> FrontClient {
+        FrontClient { addr, conn: None }
+    }
+
+    fn conn(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            self.conn = Some(BufReader::new(stream));
+        }
+        Ok(self.conn.as_mut().expect("just connected"))
+    }
+
+    /// Sends one request; returns `(status, body)`. Drops the cached
+    /// connection on any transport error so the next call reconnects.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<(u16, String)> {
+        let result = self.try_request(method, path, headers, body);
+        if result.is_err() {
+            self.conn = None;
+        }
+        result
+    }
+
+    /// `POST /invoke/{ssf}` with a JSON payload; returns `(status, body)`.
+    pub fn invoke(&mut self, ssf: &str, payload: &Value) -> io::Result<(u16, String)> {
+        self.request(
+            "POST",
+            &format!("/invoke/{ssf}"),
+            &[],
+            &json::to_json(payload),
+        )
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &str,
+    ) -> io::Result<(u16, String)> {
+        let reader = self.conn()?;
+        {
+            let stream = reader.get_mut();
+            write!(stream, "{method} {path} HTTP/1.1\r\nhost: front\r\n")?;
+            for (name, value) in headers {
+                write!(stream, "{name}: {value}\r\n")?;
+            }
+            write!(stream, "content-length: {}\r\n\r\n{body}", body.len())?;
+            stream.flush()?;
+        }
+
+        let mut status_line = String::new();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "closed"));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            if reader.read_line(&mut header)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof in headers",
+                ));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body)?;
+        String::from_utf8(body)
+            .map(|b| (status, b))
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 body"))
+    }
+}
+
+// ---- Smoke harness ---------------------------------------------------------
+
+/// The outcome of [`front_smoke`]: one seeded request stream driven
+/// through real sockets versus the identical stream replayed in-process.
+#[derive(Debug, Clone)]
+pub struct FrontSmokeReport {
+    /// App driven ("media" / "social" / "travel").
+    pub app: String,
+    /// Mode's CLI spelling ("beldi" / "cross-table" / "baseline").
+    pub mode: String,
+    /// Requests sent over the wire (== requests replayed in-process).
+    pub requests: u64,
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Non-200 responses plus transport failures on the HTTP side.
+    pub errors: u64,
+    /// Wall-clock duration of the HTTP run.
+    pub wall_ms: u64,
+    /// HTTP requests per wall-clock second.
+    pub rps: f64,
+    /// Fingerprint digest of the served environment's final state.
+    pub front_digest: String,
+    /// Fingerprint digest after the in-process replay.
+    pub inproc_digest: String,
+}
+
+impl FrontSmokeReport {
+    /// The gate: did the networked run converge to the in-process state?
+    pub fn digest_match(&self) -> bool {
+        self.front_digest == self.inproc_digest
+    }
+
+    /// Serializes the report for `BENCH_async_results.json`-style
+    /// artifacts.
+    pub fn to_json(&self) -> String {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("app".to_owned(), Value::from(self.app.clone()));
+        m.insert("mode".to_owned(), Value::from(self.mode.clone()));
+        m.insert("requests".to_owned(), Value::Int(self.requests as i64));
+        m.insert("clients".to_owned(), Value::Int(self.clients as i64));
+        m.insert("errors".to_owned(), Value::Int(self.errors as i64));
+        m.insert("wall_ms".to_owned(), Value::Int(self.wall_ms as i64));
+        m.insert("rps".to_owned(), Value::Float(self.rps));
+        m.insert(
+            "front_digest".to_owned(),
+            Value::from(self.front_digest.clone()),
+        );
+        m.insert(
+            "inproc_digest".to_owned(),
+            Value::from(self.inproc_digest.clone()),
+        );
+        m.insert("digest_match".to_owned(), Value::Bool(self.digest_match()));
+        json::to_json_pretty(&Value::Map(m))
+    }
+}
+
+/// Drives `requests` seeded frontend requests for `kind`/`mode` through
+/// a real [`FrontDoor`] with `clients` concurrent connections, replays
+/// the identical stream in-process, and reports both state digests.
+/// Returns `None` for an unknown app kind.
+pub fn front_smoke(
+    kind: &str,
+    mode: Mode,
+    requests: usize,
+    clients: usize,
+    clock_rate: f64,
+    partitions: usize,
+    seed: u64,
+) -> Option<FrontSmokeReport> {
+    let mix = beldi_apps::MixProfile::Default;
+    let app = bench_app(kind, mode, mix)?;
+
+    // One request stream, drawn up front so both paths see the same
+    // multiset (the apps' bench fingerprints are interleaving-invariant).
+    let reqs: Vec<Value> = {
+        let mut rng = beldi_apps::rng::request_rng(seed);
+        (0..requests)
+            .map(|_| app.gen_load_request(&mut rng))
+            .collect()
+    };
+    let entry = app.entry_point();
+
+    // HTTP side: a served environment behind a real socket.
+    let served_env = Arc::new(crate::bench_env(mode, clock_rate, partitions));
+    app.setup(&served_env);
+    let door = FrontDoor::start(Arc::clone(&served_env), "127.0.0.1:0", seed)
+        .expect("bind an ephemeral front door");
+    let started = std::time::Instant::now();
+    let errors = {
+        let n_slots = clients.max(1);
+        let mut slots: Vec<Vec<Value>> = vec![Vec::new(); n_slots];
+        for (i, r) in reqs.iter().enumerate() {
+            slots[i % n_slots].push(r.clone());
+        }
+        let workers: Vec<_> = slots
+            .into_iter()
+            .map(|slot| {
+                let addr = door.addr();
+                std::thread::spawn(move || {
+                    let mut client = FrontClient::new(addr);
+                    let mut errors = 0u64;
+                    for payload in &slot {
+                        match client.invoke(entry, payload) {
+                            Ok((200, _)) => {}
+                            _ => errors += 1,
+                        }
+                    }
+                    errors
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap_or(1)).sum()
+    };
+    let wall = started.elapsed();
+    door.shutdown();
+    let front_digest = fingerprint_digest(app.as_ref(), &served_env);
+
+    // In-process side: the same stream, no sockets, no executor.
+    let inproc_env = crate::bench_env(mode, clock_rate, partitions);
+    app.setup(&inproc_env);
+    for payload in &reqs {
+        let _ = inproc_env.invoke(entry, payload.clone());
+    }
+    let inproc_digest = fingerprint_digest(app.as_ref(), &inproc_env);
+
+    let wall_ms = wall.as_millis() as u64;
+    Some(FrontSmokeReport {
+        app: kind.to_owned(),
+        mode: beldi_workload::mode_name(mode).to_owned(),
+        requests: requests as u64,
+        clients: clients.max(1),
+        errors,
+        wall_ms,
+        rps: requests as f64 / wall.as_secs_f64().max(1e-9),
+        front_digest,
+        inproc_digest,
+    })
+}
+
+fn fingerprint_digest(app: &dyn beldi_apps::WorkflowApp, env: &BeldiEnv) -> String {
+    format!(
+        "{:016x}",
+        beldi_workload::driver::value_digest(&app.bench_fingerprint(env))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn door_for_media() -> (Arc<BeldiEnv>, FrontDoor, Box<dyn beldi_apps::WorkflowApp>) {
+        let app =
+            bench_app("media", Mode::Beldi, beldi_apps::MixProfile::Default).expect("media exists");
+        let env = Arc::new(crate::bench_env(Mode::Beldi, 500.0, 4));
+        app.setup(&env);
+        let door = FrontDoor::start(Arc::clone(&env), "127.0.0.1:0", 7).expect("bind");
+        (env, door, app)
+    }
+
+    #[test]
+    fn healthz_ssfs_and_errors_route() {
+        let (_env, door, _app) = door_for_media();
+        let mut client = FrontClient::new(door.addr());
+        let (status, body) = client.request("GET", "/healthz", &[], "").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, body) = client.request("GET", "/ssfs", &[], "").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains("compose"), "ssf listing: {body}");
+        let (status, _) = client
+            .request("POST", "/invoke/no-such-ssf", &[], "null")
+            .unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = client
+            .request("POST", "/invoke/media-compose-review", &[], "{not json")
+            .unwrap();
+        assert_eq!(status, 400);
+        let (status, _) = client.request("GET", "/nowhere", &[], "").unwrap();
+        assert_eq!(status, 404);
+        assert_eq!(door.request_errors(), 3);
+        door.shutdown();
+    }
+
+    #[test]
+    fn invokes_execute_workflows_over_the_wire() {
+        let (env, door, app) = door_for_media();
+        let mut rng = beldi_apps::rng::request_rng(42);
+        let mut client = FrontClient::new(door.addr());
+        for _ in 0..5 {
+            let (status, body) = client
+                .invoke(app.entry_point(), &app.gen_load_request(&mut rng))
+                .unwrap();
+            assert_eq!(status, 200, "body: {body}");
+            assert!(body.starts_with("{\"ok\":"), "body: {body}");
+        }
+        assert_eq!(door.requests_served(), 5);
+        door.shutdown();
+        // The workflows really ran: the app has observable state.
+        let state = app.canonical_state(&env);
+        assert_ne!(state, Value::Null);
+    }
+
+    #[test]
+    fn pinned_instance_id_replays_instead_of_reexecuting() {
+        let (env, door, app) = door_for_media();
+        let mut rng = beldi_apps::rng::request_rng(9);
+        let payload = json::to_json(&app.gen_load_request(&mut rng));
+        let mut client = FrontClient::new(door.addr());
+        let path = format!("/invoke/{}", app.entry_point());
+        let headers = [("x-beldi-instance", "pinned-1")];
+        let (s1, b1) = client.request("POST", &path, &headers, &payload).unwrap();
+        let digest_after_first = fingerprint_digest(app.as_ref(), &env);
+        let (s2, b2) = client.request("POST", &path, &headers, &payload).unwrap();
+        assert_eq!((s1, s2), (200, 200));
+        assert_eq!(b1, b2, "a retry under the same id must replay the result");
+        assert_eq!(
+            digest_after_first,
+            fingerprint_digest(app.as_ref(), &env),
+            "the retry must not re-execute effects"
+        );
+        door.shutdown();
+    }
+
+    #[test]
+    fn smoke_digest_matches_in_process_run() {
+        let report = front_smoke("media", Mode::Beldi, 16, 4, 500.0, 4, 42).expect("known app");
+        assert_eq!(report.errors, 0, "all HTTP invokes should succeed");
+        assert!(report.digest_match(), "{report:?}");
+        assert!(report.rps > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"digest_match\": true"), "{json}");
+    }
+}

@@ -15,6 +15,9 @@
 //! absolute values depend on the latency model, but the comparative
 //! *shapes* are the reproduction targets (see `EXPERIMENTS.md`).
 
+pub mod cli;
+pub mod front;
+
 use std::time::Duration;
 
 use beldi::value::Value;

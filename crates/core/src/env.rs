@@ -137,6 +137,9 @@ pub(crate) struct EnvCore {
     /// Recovery-latency samples for crashed instances.
     recovery: Mutex<RecoveryState>,
     timers: Mutex<Vec<beldi_simfaas::TimerHandle>>,
+    /// Stop flags for executor-task collector loops
+    /// ([`BeldiEnv::spawn_collectors_on`]), drained alongside `timers`.
+    async_stops: Mutex<Vec<Arc<AtomicBool>>>,
 }
 
 impl EnvCore {
@@ -300,6 +303,7 @@ impl EnvBuilder {
                 ic_cursors: Mutex::new(HashMap::new()),
                 recovery: Mutex::new(RecoveryState::default()),
                 timers: Mutex::new(Vec::new()),
+                async_stops: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -307,7 +311,12 @@ impl EnvBuilder {
 
 /// A Beldi deployment: simulated platform + database + registered SSFs.
 ///
+/// Cloning yields another handle to the *same* deployment (the state is
+/// behind an `Arc`), which is how background samplers and executor
+/// tasks share an environment.
+///
 /// See the [crate-level docs](crate) for a quickstart.
+#[derive(Clone)]
 pub struct BeldiEnv {
     core: Arc<EnvCore>,
 }
@@ -463,14 +472,7 @@ impl BeldiEnv {
         input: Value,
         max_attempts: usize,
     ) -> BeldiResult<Value> {
-        let envelope = Envelope::Call {
-            id: Some(instance.to_owned()),
-            input,
-            caller: None,
-            txn: None,
-            is_async: false,
-        }
-        .to_value();
+        let envelope = Envelope::root_call(instance, input, false).to_value();
         if self.core.config.mode == Mode::Baseline {
             let v = self
                 .core
@@ -528,13 +530,7 @@ impl BeldiEnv {
     /// finish the execution even if this initial dispatch is lost.
     pub fn invoke_async(&self, name: &str, input: Value) -> BeldiResult<String> {
         let instance = self.core.platform.new_uuid();
-        let envelope = Envelope::Call {
-            id: Some(instance.clone()),
-            input,
-            caller: None,
-            txn: None,
-            is_async: true,
-        };
+        let envelope = Envelope::root_call(&instance, input, true);
         if self.core.config.mode != Mode::Baseline {
             let now_ms = self.clock().now().as_millis();
             intent::register(
@@ -552,6 +548,75 @@ impl BeldiEnv {
             .invoke_async(name, envelope.to_value())
             .map_err(BeldiError::Invoke)?;
         Ok(instance)
+    }
+
+    /// The executor-task counterpart of [`BeldiEnv::invoke_as`]: returns
+    /// a future that drives the same root-invocation protocol — the same
+    /// [`Envelope::root_call`] payload, the same wrapper and replay path,
+    /// the same retry-with-the-same-id discipline and `T_max` retry
+    /// window — but parks on a waker while the instance runs instead of
+    /// blocking a client thread. Spawned on a
+    /// [`beldi_runtime::Executor`], ten thousand of these are ten
+    /// thousand in-flight workflows in one process; the SSF bodies
+    /// themselves still execute on platform worker threads, bounded by
+    /// the concurrency cap.
+    ///
+    /// The future must be awaited *inside* an executor (its retry
+    /// backoff uses [`beldi_runtime::sleep`], which resolves the
+    /// thread's current executor).
+    pub fn invoke_task(
+        &self,
+        name: &str,
+        instance: &str,
+        input: Value,
+        max_attempts: usize,
+    ) -> impl std::future::Future<Output = BeldiResult<Value>> + Send + 'static {
+        let core = self.core.clone();
+        let name = name.to_owned();
+        let instance = instance.to_owned();
+        async move {
+            let envelope = Envelope::root_call(&instance, input, false).to_value();
+            if core.config.mode == Mode::Baseline {
+                let v = core
+                    .platform
+                    .invoke_pending(&name, envelope)
+                    .await
+                    .map_err(BeldiError::Invoke)?;
+                return Outcome::from_value(&v).into_result();
+            }
+            // Same client retry contract as the blocking path (see
+            // `invoke_attempts`): retries only within `T_max` of the
+            // first attempt when lease enforcement is on.
+            let retry_deadline_ms = core.config.enforce_t_max.then(|| {
+                core.platform.clock().now().as_millis() + core.config.t_max.as_millis() as u64
+            });
+            let mut last_err = None;
+            for _ in 0..max_attempts.max(1) {
+                if let (Some(deadline), Some(_)) = (retry_deadline_ms, &last_err) {
+                    if core.platform.clock().now().as_millis() > deadline {
+                        break;
+                    }
+                }
+                match core.platform.invoke_pending(&name, envelope.clone()).await {
+                    Ok(v) => return Outcome::from_value(&v).into_result(),
+                    Err(e) => {
+                        last_err = Some(e);
+                        // The instance may have completed before dying;
+                        // check the intent table before re-launching.
+                        let table = schema::intent_table(&name);
+                        if let Some(rec) = intent::load(&core.db, &table, &instance)? {
+                            if rec.done {
+                                core.record_recovery(&instance, rec.created_ms);
+                                let ret = rec.ret.unwrap_or(Value::Null);
+                                return Outcome::from_value(&ret).into_result();
+                            }
+                        }
+                        beldi_runtime::sleep(Duration::from_millis(2)).await;
+                    }
+                }
+            }
+            Err(BeldiError::Invoke(last_err.expect("at least one attempt")))
+        }
     }
 
     // ---- Collectors ----
@@ -642,10 +707,57 @@ impl BeldiEnv {
         }
     }
 
-    /// Stops all collector timers.
+    /// The executor-task counterpart of [`BeldiEnv::start_collectors`] /
+    /// [`BeldiEnv::start_gc`]: instead of one ticker *thread* per
+    /// collector timer, spawns one lightweight task per collector on
+    /// `rt`. Each task sleeps the collector period in virtual time and
+    /// then awaits its pass's completion, so one timer's passes never
+    /// overlap (the `Ticker` contract); the per-SSF busy guard still
+    /// covers cross-timer overlap. Tasks exit on
+    /// [`BeldiEnv::stop_collectors`] (checked after each period) or when
+    /// the environment drops.
+    pub fn spawn_collectors_on(&self, rt: &beldi_runtime::Handle, ic: bool, gc: bool) {
+        if self.core.config.mode == Mode::Baseline {
+            return;
+        }
+        let period = self.core.config.collector_period;
+        let stop = Arc::new(AtomicBool::new(false));
+        self.core.async_stops.lock().push(stop.clone());
+        // Sorted names, like `start_timers`: spawn order decides task ids
+        // and therefore the seeded schedule.
+        for name in self.ssf_names() {
+            for suffix in ["ic", "gc"] {
+                if (suffix == "ic" && !ic) || (suffix == "gc" && !gc) {
+                    continue;
+                }
+                let function = format!("{name}.{suffix}");
+                let weak = Arc::downgrade(&self.core);
+                let stop = stop.clone();
+                let h = rt.clone();
+                rt.spawn(async move {
+                    loop {
+                        h.sleep(period).await;
+                        if stop.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let Some(core) = weak.upgrade() else { return };
+                        // Collector crashes (chaos kills) surface as
+                        // Crashed errors here; the next tick retries,
+                        // exactly like the ticker path.
+                        let _ = core.platform.invoke_pending(&function, Value::Null).await;
+                    }
+                });
+            }
+        }
+    }
+
+    /// Stops all collector timers and executor collector tasks.
     pub fn stop_collectors(&self) {
         for t in self.core.timers.lock().drain(..) {
             t.stop();
+        }
+        for s in self.core.async_stops.lock().drain(..) {
+            s.store(true, Ordering::Release);
         }
     }
 
@@ -993,6 +1105,104 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         assert_eq!(env.read_current("writer", "t", "k").unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn invoke_task_matches_blocking_invoke() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "counter",
+            &["state"],
+            Arc::new(|ctx, _input| {
+                let cur = ctx.read("state", "hits")?.as_int().unwrap_or(0);
+                ctx.write("state", "hits", Value::Int(cur + 1))?;
+                Ok(Value::Int(cur + 1))
+            }),
+        );
+        let rt = beldi_runtime::Executor::new(env.clock().clone(), 4);
+        let fut = env.invoke_task("counter", "task-1", Value::Null, 50);
+        assert_eq!(rt.block_on(fut).unwrap(), Value::Int(1));
+        // The blocking path continues over the same state.
+        assert_eq!(env.invoke("counter", Value::Null).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn invoke_task_is_exactly_once_under_crashes() {
+        use beldi_simfaas::CrashPlan;
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "bump",
+            &["t"],
+            Arc::new(|ctx, _| {
+                let v = ctx.read("t", "n")?.as_int().unwrap_or(0);
+                ctx.write("t", "n", Value::Int(v + 1))?;
+                Ok(Value::Int(v + 1))
+            }),
+        );
+        env.platform()
+            .faults()
+            .plan("task-crash".to_owned(), CrashPlan::AtOrdinal(2));
+        let rt = beldi_runtime::Executor::new(env.clock().clone(), 5);
+        let fut = env.invoke_task("bump", "task-crash", Value::Null, 50);
+        assert_eq!(rt.block_on(fut).unwrap(), Value::Int(1));
+        assert_eq!(env.read_current("bump", "t", "n").unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn many_concurrent_invoke_tasks_on_one_executor() {
+        let env = BeldiEnv::for_tests();
+        env.register_ssf(
+            "add",
+            &["t"],
+            Arc::new(|ctx, input| {
+                // One key per task: exactly-once delivery is the claim under
+                // test, not cross-instance RMW atomicity (that's txn mode).
+                let key = format!("k{}", input.as_int().unwrap_or(0));
+                let v = ctx.read("t", &key)?.as_int().unwrap_or(0);
+                ctx.write("t", &key, Value::Int(v + 1))?;
+                Ok(Value::Null)
+            }),
+        );
+        let rt = beldi_runtime::Executor::new(env.clock().clone(), 6);
+        let handles: Vec<_> = (0..64)
+            .map(|i| {
+                let fut = env.invoke_task("add", &format!("conc-{i}"), Value::Int(i), 50);
+                rt.spawn(async move { fut.await.unwrap() })
+            })
+            .collect();
+        rt.run();
+        assert!(handles.iter().all(|h| h.is_finished()));
+        let total: i64 = (0..64)
+            .map(|k| {
+                env.read_current("add", "t", &format!("k{k}"))
+                    .unwrap()
+                    .as_int()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(total, 64, "every task's write must land exactly once");
+    }
+
+    #[test]
+    fn collector_tasks_run_passes_and_stop() {
+        let cfg = BeldiConfig::beldi().with_collector_period(Duration::from_millis(20));
+        let env = BeldiEnv::for_tests_with(cfg);
+        env.register_ssf("f", &["t"], Arc::new(|_, _| Ok(Value::Null)));
+        let rt = beldi_runtime::Executor::new(env.clock().clone(), 7);
+        env.spawn_collectors_on(&rt.handle(), true, true);
+        // Drive the executor long enough for several virtual periods.
+        let h = rt.handle();
+        rt.block_on(async move { h.sleep(Duration::from_millis(200)).await });
+        env.stop_collectors();
+        rt.run(); // Collector tasks observe the stop flag and exit.
+        assert!(
+            env.gc_totals().passes >= 1,
+            "gc collector tasks should have completed passes"
+        );
+        assert!(
+            env.ic_totals().passes >= 1,
+            "ic collector tasks should have completed passes"
+        );
     }
 
     #[test]

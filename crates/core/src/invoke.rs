@@ -101,6 +101,22 @@ const K_CALLEE_ID: &str = "CalleeId";
 const K_RESULT: &str = "Result";
 
 impl Envelope {
+    /// The workflow-root call envelope every environment entry point
+    /// builds — [`crate::BeldiEnv::invoke_as`] (blocking),
+    /// [`crate::BeldiEnv::invoke_async`] (fire-and-forget), and
+    /// [`crate::BeldiEnv::invoke_task`] (executor task) differ only in
+    /// how the caller waits; the wire payload, and therefore the whole
+    /// wrapper/replay path behind it, is identical.
+    pub(crate) fn root_call(instance: &str, input: Value, is_async: bool) -> Envelope {
+        Envelope::Call {
+            id: Some(instance.to_owned()),
+            input,
+            caller: None,
+            txn: None,
+            is_async,
+        }
+    }
+
     /// Serializes the envelope for the platform payload.
     pub fn to_value(&self) -> Value {
         let mut m = Map::new();
@@ -399,6 +415,20 @@ impl SsfContext {
                     // callback may still have recorded the result.
                     if let Some(e) = self.reload_entry(&log_key)? {
                         if let Some(r) = e.result {
+                            // A killed callee whose callback landed is a
+                            // completed recovery nobody else will observe:
+                            // the callback precedes the done-mark, so a
+                            // kill between them leaves a done intent this
+                            // caller never re-invokes (and the IC skips).
+                            // Record it here, off the happy path.
+                            let table = crate::schema::intent_table(callee);
+                            if let Some(rec) =
+                                crate::intent::load(&self.core.db, &table, &entry.callee_id)?
+                            {
+                                if rec.done {
+                                    self.core.record_recovery(&entry.callee_id, rec.created_ms);
+                                }
+                            }
                             return Ok(Outcome::from_value(&r));
                         }
                     }

@@ -73,7 +73,7 @@ pub mod stepfn;
 mod txn;
 mod wrapper;
 
-pub use config::{BeldiConfig, Mode, DEFAULT_TAIL_CACHE_CAPACITY};
+pub use config::{BeldiConfig, ConfigBuilder, ConfigError, Mode, DEFAULT_TAIL_CACHE_CAPACITY};
 pub use context::SsfContext;
 pub use env::{BeldiEnv, DrainReport, EnvBuilder, GcTotals, IcTotals, SsfBody};
 pub use error::{BeldiError, BeldiResult};

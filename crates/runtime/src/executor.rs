@@ -1,0 +1,504 @@
+//! The cooperative executor: seeded ready queue, waker plumbing, and
+//! virtual-time timers.
+//!
+//! # Scheduling model
+//!
+//! One thread (the caller of [`Executor::run`] / [`Executor::block_on`])
+//! polls every task. The ready queue is a plain vector; when more than
+//! one task is runnable the executor draws the next index from a seeded
+//! RNG, so a given seed fixes the interleaving exactly — re-running the
+//! same task set with the same seed replays the same schedule, which is
+//! what lets the §8 explorer and the chaos storm replay crash schedules
+//! over async workloads.
+//!
+//! # Timer contract
+//!
+//! [`Sleep`] registers a `(deadline, waker)` entry in a binary heap keyed
+//! on virtual time. The executor only consults the heap when the ready
+//! queue is empty, and then fires exactly one *equal-deadline batch* (all
+//! entries sharing the earliest deadline) per drain. Firing is therefore
+//! a pure function of the heap contents — how far the wall clock
+//! overshot the deadline while the executor was busy never changes which
+//! tasks wake together, preserving determinism on continuously flowing
+//! clocks ([`beldi_simclock::ScaledClock`]).
+//!
+//! # Cross-thread wakes
+//!
+//! Wakers are `Send`; platform worker threads complete invocations by
+//! waking the awaiting task, which enqueues it and unparks the executor
+//! through a condvar. The executor never blocks while holding the
+//! scheduler lock.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+use beldi_simclock::{Clock, ManualClock, SharedClock, SimInstant};
+use parking_lot::{Condvar, Mutex};
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+use crate::join::{complete, JoinHandle, JoinState};
+
+/// Granularity of the executor's real-time timer polls while waiting for
+/// a virtual deadline. The clock trait deliberately hides its rate, so
+/// the executor re-checks virtual time at this cadence — same technique
+/// (and same constant) as the platform's sync-invoke wait loop.
+const TIMER_POLL: Duration = Duration::from_micros(200);
+
+type TaskFuture = Pin<Box<dyn Future<Output = ()> + Send>>;
+
+struct TaskSlot {
+    /// Taken (None) while the task is being polled.
+    future: Option<TaskFuture>,
+    /// True while the id sits in the ready queue (dedup for repeated
+    /// wakes).
+    queued: bool,
+}
+
+/// A registered virtual-time timer. Ordered by `(deadline, seq)` so the
+/// heap pops deterministically; `seq` is the registration order.
+struct TimerEntry {
+    at: u64,
+    seq: u64,
+    waker: Waker,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest
+        // deadline on top.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Sched {
+    tasks: HashMap<u64, TaskSlot>,
+    ready: Vec<u64>,
+    timers: BinaryHeap<TimerEntry>,
+    timer_seq: u64,
+    next_id: u64,
+    /// Tasks spawned and not yet completed (includes blocked tasks not
+    /// in the ready queue).
+    live: usize,
+    rng: SmallRng,
+    /// Poll-order trace (task ids), recorded when tracing is on.
+    trace: Option<Vec<u64>>,
+    polls: u64,
+}
+
+pub(crate) struct Inner {
+    clock: SharedClock,
+    /// Discrete-event mode: when set, an idle executor *advances* this
+    /// clock to the next timer deadline instead of waiting for it. Time
+    /// then depends only on the task set, never on host speed — the
+    /// strongest determinism the runtime offers (see
+    /// [`Executor::simulated`]).
+    auto: Option<Arc<ManualClock>>,
+    sched: Mutex<Sched>,
+    cv: Condvar,
+}
+
+impl Inner {
+    fn wake_task(&self, id: u64) {
+        let mut s = self.sched.lock();
+        if let Some(slot) = s.tasks.get_mut(&id) {
+            if !slot.queued {
+                slot.queued = true;
+                s.ready.push(id);
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    fn add_timer(&self, at: SimInstant, waker: Waker) {
+        let mut s = self.sched.lock();
+        let seq = s.timer_seq;
+        s.timer_seq += 1;
+        s.timers.push(TimerEntry {
+            at: at.as_nanos(),
+            seq,
+            waker,
+        });
+        // The executor may be parked without a timer poll deadline
+        // (empty heap); unpark it so it picks the new deadline up.
+        self.cv.notify_all();
+    }
+}
+
+/// Per-task waker: enqueues the task and unparks the executor.
+struct TaskWaker {
+    inner: Arc<Inner>,
+    id: u64,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.inner.wake_task(self.id);
+    }
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.inner.wake_task(self.id);
+    }
+}
+
+/// The deterministic cooperative executor (see module docs).
+pub struct Executor {
+    inner: Arc<Inner>,
+}
+
+/// A cloneable, `Send + Sync` handle to a running (or not-yet-running)
+/// executor: spawn tasks, build timer futures, read the virtual clock.
+#[derive(Clone)]
+pub struct Handle {
+    inner: Arc<Inner>,
+}
+
+impl Executor {
+    /// Creates an executor over `clock`, with `seed` fixing every
+    /// ready-queue scheduling decision.
+    pub fn new(clock: SharedClock, seed: u64) -> Executor {
+        Executor::build(clock, None, seed)
+    }
+
+    /// Creates a fully simulated executor: its own [`ManualClock`] that
+    /// the scheduler advances to the next timer deadline whenever no
+    /// task is runnable. With no foreign threads in play, the schedule
+    /// *and* every virtual timestamp are a pure function of (task set,
+    /// seed) — host load cannot perturb which timers fire together, so
+    /// same-seed replay is exact. This is the mode the determinism
+    /// suite and the 10k-task stress test run under.
+    pub fn simulated(seed: u64) -> Executor {
+        let clock = ManualClock::shared();
+        Executor::build(clock.clone() as SharedClock, Some(clock), seed)
+    }
+
+    fn build(clock: SharedClock, auto: Option<Arc<ManualClock>>, seed: u64) -> Executor {
+        Executor {
+            inner: Arc::new(Inner {
+                clock,
+                auto,
+                sched: Mutex::new(Sched {
+                    tasks: HashMap::new(),
+                    ready: Vec::new(),
+                    timers: BinaryHeap::new(),
+                    timer_seq: 0,
+                    next_id: 0,
+                    live: 0,
+                    rng: SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+                    trace: None,
+                    polls: 0,
+                }),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Returns a cloneable handle usable from any thread.
+    pub fn handle(&self) -> Handle {
+        Handle {
+            inner: self.inner.clone(),
+        }
+    }
+
+    /// Starts recording the poll-order schedule trace (task ids, in the
+    /// order the executor polled them). Used by the determinism suite.
+    pub fn enable_trace(&self) {
+        self.inner.sched.lock().trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded schedule trace (empty if tracing was off).
+    pub fn take_trace(&self) -> Vec<u64> {
+        self.inner.sched.lock().trace.take().unwrap_or_default()
+    }
+
+    /// Spawns a task; see [`Handle::spawn`].
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        self.handle().spawn(fut)
+    }
+
+    /// Number of spawned-but-not-completed tasks right now.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.sched.lock().live
+    }
+
+    /// Total task polls performed so far.
+    pub fn polls(&self) -> u64 {
+        self.inner.sched.lock().polls
+    }
+
+    /// Runs until every spawned task has completed.
+    pub fn run(&self) {
+        self.run_until(|s| s.live == 0);
+    }
+
+    /// Spawns `fut` and runs until it completes, driving every other
+    /// spawned task meanwhile. Remaining tasks stay parked and resume on
+    /// the next `run`/`block_on` call.
+    pub fn block_on<F>(&self, fut: F) -> F::Output
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let handle = self.spawn(fut);
+        let state = handle.state.clone();
+        self.run_until(move |_| state.lock().done);
+        handle
+            .take_result()
+            .expect("block_on task completed without a result")
+    }
+
+    /// The core scheduling loop. `finished` is evaluated under the
+    /// scheduler lock at every decision point.
+    fn run_until(&self, finished: impl Fn(&Sched) -> bool) {
+        let _enter = crate::context::enter(self.handle());
+        loop {
+            // Decide the next action under the lock, then act outside it
+            // (polls and wakes must not hold the scheduler lock).
+            enum Next {
+                Poll(u64, TaskFuture),
+                FireTimers(Vec<Waker>),
+                WaitTimer(u64),
+                WaitWake,
+            }
+            let next = {
+                let mut s = self.inner.sched.lock();
+                if finished(&s) {
+                    return;
+                }
+                if !s.ready.is_empty() {
+                    // Seeded pick among the runnable tasks: THE
+                    // determinism lever. `swap_remove` keeps the pick
+                    // O(1); the queue's residual order is itself a
+                    // deterministic function of the wake sequence.
+                    let runnable = s.ready.len();
+                    let i = if runnable > 1 {
+                        s.rng.gen_range(0..runnable)
+                    } else {
+                        0
+                    };
+                    let id = s.ready.swap_remove(i);
+                    match s.tasks.get_mut(&id) {
+                        Some(slot) => {
+                            slot.queued = false;
+                            match slot.future.take() {
+                                Some(fut) => {
+                                    s.polls += 1;
+                                    if let Some(trace) = s.trace.as_mut() {
+                                        trace.push(id);
+                                    }
+                                    Next::Poll(id, fut)
+                                }
+                                // Woken while being polled elsewhere in
+                                // this loop — cannot happen on the
+                                // single executor thread, but a stale
+                                // requeue is harmless to skip.
+                                None => continue,
+                            }
+                        }
+                        // Stale id of a completed task.
+                        None => continue,
+                    }
+                } else if let Some(head) = s.timers.peek() {
+                    if self.inner.clock.now().as_nanos() >= head.at {
+                        // Fire exactly the equal-deadline batch (module
+                        // docs: determinism under clock overshoot).
+                        let due_at = head.at;
+                        let mut wakers = Vec::new();
+                        while s.timers.peek().is_some_and(|t| t.at == due_at) {
+                            wakers.push(s.timers.pop().expect("peeked").waker);
+                        }
+                        Next::FireTimers(wakers)
+                    } else {
+                        Next::WaitTimer(head.at)
+                    }
+                } else {
+                    Next::WaitWake
+                }
+            };
+
+            match next {
+                Next::Poll(id, mut fut) => {
+                    let waker = Waker::from(Arc::new(TaskWaker {
+                        inner: self.inner.clone(),
+                        id,
+                    }));
+                    let mut cx = Context::from_waker(&waker);
+                    match fut.as_mut().poll(&mut cx) {
+                        Poll::Ready(()) => {
+                            let mut s = self.inner.sched.lock();
+                            s.tasks.remove(&id);
+                            s.live -= 1;
+                        }
+                        Poll::Pending => {
+                            let mut s = self.inner.sched.lock();
+                            if let Some(slot) = s.tasks.get_mut(&id) {
+                                slot.future = Some(fut);
+                            }
+                        }
+                    }
+                }
+                Next::FireTimers(wakers) => {
+                    for w in wakers {
+                        w.wake();
+                    }
+                }
+                Next::WaitTimer(at) => {
+                    if let Some(manual) = &self.inner.auto {
+                        // Discrete-event mode: jump virtual time to the
+                        // deadline instead of waiting it out.
+                        let target = SimInstant::from_nanos(at);
+                        if target > manual.now() {
+                            manual.advance_to(target);
+                        }
+                    } else {
+                        // Re-check virtual time at a fixed real cadence;
+                        // a cross-thread wake unparks us sooner.
+                        let mut s = self.inner.sched.lock();
+                        if s.ready.is_empty() {
+                            self.inner
+                                .cv
+                                .wait_until(&mut s, Instant::now() + TIMER_POLL);
+                        }
+                    }
+                }
+                Next::WaitWake => {
+                    let mut s = self.inner.sched.lock();
+                    if s.ready.is_empty() && s.timers.is_empty() && !finished(&s) {
+                        // Nothing runnable and no deadline to poll for:
+                        // park until an external wake. Spurious wakeups
+                        // only cost a loop iteration. A real-time poll
+                        // backstops a wake racing the park decision.
+                        self.inner
+                            .cv
+                            .wait_until(&mut s, Instant::now() + 50 * TIMER_POLL);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Handle {
+    /// Spawns a future as a new task; it becomes runnable immediately.
+    /// Callable from any thread, including from inside other tasks.
+    pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = JoinState::new();
+        let st = state.clone();
+        let wrapped: TaskFuture = Box::pin(async move {
+            let out = fut.await;
+            complete(&st, out);
+        });
+        let mut s = self.inner.sched.lock();
+        let id = s.next_id;
+        s.next_id += 1;
+        s.tasks.insert(
+            id,
+            TaskSlot {
+                future: Some(wrapped),
+                queued: true,
+            },
+        );
+        s.ready.push(id);
+        s.live += 1;
+        self.inner.cv.notify_all();
+        JoinHandle { state, id }
+    }
+
+    /// A future that suspends the task for `d` of virtual time.
+    pub fn sleep(&self, d: Duration) -> Sleep {
+        self.sleep_until(self.inner.clock.now().plus(d))
+    }
+
+    /// A future that suspends the task until virtual instant `deadline`.
+    pub fn sleep_until(&self, deadline: SimInstant) -> Sleep {
+        Sleep {
+            inner: self.inner.clone(),
+            deadline,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimInstant {
+        self.inner.clock.now()
+    }
+
+    /// The executor's clock.
+    pub fn clock(&self) -> SharedClock {
+        self.inner.clock.clone()
+    }
+
+    /// Number of spawned-but-not-completed tasks right now — the
+    /// in-flight gauge the driver samples for its high-water series.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.sched.lock().live
+    }
+}
+
+/// Future returned by [`Handle::sleep`]: pending until the executor's
+/// virtual clock reaches the deadline.
+pub struct Sleep {
+    inner: Arc<Inner>,
+    deadline: SimInstant,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.inner.clock.now() >= self.deadline {
+            Poll::Ready(())
+        } else {
+            // Re-registering on every poll is safe: a stale entry just
+            // wakes the task spuriously and it re-checks the clock.
+            self.inner.add_timer(self.deadline, cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Future that yields the task back to the scheduler exactly once,
+/// letting the seeded ready-queue pick run something else.
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl YieldNow {
+    pub(crate) fn new() -> YieldNow {
+        YieldNow { yielded: false }
+    }
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Completion handles for spawned tasks.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll, Waker};
+
+use parking_lot::Mutex;
+
+/// Shared completion cell between a spawned task and its [`JoinHandle`].
+pub(crate) struct JoinState<T> {
+    pub(crate) result: Option<T>,
+    pub(crate) waker: Option<Waker>,
+    pub(crate) done: bool,
+}
+
+impl<T> JoinState<T> {
+    pub(crate) fn new() -> Arc<Mutex<JoinState<T>>> {
+        Arc::new(Mutex::new(JoinState {
+            result: None,
+            waker: None,
+            done: false,
+        }))
+    }
+}
+
+/// The caller's view of a spawned task.
+///
+/// Await it inside the executor to suspend until the task completes, or
+/// use [`JoinHandle::is_finished`] / [`JoinHandle::take_result`] from
+/// outside after [`crate::Executor::run`] returns.
+pub struct JoinHandle<T> {
+    pub(crate) state: Arc<Mutex<JoinState<T>>>,
+    /// The executor-assigned task id (stable across a run; the unit of
+    /// the schedule trace).
+    pub(crate) id: u64,
+}
+
+impl<T> JoinHandle<T> {
+    /// The task's executor-assigned id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Whether the task has run to completion.
+    pub fn is_finished(&self) -> bool {
+        self.state.lock().done
+    }
+
+    /// Takes the task's result if it completed (None while running, or
+    /// after the result was already taken, or if the task's future was
+    /// dropped without completing).
+    pub fn take_result(&self) -> Option<T> {
+        self.state.lock().result.take()
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut s = self.state.lock();
+        if s.done {
+            match s.result.take() {
+                Some(v) => Poll::Ready(v),
+                None => panic!("JoinHandle polled after its result was taken"),
+            }
+        } else {
+            s.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+/// Marks the join state completed and wakes the joiner, releasing the
+/// lock before the wake so the waker may re-enter the scheduler.
+pub(crate) fn complete<T>(state: &Mutex<JoinState<T>>, value: T) {
+    let waker = {
+        let mut s = state.lock();
+        s.result = Some(value);
+        s.done = true;
+        s.waker.take()
+    };
+    if let Some(w) = waker {
+        w.wake();
+    }
+}

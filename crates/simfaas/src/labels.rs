@@ -173,6 +173,28 @@ pub const GC_STEP5_PRE_RESCAN: &str = "gc.step5.pre_rescan";
 /// Before one expired-row delete (step 5). Work-dependent probe.
 pub const GC_STEP5_PRE_DELETE: &str = "gc.step5.pre_delete";
 
+// ---- Network front door (DESIGN.md §14) ----
+//
+// The HTTP front door fires these on the connection thread and catches
+// its own `CrashSignal`, dropping the connection the way a crashed
+// gateway process would. They bracket the handoff into the executor, so
+// storms can lose a request before any intent exists, orphan a running
+// workflow whose reply nobody is waiting for, and drop a reply after
+// the workflow committed — the three retry cases a client must survive.
+
+/// An invoke request is parsed, before its workflow task spawns on the
+/// executor. A crash here loses the request with no intent registered;
+/// only a client retry re-submits it.
+pub const FRONT_ENTER: &str = "front.enter";
+/// The workflow task is live on the executor but the front door dies
+/// before hearing back. The workflow still finishes (the IC completes
+/// it if its own instance crashes); only the reply is lost.
+pub const FRONT_POST_SPAWN: &str = "front.post_spawn";
+/// The workflow's result is in hand, before the response bytes are
+/// written. A retry under the same instance id must replay the recorded
+/// result instead of re-executing.
+pub const FRONT_PRE_REPLY: &str = "front.pre_reply";
+
 // ---- Platform contract enforcement ----
 
 /// The platform killed an instance whose execution lease (`T_max`)
@@ -240,6 +262,9 @@ pub const ALL: &[&str] = &[
     GC_STEP4_PRE_UNLINK,
     GC_STEP5_PRE_RESCAN,
     GC_STEP5_PRE_DELETE,
+    FRONT_ENTER,
+    FRONT_POST_SPAWN,
+    FRONT_PRE_REPLY,
     PLATFORM_T_MAX,
     WRITE_BEFORE,
     WRITE_AFTER,

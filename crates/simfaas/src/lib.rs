@@ -38,5 +38,6 @@ pub use fault::{
 };
 pub use metrics::{PlatformMetrics, PlatformSnapshot};
 pub use platform::{
-    FunctionHandler, InvocationCtx, Platform, PlatformConfig, SaturationPolicy, TimerHandle,
+    FunctionHandler, InvocationCtx, PendingInvoke, Platform, PlatformConfig, SaturationPolicy,
+    TimerHandle,
 };

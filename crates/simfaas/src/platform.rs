@@ -1,9 +1,12 @@
 //! The simulated FaaS [`Platform`].
 
 use std::collections::HashMap;
+use std::future::Future;
 use std::panic::AssertUnwindSafe;
+use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 use beldi_simclock::{ScaledClock, SharedClock, SimInstant, Ticker, TickerHandle};
@@ -15,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use crate::error::{InvokeError, InvokeResult};
 use crate::fault::{CrashSignal, FaultInjector};
 use crate::metrics::{PlatformMetrics, PlatformSnapshot};
-use crate::semaphore::Semaphore;
+use crate::semaphore::{Semaphore, WaiterSlot};
 
 /// Context handed to a running function instance.
 #[derive(Clone)]
@@ -291,7 +294,32 @@ impl Platform {
     ) -> InvokeResult<(String, mpsc::Receiver<InvokeResult<Value>>)> {
         let (handler, warm_idle) = self.lookup(name)?;
         self.acquire_permit(deadline)?;
+        let (tx, rx) = mpsc::sync_channel::<InvokeResult<Value>>(1);
+        let request_id = self.launch_worker(
+            name,
+            handler,
+            warm_idle,
+            payload,
+            Box::new(move |result| {
+                let _ = tx.send(result);
+            }),
+        );
+        Ok((request_id, rx))
+    }
 
+    /// Starts a worker for an invocation whose permit is already held.
+    /// The worker runs the handler on its own thread, delivers the
+    /// result through `sink`, then returns itself to the warm pool and
+    /// frees the permit. Shared by the blocking (mpsc) and async
+    /// (waker-completion) delivery paths.
+    fn launch_worker(
+        self: &Arc<Self>,
+        name: &str,
+        handler: FunctionHandler,
+        warm_idle: Arc<Mutex<usize>>,
+        payload: Value,
+        sink: Box<dyn FnOnce(InvokeResult<Value>) + Send>,
+    ) -> String {
         // Cold or warm start?
         let cold = {
             let mut idle = warm_idle.lock();
@@ -309,7 +337,6 @@ impl Platform {
             function: name.to_owned(),
             platform: self.clone(),
         };
-        let (tx, rx) = mpsc::sync_channel::<InvokeResult<Value>>(1);
         let platform = self.clone();
         let fn_name = name.to_owned();
         let startup = self.config.invoke_overhead
@@ -329,12 +356,12 @@ impl Platform {
                 match result {
                     Ok(value) => {
                         platform.metrics.finish_ok();
-                        let _ = tx.send(Ok(value));
+                        sink(Ok(value));
                     }
                     Err(panic) => {
                         platform.metrics.finish_crash();
                         let msg = describe_panic(panic);
-                        let _ = tx.send(Err(InvokeError::Crashed(msg)));
+                        sink(Err(InvokeError::Crashed(msg)));
                     }
                 }
                 // Return the worker to the warm pool and free the permit.
@@ -347,7 +374,35 @@ impl Platform {
                 platform.permits.release();
             })
             .expect("spawn worker thread");
-        Ok((request_id, rx))
+        request_id
+    }
+
+    /// Invokes a function without blocking: returns a [`PendingInvoke`]
+    /// future that waits for a concurrency permit (parked on a waker,
+    /// not a thread) and then for the worker's completion. This is the
+    /// async executor's entry point — ten thousand pending invocations
+    /// cost ten thousand parked tasks, not ten thousand blocked threads.
+    ///
+    /// Unlike [`Platform::invoke_sync`] there is no caller-side timeout:
+    /// queued invocations wait for a permit indefinitely (the platform
+    /// `T_max` execution lease bounds runaway workers instead). Under
+    /// [`SaturationPolicy::Reject`] the future resolves to
+    /// [`InvokeError::Throttled`] immediately when no permit is free.
+    pub fn invoke_pending(self: &Arc<Self>, name: &str, payload: Value) -> PendingInvoke {
+        let state = match self.lookup(name) {
+            Ok((handler, warm_idle)) => PendingState::Queued {
+                name: name.to_owned(),
+                payload: Some(payload),
+                handler,
+                warm_idle,
+                slot: None,
+            },
+            Err(e) => PendingState::Failed(Some(e)),
+        };
+        PendingInvoke {
+            platform: self.clone(),
+            state,
+        }
     }
 
     /// Schedules `function` to be invoked asynchronously every `period`
@@ -366,6 +421,144 @@ impl Platform {
         });
         TimerHandle {
             inner: Some(ticker),
+        }
+    }
+}
+
+/// The worker→future completion cell: the worker thread fills `result`
+/// and wakes `waker`; the awaiting task takes the result on its next
+/// poll.
+struct CompletionCell {
+    result: Option<InvokeResult<Value>>,
+    waker: Option<Waker>,
+}
+
+enum PendingState {
+    /// Lookup failed at creation; the error surfaces on first poll.
+    Failed(Option<InvokeError>),
+    /// Waiting for a concurrency permit.
+    Queued {
+        name: String,
+        payload: Option<Value>,
+        handler: FunctionHandler,
+        warm_idle: Arc<Mutex<usize>>,
+        /// Our parked waiter in the semaphore's wake queue, if any.
+        slot: Option<WaiterSlot>,
+    },
+    /// Worker launched; waiting for its completion.
+    Running {
+        cell: Arc<Mutex<CompletionCell>>,
+    },
+    Done,
+}
+
+/// Future returned by [`Platform::invoke_pending`]; resolves to the
+/// invocation's result. See that method for the waiting semantics.
+pub struct PendingInvoke {
+    platform: Arc<Platform>,
+    state: PendingState,
+}
+
+impl Future for PendingInvoke {
+    type Output = InvokeResult<Value>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        loop {
+            match &mut this.state {
+                PendingState::Failed(e) => {
+                    let e = e.take().expect("PendingInvoke polled after completion");
+                    this.state = PendingState::Done;
+                    return Poll::Ready(Err(e));
+                }
+                PendingState::Queued { slot, .. } => {
+                    // Any previously parked slot may already have been
+                    // consumed by a release (that is why we are being
+                    // polled); withdraw it and re-contend fresh.
+                    if let Some(old) = slot.take() {
+                        *old.lock() = None;
+                    }
+                    let acquired = this.platform.permits.try_acquire() || {
+                        match this.platform.config.saturation {
+                            SaturationPolicy::Reject => {
+                                this.platform.metrics.record_throttle();
+                                this.state = PendingState::Done;
+                                return Poll::Ready(Err(InvokeError::Throttled));
+                            }
+                            SaturationPolicy::Queue => {
+                                // Park first, then re-try: closes the
+                                // race with a release that found an
+                                // empty waiter queue.
+                                let parked = this.platform.permits.park_waiter(cx.waker().clone());
+                                if this.platform.permits.try_acquire() {
+                                    *parked.lock() = None;
+                                    true
+                                } else {
+                                    *slot = Some(parked);
+                                    return Poll::Pending;
+                                }
+                            }
+                        }
+                    };
+                    debug_assert!(acquired);
+                    let PendingState::Queued {
+                        name,
+                        payload,
+                        handler,
+                        warm_idle,
+                        ..
+                    } = std::mem::replace(&mut this.state, PendingState::Done)
+                    else {
+                        unreachable!("state checked above");
+                    };
+                    let cell = Arc::new(Mutex::new(CompletionCell {
+                        result: None,
+                        waker: None,
+                    }));
+                    let sink_cell = cell.clone();
+                    this.platform.launch_worker(
+                        &name,
+                        handler,
+                        warm_idle,
+                        payload.expect("payload present until launch"),
+                        Box::new(move |result| {
+                            let waker = {
+                                let mut c = sink_cell.lock();
+                                c.result = Some(result);
+                                c.waker.take()
+                            };
+                            if let Some(w) = waker {
+                                w.wake();
+                            }
+                        }),
+                    );
+                    this.state = PendingState::Running { cell };
+                    // Fall through to the Running arm.
+                }
+                PendingState::Running { cell } => {
+                    let mut c = cell.lock();
+                    if let Some(result) = c.result.take() {
+                        drop(c);
+                        this.state = PendingState::Done;
+                        return Poll::Ready(result);
+                    }
+                    c.waker = Some(cx.waker().clone());
+                    return Poll::Pending;
+                }
+                PendingState::Done => panic!("PendingInvoke polled after completion"),
+            }
+        }
+    }
+}
+
+impl Drop for PendingInvoke {
+    fn drop(&mut self) {
+        // Withdraw a parked waiter so a release does not wake a corpse.
+        if let PendingState::Queued {
+            slot: Some(slot), ..
+        } = &self.state
+        {
+            *slot.lock() = None;
         }
     }
 }
@@ -550,6 +743,85 @@ mod tests {
         let m = p.metrics();
         assert_eq!(m.cold_starts, 1, "only the first start is cold");
         assert_eq!(m.warm_starts, 2);
+    }
+
+    #[test]
+    fn pending_invoke_resolves_on_executor() {
+        let p = Platform::for_tests();
+        p.register("echo", echo_handler());
+        let rt = beldi_runtime::Executor::new(p.clock().clone(), 1);
+        let fut = p.invoke_pending("echo", vmap! { "x" => 5i64 });
+        let out = rt.block_on(fut).unwrap();
+        assert_eq!(out.get_int("x"), Some(5));
+    }
+
+    #[test]
+    fn pending_invoke_unknown_function_fails_fast() {
+        let p = Platform::for_tests();
+        let rt = beldi_runtime::Executor::new(p.clock().clone(), 1);
+        let err = rt
+            .block_on(p.invoke_pending("nope", Value::Null))
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::FunctionNotFound(_)));
+    }
+
+    #[test]
+    fn pending_invoke_crash_surfaces() {
+        let p = Platform::for_tests();
+        p.register(
+            "boom",
+            Arc::new(|_ctx: &InvocationCtx, _| -> Value { panic!("kapow") }),
+        );
+        let rt = beldi_runtime::Executor::new(p.clock().clone(), 1);
+        let err = rt
+            .block_on(p.invoke_pending("boom", Value::Null))
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::Crashed(ref m) if m.contains("kapow")));
+    }
+
+    #[test]
+    fn pending_invokes_queue_past_the_concurrency_cap() {
+        // 50 concurrent invocations through 4 permits: every pending
+        // future must still resolve (parked on wakers, not threads).
+        let mut cfg = PlatformConfig::for_tests();
+        cfg.concurrency_limit = 4;
+        let p = Platform::new(ScaledClock::shared(1000.0), cfg, 0);
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        p.register(
+            "work",
+            Arc::new(move |_ctx: &InvocationCtx, v| {
+                hits2.fetch_add(1, Ordering::SeqCst);
+                v
+            }),
+        );
+        let rt = beldi_runtime::Executor::new(p.clock().clone(), 9);
+        let handles: Vec<_> = (0..50)
+            .map(|i| {
+                let fut = p.invoke_pending("work", Value::Int(i));
+                rt.spawn(async move { fut.await.unwrap() })
+            })
+            .collect();
+        rt.run();
+        assert_eq!(hits.load(Ordering::SeqCst), 50);
+        for (i, h) in handles.into_iter().enumerate() {
+            assert_eq!(h.take_result(), Some(Value::Int(i as i64)));
+        }
+    }
+
+    #[test]
+    fn pending_invoke_reject_policy_throttles() {
+        let mut cfg = PlatformConfig::for_tests();
+        cfg.concurrency_limit = 0;
+        cfg.saturation = SaturationPolicy::Reject;
+        let p = Platform::new(ScaledClock::shared(1.0), cfg, 0);
+        p.register("echo", echo_handler());
+        let rt = beldi_runtime::Executor::new(p.clock().clone(), 2);
+        let err = rt
+            .block_on(p.invoke_pending("echo", Value::Null))
+            .unwrap_err();
+        assert!(matches!(err, InvokeError::Throttled));
+        assert_eq!(p.metrics().throttles, 1);
     }
 
     #[test]

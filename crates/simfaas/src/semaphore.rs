@@ -1,14 +1,29 @@
 //! A counting semaphore with timed acquisition, used for the platform-wide
 //! concurrency cap.
 
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::task::Waker;
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
+/// A parked async waiter's waker slot. Cleared (`None`) when the waiter
+/// acquires through another path or is dropped, so a release skips it.
+pub(crate) type WaiterSlot = Arc<Mutex<Option<Waker>>>;
+
 /// A counting semaphore.
+///
+/// Two waiting disciplines share the same permit count: blocking waits
+/// on a condvar (the thread-per-worker path) and parked `Waker`s (the
+/// async executor path). [`Semaphore::release`] first hands the permit
+/// visibility to a parked waker if one exists, then notifies the condvar
+/// — both waiters re-contend through `try_acquire`-style decrements, so
+/// mixing disciplines cannot double-grant a permit.
 pub(crate) struct Semaphore {
     permits: Mutex<usize>,
     cv: Condvar,
+    waiters: Mutex<VecDeque<WaiterSlot>>,
 }
 
 impl Semaphore {
@@ -16,6 +31,7 @@ impl Semaphore {
         Semaphore {
             permits: Mutex::new(permits),
             cv: Condvar::new(),
+            waiters: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -57,11 +73,39 @@ impl Semaphore {
         }
     }
 
+    /// Parks an async waiter: the next [`Semaphore::release`] wakes it
+    /// so it can re-try `try_acquire`. Returns the slot; clearing it
+    /// withdraws the waiter.
+    pub(crate) fn park_waiter(&self, waker: Waker) -> WaiterSlot {
+        let slot: WaiterSlot = Arc::new(Mutex::new(Some(waker)));
+        self.waiters.lock().push_back(slot.clone());
+        slot
+    }
+
     /// Releases a permit.
     pub(crate) fn release(&self) {
         let mut permits = self.permits.lock();
         *permits += 1;
         drop(permits);
+        // Wake the oldest live async waiter (skipping withdrawn slots),
+        // then the condvar side. Waking outside both locks: the waker
+        // may re-enter an executor's scheduler.
+        let waker = {
+            let mut q = self.waiters.lock();
+            loop {
+                match q.pop_front() {
+                    Some(slot) => {
+                        if let Some(w) = slot.lock().take() {
+                            break Some(w);
+                        }
+                    }
+                    None => break None,
+                }
+            }
+        };
+        if let Some(w) = waker {
+            w.wake();
+        }
         self.cv.notify_one();
     }
 

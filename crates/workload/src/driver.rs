@@ -31,7 +31,8 @@
 //! for the schema) and read back for the CI regression gate.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use beldi::value::{vmap, Map, Value};
@@ -48,6 +49,56 @@ use crate::histogram::Histogram;
 
 /// Report schema version (bumped on incompatible JSON changes).
 pub const BENCH_SCHEMA: i64 = 1;
+
+/// Which execution engine drives the request load.
+///
+/// The two engines issue the *same* request multiset (same per-worker
+/// seeded streams) through the same protocol paths, so their final-state
+/// digests must match — `tests/driver.rs` pins that equivalence. They
+/// differ only in how waiting is implemented:
+///
+/// - [`Thread`](RuntimeKind::Thread): one OS thread per client worker,
+///   each blocking on its in-flight request (the original closed-loop
+///   path, and the default — its report JSON is byte-identical to
+///   pre-async builds).
+/// - [`Async`](RuntimeKind::Async): every request becomes one
+///   cooperative task on a [`beldi_runtime`] executor, all spawned up
+///   front — tens of thousands of in-flight workflows park on wakers
+///   instead of holding OS threads, and the run records an
+///   [`InFlightSeries`] proving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimeKind {
+    /// Thread-per-worker closed loop (default).
+    #[default]
+    Thread,
+    /// Task-per-request cooperative executor.
+    Async,
+}
+
+impl RuntimeKind {
+    /// CLI / report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuntimeKind::Thread => "thread",
+            RuntimeKind::Async => "async",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// A message listing the accepted spellings.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "thread" => Ok(RuntimeKind::Thread),
+            "async" => Ok(RuntimeKind::Async),
+            other => Err(format!(
+                "unknown runtime '{other}' (expected 'thread' or 'async')"
+            )),
+        }
+    }
+}
 
 /// Tuning knobs for one [`drive`] call.
 #[derive(Debug, Clone)]
@@ -95,6 +146,11 @@ pub struct DriveOptions {
     /// the run's virtual duration, so recycling reaches steady state
     /// within the measured window.
     pub gc_t_max: Duration,
+    /// Platform concurrency cap override (`None` = the driver default of
+    /// 1000). The async in-flight stress tests pin this *low* to prove
+    /// the point of the cooperative runtime: 10k parked workflows over a
+    /// few dozen worker threads.
+    pub platform_concurrency: Option<usize>,
     /// Chaos-production mode (`None` = no fault injection): a seeded
     /// crash storm kills SSF instances *and* IC/GC collector passes
     /// mid-flight while the client workers push the normal request mix,
@@ -173,6 +229,7 @@ impl Default for DriveOptions {
             gc: false,
             gc_period: Duration::from_millis(500),
             gc_t_max: Duration::from_secs(2),
+            platform_concurrency: None,
             chaos: None,
         }
     }
@@ -354,6 +411,67 @@ impl StorageSeries {
     }
 }
 
+/// One in-flight observation from an async drive: how many executor
+/// tasks were live at a moment of virtual time.
+///
+/// "Live" counts every unfinished task on the run's executor — parked
+/// request workflows (the overwhelming majority), plus the handful of
+/// collector tasks and the drive's own await-all task. Like
+/// [`StorageSample`] timing, the sample *schedule* is observational and
+/// outside the determinism contract; the high-water mark is not (it is
+/// read at a fixed point, right after the spawn loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InFlightSample {
+    /// Virtual microseconds since the measurement window opened.
+    pub t_us: u64,
+    /// Live executor tasks at sample time.
+    pub live: u64,
+}
+
+/// The in-flight record of one async drive ([`RuntimeKind::Async`]
+/// only): periodic [`InFlightSample`]s plus the high-water mark.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct InFlightSeries {
+    /// Samples in time order.
+    pub samples: Vec<InFlightSample>,
+    /// Maximum concurrent live tasks: the deterministic post-spawn
+    /// reading (every request task is in flight at that point) or the
+    /// largest sample, whichever is greater. The ≥10k acceptance gate
+    /// reads this.
+    pub high_water: u64,
+}
+
+impl InFlightSeries {
+    fn to_value(&self) -> Value {
+        let samples = self
+            .samples
+            .iter()
+            .map(|s| vmap! { "t_us" => s.t_us as i64, "live" => s.live as i64 })
+            .collect();
+        vmap! {
+            "samples" => Value::List(samples),
+            "high_water" => self.high_water as i64,
+        }
+    }
+
+    fn from_value(v: &Value) -> Self {
+        InFlightSeries {
+            samples: v
+                .get_list("samples")
+                .map(|l| {
+                    l.iter()
+                        .map(|s| InFlightSample {
+                            t_us: s.get_int("t_us").unwrap_or(0) as u64,
+                            live: s.get_int("live").unwrap_or(0) as u64,
+                        })
+                        .collect()
+                })
+                .unwrap_or_default(),
+            high_water: v.get_int("high_water").unwrap_or(0) as u64,
+        }
+    }
+}
+
 /// The recovery record of one chaos drive: what the storm did, how fast
 /// killed workflows came back, and whether the end state matches a
 /// crash-free oracle run of the same request stream.
@@ -495,14 +613,26 @@ pub struct BenchRun {
     /// Storage-growth series (always recorded; sampled densely when GC
     /// is on, final-only otherwise).
     pub storage: StorageSeries,
+    /// Which engine drove the load. Thread runs serialize *without* a
+    /// `runtime` key so their report JSON stays byte-identical to
+    /// pre-async builds.
+    pub runtime: RuntimeKind,
+    /// In-flight task series (`Some` only for async drives).
+    pub in_flight: Option<InFlightSeries>,
     /// Recovery record (`Some` only for chaos drives).
     pub recovery: Option<RecoverySection>,
 }
 
 impl BenchRun {
-    /// The identity CI matches baseline and current runs on.
+    /// The identity CI matches baseline and current runs on. Async runs
+    /// get a distinct suffix so the two engines' numbers (which have
+    /// different latency semantics — spawn-all queueing vs closed loop)
+    /// can never be compared against each other by accident.
     pub fn key(&self) -> String {
-        format!("{}/{}/w{}", self.app, self.mode, self.workers)
+        match self.runtime {
+            RuntimeKind::Thread => format!("{}/{}/w{}", self.app, self.mode, self.workers),
+            RuntimeKind::Async => format!("{}/{}/w{}@async", self.app, self.mode, self.workers),
+        }
     }
 
     /// Serializes the run for the JSON report.
@@ -524,8 +654,18 @@ impl BenchRun {
             "gc" => self.gc,
             "storage" => self.storage.to_value(),
         };
-        if let (Some(recovery), Value::Map(m)) = (&self.recovery, &mut v) {
-            m.insert("recovery".into(), recovery.to_value());
+        if let Value::Map(m) = &mut v {
+            // Async-only keys: absent from thread runs so the default
+            // engine's report stays byte-identical to pre-async builds.
+            if self.runtime != RuntimeKind::Thread {
+                m.insert("runtime".into(), Value::Str(self.runtime.name().into()));
+            }
+            if let Some(in_flight) = &self.in_flight {
+                m.insert("in_flight".into(), in_flight.to_value());
+            }
+            if let Some(recovery) = &self.recovery {
+                m.insert("recovery".into(), recovery.to_value());
+            }
         }
         v
     }
@@ -558,6 +698,11 @@ impl BenchRun {
                 .get_attr("storage")
                 .map(StorageSeries::from_value)
                 .unwrap_or_default(),
+            runtime: v
+                .get_str("runtime")
+                .and_then(|s| RuntimeKind::parse(s).ok())
+                .unwrap_or_default(),
+            in_flight: v.get_attr("in_flight").map(InFlightSeries::from_value),
             recovery: v.get_attr("recovery").map(RecoverySection::from_value),
         }
     }
@@ -660,9 +805,9 @@ pub fn ops_for_worker(total: u64, workers: usize, w: usize) -> u64 {
 /// unbounded invocation timeout: at high clock rates a realistic virtual
 /// timeout is milliseconds of real time, and host scheduling jitter
 /// would abort requests spuriously.
-fn driver_platform() -> PlatformConfig {
+fn driver_platform(opts: &DriveOptions) -> PlatformConfig {
     PlatformConfig {
-        concurrency_limit: 1000,
+        concurrency_limit: opts.platform_concurrency.unwrap_or(1000),
         invoke_timeout: Duration::from_secs(24 * 3600),
         cold_start: Duration::from_millis(150),
         warm_start: Duration::from_millis(3),
@@ -724,9 +869,33 @@ fn max_chain_len(env: &BeldiEnv, mode: Mode) -> u64 {
     max
 }
 
-/// Runs one closed-loop drive of `app` in `mode`. See the module docs.
-pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun {
-    assert!(opts.workers > 0, "need at least one worker");
+/// Resolves the chaos/GC implications of `opts` for `mode`.
+///
+/// Baseline mode has no collectors to run (start_gc is a no-op there)
+/// and no recovery machinery for a storm to exercise; treat the whole
+/// run as GC- and chaos-free so its report never claims collectors it
+/// cannot have.
+fn resolve_run_shape(mode: Mode, opts: &DriveOptions) -> (Option<&ChaosOptions>, bool) {
+    let chaos = if mode == Mode::Baseline {
+        None
+    } else {
+        opts.chaos.as_ref()
+    };
+    let gc = (opts.gc || chaos.is_some()) && mode != Mode::Baseline;
+    (chaos, gc)
+}
+
+/// Builds the environment for one drive — config resolution, app setup,
+/// and the metrics-window reset. Shared verbatim by the thread and async
+/// paths so their runs are equivalent by construction; collector
+/// *launch* is the caller's job (timer threads vs executor tasks).
+fn build_bench_env(
+    app: &dyn WorkflowApp,
+    mode: Mode,
+    opts: &DriveOptions,
+    chaos: Option<&ChaosOptions>,
+    gc: bool,
+) -> BeldiEnv {
     let mut cfg = BeldiConfig::for_mode(mode)
         .with_partitions(opts.partitions)
         .with_tail_cache(opts.tail_cache)
@@ -735,16 +904,6 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
     if let Some(capacity) = opts.tail_cache_capacity {
         cfg = cfg.with_tail_cache_capacity(capacity);
     }
-    // Baseline mode has no collectors to run (start_gc is a no-op there)
-    // and no recovery machinery for a storm to exercise; treat the whole
-    // run as GC- and chaos-free so its report never claims collectors it
-    // cannot have.
-    let chaos = if mode == Mode::Baseline {
-        None
-    } else {
-        opts.chaos.as_ref()
-    };
-    let gc = (opts.gc || chaos.is_some()) && mode != Mode::Baseline;
     if gc {
         cfg = cfg
             .with_t_max(opts.gc_t_max)
@@ -764,7 +923,7 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
     let mut builder = BeldiEnv::builder(cfg)
         .seed(opts.seed)
         .clock_rate(opts.clock_rate)
-        .platform(driver_platform());
+        .platform(driver_platform(opts));
     if opts.model_latency {
         builder = builder.latency(LatencyModel::dynamo());
     }
@@ -772,6 +931,27 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
     app.setup(&env);
     // Open the measurement window: everything from here is the run.
     env.db().reset_metrics();
+    env
+}
+
+/// Dispatches to [`drive`] or [`drive_async`] by `runtime`.
+pub fn drive_on(
+    runtime: RuntimeKind,
+    app: &dyn WorkflowApp,
+    mode: Mode,
+    opts: &DriveOptions,
+) -> BenchRun {
+    match runtime {
+        RuntimeKind::Thread => drive(app, mode, opts),
+        RuntimeKind::Async => drive_async(app, mode, opts),
+    }
+}
+
+/// Runs one closed-loop drive of `app` in `mode`. See the module docs.
+pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun {
+    assert!(opts.workers > 0, "need at least one worker");
+    let (chaos, gc) = resolve_run_shape(mode, opts);
+    let env = build_bench_env(app, mode, opts, chaos, gc);
     if gc {
         // Online collectors on virtual-time timers, racing the client
         // workers below: GC alone for plain online-GC runs, IC + GC for
@@ -954,6 +1134,235 @@ pub fn drive(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun
         effects,
         gc,
         storage,
+        runtime: RuntimeKind::Thread,
+        in_flight: None,
+        recovery,
+    }
+}
+
+/// Runs one drive of `app` in `mode` on a cooperative executor
+/// ([`RuntimeKind::Async`]).
+///
+/// Same request multiset as [`drive`] — every worker's stream is drawn
+/// from the same [`worker_rng`] in the same order — but *all* requests
+/// are spawned up front as executor tasks awaiting
+/// [`BeldiEnv::invoke_task`], so the whole load is in flight at once:
+/// requests past the platform's concurrency cap park on wakers instead
+/// of holding OS threads, which is what lets one process carry ≥10k
+/// concurrent workflows. GC/IC collectors run as executor tasks
+/// ([`BeldiEnv::spawn_collectors_on`]) rather than timer threads; the
+/// chaos storm works unchanged (kill decisions hash instance ids, which
+/// use the same `storm-w{w}-op{i}` scheme as the thread path's chaos
+/// mode).
+///
+/// Latency semantics differ from the closed loop: each sample includes
+/// queueing behind the concurrency cap, not just service time. Async
+/// runs therefore carry a distinct [`BenchRun::key`] suffix and are
+/// never gated against thread baselines — the cross-engine contract is
+/// digest equality, not latency equality.
+pub fn drive_async(app: &dyn WorkflowApp, mode: Mode, opts: &DriveOptions) -> BenchRun {
+    assert!(opts.workers > 0, "need at least one worker");
+    let (chaos, gc) = resolve_run_shape(mode, opts);
+    let env = build_bench_env(app, mode, opts, chaos, gc);
+    let rt = beldi_runtime::Executor::new(env.clock().clone(), opts.seed);
+    let handle = rt.handle();
+    if gc {
+        // Same collector selection as the thread path: GC alone for
+        // plain online-GC runs, IC + GC for chaos runs, IC off in the
+        // canary configuration so killed workflows stay dead.
+        let ic = matches!(chaos, Some(c) if c.relaunch);
+        env.spawn_collectors_on(&handle, ic, true);
+    }
+    if let Some(c) = chaos {
+        beldi_simfaas::silence_crash_backtraces();
+        env.platform().faults().set_storm_policy(Some(StormPolicy {
+            ssf_prob: c.ssf_kill_prob,
+            collector_prob: c.collector_kill_prob,
+            max_crashes: c.max_crashes,
+            seed: opts.seed,
+        }));
+    }
+
+    let clock = env.clock().clone();
+    // beldi-lint: allow(determinism/wall-clock, wall-clock runtime is operator
+    // reporting only and never enters the simulated timeline or logged state)
+    let wall_start = std::time::Instant::now();
+    let start = clock.now();
+    let errors = Arc::new(AtomicU64::new(0));
+    let hist = Arc::new(Mutex::new(Histogram::new()));
+    let entry = app.entry_point();
+    // Root retries mirror the thread path: chaos re-drives killed roots
+    // under the same instance id (or never, in the canary config); a
+    // crash-free run takes one attempt, exactly like `BeldiEnv::invoke`.
+    let root_attempts = chaos.map_or(1, |c| if c.relaunch { 50 } else { 1 });
+    // Admission gate: roots must never saturate the platform's worker
+    // pool, because every admitted root issues *nested* SSF calls that
+    // need permits of their own — hand all the permits to parked roots
+    // and the pool livelocks with every root stuck behind its own
+    // callees. A quarter of the pool for roots leaves the rest for
+    // nested fan-out; the other ~N-admitted workflow tasks stay parked
+    // on semaphore wakers, which is exactly the cheap in-flight
+    // representation under test.
+    let admission = Arc::new(beldi_runtime::Semaphore::new(
+        (opts.platform_concurrency.unwrap_or(1000) / 4).max(1),
+    ));
+    let mut tasks = Vec::with_capacity(opts.total_ops as usize);
+    for w in 0..opts.workers {
+        let mut rng = worker_rng(opts.seed, w);
+        for i in 0..ops_for_worker(opts.total_ops, opts.workers, w) {
+            let request = app.gen_load_request(&mut rng);
+            let instance = format!("storm-w{w}-op{i}");
+            let fut = env.invoke_task(entry, &instance, request, root_attempts);
+            let errors = Arc::clone(&errors);
+            let hist = Arc::clone(&hist);
+            let clock = clock.clone();
+            let admission = Arc::clone(&admission);
+            tasks.push(rt.spawn(async move {
+                let t0 = clock.now();
+                let _permit = admission.acquire().await;
+                if fut.await.is_err() {
+                    errors.fetch_add(1, Ordering::Relaxed);
+                }
+                hist.lock().record(clock.now().since(t0));
+            }));
+        }
+    }
+    // Deterministic high-water reading: every request task (plus the
+    // collector tasks) is live right here, before the executor runs.
+    let spawned_live = handle.live_tasks() as u64;
+
+    // Observational sampler on a plain thread (in-flight decay curve,
+    // plus storage growth when collectors run) — excluded from the
+    // determinism contract like the thread path's sampler.
+    let sampler_stop = Arc::new(AtomicBool::new(false));
+    let in_flight_samples = Arc::new(Mutex::new(Vec::new()));
+    let storage_samples = Arc::new(Mutex::new(Vec::new()));
+    let sampler = {
+        let stop = Arc::clone(&sampler_stop);
+        let in_flight_samples = Arc::clone(&in_flight_samples);
+        let storage_samples = Arc::clone(&storage_samples);
+        let clock = clock.clone();
+        let handle = handle.clone();
+        let env = env.clone();
+        let period = opts.gc_period.max(Duration::from_millis(1)) * 2;
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                clock.sleep(period);
+                let elapsed = clock.now().since(start).as_micros() as u64;
+                in_flight_samples.lock().push(InFlightSample {
+                    t_us: elapsed,
+                    live: handle.live_tasks() as u64,
+                });
+                if gc {
+                    storage_samples.lock().push(storage_sample(&env, elapsed));
+                }
+            }
+        })
+    };
+
+    // Drive everything to completion on this thread: the await-all task
+    // keeps the executor running until the last request resolves.
+    rt.block_on(async move {
+        for t in tasks {
+            t.await;
+        }
+    });
+    let elapsed = clock.now().since(start);
+    sampler_stop.store(true, Ordering::Relaxed);
+    env.stop_collectors();
+    // Collector tasks observe the stop flags at their next tick; drain
+    // them so the executor is empty before the recovery phase.
+    rt.run();
+    sampler.join().expect("sampler thread must not panic");
+    if let Some(c) = chaos {
+        env.platform().faults().set_storm_policy(None);
+        if c.relaunch {
+            env.drain_recovery(50)
+                .expect("recovery drain must not fail");
+        }
+    }
+
+    let db = env.db_metrics();
+    let hist = Arc::try_unwrap(hist)
+        .expect("all histogram holders done")
+        .into_inner();
+    let fingerprint = app.bench_fingerprint(&env);
+    let mut storage = StorageSeries {
+        samples: std::mem::take(&mut *storage_samples.lock()),
+        max_chain_len: 0,
+    };
+    storage
+        .samples
+        .push(storage_sample(&env, elapsed.as_micros() as u64));
+    storage.max_chain_len = max_chain_len(&env, mode);
+    let mut in_flight = InFlightSeries {
+        samples: std::mem::take(&mut *in_flight_samples.lock()),
+        high_water: spawned_live,
+    };
+    in_flight.high_water = in_flight
+        .samples
+        .iter()
+        .map(|s| s.live)
+        .fold(in_flight.high_water, u64::max);
+    let state_digest = format!("{:016x}", value_digest(&fingerprint));
+    let effects = app.effect_count(&env);
+
+    // Conservation check against a crash-free *thread* drive of the same
+    // request stream: digest equality here is simultaneously the
+    // exactly-once claim and the sync-vs-async equivalence claim.
+    let recovery = chaos.map(|_| {
+        let faults = env.platform().faults();
+        let mut recovery_samples = env.recovery_samples_ms();
+        recovery_samples.sort_unstable();
+        let pct = |q: f64| -> u64 {
+            match recovery_samples.len() {
+                0 => 0,
+                n => recovery_samples[(((n - 1) as f64) * q).round() as usize],
+            }
+        };
+        let ic = env.ic_totals();
+        let oracle_opts = DriveOptions {
+            chaos: None,
+            ..opts.clone()
+        };
+        let oracle = drive(app, mode, &oracle_opts);
+        RecoverySection {
+            injected_crashes: faults.injected_count(),
+            restarts: faults.restart_count(),
+            crash_sites: faults.crash_sites(),
+            ic_passes: ic.passes,
+            ic_restarted: ic.report.restarted as u64,
+            ic_crashes: ic.crashes,
+            gc_crashes: env.gc_totals().crashes,
+            ic_corrupt: env.ic_corrupt_total(),
+            recovered_intents: recovery_samples.len() as u64,
+            recovery_p50_ms: pct(0.50),
+            recovery_p90_ms: pct(0.90),
+            recovery_p99_ms: pct(0.99),
+            duplicate_effects: (effects - oracle.effects).max(0),
+            oracle_digest: oracle.state_digest.clone(),
+            digest_match: state_digest == oracle.state_digest,
+        }
+    });
+
+    BenchRun {
+        app: app.kind().to_owned(),
+        mode: mode_name(mode).to_owned(),
+        workers: opts.workers,
+        partitions: opts.partitions,
+        ops: opts.total_ops,
+        errors: errors.load(Ordering::Relaxed),
+        elapsed_virtual_us: elapsed.as_micros() as u64,
+        wall_ms: wall_start.elapsed().as_millis() as u64,
+        throughput_rps: opts.total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: LatencySummary::from_histogram(&hist),
+        db,
+        state_digest,
+        effects,
+        gc,
+        storage,
+        runtime: RuntimeKind::Async,
+        in_flight: Some(in_flight),
         recovery,
     }
 }
@@ -1103,6 +1512,20 @@ mod tests {
                 }],
                 max_chain_len: 3,
             },
+            runtime: RuntimeKind::Async,
+            in_flight: Some(InFlightSeries {
+                samples: vec![
+                    InFlightSample {
+                        t_us: 250_000,
+                        live: 10_400,
+                    },
+                    InFlightSample {
+                        t_us: 750_000,
+                        live: 3_200,
+                    },
+                ],
+                high_water: 10_412,
+            }),
             recovery: Some(RecoverySection {
                 injected_crashes: 17,
                 restarts: 21,
@@ -1136,7 +1559,41 @@ mod tests {
         };
         let parsed = BenchReport::from_json(&report.to_json()).unwrap();
         assert_eq!(parsed, report);
-        assert_eq!(parsed.runs[0].key(), "media/beldi/w4");
+        assert_eq!(parsed.runs[0].key(), "media/beldi/w4@async");
+    }
+
+    #[test]
+    fn thread_runs_serialize_without_async_keys() {
+        // The byte-identity contract for the default engine: a thread
+        // run's JSON must not even mention the async-only fields.
+        let run = BenchRun {
+            app: "media".into(),
+            mode: "beldi".into(),
+            workers: 2,
+            partitions: 4,
+            ops: 10,
+            errors: 0,
+            elapsed_virtual_us: 1,
+            wall_ms: 1,
+            throughput_rps: 1.0,
+            latency: LatencySummary::default(),
+            db: MetricsSnapshot::default(),
+            state_digest: "0".into(),
+            effects: 0,
+            gc: false,
+            storage: StorageSeries::default(),
+            runtime: RuntimeKind::Thread,
+            in_flight: None,
+            recovery: None,
+        };
+        let json = beldi::value::json::to_json_pretty(&run.to_value());
+        assert!(!json.contains("runtime"));
+        assert!(!json.contains("in_flight"));
+        assert_eq!(run.key(), "media/beldi/w2");
+        // And it decodes back to the thread engine by default.
+        let parsed = BenchRun::from_value(&beldi::value::json::from_json(&json).unwrap());
+        assert_eq!(parsed.runtime, RuntimeKind::Thread);
+        assert_eq!(parsed.in_flight, None);
     }
 
     #[test]

@@ -270,8 +270,11 @@ pub fn growth_gate(report: &BenchReport, max_growth: f64) -> Vec<String> {
 ///
 /// Vacuous passes are rejected: a report with no chaos run at all fails,
 /// as does a chaos run whose storm never actually injected a crash or
-/// whose recovery series is empty despite injected crashes — both mean
-/// the gate is checking nothing.
+/// whose recovery series is empty despite injected *workflow* crashes —
+/// both mean the gate is checking nothing. Crashes that landed only on
+/// collector passes (`ic.*`/`gc.*` sites) are exempt from the
+/// recovery-series requirement: a killed collector pass has no intent to
+/// recover, so such a storm is still a meaningful digest check.
 pub fn recovery_gate(
     report: &BenchReport,
     max_recovery_p99_ms: u64,
@@ -294,12 +297,24 @@ pub fn recovery_gate(
                 "{key}: the storm injected no crashes — the chaos gate is vacuous \
                  (raise the kill rates or the op count)"
             ));
-        } else if rec.recovered_intents == 0 {
-            failures.push(format!(
-                "{key}: {} crash(es) injected but no killed instance was observed \
-                 recovering — the recovery series is empty",
-                rec.injected_crashes
-            ));
+        } else {
+            // Only workflow kills can produce recovery samples: a killed
+            // IC/GC pass has no intent of its own to recover (its crash
+            // shows up in `ic_crashes`/`gc_crashes` and is covered by the
+            // digest check). A storm whose whole crash budget landed on
+            // collectors legitimately has an empty recovery series.
+            let workflow_crashes: u64 = rec
+                .crash_sites
+                .iter()
+                .filter(|(label, _)| !label.starts_with("ic.") && !label.starts_with("gc."))
+                .map(|(_, n)| *n)
+                .sum();
+            if workflow_crashes > 0 && rec.recovered_intents == 0 {
+                failures.push(format!(
+                    "{key}: {workflow_crashes} workflow crash(es) injected but no killed \
+                     instance was observed recovering — the recovery series is empty",
+                ));
+            }
         }
         if !rec.digest_match {
             failures.push(format!(
@@ -354,6 +369,8 @@ mod tests {
             effects: 0,
             gc: false,
             storage: StorageSeries::default(),
+            runtime: crate::driver::RuntimeKind::Thread,
+            in_flight: None,
             recovery: None,
         }
     }
@@ -716,6 +733,43 @@ mod tests {
         let failures = recovery_gate(&report(vec![run("travel", 4, 10.0, 0)]), 2_000, 0);
         assert!(
             failures.iter().any(|f| f.contains("no chaos runs")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_gate_exempts_collector_only_storms() {
+        // A storm whose whole crash budget landed on IC/GC passes has no
+        // workflow intent to recover, so its empty recovery series is
+        // legitimate — the digest check still has teeth.
+        let mut r = chaos_run("travel");
+        let rec = r.recovery.as_mut().unwrap();
+        rec.crash_sites = [
+            ("ic.post_scan".to_owned(), 12u64),
+            ("gc.enter".to_owned(), 8),
+        ]
+        .into_iter()
+        .collect();
+        rec.recovered_intents = 0;
+        let failures = recovery_gate(&report(vec![r]), 2_000, 0);
+        assert!(failures.is_empty(), "{failures:?}");
+
+        // One workflow kill among the collector kills re-arms the
+        // requirement.
+        let mut r = chaos_run("travel");
+        let rec = r.recovery.as_mut().unwrap();
+        rec.crash_sites = [
+            ("ic.post_scan".to_owned(), 12u64),
+            ("wrapper.pre_done".to_owned(), 1),
+        ]
+        .into_iter()
+        .collect();
+        rec.recovered_intents = 0;
+        let failures = recovery_gate(&report(vec![r]), 2_000, 0);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("recovery series is empty")),
             "{failures:?}"
         );
     }

@@ -32,8 +32,8 @@ mod runner;
 mod sweep;
 
 pub use driver::{
-    drive, BenchReport, BenchRun, ChaosOptions, DriveOptions, RecoverySection, StorageSample,
-    StorageSeries,
+    drive, drive_async, drive_on, BenchReport, BenchRun, ChaosOptions, DriveOptions,
+    InFlightSample, InFlightSeries, RecoverySection, RuntimeKind, StorageSample, StorageSeries,
 };
 pub use explore::{
     explore, mode_name, ExploreOptions, ExploreReport, PipelineApp, Violation, ViolationKind,

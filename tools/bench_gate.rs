@@ -27,11 +27,12 @@
 //! otherwise. The comparison semantics live in `beldi_workload::gate`
 //! (unit-tested); this binary is the thin CLI.
 
+use beldi_bench::cli::{Args, Cli};
 use beldi_workload::driver::BenchReport;
 use beldi_workload::gate::{gate, growth_gate, latency_gate, recovery_gate};
 
-fn load(flag: &str) -> BenchReport {
-    let Some(path) = beldi_bench::arg_value(flag) else {
+fn load(args: &Args, flag: &str) -> BenchReport {
+    let Some(path) = args.value(flag) else {
         eprintln!("missing required {flag} <path>");
         std::process::exit(2);
     };
@@ -52,10 +53,60 @@ fn load(flag: &str) -> BenchReport {
 }
 
 fn main() {
-    let throughput_mode = beldi_bench::arg_value("--results").is_some()
-        || beldi_bench::arg_value("--baseline").is_some();
-    let growth_mode = beldi_bench::arg_value("--gc-results").is_some();
-    let chaos_mode = beldi_bench::arg_value("--chaos-results").is_some();
+    let args = Cli::new("bench_gate", "CI perf, storage-growth, and recovery gates")
+        .flag("--baseline", "PATH", "", "checked-in baseline report")
+        .flag(
+            "--results",
+            "PATH",
+            "",
+            "fresh drive report to gate vs the baseline",
+        )
+        .flag(
+            "--max-regress",
+            "FRAC",
+            "0.25",
+            "allowed throughput regression",
+        )
+        .flag(
+            "--max-p99-regression",
+            "FRAC",
+            "",
+            "also gate p99 growth by this fraction",
+        )
+        .flag(
+            "--gc-results",
+            "PATH",
+            "",
+            "drive --gc report for the growth gate",
+        )
+        .flag(
+            "--max-growth",
+            "FRAC",
+            "0.25",
+            "allowed meta-row growth past mid-run",
+        )
+        .flag(
+            "--chaos-results",
+            "PATH",
+            "",
+            "drive --chaos report for the recovery gate",
+        )
+        .flag(
+            "--max-recovery-p99",
+            "MS",
+            "2000",
+            "recovery-latency p99 SLO",
+        )
+        .flag(
+            "--max-duplicate-effects",
+            "N",
+            "0",
+            "allowed duplicate effects vs the oracle",
+        )
+        .parse();
+    let throughput_mode = args.present("--results") || args.present("--baseline");
+    let growth_mode = args.present("--gc-results");
+    let chaos_mode = args.present("--chaos-results");
     if !throughput_mode && !growth_mode && !chaos_mode {
         eprintln!("nothing to gate: pass --baseline/--results, --gc-results, or --chaos-results");
         std::process::exit(2);
@@ -63,9 +114,9 @@ fn main() {
     let mut failed = false;
 
     if throughput_mode {
-        let baseline = load("--baseline");
-        let results = load("--results");
-        let max_regress = beldi_bench::arg_f64("--max-regress", 0.25);
+        let baseline = load(&args, "--baseline");
+        let results = load(&args, "--results");
+        let max_regress = args.f64("--max-regress");
 
         let report = gate(&baseline, &results, max_regress);
         let rows: Vec<Vec<String>> = report
@@ -103,7 +154,7 @@ fn main() {
             failed = true;
         }
 
-        if let Some(max_p99) = beldi_bench::arg_value("--max-p99-regression") {
+        if let Some(max_p99) = args.value("--max-p99-regression") {
             let max_p99: f64 = match max_p99.parse() {
                 Ok(v) => v,
                 Err(_) => {
@@ -151,8 +202,8 @@ fn main() {
     }
 
     if growth_mode {
-        let gc_results = load("--gc-results");
-        let max_growth = beldi_bench::arg_f64("--max-growth", 0.25);
+        let gc_results = load(&args, "--gc-results");
+        let max_growth = args.f64("--max-growth");
         let failures = growth_gate(&gc_results, max_growth);
         if failures.is_empty() {
             println!(
@@ -169,9 +220,9 @@ fn main() {
     }
 
     if chaos_mode {
-        let chaos_results = load("--chaos-results");
-        let max_p99 = beldi_bench::arg_usize("--max-recovery-p99", 2_000) as u64;
-        let max_dup = beldi_bench::arg_usize("--max-duplicate-effects", 0) as i64;
+        let chaos_results = load(&args, "--chaos-results");
+        let max_p99 = args.u64("--max-recovery-p99");
+        let max_dup = args.usize("--max-duplicate-effects") as i64;
         let failures = recovery_gate(&chaos_results, max_p99, max_dup);
         if failures.is_empty() {
             println!(
