@@ -806,14 +806,17 @@ impl BeldiEnv {
         Ok(report)
     }
 
-    /// Best-effort wait (bounded real time) until an SSF has no unfinished
-    /// intents — used by [`BeldiEnv::drain_recovery`] to serialize
-    /// restarted re-executions. A re-execution that crashes again simply
-    /// leaves its intent unfinished; the next drain pass picks it up.
+    /// Best-effort wait (bounded virtual time) until an SSF has no
+    /// unfinished intents — used by [`BeldiEnv::drain_recovery`] to
+    /// serialize restarted re-executions. A re-execution that crashes
+    /// again simply leaves its intent unfinished; the next drain pass
+    /// picks it up. Paced on the workspace clock so exploration and
+    /// scaled-time runs see a consistent timeline (a real-time sleep
+    /// here stalled wall-clock time per drained intent).
     fn await_ssf_quiescence(&self, ssf: &str) {
         let table = schema::intent_table(ssf);
         for _ in 0..50 {
-            std::thread::sleep(Duration::from_millis(1));
+            self.clock().sleep(Duration::from_millis(1));
             let left = self
                 .core
                 .db

@@ -1,0 +1,297 @@
+//! The workspace call graph and executor-task reachability.
+//!
+//! Built over [`crate::model::Workspace`]: edges are *name matches* (a
+//! call to `acquire` points at every workspace function named `acquire`),
+//! which over-approximates — a finding can name a function the real
+//! program never calls on that path — but never misses a statically
+//! visible call. Three deliberate cuts keep the over-approximation
+//! honest (DESIGN.md §15):
+//!
+//! - a **stoplist** of ubiquitous identifiers (`new`, `get`, `lock`,
+//!   `load`, ...) that would otherwise connect everything to everything;
+//! - calls named `sleep` / `sleep_until` are never traversed: in this
+//!   workspace those are the *virtual-time* sleep surface
+//!   (`Clock::sleep`, `Handle::sleep`, `beldi_runtime::sleep`), whose
+//!   implementations legitimately park the calling thread;
+//! - functions only reachable through a closure value (registered
+//!   handlers, `thread::spawn` bodies) are invisible — closure bodies
+//!   are attributed to the function that wrote them.
+//!
+//! Reachability starts from the executor-task seed regions: `async fn`
+//! bodies, `async { .. }` blocks (everything handed to
+//! `Executor::spawn` / `Handle::spawn` / `block_on`), and the named
+//! entry points of the execution API — `invoke_task` / `invoke_async`
+//! and the `front.rs` request handlers (`route` / `invoke`).
+
+use std::collections::VecDeque;
+
+use crate::model::{CallSite, FnModel, Workspace};
+use crate::source::SourceFile;
+
+/// Identifiers never traversed: shared std/collection vocabulary whose
+/// name-match fan-in would swallow the whole workspace.
+const STOPLIST: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "get_int",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "filter",
+    "collect",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_err",
+    "expect",
+    "ok",
+    "err",
+    "ok_or",
+    "ok_or_else",
+    "and_then",
+    "or_else",
+    "from",
+    "into",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "as_str",
+    "as_ref",
+    "as_bytes",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "lock",
+    "try_lock",
+    "read",
+    "write",
+    "drop",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "send",
+    "format",
+    "min",
+    "max",
+    "entry",
+    "take",
+    "replace",
+    "extend",
+    "find",
+    "position",
+    "any",
+    "all",
+    "count",
+    "sum",
+    "join",
+    "split",
+    "trim",
+    "starts_with",
+    "ends_with",
+    "strip_prefix",
+    "sort",
+    "sort_by",
+    "with_capacity",
+];
+
+/// Call names the graph never follows *into*: the workspace's
+/// virtual-time sleep surface.
+const VIRTUAL_SLEEPS: &[&str] = &["sleep", "sleep_until"];
+
+/// May the graph follow a call with this name into same-named functions?
+pub fn traversable(name: &str) -> bool {
+    !STOPLIST.contains(&name) && !VIRTUAL_SLEEPS.contains(&name)
+}
+
+/// Is this call the workspace's virtual-time sleep (excepted from
+/// blocking checks)? `thread::sleep` is *not*: the path qualifier marks
+/// it as the real-time std sleep.
+pub fn is_virtual_sleep(call: &CallSite) -> bool {
+    VIRTUAL_SLEEPS.contains(&call.name.as_str()) && call.path_qual.as_deref() != Some("thread")
+}
+
+/// Why a function is an executor-task root (its whole body is a seed
+/// region).
+pub fn named_root(m: &FnModel, sf: &SourceFile) -> Option<&'static str> {
+    match m.name.as_str() {
+        // The root-invocation protocol entry points (`BeldiEnv` and the
+        // platform surface behind it).
+        "invoke_task" | "invoke_async" => Some("root-invocation entry point"),
+        // The HTTP front door's request handlers.
+        "route" | "invoke" if sf.path.ends_with("front.rs") => Some("front-door request handler"),
+        _ => None,
+    }
+}
+
+/// How a non-seed function was reached from executor-task code.
+#[derive(Debug, Clone)]
+pub struct Reach {
+    /// Description of the seed region the chain started from, e.g.
+    /// "`invoke_task` (root-invocation entry point)".
+    pub root: String,
+    /// The immediate caller on the discovered chain.
+    pub via: String,
+}
+
+/// Describes a seed function for finding messages.
+pub fn seed_desc(m: &FnModel, sf: &SourceFile) -> String {
+    if let Some(kind) = named_root(m, sf) {
+        format!("`{}` ({kind})", m.name)
+    } else if m.is_async {
+        format!("async fn `{}`", m.name)
+    } else {
+        format!("an async block in `{}`", m.name)
+    }
+}
+
+/// Computes, for every function, whether (and how) it is transitively
+/// reachable from an executor-task seed region. Seed functions
+/// themselves are not marked — their seed regions are checked directly
+/// by the rules.
+pub fn reachable_from_tasks(ws: &Workspace, files: &[SourceFile]) -> Vec<Option<Reach>> {
+    let mut reach: Vec<Option<Reach>> = (0..ws.fns.len()).map(|_| None).collect();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    for (idx, m) in ws.fns.iter().enumerate() {
+        let sf = &files[m.file];
+        let whole = m.is_async || named_root(m, sf).is_some();
+        if !whole && m.async_blocks.is_empty() {
+            continue;
+        }
+        for call in &m.calls {
+            if !(whole || m.in_async_block(call.tok)) || !traversable(&call.name) {
+                continue;
+            }
+            for t in ws.resolve(call, m.file) {
+                if t != idx && reach[t].is_none() {
+                    reach[t] = Some(Reach {
+                        root: seed_desc(m, sf),
+                        via: m.name.clone(),
+                    });
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    while let Some(f) = queue.pop_front() {
+        let root = reach[f]
+            .as_ref()
+            .map(|r| r.root.clone())
+            .unwrap_or_default();
+        let via = ws.fns[f].name.clone();
+        let caller_file = ws.fns[f].file;
+        let calls: Vec<CallSite> = ws.fns[f].calls.clone();
+        for call in &calls {
+            if !traversable(&call.name) {
+                continue;
+            }
+            for t in ws.resolve(call, caller_file) {
+                if t != f && reach[t].is_none() {
+                    reach[t] = Some(Reach {
+                        root: root.clone(),
+                        via: via.clone(),
+                    });
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    reach
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(files: &[(&str, &str)]) -> (Vec<SourceFile>, Workspace) {
+        let sfs: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        let ws = Workspace::build(&sfs);
+        (sfs, ws)
+    }
+
+    fn idx(ws: &Workspace, name: &str) -> usize {
+        ws.fns.iter().position(|m| m.name == name).unwrap()
+    }
+
+    #[test]
+    fn async_fn_reaches_transitive_callees() {
+        let (files, ws) = parse(&[(
+            "crates/a/src/lib.rs",
+            "pub async fn task() { step_one(); }\n\
+             fn step_one() { step_two(); }\n\
+             fn step_two() {}\n",
+        )]);
+        let reach = reachable_from_tasks(&ws, &files);
+        assert!(reach[idx(&ws, "task")].is_none(), "seeds are not marked");
+        let two = reach[idx(&ws, "step_two")].as_ref().expect("reached");
+        assert_eq!(two.via, "step_one");
+        assert!(two.root.contains("task"));
+    }
+
+    #[test]
+    fn virtual_sleep_and_stoplist_cut_traversal() {
+        let (files, ws) = parse(&[(
+            "crates/a/src/lib.rs",
+            "pub async fn task(c: &Clock) { c.sleep(d); reg.get(k); }\n\
+             fn sleep(d: D) { parks_forever(); }\n\
+             fn get(k: K) { also_hidden(); }\n\
+             fn parks_forever() {}\n\
+             fn also_hidden() {}\n",
+        )]);
+        let reach = reachable_from_tasks(&ws, &files);
+        assert!(reach[idx(&ws, "parks_forever")].is_none());
+        assert!(reach[idx(&ws, "also_hidden")].is_none());
+    }
+
+    #[test]
+    fn async_block_seeds_but_rest_of_fn_does_not() {
+        let (files, ws) = parse(&[(
+            "crates/a/src/lib.rs",
+            "fn start(rt: &Rt) { rt.spawn(async move { inside(); }); outside(); }\n\
+             fn inside() {}\n\
+             fn outside() {}\n",
+        )]);
+        let reach = reachable_from_tasks(&ws, &files);
+        assert!(reach[idx(&ws, "inside")].is_some());
+        assert!(reach[idx(&ws, "outside")].is_none());
+    }
+
+    #[test]
+    fn front_handlers_are_roots_only_in_front_rs() {
+        let (files, ws) = parse(&[
+            (
+                "crates/bench/src/front.rs",
+                "fn invoke(req: &Req) { handler_dep(); }\nfn handler_dep() {}\n",
+            ),
+            (
+                "crates/other/src/lib.rs",
+                "fn invoke(x: X) { unrelated(); }\nfn unrelated() {}\n",
+            ),
+        ]);
+        let reach = reachable_from_tasks(&ws, &files);
+        let dep = ws.fns.iter().position(|m| m.name == "handler_dep").unwrap();
+        let unrelated = ws.fns.iter().position(|m| m.name == "unrelated").unwrap();
+        assert!(reach[dep].is_some());
+        assert!(reach[unrelated].is_none());
+    }
+}

@@ -16,7 +16,9 @@
 //! adding a new crash point.
 
 pub mod findings;
+pub mod graph;
 pub mod lexer;
+pub mod model;
 pub mod registry;
 pub mod rules;
 pub mod source;
@@ -126,6 +128,12 @@ pub fn run_parsed(files: &[SourceFile], opts: &Options) -> Report {
             ));
         }
     }
+
+    // Workspace-wide passes: the function model + call graph feed the
+    // async-safety family and the transitive logged-ops rule.
+    let ws = model::Workspace::build(files);
+    rules::async_safety(&ws, files, &mut raw);
+    rules::transitive_db(&ws, files, &mut raw);
 
     // Disposition: inline waiver beats baseline; `waiver/malformed` is
     // itself unwaivable (a waiver you cannot parse must not self-excuse).

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! beldi-lint [--root <dir>] [--json <path>] [--baseline <path>]
-//!            [--strict] [--write-baseline]
+//!            [--strict] [--write-baseline] [--check-baseline]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 unwaived findings, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 unwaived findings (or, with
+//! `--check-baseline`, stale baseline entries), 2 usage or I/O error.
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -19,6 +20,7 @@ fn main() -> ExitCode {
     let mut baseline_path: Option<PathBuf> = None;
     let mut strict = false;
     let mut write_baseline = false;
+    let mut check_baseline = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -37,18 +39,21 @@ fn main() -> ExitCode {
             },
             "--strict" => strict = true,
             "--write-baseline" => write_baseline = true,
+            "--check-baseline" => check_baseline = true,
             "--help" | "-h" => {
                 println!(
                     "beldi-lint: protocol-invariant static analysis for the Beldi workspace\n\
                      \n\
                      usage: beldi-lint [--root <dir>] [--json <path>] [--baseline <path>]\n\
-                     \x20                 [--strict] [--write-baseline]\n\
+                     \x20                 [--strict] [--write-baseline] [--check-baseline]\n\
                      \n\
                      --root            workspace root to scan (default: .)\n\
                      --json <path>     write machine-readable findings\n\
                      --baseline <path> baseline file (default: <root>/{BASELINE_FILE})\n\
                      --strict          ignore the baseline (nightly mode)\n\
-                     --write-baseline  write current findings as the new baseline and exit"
+                     --write-baseline  write current findings as the new baseline and exit\n\
+                     --check-baseline  fail if the baseline holds keys no finding matches\n\
+                     \x20                 (stale entries must be pruned with --write-baseline)"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -68,19 +73,20 @@ fn main() -> ExitCode {
     }
 
     let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+    let baseline_file_keys: BTreeSet<String> = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(keys) => keys,
+            Err(e) => {
+                eprintln!("beldi-lint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => BTreeSet::new(), // no baseline file: nothing suppressed
+    };
     let baseline: BTreeSet<String> = if strict || write_baseline {
         BTreeSet::new()
     } else {
-        match std::fs::read_to_string(&baseline_path) {
-            Ok(text) => match parse_baseline(&text) {
-                Ok(keys) => keys,
-                Err(e) => {
-                    eprintln!("beldi-lint: {}: {e}", baseline_path.display());
-                    return ExitCode::from(2);
-                }
-            },
-            Err(_) => BTreeSet::new(), // no baseline file: nothing suppressed
-        }
+        baseline_file_keys.clone()
     };
 
     let report = match run(&root, &Options { strict, baseline }) {
@@ -102,6 +108,36 @@ fn main() -> ExitCode {
             baseline_path.display()
         );
         return ExitCode::SUCCESS;
+    }
+
+    if check_baseline {
+        // A baseline key is live while some finding (whatever its
+        // disposition) still matches it; anything else is a stale entry
+        // — evidence the violation was fixed or re-waived without the
+        // baseline shrinking alongside.
+        let live: BTreeSet<String> = report
+            .active
+            .iter()
+            .chain(report.baselined.iter())
+            .chain(report.waived.iter().map(|(f, _)| f))
+            .map(|f| f.baseline_key())
+            .collect();
+        let stale: Vec<&String> = baseline_file_keys
+            .iter()
+            .filter(|k| !live.contains(*k))
+            .collect();
+        for k in &stale {
+            println!("beldi-lint: stale baseline entry: {k}");
+        }
+        println!(
+            "beldi-lint: baseline check: {} entr{} stale of {}",
+            stale.len(),
+            if stale.len() == 1 { "y" } else { "ies" },
+            baseline_file_keys.len()
+        );
+        if !stale.is_empty() {
+            return ExitCode::FAILURE;
+        }
     }
 
     if let Some(path) = &json_out {

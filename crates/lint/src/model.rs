@@ -1,0 +1,286 @@
+//! The per-function model: the middle layer between the lexer and the
+//! workspace call graph.
+//!
+//! [`SourceFile`] knows brackets, blocks, and function spans;
+//! [`Workspace`] lifts that to a flat list of [`FnModel`]s — one per
+//! non-test function in the workspace — each recording:
+//!
+//! - `async`-ness of the signature (`async fn`);
+//! - the token spans of `async { .. }` / `async move { .. }` blocks in
+//!   the body (executor-task seed regions for the graph rules);
+//! - every outgoing call site, with its path qualifier (`thread` in
+//!   `thread::sleep(..)`) and whether it is a method call.
+//!
+//! The model is *name-based*: a call site records only the callee's
+//! identifier, never a resolved item. [`crate::graph`] turns that into a
+//! deliberately over-approximating call graph (DESIGN.md §15 documents
+//! the approximation in both directions).
+
+use std::collections::HashMap;
+
+use crate::lexer::{Tok, TokKind};
+use crate::source::SourceFile;
+
+/// One outgoing call from a function body: `name(`, `recv.name(`, or
+/// `qual::name(`.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Token index of the callee identifier.
+    pub tok: usize,
+    pub name: String,
+    pub line: u32,
+    /// The path segment directly before `::name(` — `Some("thread")` for
+    /// `std::thread::sleep(..)`, `None` for bare and method calls.
+    pub path_qual: Option<String>,
+    /// True for `receiver.name(..)`.
+    pub is_method: bool,
+}
+
+/// The model of one (non-test) function.
+#[derive(Debug)]
+pub struct FnModel {
+    /// Index into the `files` slice the workspace was built from.
+    pub file: usize,
+    pub name: String,
+    /// Token indices of the body's `{` / `}` in the owning file.
+    pub open: usize,
+    pub close: usize,
+    pub is_async: bool,
+    /// `{`/`}` token spans of `async` blocks directly inside this
+    /// function (innermost-function attribution, like calls).
+    pub async_blocks: Vec<(usize, usize)>,
+    pub calls: Vec<CallSite>,
+}
+
+impl FnModel {
+    /// Is token `i` inside one of this function's `async` blocks?
+    pub fn in_async_block(&self, i: usize) -> bool {
+        self.async_blocks.iter().any(|&(o, c)| o < i && i < c)
+    }
+}
+
+/// Keywords that look like `ident (` without being calls.
+fn is_keyword(id: &str) -> bool {
+    matches!(
+        id,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "loop"
+            | "return"
+            | "let"
+            | "else"
+            | "fn"
+            | "impl"
+            | "move"
+            | "async"
+            | "await"
+            | "in"
+            | "as"
+            | "where"
+            | "use"
+            | "pub"
+            | "mut"
+            | "ref"
+            | "dyn"
+    )
+}
+
+/// All function models for a parsed workspace, indexed for name-based
+/// call resolution.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pub fns: Vec<FnModel>,
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    pub fn build(files: &[SourceFile]) -> Workspace {
+        let mut ws = Workspace::default();
+        for (file_idx, sf) in files.iter().enumerate() {
+            build_file(file_idx, sf, &mut ws.fns);
+        }
+        for (i, m) in ws.fns.iter().enumerate() {
+            ws.by_name.entry(m.name.clone()).or_default().push(i);
+        }
+        ws
+    }
+
+    /// Every function in the workspace whose name is `name`.
+    pub fn by_name(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Resolves a call site to candidate callees. Bare calls (`helper(..)`)
+    /// prefer same-file definitions — an unqualified free-function call
+    /// almost always targets its own module — and fall back to the whole
+    /// workspace; method and path-qualified calls resolve workspace-wide
+    /// (the receiver type is invisible to a lexer).
+    pub fn resolve(&self, call: &CallSite, caller_file: usize) -> Vec<usize> {
+        let all = self.by_name(&call.name);
+        if !call.is_method && call.path_qual.is_none() {
+            let local: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].file == caller_file)
+                .collect();
+            if !local.is_empty() {
+                return local;
+            }
+        }
+        all.to_vec()
+    }
+}
+
+/// Scans a small window before the `fn` keyword for `async`
+/// (`pub async fn`, `pub(crate) async unsafe fn`, ...).
+fn fn_is_async(sf: &SourceFile, open: usize, name: &str) -> bool {
+    // Walk back from the body `{` to the `fn` keyword introducing `name`.
+    let mut k = open;
+    let floor = open.saturating_sub(400);
+    let fn_kw = loop {
+        if k == floor || k == 0 {
+            return false;
+        }
+        k -= 1;
+        if sf.toks[k].is_ident("fn") && sf.toks.get(k + 1).and_then(Tok::ident) == Some(name) {
+            break k;
+        }
+    };
+    let lo = fn_kw.saturating_sub(6);
+    sf.toks[lo..fn_kw].iter().any(|t| t.is_ident("async"))
+}
+
+fn build_file(file_idx: usize, sf: &SourceFile, out: &mut Vec<FnModel>) {
+    // Innermost-function owner of every token: paint outermost-first so
+    // nested functions overwrite their enclosers.
+    let mut owner: Vec<usize> = vec![usize::MAX; sf.toks.len()];
+    let mut order: Vec<usize> = (0..sf.fns.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(sf.fns[i].close - sf.fns[i].open));
+    let mut slot_of: HashMap<usize, usize> = HashMap::new();
+    for (fi, f) in sf.fns.iter().enumerate() {
+        if sf.in_test[f.open] {
+            continue;
+        }
+        slot_of.insert(fi, out.len());
+        out.push(FnModel {
+            file: file_idx,
+            name: f.name.clone(),
+            open: f.open,
+            close: f.close,
+            is_async: fn_is_async(sf, f.open, &f.name),
+            async_blocks: Vec::new(),
+            calls: Vec::new(),
+        });
+    }
+    for &fi in &order {
+        if let Some(&slot) = slot_of.get(&fi) {
+            let f = &sf.fns[fi];
+            for o in owner.iter_mut().take(f.close).skip(f.open + 1) {
+                *o = slot;
+            }
+        }
+    }
+
+    for (i, &slot) in owner.iter().enumerate() {
+        if sf.in_test[i] || slot == usize::MAX {
+            continue;
+        }
+        match &sf.toks[i].kind {
+            // `async [move] { .. }` block spans.
+            TokKind::Ident(id) if id == "async" => {
+                let mut j = i + 1;
+                if sf.toks.get(j).is_some_and(|t| t.is_ident("move")) {
+                    j += 1;
+                }
+                if sf.toks.get(j).is_some_and(|t| t.is_punct('{')) && sf.match_of[j] != usize::MAX {
+                    out[slot].async_blocks.push((j, sf.match_of[j]));
+                }
+            }
+            // Call sites: `name(` not preceded by `fn`.
+            TokKind::Ident(id) if !is_keyword(id) => {
+                if !sf.toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                    continue;
+                }
+                if i > 0 && sf.toks[i - 1].is_ident("fn") {
+                    continue;
+                }
+                let is_method = i > 0 && sf.toks[i - 1].is_punct('.');
+                let path_qual = (i >= 2 && sf.toks[i - 1].kind == TokKind::PathSep)
+                    .then(|| sf.toks[i - 2].ident().map(str::to_owned))
+                    .flatten();
+                out[slot].calls.push(CallSite {
+                    tok: i,
+                    name: id.clone(),
+                    line: sf.toks[i].line,
+                    path_qual,
+                    is_method,
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws_of(src: &str) -> Workspace {
+        let sf = SourceFile::parse("crates/x/src/lib.rs", src);
+        Workspace::build(std::slice::from_ref(&sf))
+    }
+
+    #[test]
+    fn async_fn_and_blocks_are_modelled() {
+        let ws = ws_of(
+            "pub async fn a() { helper().await; }\n\
+             fn b(rt: &Rt) { rt.spawn(async move { tick(); }); after(); }\n",
+        );
+        let a = ws.fns.iter().find(|m| m.name == "a").unwrap();
+        assert!(a.is_async);
+        let b = ws.fns.iter().find(|m| m.name == "b").unwrap();
+        assert!(!b.is_async);
+        assert_eq!(b.async_blocks.len(), 1);
+        let tick = b.calls.iter().find(|c| c.name == "tick").unwrap();
+        assert!(b.in_async_block(tick.tok));
+        let after = b.calls.iter().find(|c| c.name == "after").unwrap();
+        assert!(!b.in_async_block(after.tok));
+    }
+
+    #[test]
+    fn call_qualifiers_and_methods() {
+        let ws = ws_of("fn f() { std::thread::sleep(d); rx.recv(); helper(); }\n");
+        let f = &ws.fns[0];
+        let sleep = f.calls.iter().find(|c| c.name == "sleep").unwrap();
+        assert_eq!(sleep.path_qual.as_deref(), Some("thread"));
+        assert!(!sleep.is_method);
+        let recv = f.calls.iter().find(|c| c.name == "recv").unwrap();
+        assert!(recv.is_method);
+        assert!(recv.path_qual.is_none());
+        let helper = f.calls.iter().find(|c| c.name == "helper").unwrap();
+        assert!(!helper.is_method && helper.path_qual.is_none());
+    }
+
+    #[test]
+    fn bare_calls_prefer_same_file() {
+        let a = SourceFile::parse(
+            "crates/a/src/lib.rs",
+            "fn go() { helper(); }\nfn helper() {}\n",
+        );
+        let b = SourceFile::parse("crates/b/src/lib.rs", "fn helper() {}\n");
+        let ws = Workspace::build(&[a, b]);
+        let go = ws.fns.iter().find(|m| m.name == "go").unwrap();
+        let call = go.calls.iter().find(|c| c.name == "helper").unwrap();
+        let targets = ws.resolve(call, go.file);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(ws.fns[targets[0]].file, 0);
+    }
+
+    #[test]
+    fn test_functions_are_excluded() {
+        let ws = ws_of("fn live() {}\n#[cfg(test)]\nmod t { fn dead() {} }\n");
+        assert!(ws.fns.iter().any(|m| m.name == "live"));
+        assert!(!ws.fns.iter().any(|m| m.name == "dead"));
+    }
+}

@@ -334,6 +334,15 @@ impl SourceFile {
             .find(|&b| b > floor && self.block_kind.get(&b) == Some(&BlockKind::Loop))
     }
 
+    /// Token index of the `}` closing the innermost `{` block containing
+    /// token `i` (the end of `i`'s lexical scope), if any.
+    pub fn enclosing_block_close(&self, i: usize) -> Option<usize> {
+        self.open_blocks(i)
+            .last()
+            .map(|&open| self.match_of[open])
+            .filter(|&c| c != usize::MAX)
+    }
+
     /// Token indices of all `{` blocks open at token `i`, outermost first.
     fn open_blocks(&self, i: usize) -> Vec<usize> {
         let mut open = Vec::new();

@@ -1,0 +1,17 @@
+//! Fixture: the channel-parking pattern, documented with a waiver.
+//!
+//! The handler runs on a per-connection thread; the workflow runs as an
+//! executor task. The handler parking on the reply channel is the one
+//! sanctioned blocking wait on a front-door path — it must carry a
+//! waiver naming the pattern.
+
+pub fn invoke(state: &State, req: Request) -> Response {
+    let (tx, rx) = channel();
+    let fut = state.env.invoke_task(req.ssf, req.payload);
+    state.handle.spawn(async move {
+        let _ = tx.send(fut.await);
+    });
+    // beldi-lint: allow(async-safety/blocking-in-task, canary: channel-parking waiver - this connection thread parks while the task runs on the executor)
+    let result = rx.recv();
+    reply(result)
+}

@@ -1,0 +1,37 @@
+//! Fixture: executor-task code that respects every async-safety rule.
+
+/// Virtual-time pacing and an RAII permit held across awaits — both the
+/// sanctioned patterns.
+pub async fn workflow(env: &Env) -> Result<Value> {
+    env.clock().sleep(Duration::from_millis(1));
+    let _permit = env.gate.acquire().await;
+    step(env).await
+}
+
+/// A guard scoped to its own block, closed before the await.
+async fn step(env: &Env) -> Result<Value> {
+    let n = {
+        let g = env.stats.lock();
+        g.count
+    };
+    record(env, n);
+    env.call("other").await
+}
+
+/// Explicitly dropping the guard before the suspension point also
+/// satisfies `guard-across-await`.
+pub async fn drain(env: &Env) {
+    let g = env.stats.lock();
+    let n = g.count;
+    drop(g);
+    finish(env, n).await;
+}
+
+/// Reachable from the tasks above; nothing here blocks.
+fn record(env: &Env, n: u64) {
+    env.metrics.observe(n);
+}
+
+async fn finish(env: &Env, n: u64) {
+    env.call_with(n).await;
+}

@@ -1,0 +1,12 @@
+//! Fixture: an application that routes a mutation around `SsfContext`
+//! through helper functions.
+
+// logged-ops/transitive-db: one hop to the mutating helper
+pub fn handler(ctx: &mut SsfContext, v: Value) -> Result<Value> {
+    stash(ctx, v) // planted: transitive-db-direct
+}
+
+// logged-ops/transitive-db: two hops
+pub fn handler_deep(ctx: &mut SsfContext, v: Value) -> Result<Value> {
+    stash_indirect(ctx, v) // planted: transitive-db-deep
+}

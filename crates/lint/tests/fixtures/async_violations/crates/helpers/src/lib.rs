@@ -1,0 +1,12 @@
+//! Fixture: a helper crate that launders a direct DB write. The direct
+//! mutation is legal *here* (only apps are confined to the logged API);
+//! the violation is the app-side call that routes through it.
+
+pub fn stash(ctx: &mut SsfContext, v: Value) -> Result<Value> {
+    ctx.env.db.put("state", "k", v)
+}
+
+/// One more hop, to prove the propagation reaches a fixpoint.
+pub fn stash_indirect(ctx: &mut SsfContext, v: Value) -> Result<Value> {
+    stash(ctx, v)
+}

@@ -1,0 +1,38 @@
+//! Fixture: planted `async-safety` violations, one per marker comment.
+
+// async-safety/blocking-in-task: real-time sleep directly in an async fn
+pub async fn sleepy_task(env: &Env) {
+    std::thread::sleep(Duration::from_millis(5)); // planted: direct-sleep
+    env.tick().await;
+}
+
+// The task only calls helpers; the violations live two hops down.
+pub async fn relay_task(env: &Env) {
+    pump_once(env);
+    push_metrics(env);
+}
+
+// async-safety/blocking-in-task: blocking receive in a task-reachable helper
+fn pump_once(env: &Env) {
+    let item = env.rx.recv(); // planted: transitive-recv
+    env.enqueue(item);
+}
+
+// async-safety/blocking-in-task: synchronous network IO in a task-reachable helper
+fn push_metrics(env: &Env) {
+    let sock = TcpStream::connect(env.addr); // planted: transitive-net
+    env.flush(sock);
+}
+
+// async-safety/guard-across-await: the guard stays live across the suspension
+pub async fn hold_guard(env: &Env) {
+    let g = env.stats.lock();
+    env.step().await; // planted: guard-across-await
+    env.metrics.observe(g.count);
+}
+
+// async-safety/unused-permit: the permit dies on its own line
+pub fn admit(env: &Env) {
+    let _ = env.gate.try_acquire(); // planted: unused-permit
+    env.run_unthrottled();
+}

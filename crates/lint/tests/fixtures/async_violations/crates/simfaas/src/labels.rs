@@ -1,0 +1,8 @@
+//! Fixture registry: a miniature `simfaas::labels`.
+
+pub const OP_ENTER: &str = "op.enter";
+pub const OP_EXIT: &str = "op.exit";
+
+pub const ALL: &[&str] = &[OP_ENTER, OP_EXIT];
+
+pub const WORK_DEPENDENT: &[&str] = &[];

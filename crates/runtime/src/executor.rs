@@ -374,6 +374,10 @@ impl Executor {
                         if s.ready.is_empty() {
                             self.inner
                                 .cv
+                                // beldi-lint: allow(async-safety/blocking-in-task,
+                                // this *is* the scheduler's idle park - the wait
+                                // every task's sleep compiles down to, not a
+                                // wait inside a task)
                                 .wait_until(&mut s, Instant::now() + TIMER_POLL);
                         }
                     }
@@ -387,6 +391,9 @@ impl Executor {
                         // backstops a wake racing the park decision.
                         self.inner
                             .cv
+                            // beldi-lint: allow(async-safety/blocking-in-task,
+                            // the scheduler's own no-work park between tasks;
+                            // no task is suspended mid-poll while it waits)
                             .wait_until(&mut s, Instant::now() + 50 * TIMER_POLL);
                     }
                 }

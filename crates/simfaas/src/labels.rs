@@ -195,6 +195,16 @@ pub const FRONT_POST_SPAWN: &str = "front.post_spawn";
 /// result instead of re-executing.
 pub const FRONT_PRE_REPLY: &str = "front.pre_reply";
 
+// ---- Platform dispatch ----
+
+/// A platform worker thread has booted (startup delay paid) but dies
+/// before entering the handler. The concurrency permit is still freed
+/// and the caller observes `Crashed` with no intent row written by this
+/// attempt — recovery must re-run the invocation from scratch. This is
+/// the dispatch-handoff gap between `front.post_spawn` /
+/// `invoke_async` admission and `wrapper.enter`.
+pub const WORKER_PRE_HANDLER: &str = "worker.pre_handler";
+
 // ---- Platform contract enforcement ----
 
 /// The platform killed an instance whose execution lease (`T_max`)
@@ -265,6 +275,7 @@ pub const ALL: &[&str] = &[
     FRONT_ENTER,
     FRONT_POST_SPAWN,
     FRONT_PRE_REPLY,
+    WORKER_PRE_HANDLER,
     PLATFORM_T_MAX,
     WRITE_BEFORE,
     WRITE_AFTER,
@@ -293,6 +304,10 @@ pub const WORK_DEPENDENT: &[&str] = &[
     GC_STEP4_PRE_UNLINK,
     GC_STEP5_PRE_RESCAN,
     GC_STEP5_PRE_DELETE,
+    // Fires with the worker's request id (allocated in dispatch order
+    // across racing worker threads), so storm kill decisions keyed on it
+    // would be interleaving-dependent — ineligible, like PLATFORM_T_MAX.
+    WORKER_PRE_HANDLER,
     PLATFORM_T_MAX,
 ];
 

@@ -17,6 +17,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::error::{InvokeError, InvokeResult};
 use crate::fault::{CrashSignal, FaultInjector};
+use crate::labels;
 use crate::metrics::{PlatformMetrics, PlatformSnapshot};
 use crate::semaphore::{Semaphore, WaiterSlot};
 
@@ -250,6 +251,10 @@ impl Platform {
         let rx = self.dispatch(name, payload, deadline)?;
         // Wait for the worker in virtual time.
         loop {
+            // beldi-lint: allow(async-safety/blocking-in-task, invoke_sync is
+            // the thread-per-worker platform path - callers opt into blocking
+            // their own thread; executor tasks go through invoke_async, which
+            // parks a waker instead)
             match rx.recv_timeout(Duration::from_micros(200)) {
                 Ok(result) => return result,
                 Err(mpsc::RecvTimeoutError::Timeout) => {
@@ -351,8 +356,16 @@ impl Platform {
             .name(format!("ssf-{fn_name}"))
             .spawn(move || {
                 platform.clock.sleep(startup);
-                let result =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| (handler)(&ctx, payload)));
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    // The worker booted (startup delay paid) but may die
+                    // before the handler runs: the permit is still freed
+                    // below and the caller sees `Crashed`, so recovery
+                    // must re-run the intent from scratch.
+                    platform
+                        .faults
+                        .crash_point(&ctx.request_id, labels::WORKER_PRE_HANDLER);
+                    (handler)(&ctx, payload)
+                }));
                 match result {
                     Ok(value) => {
                         platform.metrics.finish_ok();
@@ -645,17 +658,47 @@ mod tests {
             p.invoke_sync("flaky", Value::Null).unwrap(),
             Value::from("survived")
         );
-        // We don't know the next request id in advance, so use the random
-        // policy with probability 1 capped at one crash.
+        // We don't know the next request id in advance, so install a
+        // global label-targeted plan (a blanket random policy would fire
+        // at `worker.pre_handler` before the handler's own probe).
+        p.faults()
+            .set_global_plan(Some(crate::CrashPlan::AtLabel(labels::WRITE_AFTER.into())));
+        let err = p.invoke_sync("flaky", Value::Null).unwrap_err();
+        assert!(matches!(err, InvokeError::Crashed(ref pt) if pt.contains(labels::WRITE_AFTER)));
+        // One-shot plan consumed: next call survives.
+        assert!(p.invoke_sync("flaky", Value::Null).is_ok());
+    }
+
+    #[test]
+    fn worker_pre_handler_crash_frees_permit() {
+        let p = Platform::for_tests();
+        let entered = Arc::new(AtomicU64::new(0));
+        let entered2 = entered.clone();
+        p.register(
+            "victim",
+            Arc::new(move |_ctx: &InvocationCtx, _| -> Value {
+                entered2.fetch_add(1, Ordering::SeqCst);
+                Value::from("ran")
+            }),
+        );
         p.faults().set_random_policy(Some(crate::RandomCrashPolicy {
             prob: 1.0,
             max_crashes: 1,
-            seed: 3,
+            seed: 7,
         }));
-        let err = p.invoke_sync("flaky", Value::Null).unwrap_err();
-        assert!(matches!(err, InvokeError::Crashed(ref pt) if pt.contains(labels::WRITE_AFTER)));
-        // Cap reached: next call survives.
-        assert!(p.invoke_sync("flaky", Value::Null).is_ok());
+        // The worker dies at `worker.pre_handler`: the handler never runs,
+        // the caller sees `Crashed` naming the label, and the permit is
+        // freed so the next invocation still gets a worker.
+        let err = p.invoke_sync("victim", Value::Null).unwrap_err();
+        assert!(
+            matches!(err, InvokeError::Crashed(ref pt) if pt.contains(labels::WORKER_PRE_HANDLER))
+        );
+        assert_eq!(entered.load(Ordering::SeqCst), 0);
+        assert_eq!(
+            p.invoke_sync("victim", Value::Null).unwrap(),
+            Value::from("ran")
+        );
+        assert_eq!(entered.load(Ordering::SeqCst), 1);
     }
 
     #[test]

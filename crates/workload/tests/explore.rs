@@ -278,11 +278,13 @@ fn gc_interleaved_sweep_is_clean_and_covers_gc_crash_points() {
         "GC-interleaved sweep must pass every schedule:\n{:#?}",
         report.violations
     );
-    // The collectors contribute their five fixed crash points per pass:
-    // 2 SSFs × 2 requests × 5 labels on top of the plain stream.
+    // The collectors contribute their six fixed crash points per pass —
+    // the `worker.pre_handler` dispatch probe plus the five gc.* step
+    // boundaries: 2 SSFs × 2 requests × 6 labels on top of the plain
+    // stream (whose own requests already carry their dispatch probes).
     assert_eq!(
         report.crash_points,
-        base.crash_points + 2 * 2 * 5,
+        base.crash_points + 2 * 2 * 6,
         "GC passes must add exactly their fixed step-boundary points"
     );
     // Every schedule — including those that killed a GC pass — fired.
